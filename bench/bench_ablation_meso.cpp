@@ -1,0 +1,78 @@
+// Ablation A4: MESO vs baseline classifiers (exact 1-NN, 5-NN, per-class
+// centroid) on the PAA ensemble data set.
+//
+// The MESO TKDE paper's claim, restated here: accuracy comparable to
+// memory-based classifiers at lower query cost, thanks to the sensitivity
+// sphere tree. We report accuracy, train/test time, and the model's size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "meso/baselines.hpp"
+
+namespace bench = dynriver::bench;
+namespace eval = dynriver::eval;
+namespace meso = dynriver::meso;
+
+int main() {
+  bench::print_header("Ablation A4: MESO vs baseline classifiers (PAA ensembles)");
+  auto corpus = bench::build_bench_corpus();
+  const auto& data = corpus.paa_dataset;
+
+  auto opts = bench::loo_options();
+  opts.max_holdouts = std::min<std::size_t>(opts.max_holdouts, 50);
+
+  struct Entry {
+    const char* name;
+    eval::ClassifierFactory factory;
+  };
+  const Entry entries[] = {
+      {"MESO", [] { return std::make_unique<meso::MesoClassifier>(); }},
+      {"MESO (sphere label)",
+       [] {
+         meso::MesoParams p;
+         p.nearest_pattern_query = false;
+         return std::make_unique<meso::MesoClassifier>(p);
+       }},
+      {"1-NN exact", [] { return std::make_unique<meso::KnnClassifier>(1); }},
+      {"5-NN exact", [] { return std::make_unique<meso::KnnClassifier>(5); }},
+      {"centroid", [] { return std::make_unique<meso::CentroidClassifier>(); }},
+  };
+
+  std::printf("%-20s %16s %12s %12s\n", "classifier", "ensemble LOO %",
+              "train s", "test s");
+  bench::print_rule(64);
+
+  double meso_acc = 0.0, knn_acc = 0.0, centroid_acc = 0.0;
+  for (const auto& entry : entries) {
+    const auto loo = eval::leave_one_out_ensemble(data, entry.factory, opts);
+    const auto timing = eval::measure_train_test(data, entry.factory, 11);
+    std::printf("%-20s %12.1f+-%3.1f %12.3f %12.3f\n", entry.name,
+                100.0 * loo.accuracy.mean, 100.0 * loo.accuracy.stddev,
+                timing.train_seconds, timing.test_seconds);
+    if (std::string_view(entry.name) == "MESO") meso_acc = loo.accuracy.mean;
+    if (std::string_view(entry.name) == "1-NN exact") knn_acc = loo.accuracy.mean;
+    if (std::string_view(entry.name) == "centroid") {
+      centroid_acc = loo.accuracy.mean;
+    }
+  }
+
+  // Show MESO's internal organization once, trained on the whole set.
+  meso::MesoClassifier model;
+  for (const auto& e : data.ensembles) {
+    for (const auto& p : e.patterns) model.train(p, e.label);
+  }
+  const auto stats = model.stats();
+  std::printf(
+      "\nMESO organization: %zu patterns -> %zu sensitivity spheres "
+      "(mean size %.1f, purity %.2f), tree %zu nodes depth %zu, delta %.3f\n",
+      stats.patterns, stats.spheres, stats.mean_sphere_size, stats.purity,
+      stats.tree_nodes, stats.tree_depth, stats.delta);
+
+  const bool near_knn = meso_acc >= knn_acc - 0.1;
+  const bool beats_centroid = meso_acc >= centroid_acc;
+  std::printf("\nShape check: MESO within 10 points of exact 1-NN: %s\n",
+              near_knn ? "PASS" : "FAIL");
+  std::printf("Shape check: MESO >= centroid baseline:           %s\n",
+              beats_centroid ? "PASS" : "FAIL");
+  return (near_knn && beats_centroid) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Ablation A2: anomaly window and moving-average window sizes (paper: 100
+// and 2250) vs detection quality.
+//
+// Shows the regime structure the unit tests pinned down: windows well below
+// the event's internal modulation period detect reliably; too-small windows
+// drown in bitmap sampling noise; too-large moving averages smear the score
+// until short songs are missed.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/extractor.hpp"
+#include "synth/station.hpp"
+
+namespace bench = dynriver::bench;
+namespace core = dynriver::core;
+namespace synth = dynriver::synth;
+
+namespace {
+struct Quality {
+  double recall = 0.0;
+  double false_per_clip = 0.0;
+};
+
+Quality measure(const core::PipelineParams& pp, int clips) {
+  const core::EnsembleExtractor extractor(pp);
+  synth::StationParams sp;
+  sp.distractor_probability = 0.0;
+  synth::SensorStation station(sp, 4242);
+
+  std::size_t planted = 0, found = 0, spurious = 0;
+  for (int c = 0; c < clips; ++c) {
+    const auto id1 = static_cast<synth::SpeciesId>(c % synth::kNumSpecies);
+    const auto clip = station.record_clip({id1, id1});
+    const auto result = extractor.extract(clip.clip.samples);
+    planted += clip.truth.size();
+    std::vector<bool> used(result.ensembles.size(), false);
+    for (const auto& t : clip.truth) {
+      for (std::size_t e = 0; e < result.ensembles.size(); ++e) {
+        if (synth::intervals_overlap(result.ensembles[e].start_sample,
+                                     result.ensembles[e].end_sample(),
+                                     t.start_sample, t.end_sample(), 0.25)) {
+          ++found;
+          used[e] = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t e = 0; e < used.size(); ++e) {
+      if (!used[e]) ++spurious;
+    }
+  }
+  return {100.0 * found / static_cast<double>(planted),
+          static_cast<double>(spurious) / clips};
+}
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A2: SAX anomaly window / moving-average window (paper: 100/2250)");
+  const int clips = std::max(3, static_cast<int>(8 * bench::bench_scale()));
+
+  std::printf("Anomaly window sweep (MA fixed at 2250):\n");
+  std::printf("%-10s %10s %12s\n", "window", "recall %", "false/clip");
+  bench::print_rule(36);
+  double recall_paper_cfg = 0.0;
+  for (const std::size_t window : {25u, 50u, 100u, 200u, 400u}) {
+    core::PipelineParams pp;
+    pp.anomaly.window = window;
+    const auto q = measure(pp, clips);
+    if (window == 100) recall_paper_cfg = q.recall;
+    std::printf("%-10zu %9.1f%% %12.2f\n", window, q.recall, q.false_per_clip);
+  }
+
+  std::printf("\nMoving-average window sweep (anomaly window fixed at 100):\n");
+  std::printf("%-10s %10s %12s\n", "MA", "recall %", "false/clip");
+  bench::print_rule(36);
+  for (const std::size_t ma : {250u, 1000u, 2250u, 4500u, 9000u, 18000u}) {
+    core::PipelineParams pp;
+    pp.anomaly.ma_window = ma;
+    const auto q = measure(pp, clips);
+    std::printf("%-10zu %9.1f%% %12.2f\n", ma, q.recall, q.false_per_clip);
+  }
+
+  std::printf(
+      "\n(Paper's 100/2250 sits in the plateau: window below the syllable\n"
+      "modulation period, moving average near the syllable gap scale.)\n");
+  const bool ok = recall_paper_cfg > 90.0;
+  std::printf("\nShape check: paper configuration >90%% recall: %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

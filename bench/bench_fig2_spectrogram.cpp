@@ -1,0 +1,56 @@
+// Figure 2 reproduction: oscillogram (top) and spectrogram (bottom) of an
+// acoustic clip containing bird vocalizations, rendered as ASCII.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dsp/spectrogram.hpp"
+#include "synth/station.hpp"
+
+namespace bench = dynriver::bench;
+namespace dsp = dynriver::dsp;
+namespace synth = dynriver::synth;
+
+int main() {
+  bench::print_header("Figure 2: oscillogram and spectrogram of an acoustic clip");
+
+  synth::StationParams params;
+  synth::SensorStation station(params, 2024);
+  const auto rec = station.record_clip(
+      {synth::SpeciesId::kNOCA, synth::SpeciesId::kRWBL,
+       synth::SpeciesId::kBCCH});
+
+  std::printf("Clip: %.0f s at %.0f Hz (%.3f MB as PCM16; paper: ~1.26 MB)\n",
+              params.clip_seconds, params.sample_rate,
+              static_cast<double>(rec.clip.samples.size()) * 2.0 / 1e6);
+  std::printf("Planted vocalizations:\n");
+  for (const auto& t : rec.truth) {
+    std::printf("  %-5s at %6.2f s for %.2f s\n",
+                synth::species(t.species).code.c_str(),
+                static_cast<double>(t.start_sample) / params.sample_rate,
+                static_cast<double>(t.length) / params.sample_rate);
+  }
+
+  const auto normalized = dsp::normalize_oscillogram(rec.clip.samples);
+  std::printf("\nOscillogram (normalized amplitude, 0..30 s):\n%s",
+              dsp::ascii_oscillogram(normalized, 100, 8).c_str());
+
+  dsp::SpectrogramParams sp;
+  sp.frame_size = 900;
+  sp.hop = 450;
+  sp.sample_rate = params.sample_rate;
+  const auto spec = dsp::stft(rec.clip.samples, sp);
+  std::printf(
+      "\nSpectrogram (0..%.1f kHz bottom-to-top; darker = more energy):\n%s",
+      params.sample_rate / 2000.0,
+      dsp::ascii_spectrogram(spec, 100, 24).c_str());
+  std::printf(
+      "\n(The vocalizations appear as textured blocks in the 1.2-9.6 kHz\n"
+      "band; the smear along the bottom rows is wind/human low-frequency\n"
+      "noise, exactly the structure Figure 2 of the paper shows.)\n");
+
+  // Sanity: STFT produced the expected geometry.
+  const bool ok = spec.num_frames() > 1000 && spec.num_bins() == 451;
+  std::printf("\nShape check: %zu frames x %zu bins: %s\n", spec.num_frames(),
+              spec.num_bins(), ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

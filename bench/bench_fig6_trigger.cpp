@@ -1,0 +1,102 @@
+// Figure 6 reproduction: the trigger signal (top) and the ensembles
+// extracted from the acoustic clip (bottom), aligned against ground truth.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/extractor.hpp"
+#include "dsp/spectrogram.hpp"
+#include "synth/station.hpp"
+
+namespace bench = dynriver::bench;
+namespace core = dynriver::core;
+namespace dsp = dynriver::dsp;
+namespace synth = dynriver::synth;
+
+int main() {
+  bench::print_header(
+      "Figure 6: trigger signal and ensembles extracted from the clip");
+
+  synth::StationParams params;
+  params.distractor_probability = 0.0;
+  synth::SensorStation station(params, 2024);
+  const auto rec = station.record_clip(
+      {synth::SpeciesId::kNOCA, synth::SpeciesId::kRWBL,
+       synth::SpeciesId::kBCCH});
+
+  const core::PipelineParams pp;
+  const core::EnsembleExtractor extractor(pp);
+  const auto result = extractor.extract(rec.clip.samples, /*keep_signals=*/true);
+
+  constexpr std::size_t kCols = 100;
+  const std::size_t n = rec.clip.samples.size();
+
+  // Trigger strip: fraction of triggered samples per column.
+  std::string trigger_strip(kCols, ' ');
+  for (std::size_t c = 0; c < kCols; ++c) {
+    const std::size_t lo = c * n / kCols;
+    const std::size_t hi = (c + 1) * n / kCols;
+    std::size_t on = 0;
+    for (std::size_t i = lo; i < hi; ++i) on += result.trigger[i];
+    trigger_strip[c] = (on * 2 > hi - lo) ? '1' : '0';
+  }
+  // Truth strip for comparison.
+  std::string truth_strip(kCols, '.');
+  for (const auto& t : rec.truth) {
+    for (std::size_t c = t.start_sample * kCols / n;
+         c <= std::min(kCols - 1, (t.end_sample() - 1) * kCols / n); ++c) {
+      truth_strip[c] = 'T';
+    }
+  }
+  // Ensemble strip.
+  std::string ens_strip(kCols, '.');
+  for (const auto& e : result.ensembles) {
+    for (std::size_t c = e.start_sample * kCols / n;
+         c <= std::min(kCols - 1, (e.end_sample() - 1) * kCols / n); ++c) {
+      ens_strip[c] = 'E';
+    }
+  }
+
+  std::printf("Trigger value (0/1) over the 30 s clip:\n%s\n",
+              trigger_strip.c_str());
+  std::printf("\nExtracted ensemble audio (amplitude where trigger held):\n");
+  std::vector<float> masked(n, 0.0F);
+  for (const auto& e : result.ensembles) {
+    for (std::size_t i = 0; i < e.samples.size(); ++i) {
+      masked[e.start_sample + i] = e.samples[i];
+    }
+  }
+  std::printf("%s", dsp::ascii_oscillogram(masked, kCols, 6).c_str());
+  std::printf("\nGround truth vs extraction:\n  truth:     %s\n  ensembles: %s\n",
+              truth_strip.c_str(), ens_strip.c_str());
+
+  std::printf("\nEnsembles:\n");
+  for (const auto& e : result.ensembles) {
+    std::printf("  [%6.2f s, %6.2f s)  %.2f s\n",
+                static_cast<double>(e.start_sample) / pp.sample_rate,
+                static_cast<double>(e.end_sample()) / pp.sample_rate,
+                static_cast<double>(e.length()) / pp.sample_rate);
+  }
+  std::printf("Retained %.1f%% of the clip (reduction %.1f%%)\n",
+              100.0 * result.retained_samples() / static_cast<double>(n),
+              100.0 * result.reduction_fraction(n));
+
+  // Shape checks: each planted song is covered by an ensemble; the ensembles
+  // cover a small fraction of the clip.
+  bool all_found = true;
+  for (const auto& t : rec.truth) {
+    bool found = false;
+    for (const auto& e : result.ensembles) {
+      if (synth::intervals_overlap(e.start_sample, e.end_sample(),
+                                   t.start_sample, t.end_sample(), 0.25)) {
+        found = true;
+      }
+    }
+    all_found = all_found && found;
+  }
+  const bool sparse = result.reduction_fraction(n) > 0.5;
+  std::printf("\nShape check: every planted song triggered:   %s\n",
+              all_found ? "PASS" : "FAIL");
+  std::printf("Shape check: extraction is sparse (>50%% cut): %s\n",
+              sparse ? "PASS" : "FAIL");
+  return (all_found && sparse) ? 0 : 1;
+}

@@ -1,0 +1,186 @@
+// Ablation A5: micro-benchmarks of the individual substrate operations,
+// using google-benchmark. Covers the DFT (radix-2 vs Bluestein vs naive),
+// SAX anomaly scoring, the trigger, full-clip extraction, feature
+// extraction, MESO training/query, wire encode/decode, and channel
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/extractor.hpp"
+#include "core/features.hpp"
+#include "dsp/fft.hpp"
+#include "meso/classifier.hpp"
+#include "river/channel.hpp"
+#include "river/wire.hpp"
+#include "synth/station.hpp"
+#include "ts/anomaly.hpp"
+
+namespace core = dynriver::core;
+namespace dsp = dynriver::dsp;
+namespace meso = dynriver::meso;
+namespace river = dynriver::river;
+namespace synth = dynriver::synth;
+namespace ts = dynriver::ts;
+
+namespace {
+
+std::vector<float> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0F, 0.3F);
+  std::vector<float> out(n);
+  for (auto& v : out) v = dist(gen);
+  return out;
+}
+
+const synth::ClipRecording& cached_clip() {
+  static const synth::ClipRecording clip = [] {
+    synth::StationParams sp;
+    synth::SensorStation station(sp, 31415);
+    return station.record_clip(
+        {synth::SpeciesId::kNOCA, synth::SpeciesId::kBCCH});
+  }();
+  return clip;
+}
+
+// -- DFT -----------------------------------------------------------------
+
+void BM_FftRadix2_1024(benchmark::State& state) {
+  std::vector<dsp::Cplx> data(1024, {0.5, -0.25});
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft_radix2(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_FftRadix2_1024);
+
+void BM_FftBluestein_900(benchmark::State& state) {
+  std::vector<dsp::Cplx> data(900, {0.5, -0.25});
+  for (auto _ : state) {
+    auto out = dsp::fft(data);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftBluestein_900);
+
+void BM_DftNaive_900(benchmark::State& state) {
+  std::vector<dsp::Cplx> data(900, {0.5, -0.25});
+  for (auto _ : state) {
+    auto out = dsp::dft_naive(data);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DftNaive_900);
+
+// -- SAX anomaly scoring ----------------------------------------------------
+
+void BM_AnomalyScorer_PerSample(benchmark::State& state) {
+  const auto signal = random_signal(1 << 16, 7);
+  ts::AnomalyParams params;
+  params.frame = static_cast<std::size_t>(state.range(0));
+  ts::StreamingAnomalyScorer scorer(params);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.push(signal[i]));
+    i = (i + 1) & 0xFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnomalyScorer_PerSample)->Arg(1)->Arg(24);
+
+// -- Extraction / features ----------------------------------------------------
+
+void BM_ExtractClip30s(benchmark::State& state) {
+  const core::EnsembleExtractor extractor{core::PipelineParams{}};
+  const auto& clip = cached_clip();
+  for (auto _ : state) {
+    auto result = extractor.extract(clip.clip.samples);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clip.clip.samples.size()));
+}
+BENCHMARK(BM_ExtractClip30s)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtractOneSecond(benchmark::State& state) {
+  core::PipelineParams pp;
+  pp.use_paa = state.range(0) != 0;
+  const core::FeatureExtractor fx(pp);
+  const auto ensemble = random_signal(21600, 11);
+  for (auto _ : state) {
+    auto patterns = fx.patterns(ensemble);
+    benchmark::DoNotOptimize(patterns);
+  }
+}
+BENCHMARK(BM_FeatureExtractOneSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// -- MESO ------------------------------------------------------------------------
+
+void BM_MesoTrain105d(benchmark::State& state) {
+  std::mt19937 gen(3);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  std::vector<std::vector<float>> patterns(512);
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    patterns[i].resize(105);
+    for (auto& v : patterns[i]) v = dist(gen) + static_cast<float>(i % 10);
+  }
+  for (auto _ : state) {
+    meso::MesoClassifier clf;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      clf.train(patterns[i], static_cast<meso::Label>(i % 10));
+    }
+    benchmark::DoNotOptimize(clf);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(patterns.size()));
+}
+BENCHMARK(BM_MesoTrain105d)->Unit(benchmark::kMillisecond);
+
+void BM_MesoQuery105d(benchmark::State& state) {
+  std::mt19937 gen(5);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  meso::MesoClassifier clf;
+  std::vector<float> pattern(105);
+  for (int i = 0; i < 1024; ++i) {
+    for (auto& v : pattern) v = dist(gen) + static_cast<float>(i % 10);
+    clf.train(pattern, i % 10);
+  }
+  for (auto& v : pattern) v = dist(gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.classify(pattern));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MesoQuery105d);
+
+// -- Wire / channels ----------------------------------------------------------------
+
+void BM_WireEncodeDecode900f(benchmark::State& state) {
+  const auto rec =
+      river::Record::data(river::kSubtypeAudio, river::FloatVec(900, 0.5F));
+  for (auto _ : state) {
+    const auto frame = river::encode_record(rec);
+    auto decoded = river::decode_record(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * 900 * sizeof(float));
+}
+BENCHMARK(BM_WireEncodeDecode900f);
+
+void BM_ChannelSendRecv(benchmark::State& state) {
+  river::InProcessChannel ch(1024);
+  const auto rec =
+      river::Record::data(river::kSubtypeAudio, river::FloatVec(900, 0.5F));
+  river::Record out;
+  for (auto _ : state) {
+    ch.send(rec);
+    benchmark::DoNotOptimize(ch.recv(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSendRecv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

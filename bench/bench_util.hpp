@@ -1,0 +1,75 @@
+// Shared helpers for the reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper and
+// prints a "paper vs measured" comparison. Scale knobs come from the
+// environment so `for b in build/bench/*; do $b; done` stays fast by
+// default:
+//   DR_BENCH_SCALE    corpus scale factor (default 0.35; 1.0 = paper-sized)
+//   DR_BENCH_REPEATS  protocol repetitions (default 3; paper: 20/100)
+//   DR_BENCH_HOLDOUTS leave-one-out holdouts per repetition (default 60;
+//                     0 = full leave-one-out, the paper's exact protocol)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/dataset.hpp"
+#include "eval/protocol.hpp"
+#include "meso/classifier.hpp"
+
+namespace dynriver::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+
+inline double bench_scale() { return env_double("DR_BENCH_SCALE", 0.35); }
+inline std::size_t bench_repeats() { return env_size("DR_BENCH_REPEATS", 3); }
+inline std::size_t bench_holdouts() { return env_size("DR_BENCH_HOLDOUTS", 60); }
+
+/// Build the simulated field corpus at the configured scale.
+inline eval::BuildResult build_bench_corpus(std::uint64_t seed = 42) {
+  eval::BuildConfig cfg;
+  cfg.seed = seed;
+  cfg.corpus_scale = bench_scale();
+  std::printf("[setup] building corpus: scale=%.2f seed=%llu ...\n",
+              cfg.corpus_scale, static_cast<unsigned long long>(seed));
+  auto result = eval::build_corpus(cfg);
+  std::printf(
+      "[setup] %zu clips, %zu ensembles, %zu patterns (%.1fs; reduction %.1f%%)\n\n",
+      result.stats.clips, result.dataset.ensemble_count(),
+      result.dataset.pattern_count(), result.stats.build_seconds,
+      100.0 * result.stats.reduction_fraction());
+  return result;
+}
+
+inline eval::ClassifierFactory meso_factory() {
+  return [] { return std::make_unique<meso::MesoClassifier>(); };
+}
+
+inline eval::ProtocolOptions loo_options() {
+  eval::ProtocolOptions opts;
+  opts.repeats = bench_repeats();
+  opts.max_holdouts = bench_holdouts();
+  return opts;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const char* title) {
+  print_rule();
+  std::printf("%s\n", title);
+  print_rule();
+}
+
+}  // namespace dynriver::bench

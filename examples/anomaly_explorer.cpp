@@ -1,0 +1,164 @@
+// Anomaly explorer: the ensemble-extraction technique on non-acoustic
+// streams. The paper (Section 1) notes the process "is general and can be
+// extended to other problem domains such as security systems and military
+// reconnaissance" -- here we run the same saxanomaly -> trigger -> cutter
+// logic over (a) an ECG-like stream with arrhythmic beats and (b) a
+// network-traffic-like counter stream with a burst anomaly, and also show
+// the relationship to discords and motifs on the extracted data.
+//
+//   ./anomaly_explorer
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "core/extractor.hpp"
+#include "ts/discord.hpp"
+#include "ts/motif.hpp"
+
+namespace core = dynriver::core;
+namespace ts = dynriver::ts;
+using dynriver::Rng;
+
+namespace {
+
+/// ECG-like stream: periodic spike complexes; a tachycardia burst (beats at
+/// ~2.3x the normal rate) is planted in the middle.
+std::vector<float> ecg_stream(std::size_t n, std::size_t anomaly_at,
+                              std::size_t anomaly_len, Rng& rng) {
+  std::vector<float> xs(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool anomalous = i >= anomaly_at && i < anomaly_at + anomaly_len;
+    const std::size_t beat = anomalous ? 70 : 160;
+    const std::size_t phase = i % beat;
+    const std::size_t qrs_at = anomalous ? 30 : 40;
+    double v = 0.02 * rng.gaussian(0.0, 1.0);
+    const double d = static_cast<double>(phase) - static_cast<double>(qrs_at);
+    v += (anomalous ? 1.1 : 1.0) * std::exp(-d * d / (2.0 * 5.0 * 5.0));
+    if (!anomalous) {
+      v += 0.15 * std::sin(2.0 * std::numbers::pi * phase / 160.0);  // T wave
+    }
+    xs[i] = static_cast<float>(v);
+  }
+  return xs;
+}
+
+/// Traffic-like stream: noisy diurnal counter with a volumetric burst
+/// planted at a known position.
+std::vector<float> traffic_stream(std::size_t n, std::size_t burst_at,
+                                  std::size_t burst_len, Rng& rng) {
+  std::vector<float> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 1.0 + 0.15 * std::sin(2.0 * std::numbers::pi * i / 40000.0);
+    v += 0.08 * rng.gaussian(0.0, 1.0);
+    if (i >= burst_at && i < burst_at + burst_len) {
+      v += 2.5 + 0.8 * rng.gaussian(0.0, 1.0);  // volumetric burst
+    }
+    xs[i] = static_cast<float>(std::max(0.0, v));
+  }
+  return xs;
+}
+
+void report(const char* name, const core::ExtractionResult& result,
+            std::size_t truth_at, std::size_t truth_len, double rate) {
+  std::printf("%s: %zu ensemble(s) extracted\n", name, result.ensembles.size());
+  bool hit = false;
+  for (const auto& e : result.ensembles) {
+    const bool overlaps =
+        e.start_sample < truth_at + truth_len && truth_at < e.end_sample();
+    hit = hit || overlaps;
+    std::printf("  [%8.2f, %8.2f) %s\n", e.start_sample / rate,
+                e.end_sample() / rate, overlaps ? "<-- planted anomaly" : "");
+  }
+  std::printf("  planted anomaly at [%8.2f, %8.2f): %s\n\n", truth_at / rate,
+              (truth_at + truth_len) / rate, hit ? "FOUND" : "missed");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ensemble extraction beyond acoustics\n");
+  std::printf("====================================\n\n");
+  Rng rng(2718);
+
+  // ECG-like stream, "sampled" at 360 Hz.
+  {
+    constexpr double kRate = 360.0;
+    constexpr std::size_t kN = 120000;
+    constexpr std::size_t kAnomalyAt = 60000;
+    constexpr std::size_t kAnomalyLen = 2400;
+    const auto xs = ecg_stream(kN, kAnomalyAt, kAnomalyLen, rng);
+
+    // The trigger multiplier is domain-specific; the paper: "The number of
+    // standard deviations is specific to the particular data set".
+    core::PipelineParams params;
+    params.anomaly = {.window = 40, .alphabet = 6, .level = 2,
+                      .ma_window = 400, .frame = 4};
+    params.trigger_sigma = 4.0;
+    params.trigger_min_baseline = 2000;
+    params.trigger_hold_samples = 300;
+    params.min_ensemble_samples = 400;
+    params.merge_gap_samples = 2000;
+    // Spectral stages are not used here; only extraction runs.
+    const core::EnsembleExtractor extractor(params);
+    report("ECG-like stream (tachycardia burst planted)",
+           extractor.extract(xs), kAnomalyAt, kAnomalyLen, kRate);
+  }
+
+  // Traffic counter stream, 1 sample per second.
+  {
+    constexpr double kRate = 1.0;
+    constexpr std::size_t kN = 90000;
+    constexpr std::size_t kBurstAt = 50000;
+    constexpr std::size_t kBurstLen = 1800;
+    const auto xs = traffic_stream(kN, kBurstAt, kBurstLen, rng);
+
+    core::PipelineParams params;
+    params.anomaly = {.window = 50, .alphabet = 8, .level = 2,
+                      .ma_window = 300, .frame = 8};
+    params.trigger_sigma = 5.0;
+    params.trigger_min_baseline = 3000;
+    params.trigger_hold_samples = 400;
+    params.min_ensemble_samples = 300;
+    params.merge_gap_samples = 1500;
+    const core::EnsembleExtractor extractor(params);
+    report("Traffic counter stream (volumetric burst planted)",
+           extractor.extract(xs), kBurstAt, kBurstLen, kRate);
+  }
+
+  // Relationship to discords/motifs (paper, Section 5): ensembles are
+  // candidate motifs or discords. Demonstrate on a small series.
+  {
+    std::printf("Ensembles vs discords/motifs (paper, Section 5)\n");
+    std::printf("-----------------------------------------------\n");
+    std::vector<float> xs(3000);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = static_cast<float>(
+          std::sin(2.0 * std::numbers::pi * i / 100.0) +
+          0.05 * rng.gaussian(0.0, 1.0));
+    }
+    // Plant one discordant cycle and a repeated foreign shape.
+    for (std::size_t k = 0; k < 100; ++k) {
+      xs[1200 + k] = static_cast<float>(0.3 * rng.gaussian(0.0, 1.0));
+      const auto shape =
+          static_cast<float>(0.8 * std::sin(2.0 * std::numbers::pi * k / 25.0));
+      xs[500 + k] += shape;
+      xs[2200 + k] += shape;
+    }
+    const auto discord = ts::find_discord_brute(xs, 100);
+    std::printf("discord (most unusual window): index %zu, distance %.2f\n",
+                discord.index, discord.distance);
+    ts::MotifParams mp;
+    mp.window = 100;
+    const auto motif = ts::find_motif_brute(xs, mp);
+    std::printf(
+        "1-motif (closest recurring pair): %zu <-> %zu, distance %.2f, "
+        "%zu occurrence(s)\n",
+        motif.first, motif.second, motif.distance, motif.neighbors);
+    std::printf(
+        "\nEnsemble extraction finds both kinds online in a single pass --\n"
+        "ensembles are locally anomalous sequences that 'may recur only\n"
+        "rarely', i.e. candidate motifs AND discords.\n");
+  }
+  return 0;
+}

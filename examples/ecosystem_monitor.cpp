@@ -1,0 +1,108 @@
+// Ecosystem monitoring survey: multiple simulated sensor stations record
+// clips over a monitoring session; every clip flows through the extraction
+// pipeline; a MESO model identifies the singers; the program prints a
+// species activity report per station -- the paper's motivating application
+// ("automated species surveys using acoustics").
+//
+//   ./ecosystem_monitor [stations] [clips_per_station]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/birdsong.hpp"
+#include "core/ops_acoustic.hpp"
+#include "eval/protocol.hpp"
+#include "meso/classifier.hpp"
+#include "synth/station.hpp"
+
+namespace core = dynriver::core;
+namespace synth = dynriver::synth;
+namespace meso = dynriver::meso;
+
+namespace {
+/// Train a reference MESO model from labelled reference recordings.
+meso::MesoClassifier train_reference_model(const core::PipelineParams& params,
+                                           int rounds) {
+  synth::StationParams sp;
+  sp.distractor_probability = 0.0;
+  synth::SensorStation reference(sp, 555);
+  meso::MesoClassifier classifier;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t s = 0; s < synth::kNumSpecies; ++s) {
+      const auto clip = reference.record_clip({static_cast<synth::SpeciesId>(s)});
+      for (const auto& pat : core::process_clip(clip.clip, 0, params)) {
+        classifier.train(pat.features, static_cast<meso::Label>(s));
+      }
+    }
+  }
+  return classifier;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_stations = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int clips_per_station = argc > 2 ? std::atoi(argv[2]) : 4;
+  const core::PipelineParams params;
+
+  std::printf("Acoustic ecosystem monitor: %d stations x %d clips\n",
+              num_stations, clips_per_station);
+  std::printf("Training reference MESO model...\n");
+  const auto classifier = train_reference_model(params, 3);
+  std::printf("  %zu patterns, %zu spheres\n\n", classifier.pattern_count(),
+              classifier.sphere_count());
+
+  // Each station has its own fauna mix (its own seeded randomness).
+  std::size_t total_detections = 0;
+  std::size_t correct_detections = 0;
+  for (int st = 0; st < num_stations; ++st) {
+    synth::StationParams sp;
+    synth::SensorStation station(sp, 10000 + static_cast<std::uint64_t>(st));
+    dynriver::Rng fauna(20000 + static_cast<std::uint64_t>(st));
+
+    std::map<int, int> species_activity;   // predicted species -> detections
+    std::map<int, int> species_truth;      // planted species -> songs
+    for (int c = 0; c < clips_per_station; ++c) {
+      // 1-3 singers per clip, biased per station.
+      std::vector<synth::SpeciesId> singers;
+      const auto n_singers = fauna.uniform_int(1, 3);
+      for (int s = 0; s < n_singers; ++s) {
+        const auto id = static_cast<synth::SpeciesId>(
+            (st * 3 + fauna.uniform_int(0, 4)) % synth::kNumSpecies);
+        singers.push_back(id);
+        ++species_truth[static_cast<int>(id)];
+      }
+      const auto clip = station.record_clip(singers);
+      const auto patterns = core::process_clip(clip.clip, clip.clip_id, params);
+
+      // Group votes per ensemble, count a detection per ensemble.
+      std::map<std::int64_t, std::vector<int>> votes;
+      for (const auto& pat : patterns) {
+        votes[pat.ensemble_id].push_back(classifier.classify(pat.features));
+      }
+      for (const auto& [ensemble, vs] : votes) {
+        const int predicted = dynriver::eval::majority_vote(vs, synth::kNumSpecies);
+        ++species_activity[predicted];
+        ++total_detections;
+        // Score against ground truth by checking the species was planted.
+        if (species_truth.count(predicted) > 0) ++correct_detections;
+      }
+    }
+
+    std::printf("Station %d activity report:\n", st + 1);
+    std::printf("  %-28s %-9s | planted songs\n", "species", "detections");
+    for (const auto& [species, count] : species_activity) {
+      std::printf("  %-28s %-9d | %d\n",
+                  synth::species(species).common_name.c_str(), count,
+                  species_truth.count(species) ? species_truth[species] : 0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Survey complete: %zu detections, %.0f%% consistent with the "
+              "planted fauna.\n",
+              total_detections,
+              total_detections
+                  ? 100.0 * correct_detections / total_detections
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "common/contracts.hpp"
+
+namespace dynriver {
+
+namespace {
+std::string format_message(const char* kind, const char* expr, const char* file,
+                           int line) {
+  std::string msg;
+  msg.reserve(128);
+  msg += kind;
+  msg += " violated: ";
+  msg += expr;
+  msg += " at ";
+  msg += file;
+  msg += ':';
+  msg += std::to_string(line);
+  return msg;
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const char* file, int line)
+    : std::logic_error(format_message(kind, expr, file, line)) {}
+
+namespace detail {
+void contract_fail(const char* kind, const char* expr, const char* file, int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace dynriver

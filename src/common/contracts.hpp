@@ -1,0 +1,43 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.5/I.7: state pre- and postconditions; Expects()/Ensures()).
+//
+// Violations throw dynriver::ContractViolation so tests can assert on them and
+// long-running pipelines can contain a failing operator instead of aborting
+// the whole process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dynriver {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file, int line);
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file,
+                                int line);
+}  // namespace detail
+
+}  // namespace dynriver
+
+/// Precondition check: caller is responsible for satisfying `cond`.
+#define DR_EXPECTS(cond)                                                        \
+  do {                                                                          \
+    if (!(cond)) ::dynriver::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition check: callee guarantees `cond` on exit.
+#define DR_ENSURES(cond)                                                        \
+  do {                                                                          \
+    if (!(cond)) ::dynriver::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Internal invariant that should hold regardless of caller behaviour.
+#define DR_ASSERT(cond)                                                         \
+  do {                                                                          \
+    if (!(cond)) ::dynriver::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,91 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dynriver {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const { return std::sqrt(sample_variance()); }
+
+namespace {
+template <typename T>
+double mean_impl(std::span<const T> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const T x : xs) sum += static_cast<double>(x);
+  return sum / static_cast<double>(xs.size());
+}
+
+template <typename T>
+double stddev_impl(std::span<const T> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean_impl(xs);
+  double acc = 0.0;
+  for (const T x : xs) {
+    const double d = static_cast<double>(x) - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+}  // namespace
+
+double mean_of(std::span<const double> xs) { return mean_impl(xs); }
+double mean_of(std::span<const float> xs) { return mean_impl(xs); }
+double stddev_of(std::span<const double> xs) { return stddev_impl(xs); }
+double stddev_of(std::span<const float> xs) { return stddev_impl(xs); }
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  DR_EXPECTS(window >= 1);
+  buf_.assign(window_, 0.0);
+}
+
+double MovingAverage::push(double x) {
+  if (size_ == window_) {
+    sum_ -= buf_[head_];
+  } else {
+    ++size_;
+  }
+  buf_[head_] = x;
+  sum_ += x;
+  head_ = (head_ + 1) % window_;
+  return value();
+}
+
+double MovingAverage::value() const {
+  if (size_ == 0) return 0.0;
+  return sum_ / static_cast<double>(size_);
+}
+
+void MovingAverage::reset() {
+  head_ = 0;
+  size_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace dynriver

@@ -1,0 +1,72 @@
+// Numerically stable running statistics (Welford) plus small helpers shared by
+// the trigger operator, evaluation harness, and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dynriver {
+
+/// Incremental mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the adaptive trigger operator (running statistics of the anomaly
+/// score while untriggered) and by the evaluation harness (mean +/- std over
+/// experiment repetitions).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Remove-free reset.
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sample_stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean of a span; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+[[nodiscard]] double mean_of(std::span<const float> xs);
+
+/// Population standard deviation of a span; 0 for spans shorter than 2.
+[[nodiscard]] double stddev_of(std::span<const double> xs);
+[[nodiscard]] double stddev_of(std::span<const float> xs);
+
+/// Fixed-capacity moving average over a stream of doubles.
+///
+/// Matches the paper's `saxanomaly` smoothing stage: "The moving average
+/// window size specifies the number of anomaly scores to use for computing a
+/// mean anomaly score".  Until the window fills, the average is over the
+/// values seen so far.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  /// Push a value and return the current windowed mean.
+  double push(double x);
+
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::size_t window() const { return window_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  void reset();
+
+ private:
+  std::vector<double> buf_;
+  std::size_t window_;
+  std::size_t head_ = 0;   // next slot to overwrite
+  std::size_t size_ = 0;   // number of valid entries
+  double sum_ = 0.0;
+};
+
+}  // namespace dynriver

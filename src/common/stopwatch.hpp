@@ -1,0 +1,26 @@
+// Minimal monotonic stopwatch used by the evaluation harness to report
+// training/testing wall-clock times (paper Table 2).
+#pragma once
+
+#include <chrono>
+
+namespace dynriver {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dynriver

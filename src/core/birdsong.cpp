@@ -1,0 +1,97 @@
+#include "core/birdsong.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "core/ops_acoustic.hpp"
+#include "core/ops_anomaly.hpp"
+#include "core/ops_spectral.hpp"
+
+namespace dynriver::core {
+
+using river::Record;
+using river::RecordType;
+
+river::Pipeline make_extraction_pipeline(const PipelineParams& params) {
+  params.validate();
+  river::Pipeline p;
+  p.emplace<SaxAnomalyOp>(params.anomaly);
+  p.emplace<TriggerOp>(params.trigger_sigma, params.trigger_min_baseline,
+                       params.trigger_hold_samples);
+  p.emplace<CutterOp>(params);
+  return p;
+}
+
+river::Pipeline make_spectral_pipeline(const PipelineParams& params) {
+  params.validate();
+  river::Pipeline p;
+  if (params.reslice) p.emplace<ResliceOp>();
+  p.emplace<WelchWindowOp>(params.window);
+  p.emplace<Float2CplxOp>();
+  p.emplace<DftOp>(params.dft_size);
+  p.emplace<CAbsOp>();
+  p.emplace<CutoutOp>(params);
+  if (params.use_paa && params.paa_factor > 1) p.emplace<PaaOp>(params.paa_factor);
+  p.emplace<Rec2VectOp>(params.pattern_merge, params.pattern_stride);
+  return p;
+}
+
+river::Pipeline make_full_pipeline(const PipelineParams& params) {
+  river::Pipeline p = make_extraction_pipeline(params);
+  river::Pipeline spectral = make_spectral_pipeline(params);
+  for (auto& op : spectral.release_operators()) p.add(std::move(op));
+  return p;
+}
+
+std::vector<ExtractedPattern> harvest_patterns(
+    const std::vector<river::Record>& records) {
+  std::vector<ExtractedPattern> out;
+  ExtractedPattern context;  // attrs of the innermost open ensemble
+
+  for (const auto& rec : records) {
+    switch (rec.type) {
+      case RecordType::kOpenScope:
+        if (rec.scope_type == river::kScopeEnsemble) {
+          context.clip_id = rec.attr_int(kAttrClipId, -1);
+          context.ensemble_id = rec.attr_int(kAttrEnsembleId, -1);
+          context.start_sample = rec.attr_int(kAttrStartSample, -1);
+          context.ensemble_samples = rec.attr_int(kAttrNumSamples, 0);
+          context.species = rec.attr_string(kAttrSpecies, "");
+        }
+        break;
+      case RecordType::kData:
+        if (rec.subtype == river::kSubtypePattern && rec.is_float()) {
+          ExtractedPattern p = context;
+          const auto f = rec.floats();
+          p.features.assign(f.begin(), f.end());
+          out.push_back(std::move(p));
+        }
+        break;
+      case RecordType::kCloseScope:
+      case RecordType::kBadCloseScope:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<ExtractedPattern> process_clip(const dsp::WavClip& clip,
+                                           std::uint64_t clip_id,
+                                           const PipelineParams& params,
+                                           const river::AttrMap& extra_attrs) {
+  river::Pipeline pipeline = make_full_pipeline(params);
+  auto input = clip_to_records(clip, clip_id, params.record_size, extra_attrs);
+  const auto output = river::run_pipeline(pipeline, std::move(input));
+  return harvest_patterns(output);
+}
+
+std::string pipeline_diagram(const PipelineParams& params) {
+  river::Pipeline p = make_full_pipeline(params);
+  std::ostringstream os;
+  os << "sensor -> readout -> storage -> data feed -> wav2rec";
+  for (const auto& name : p.topology()) os << " -> " << name;
+  os << " -> MESO";
+  return os.str();
+}
+
+}  // namespace dynriver::core

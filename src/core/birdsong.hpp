@@ -1,0 +1,54 @@
+// End-to-end assembly of the paper's Figure 5 pipeline.
+//
+// Clips enter as scoped record streams (wav2rec / clip_to_records); the
+// extraction segment (saxanomaly, trigger, cutter) turns them into ensemble
+// scopes; the spectral segment (reslice .. rec2vect) turns ensembles into
+// classifier-ready patterns. These builders return river::Pipeline objects
+// that can run in-process, be split into Segments across hosts, or be
+// relocated at runtime by the PipelineManager.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "dsp/wav.hpp"
+#include "river/pipeline.hpp"
+
+namespace dynriver::core {
+
+/// saxanomaly -> trigger -> cutter.
+[[nodiscard]] river::Pipeline make_extraction_pipeline(
+    const PipelineParams& params);
+
+/// [reslice] -> welchwindow -> float2cplx -> dft -> cabs -> cutout -> [paa]
+/// -> rec2vect.
+[[nodiscard]] river::Pipeline make_spectral_pipeline(const PipelineParams& params);
+
+/// Extraction + spectral segments composed.
+[[nodiscard]] river::Pipeline make_full_pipeline(const PipelineParams& params);
+
+/// A pattern harvested from the pipeline output, with its provenance.
+struct ExtractedPattern {
+  std::vector<float> features;
+  std::int64_t clip_id = -1;
+  std::int64_t ensemble_id = -1;
+  std::int64_t start_sample = -1;     ///< ensemble start within the clip
+  std::int64_t ensemble_samples = 0;  ///< ensemble length
+  std::string species;                ///< ground-truth attr if present
+};
+
+/// Run a clip through the full pipeline and harvest all patterns.
+[[nodiscard]] std::vector<ExtractedPattern> process_clip(
+    const dsp::WavClip& clip, std::uint64_t clip_id, const PipelineParams& params,
+    const river::AttrMap& extra_attrs = {});
+
+/// Collect patterns from a pipeline output record stream (pattern records
+/// inside ensemble scopes).
+[[nodiscard]] std::vector<ExtractedPattern> harvest_patterns(
+    const std::vector<river::Record>& records);
+
+/// Text rendering of the Figure 5 operator graph for the given parameters.
+[[nodiscard]] std::string pipeline_diagram(const PipelineParams& params);
+
+}  // namespace dynriver::core

@@ -1,0 +1,56 @@
+// Batch ensemble extraction facade.
+//
+// EnsembleExtractor applies the saxanomaly -> trigger -> cutter logic
+// directly to a sample buffer, without pipeline plumbing. It is semantically
+// identical to running the river operators (verified by integration tests)
+// and is convenient for analysis code, tests, and the figure benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace dynriver::core {
+
+/// One extracted ensemble: a contiguous stretch of the original signal where
+/// the trigger was active.
+struct Ensemble {
+  std::size_t start_sample = 0;
+  std::vector<float> samples;
+
+  [[nodiscard]] std::size_t end_sample() const {
+    return start_sample + samples.size();
+  }
+  [[nodiscard]] std::size_t length() const { return samples.size(); }
+};
+
+struct ExtractionResult {
+  std::vector<Ensemble> ensembles;
+  /// Smoothed anomaly score per input sample (filled when keep_signals).
+  std::vector<float> scores;
+  /// Trigger value per input sample (filled when keep_signals).
+  std::vector<std::uint8_t> trigger;
+
+  /// Samples retained across all ensembles.
+  [[nodiscard]] std::size_t retained_samples() const;
+  /// 1 - retained/total: the paper's headline data reduction (~80.6%).
+  [[nodiscard]] double reduction_fraction(std::size_t total_samples) const;
+};
+
+class EnsembleExtractor {
+ public:
+  explicit EnsembleExtractor(PipelineParams params);
+
+  /// Extract all ensembles from a clip. `keep_signals` additionally returns
+  /// the per-sample score and trigger series (Fig. 6).
+  [[nodiscard]] ExtractionResult extract(std::span<const float> samples,
+                                         bool keep_signals = false) const;
+
+  [[nodiscard]] const PipelineParams& params() const { return params_; }
+
+ private:
+  PipelineParams params_;
+};
+
+}  // namespace dynriver::core

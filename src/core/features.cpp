@@ -1,0 +1,95 @@
+#include "core/features.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+#include "ts/paa.hpp"
+
+namespace dynriver::core {
+
+FeatureExtractor::FeatureExtractor(PipelineParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+  window_ = dsp::make_window(params_.window, params_.record_size);
+}
+
+std::vector<float> FeatureExtractor::record_spectrum(
+    std::span<const float> record) const {
+  DR_EXPECTS(!record.empty());
+  DR_EXPECTS(record.size() <= params_.dft_size);
+
+  // Window (cached for the nominal size, built ad hoc for partial records).
+  std::vector<float> windowed(record.begin(), record.end());
+  if (record.size() == window_.size()) {
+    dsp::apply_window(windowed, window_);
+  } else {
+    dsp::apply_window(windowed, params_.window);
+  }
+
+  // Zero-pad to the fixed transform size, then magnitude spectrum.
+  windowed.resize(params_.dft_size, 0.0F);
+  const auto mags = dsp::magnitude_spectrum(windowed);
+
+  const std::size_t lo = params_.cutout_lo_bin();
+  const std::size_t hi = params_.cutout_hi_bin();
+  std::vector<float> band(mags.begin() + static_cast<std::ptrdiff_t>(lo),
+                          mags.begin() + static_cast<std::ptrdiff_t>(hi));
+
+  if (params_.use_paa && params_.paa_factor > 1) {
+    return ts::paa_reduce_by(band, params_.paa_factor);
+  }
+  return band;
+}
+
+std::vector<std::vector<float>> FeatureExtractor::patterns(
+    std::span<const float> ensemble) const {
+  // 1. Chop into records (trailing partial kept, like the cutter's output).
+  std::vector<std::span<const float>> records;
+  for (std::size_t start = 0; start < ensemble.size();
+       start += params_.record_size) {
+    const std::size_t len =
+        std::min(params_.record_size, ensemble.size() - start);
+    records.push_back(ensemble.subspan(start, len));
+  }
+
+  // 2. Reslice: interleave 50%-overlap records between equal-size pairs.
+  std::vector<std::vector<float>> sliced;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    sliced.emplace_back(records[i].begin(), records[i].end());
+    if (params_.reslice && i + 1 < records.size() &&
+        records[i].size() == records[i + 1].size() && records[i].size() >= 2) {
+      const std::size_t half = records[i].size() / 2;
+      std::vector<float> overlap;
+      overlap.reserve(records[i].size());
+      overlap.insert(overlap.end(), records[i].end() - static_cast<std::ptrdiff_t>(half),
+                     records[i].end());
+      overlap.insert(overlap.end(), records[i + 1].begin(),
+                     records[i + 1].begin() +
+                         static_cast<std::ptrdiff_t>(records[i].size() - half));
+      sliced.push_back(std::move(overlap));  // original, overlap, original, ...
+    }
+  }
+
+  // 3. Spectrum per record.
+  std::vector<std::vector<float>> spectra;
+  spectra.reserve(sliced.size());
+  for (const auto& rec : sliced) spectra.push_back(record_spectrum(rec));
+
+  // 4. Merge/stride into patterns.
+  std::vector<std::vector<float>> out;
+  for (std::size_t start = 0; start + params_.pattern_merge <= spectra.size();
+       start += params_.pattern_stride) {
+    std::vector<float> pattern;
+    pattern.reserve(params_.features_per_pattern());
+    for (std::size_t i = 0; i < params_.pattern_merge; ++i) {
+      pattern.insert(pattern.end(), spectra[start + i].begin(),
+                     spectra[start + i].end());
+    }
+    out.push_back(std::move(pattern));
+  }
+  return out;
+}
+
+}  // namespace dynriver::core

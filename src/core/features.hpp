@@ -1,0 +1,36 @@
+// Batch feature extraction facade: ensemble samples -> patterns.
+//
+// Mirrors the spectral pipeline segment (reslice, welchwindow, float2cplx,
+// dft, cabs, cutout, paa, rec2vect) as direct DSP calls. Equivalence with
+// the river operators is covered by integration tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace dynriver::core {
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(PipelineParams params);
+
+  /// Compute the spectrum (post-cutout, post-PAA) of one analysis record.
+  [[nodiscard]] std::vector<float> record_spectrum(
+      std::span<const float> record) const;
+
+  /// Full pattern extraction for one ensemble: returns patterns of
+  /// params().features_per_pattern() floats each. Ensembles too short to
+  /// fill one pattern yield an empty vector.
+  [[nodiscard]] std::vector<std::vector<float>> patterns(
+      std::span<const float> ensemble) const;
+
+  [[nodiscard]] const PipelineParams& params() const { return params_; }
+
+ private:
+  PipelineParams params_;
+  std::vector<float> window_;  // cached full-size analysis window
+};
+
+}  // namespace dynriver::core

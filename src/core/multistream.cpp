@@ -1,0 +1,106 @@
+#include "core/multistream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/ops_anomaly.hpp"
+#include "ts/anomaly.hpp"
+
+namespace dynriver::core {
+
+MultiStreamExtractor::MultiStreamExtractor(MultiStreamParams params)
+    : params_(std::move(params)) {
+  params_.base.validate();
+}
+
+MultiExtractionResult MultiStreamExtractor::extract(
+    std::span<const std::span<const float>> streams, bool keep_signals) const {
+  DR_EXPECTS(!streams.empty());
+  const std::size_t n = streams.front().size();
+  for (const auto& s : streams) DR_EXPECTS(s.size() == n);
+
+  MultiExtractionResult result;
+  if (keep_signals) result.fused_scores.resize(n);
+
+  std::vector<ts::StreamingAnomalyScorer> scorers;
+  scorers.reserve(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    scorers.emplace_back(params_.base.anomaly);
+  }
+  TriggerState trigger(params_.base.trigger_sigma,
+                       params_.base.trigger_min_baseline,
+                       params_.base.trigger_hold_samples);
+
+  // Pass 1: fused score -> triggered runs.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  bool active = false;
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double fused = params_.fusion == ScoreFusion::kMax ? 0.0 : 0.0;
+    if (params_.fusion == ScoreFusion::kMax) {
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        fused = std::max(fused, scorers[s].push(streams[s][i]));
+      }
+    } else {
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        fused += scorers[s].push(streams[s][i]);
+      }
+      fused /= static_cast<double>(streams.size());
+    }
+    const bool trig = trigger.push(fused);
+    if (keep_signals) result.fused_scores[i] = static_cast<float>(fused);
+    if (trig && !active) {
+      active = true;
+      run_start = i;
+    } else if (!trig && active) {
+      active = false;
+      runs.emplace_back(run_start, i);
+    }
+  }
+  if (active) runs.emplace_back(run_start, n);
+
+  // Pass 2: merge gaps, apply the length floor, cut every channel.
+  std::vector<std::pair<std::size_t, std::size_t>> merged;
+  for (const auto& run : runs) {
+    if (!merged.empty() &&
+        run.first - merged.back().second <= params_.base.merge_gap_samples) {
+      merged.back().second = run.second;
+    } else {
+      merged.push_back(run);
+    }
+  }
+  for (const auto& [lo, hi] : merged) {
+    if (hi - lo < params_.base.min_ensemble_samples) continue;
+    MultiEnsemble ensemble;
+    ensemble.start_sample = lo;
+    ensemble.length = hi - lo;
+    ensemble.channel_samples.reserve(streams.size());
+    for (const auto& stream : streams) {
+      ensemble.channel_samples.emplace_back(
+          stream.begin() + static_cast<std::ptrdiff_t>(lo),
+          stream.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    result.ensembles.push_back(std::move(ensemble));
+  }
+  return result;
+}
+
+std::vector<float> augment_with_context(std::span<const float> pattern,
+                                        std::span<const float> context,
+                                        double context_gain) {
+  DR_EXPECTS(!pattern.empty());
+  DR_EXPECTS(context_gain >= 0.0);
+
+  double energy = 0.0;
+  for (const float v : pattern) energy += static_cast<double>(v) * v;
+  const double rms = std::sqrt(energy / static_cast<double>(pattern.size()));
+
+  std::vector<float> out(pattern.begin(), pattern.end());
+  out.reserve(pattern.size() + context.size());
+  const auto scale = static_cast<float>(rms * context_gain);
+  for (const float c : context) out.push_back(c * scale);
+  return out;
+}
+
+}  // namespace dynriver::core

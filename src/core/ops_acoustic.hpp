@@ -1,0 +1,64 @@
+// Acquisition-side operators: wav2rec and clip record construction.
+#pragma once
+
+#include <string>
+
+#include "core/params.hpp"
+#include "dsp/wav.hpp"
+#include "river/operator.hpp"
+
+namespace dynriver::core {
+
+/// Attribute keys used throughout the acoustic pipeline.
+inline constexpr const char* kAttrSampleRate = "sample_rate";
+inline constexpr const char* kAttrClipId = "clip_id";
+inline constexpr const char* kAttrStation = "station";
+inline constexpr const char* kAttrSpecies = "species";          // ground truth
+inline constexpr const char* kAttrEnsembleId = "ensemble_id";
+inline constexpr const char* kAttrStartSample = "start_sample";
+inline constexpr const char* kAttrNumSamples = "num_samples";
+
+/// Split a decoded clip into a scoped record stream:
+///   OpenScope(clip, attrs: sample_rate, clip_id, extra...) , Data(audio)*,
+///   CloseScope(clip).
+[[nodiscard]] std::vector<river::Record> clip_to_records(
+    const dsp::WavClip& clip, std::uint64_t clip_id, std::size_t record_size,
+    const river::AttrMap& extra_attrs = {});
+
+/// wav2rec: "encapsulate acoustic data (WAV format in this case) in pipeline
+/// records" (paper, Section 3). Consumes Data records whose byte payload is
+/// a complete WAV blob (one clip per record) and emits the clip's scoped
+/// record stream. Attributes on the incoming record are copied onto the
+/// clip's OpenScope.
+class Wav2RecOp final : public river::Operator {
+ public:
+  explicit Wav2RecOp(std::size_t record_size);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "wav2rec"; }
+
+ private:
+  std::size_t record_size_;
+  std::uint64_t next_clip_id_ = 0;
+};
+
+/// Reassemble the audio inside each scope back into a WAV clip (the inverse
+/// of wav2rec, for archiving extracted ensembles). Emits one Data record
+/// with WAV bytes per closed scope of the configured type.
+class Rec2WavOp final : public river::Operator {
+ public:
+  explicit Rec2WavOp(std::uint32_t scope_type);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "rec2wav"; }
+
+ private:
+  std::uint32_t scope_type_;
+  bool collecting_ = false;
+  std::uint32_t open_depth_ = 0;
+  double sample_rate_ = 0.0;
+  river::AttrMap attrs_;
+  std::vector<float> samples_;
+};
+
+}  // namespace dynriver::core

@@ -1,0 +1,256 @@
+#include "core/ops_anomaly.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "core/ops_acoustic.hpp"
+
+namespace dynriver::core {
+
+using river::Record;
+using river::RecordType;
+
+SaxAnomalyOp::SaxAnomalyOp(const ts::AnomalyParams& params) : scorer_(params) {}
+
+void SaxAnomalyOp::process(Record rec, river::Emitter& out) {
+  if (rec.type == RecordType::kOpenScope &&
+      rec.scope_type == river::kScopeClip) {
+    scorer_.reset();  // clips are scored independently
+    out.emit(std::move(rec));
+    return;
+  }
+  if (rec.type != RecordType::kData || rec.subtype != river::kSubtypeAudio ||
+      !rec.is_float()) {
+    out.emit(std::move(rec));
+    return;
+  }
+
+  const auto audio = rec.floats();
+  river::FloatVec scores(audio.size());
+  for (std::size_t i = 0; i < audio.size(); ++i) {
+    scores[i] = static_cast<float>(scorer_.push(audio[i]));
+  }
+  Record score_rec = Record::data(river::kSubtypeAnomalyScore, std::move(scores));
+  score_rec.scope_depth = rec.scope_depth;
+
+  out.emit(std::move(rec));        // original acoustic data first
+  out.emit(std::move(score_rec));  // then the aligned anomaly scores
+}
+
+TriggerState::TriggerState(double sigma_threshold, std::size_t min_baseline,
+                           std::size_t hold_samples)
+    : sigma_threshold_(sigma_threshold),
+      min_baseline_(min_baseline),
+      hold_samples_(hold_samples) {
+  DR_EXPECTS(sigma_threshold > 0.0);
+}
+
+double TriggerState::threshold() const {
+  return baseline_.mean() + sigma_threshold_ * baseline_.stddev();
+}
+
+bool TriggerState::push(double score) {
+  // The anomaly scorer emits exact zeros until its windows warm up; feeding
+  // them into the baseline would zero sigma0 and make the first real score
+  // fire the trigger spuriously.
+  if (!seen_nonzero_) {
+    if (score == 0.0) return false;
+    seen_nonzero_ = true;
+  }
+
+  const bool above =
+      baseline_.count() >= min_baseline_ && score > threshold();
+  if (above) {
+    active_ = true;
+    below_count_ = 0;
+    return true;
+  }
+  if (active_ && below_count_ < hold_samples_) {
+    // Hold: bridge brief lulls without updating the baseline.
+    ++below_count_;
+    return true;
+  }
+  // Untriggered scores feed the incremental mu0/sigma0 estimate; scores seen
+  // while triggered are deliberately excluded so events do not poison the
+  // baseline.
+  active_ = false;
+  below_count_ = 0;
+  baseline_.add(score);
+  return false;
+}
+
+void TriggerState::reset() {
+  baseline_.reset();
+  active_ = false;
+  seen_nonzero_ = false;
+  below_count_ = 0;
+}
+
+TriggerOp::TriggerOp(double sigma_threshold, std::size_t min_baseline,
+                     std::size_t hold_samples)
+    : state_(sigma_threshold, min_baseline, hold_samples) {}
+
+void TriggerOp::process(Record rec, river::Emitter& out) {
+  if (rec.type == RecordType::kOpenScope &&
+      rec.scope_type == river::kScopeClip) {
+    state_.reset();
+    out.emit(std::move(rec));
+    return;
+  }
+  if (rec.type != RecordType::kData ||
+      rec.subtype != river::kSubtypeAnomalyScore || !rec.is_float()) {
+    out.emit(std::move(rec));
+    return;
+  }
+
+  const auto scores = rec.floats();
+  river::FloatVec trig(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    trig[i] = state_.push(static_cast<double>(scores[i])) ? 1.0F : 0.0F;
+  }
+  Record trig_rec = Record::data(river::kSubtypeTrigger, std::move(trig));
+  trig_rec.scope_depth = rec.scope_depth;
+  out.emit(std::move(trig_rec));
+}
+
+CutterOp::CutterOp(const PipelineParams& params) : params_(params) {
+  params_.validate();
+}
+
+void CutterOp::process(Record rec, river::Emitter& out) {
+  switch (rec.type) {
+    case RecordType::kOpenScope:
+      if (rec.scope_type == river::kScopeClip) {
+        in_clip_ = true;
+        clip_attrs_ = rec.attrs;
+        clip_depth_ = rec.scope_depth;
+        clip_sample_cursor_ = 0;
+        audio_fifo_.clear();
+        trigger_fifo_.clear();
+        cutting_ = false;
+        ensemble_buf_.clear();
+      }
+      out.emit(std::move(rec));
+      return;
+
+    case RecordType::kCloseScope:
+    case RecordType::kBadCloseScope:
+      if (in_clip_ && rec.scope_type == river::kScopeClip) {
+        pump(out);
+        if (!ensemble_buf_.empty()) {
+          end_ensemble(out, rec.type == RecordType::kBadCloseScope);
+        }
+        in_clip_ = false;
+      }
+      out.emit(std::move(rec));
+      return;
+
+    case RecordType::kData:
+      break;
+  }
+
+  if (!in_clip_) {
+    out.emit(std::move(rec));
+    return;
+  }
+  if (rec.subtype == river::kSubtypeAudio && rec.is_float()) {
+    const auto f = rec.floats();
+    audio_fifo_.insert(audio_fifo_.end(), f.begin(), f.end());
+    // Original audio is consumed here; the cutter's output is ensembles.
+  } else if (rec.subtype == river::kSubtypeTrigger && rec.is_float()) {
+    const auto f = rec.floats();
+    trigger_fifo_.insert(trigger_fifo_.end(), f.begin(), f.end());
+    pump(out);
+  } else {
+    out.emit(std::move(rec));  // unrelated data (e.g. anomaly scores kept)
+  }
+}
+
+void CutterOp::pump(river::Emitter& out) {
+  const std::size_t n = std::min(audio_fifo_.size(), trigger_fifo_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool trig = trigger_fifo_[i] >= 0.5F;
+    const bool pending = !cutting_ && !ensemble_buf_.empty();
+    if (trig) {
+      if (pending) {
+        // Re-fire within the merge gap: absorb the gap, continue the
+        // pending ensemble.
+        ensemble_buf_.insert(ensemble_buf_.end(), gap_buf_.begin(),
+                             gap_buf_.end());
+        gap_buf_.clear();
+        cutting_ = true;
+      } else if (!cutting_) {
+        begin_ensemble(clip_sample_cursor_ + i);
+      }
+      ensemble_buf_.push_back(audio_fifo_[i]);
+    } else {
+      if (cutting_) {
+        cutting_ = false;  // ensemble becomes pending
+        gap_buf_.clear();
+      }
+      if (!ensemble_buf_.empty()) {
+        gap_buf_.push_back(audio_fifo_[i]);
+        if (gap_buf_.size() > params_.merge_gap_samples) {
+          end_ensemble(out, /*bad=*/false);
+        }
+      }
+    }
+  }
+  audio_fifo_.erase(audio_fifo_.begin(), audio_fifo_.begin() + static_cast<std::ptrdiff_t>(n));
+  trigger_fifo_.erase(trigger_fifo_.begin(),
+                      trigger_fifo_.begin() + static_cast<std::ptrdiff_t>(n));
+  clip_sample_cursor_ += n;
+}
+
+void CutterOp::begin_ensemble(std::size_t start_sample) {
+  cutting_ = true;
+  ensemble_start_ = start_sample;
+  ensemble_buf_.clear();
+  gap_buf_.clear();
+}
+
+void CutterOp::end_ensemble(river::Emitter& out, bool bad) {
+  cutting_ = false;
+  gap_buf_.clear();
+  if (ensemble_buf_.size() < params_.min_ensemble_samples) {
+    ensemble_buf_.clear();
+    return;  // too short to carry a pattern; suppress
+  }
+
+  const std::uint32_t open_depth = clip_depth_ + 1;
+  Record open = Record::open_scope(river::kScopeEnsemble, open_depth);
+  open.attrs = clip_attrs_;  // clip context travels with each ensemble
+  open.set_attr(kAttrEnsembleId, static_cast<std::int64_t>(next_ensemble_id_++));
+  open.set_attr(kAttrStartSample, static_cast<std::int64_t>(ensemble_start_));
+  open.set_attr(kAttrNumSamples, static_cast<std::int64_t>(ensemble_buf_.size()));
+  out.emit(std::move(open));
+
+  for (std::size_t start = 0; start < ensemble_buf_.size();
+       start += params_.record_size) {
+    const std::size_t len =
+        std::min(params_.record_size, ensemble_buf_.size() - start);
+    river::FloatVec payload(
+        ensemble_buf_.begin() + static_cast<std::ptrdiff_t>(start),
+        ensemble_buf_.begin() + static_cast<std::ptrdiff_t>(start + len));
+    Record rec = Record::data(river::kSubtypeAudio, std::move(payload));
+    rec.scope_depth = open_depth + 1;
+    out.emit(std::move(rec));
+  }
+
+  out.emit(bad ? Record::bad_close_scope(river::kScopeEnsemble, open_depth)
+               : Record::close_scope(river::kScopeEnsemble, open_depth));
+  ensemble_buf_.clear();
+  ++ensembles_;
+}
+
+void CutterOp::flush(river::Emitter& out) {
+  // A stream that ends mid-clip without a CloseScope lost its upstream; any
+  // accumulated ensemble is closed as bad if long enough.
+  if (in_clip_) {
+    pump(out);
+    if (!ensemble_buf_.empty()) end_ensemble(out, /*bad=*/true);
+    in_clip_ = false;
+  }
+}
+
+}  // namespace dynriver::core

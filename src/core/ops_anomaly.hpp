@@ -1,0 +1,129 @@
+// The ensemble-extraction segment: saxanomaly -> trigger -> cutter
+// (paper, Section 3, Figure 5).
+//
+// saxanomaly outputs the moving average of the SAX bitmap anomaly score in
+// addition to the original acoustic data. trigger transforms the score into
+// a discrete 0/1 signal using an adaptive threshold (mu0 + k*sigma0 estimated
+// over untriggered scores). cutter consumes both streams and cuts the
+// original signal into ensembles delimited by OpenScope/CloseScope pairs of
+// scope type `scope_ensemble`, nested inside the clip scope.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/params.hpp"
+#include "river/operator.hpp"
+#include "ts/anomaly.hpp"
+
+namespace dynriver::core {
+
+/// saxanomaly: per audio Data record, forwards the original record and emits
+/// a parallel kSubtypeAnomalyScore record of smoothed per-sample scores.
+/// Scorer state resets at every clip OpenScope.
+class SaxAnomalyOp final : public river::Operator {
+ public:
+  explicit SaxAnomalyOp(const ts::AnomalyParams& params);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "saxanomaly"; }
+
+ private:
+  ts::StreamingAnomalyScorer scorer_;
+};
+
+/// Sample-wise adaptive trigger state machine, shared by the TriggerOp
+/// operator and the batch extraction facade.
+///
+/// mu0/sigma0 are estimated incrementally from scores observed while the
+/// trigger is 0; the trigger emits 1 while score > mu0 + sigma_threshold *
+/// sigma0 (after a minimum baseline has accumulated).
+class TriggerState {
+ public:
+  /// `hold_samples` keeps the trigger active for that many consecutive
+  /// below-threshold samples before releasing -- bridging brief lulls inside
+  /// a vocalization (e.g. syllable interiors) so one song cuts as one
+  /// ensemble rather than fragments.
+  TriggerState(double sigma_threshold, std::size_t min_baseline,
+               std::size_t hold_samples = 0);
+
+  /// Feed one (smoothed) anomaly score; returns the trigger value (0 or 1).
+  [[nodiscard]] bool push(double score);
+
+  [[nodiscard]] double mu0() const { return baseline_.mean(); }
+  [[nodiscard]] double sigma0() const { return baseline_.stddev(); }
+  [[nodiscard]] double threshold() const;
+  [[nodiscard]] bool active() const { return active_; }
+  void reset();
+
+ private:
+  double sigma_threshold_;
+  std::size_t min_baseline_;
+  std::size_t hold_samples_;
+  dynriver::RunningStats baseline_;
+  bool active_ = false;
+  bool seen_nonzero_ = false;  // skip the scorer's warmup zeros
+  std::size_t below_count_ = 0;
+};
+
+/// trigger: consumes kSubtypeAnomalyScore records (dropping them) and emits
+/// kSubtypeTrigger records of equal length with values in {0, 1}. All other
+/// records pass through. State resets at every clip OpenScope.
+class TriggerOp final : public river::Operator {
+ public:
+  TriggerOp(double sigma_threshold, std::size_t min_baseline,
+            std::size_t hold_samples = 0);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "trigger"; }
+
+ private:
+  TriggerState state_;
+};
+
+/// cutter: pairs audio records with trigger records sample-by-sample and
+/// cuts out the stretches where the trigger is 1 as ensembles. Each ensemble
+/// is emitted as OpenScope(scope_ensemble) + audio Data records +
+/// CloseScope, nested inside the enclosing clip scope. Clip attributes
+/// (sample rate, clip id, ground-truth labels) are copied onto each ensemble
+/// OpenScope together with its start sample and length; ensembles shorter
+/// than `min_ensemble_samples` are suppressed.
+class CutterOp final : public river::Operator {
+ public:
+  explicit CutterOp(const PipelineParams& params);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  void flush(river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "cutter"; }
+
+  /// Total ensembles emitted (across all clips).
+  [[nodiscard]] std::size_t ensembles_emitted() const { return ensembles_; }
+
+ private:
+  void pump(river::Emitter& out);
+  void begin_ensemble(std::size_t start_sample);
+  void end_ensemble(river::Emitter& out, bool bad);
+
+  PipelineParams params_;
+  // Clip context.
+  river::AttrMap clip_attrs_;
+  std::uint32_t clip_depth_ = 0;
+  std::size_t clip_sample_cursor_ = 0;
+  bool in_clip_ = false;
+  // Paired FIFOs (samples).
+  std::vector<float> audio_fifo_;
+  std::vector<float> trigger_fifo_;
+  // Current/pending ensemble. While `cutting_`, samples append to
+  // ensemble_buf_. After the trigger releases the ensemble stays *pending*:
+  // if the trigger re-fires within merge_gap_samples, the buffered gap is
+  // absorbed and the same ensemble continues; otherwise it is finalized.
+  bool cutting_ = false;
+  std::size_t ensemble_start_ = 0;
+  std::vector<float> ensemble_buf_;
+  std::vector<float> gap_buf_;
+  std::size_t ensembles_ = 0;
+  std::uint64_t next_ensemble_id_ = 0;
+};
+
+}  // namespace dynriver::core

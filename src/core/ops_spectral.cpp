@@ -1,0 +1,249 @@
+#include "core/ops_spectral.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/ops_acoustic.hpp"
+#include "dsp/fft.hpp"
+#include "ts/paa.hpp"
+
+namespace dynriver::core {
+
+using river::Record;
+using river::RecordType;
+
+namespace {
+bool is_audio(const Record& rec) {
+  return rec.type == RecordType::kData &&
+         rec.subtype == river::kSubtypeAudio && rec.is_float();
+}
+
+bool is_spectrum(const Record& rec) {
+  return rec.type == RecordType::kData &&
+         rec.subtype == river::kSubtypeSpectrum && rec.is_float();
+}
+}  // namespace
+
+// -- reslice ------------------------------------------------------------------
+
+void ResliceOp::release_pending(river::Emitter& out) {
+  if (pending_) {
+    out.emit(std::move(*pending_));
+    pending_.reset();
+  }
+}
+
+void ResliceOp::process(Record rec, river::Emitter& out) {
+  if (rec.type != RecordType::kData) {
+    release_pending(out);
+    out.emit(std::move(rec));
+    return;
+  }
+  if (!is_audio(rec)) {
+    out.emit(std::move(rec));
+    return;
+  }
+
+  if (!pending_) {
+    pending_ = std::move(rec);
+    return;
+  }
+
+  const auto prev = pending_->floats();
+  const auto cur = rec.floats();
+  if (prev.size() == cur.size() && prev.size() >= 2) {
+    const std::size_t half = prev.size() / 2;
+    river::FloatVec overlap;
+    overlap.reserve(prev.size());
+    overlap.insert(overlap.end(), prev.end() - static_cast<std::ptrdiff_t>(half),
+                   prev.end());
+    overlap.insert(overlap.end(), cur.begin(),
+                   cur.begin() + static_cast<std::ptrdiff_t>(prev.size() - half));
+    Record overlap_rec = Record::data(river::kSubtypeAudio, std::move(overlap));
+    overlap_rec.scope_depth = pending_->scope_depth;
+
+    out.emit(std::move(*pending_));
+    out.emit(std::move(overlap_rec));
+  } else {
+    // Size mismatch (trailing partial record): no overlap is constructed.
+    out.emit(std::move(*pending_));
+  }
+  pending_ = std::move(rec);
+}
+
+void ResliceOp::flush(river::Emitter& out) { release_pending(out); }
+
+// -- welchwindow --------------------------------------------------------------
+
+WelchWindowOp::WelchWindowOp(dsp::WindowKind kind) : kind_(kind) {}
+
+void WelchWindowOp::process(Record rec, river::Emitter& out) {
+  if (!is_audio(rec)) {
+    out.emit(std::move(rec));
+    return;
+  }
+  auto samples = rec.floats();
+  auto [it, inserted] = window_cache_.try_emplace(samples.size());
+  if (inserted) it->second = dsp::make_window(kind_, samples.size());
+  dsp::apply_window(samples, it->second);
+  out.emit(std::move(rec));
+}
+
+// -- float2cplx ---------------------------------------------------------------
+
+void Float2CplxOp::process(Record rec, river::Emitter& out) {
+  if (!is_audio(rec)) {
+    out.emit(std::move(rec));
+    return;
+  }
+  const auto samples = rec.floats();
+  river::CplxVec cplx(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cplx[i] = {samples[i], 0.0F};
+  }
+  Record converted = Record::data_complex(river::kSubtypeComplex, std::move(cplx));
+  converted.scope_depth = rec.scope_depth;
+  converted.attrs = std::move(rec.attrs);
+  out.emit(std::move(converted));
+}
+
+// -- dft ------------------------------------------------------------------------
+
+DftOp::DftOp(std::size_t dft_size) : dft_size_(dft_size) {
+  DR_EXPECTS(dft_size >= 2);
+}
+
+void DftOp::process(Record rec, river::Emitter& out) {
+  if (rec.type != RecordType::kData || !rec.is_complex()) {
+    out.emit(std::move(rec));
+    return;
+  }
+  const auto in = rec.cplx();
+  std::vector<dsp::Cplx> padded(dft_size_, dsp::Cplx(0, 0));
+  const std::size_t n = std::min(in.size(), dft_size_);
+  for (std::size_t i = 0; i < n; ++i) {
+    padded[i] = dsp::Cplx(in[i].real(), in[i].imag());
+  }
+  const auto spectrum = dsp::fft(padded);
+
+  river::CplxVec payload(dft_size_);
+  for (std::size_t i = 0; i < dft_size_; ++i) {
+    payload[i] = {static_cast<float>(spectrum[i].real()),
+                  static_cast<float>(spectrum[i].imag())};
+  }
+  Record transformed =
+      Record::data_complex(river::kSubtypeComplex, std::move(payload));
+  transformed.scope_depth = rec.scope_depth;
+  transformed.attrs = std::move(rec.attrs);
+  out.emit(std::move(transformed));
+}
+
+// -- cabs -----------------------------------------------------------------------
+
+void CAbsOp::process(Record rec, river::Emitter& out) {
+  if (rec.type != RecordType::kData || !rec.is_complex()) {
+    out.emit(std::move(rec));
+    return;
+  }
+  const auto in = rec.cplx();
+  river::FloatVec mags(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    mags[i] = std::abs(in[i]);
+  }
+  Record magnitudes = Record::data(river::kSubtypeSpectrum, std::move(mags));
+  magnitudes.scope_depth = rec.scope_depth;
+  magnitudes.attrs = std::move(rec.attrs);
+  out.emit(std::move(magnitudes));
+}
+
+// -- cutout ----------------------------------------------------------------------
+
+CutoutOp::CutoutOp(std::size_t lo_bin, std::size_t hi_bin)
+    : lo_bin_(lo_bin), hi_bin_(hi_bin) {
+  DR_EXPECTS(hi_bin > lo_bin);
+}
+
+CutoutOp::CutoutOp(const PipelineParams& params)
+    : CutoutOp(params.cutout_lo_bin(), params.cutout_hi_bin()) {}
+
+void CutoutOp::process(Record rec, river::Emitter& out) {
+  if (!is_spectrum(rec)) {
+    out.emit(std::move(rec));
+    return;
+  }
+  const auto in = rec.floats();
+  DR_EXPECTS(hi_bin_ <= in.size());
+  river::FloatVec band(in.begin() + static_cast<std::ptrdiff_t>(lo_bin_),
+                       in.begin() + static_cast<std::ptrdiff_t>(hi_bin_));
+  Record cut = Record::data(river::kSubtypeSpectrum, std::move(band));
+  cut.scope_depth = rec.scope_depth;
+  cut.attrs = std::move(rec.attrs);
+  out.emit(std::move(cut));
+}
+
+// -- paa --------------------------------------------------------------------------
+
+PaaOp::PaaOp(std::size_t factor) : factor_(factor) { DR_EXPECTS(factor >= 1); }
+
+void PaaOp::process(Record rec, river::Emitter& out) {
+  if (!is_spectrum(rec) || factor_ == 1) {
+    out.emit(std::move(rec));
+    return;
+  }
+  const auto in = rec.floats();
+  Record reduced =
+      Record::data(river::kSubtypeSpectrum, ts::paa_reduce_by(in, factor_));
+  reduced.scope_depth = rec.scope_depth;
+  reduced.attrs = std::move(rec.attrs);
+  out.emit(std::move(reduced));
+}
+
+// -- rec2vect ----------------------------------------------------------------------
+
+Rec2VectOp::Rec2VectOp(std::size_t merge, std::size_t stride)
+    : merge_(merge), stride_(stride) {
+  DR_EXPECTS(merge >= 1);
+  DR_EXPECTS(stride >= 1);
+}
+
+void Rec2VectOp::process(Record rec, river::Emitter& out) {
+  if (rec.type != RecordType::kData) {
+    // Scope boundary: patterns never straddle scopes.
+    buffer_.clear();
+    buffer_offset_ = 0;
+    next_start_ = 0;
+    pattern_seq_ = 0;
+    out.emit(std::move(rec));
+    return;
+  }
+  if (!is_spectrum(rec)) {
+    out.emit(std::move(rec));
+    return;
+  }
+
+  buffer_.push_back(river::FloatVec(rec.floats().begin(), rec.floats().end()));
+  try_emit(out);
+}
+
+void Rec2VectOp::try_emit(river::Emitter& out) {
+  while (next_start_ + merge_ <= buffer_offset_ + buffer_.size()) {
+    river::FloatVec pattern;
+    for (std::size_t i = 0; i < merge_; ++i) {
+      const auto& piece = buffer_[next_start_ - buffer_offset_ + i];
+      pattern.insert(pattern.end(), piece.begin(), piece.end());
+    }
+    Record rec = Record::data(river::kSubtypePattern, std::move(pattern));
+    rec.set_attr("pattern_index", static_cast<std::int64_t>(pattern_seq_++));
+    out.emit(std::move(rec));
+    ++patterns_;
+    next_start_ += stride_;
+
+    // Drop records no longer reachable by any future pattern.
+    while (buffer_offset_ < next_start_ && !buffer_.empty()) {
+      buffer_.pop_front();
+      ++buffer_offset_;
+    }
+  }
+}
+
+}  // namespace dynriver::core

@@ -1,0 +1,133 @@
+// The spectral pipeline segment (paper, Section 3, Figure 5):
+// reslice -> welchwindow -> float2cplx -> dft -> cabs -> cutout -> [paa]
+// -> rec2vect.
+//
+// It transforms the amplitude data of each ensemble into a power-spectrum
+// representation and finally into fixed-size feature vectors (patterns)
+// suitable for MESO.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/params.hpp"
+#include "river/operator.hpp"
+
+namespace dynriver::core {
+
+/// reslice: for each pair of consecutive audio records inside a scope,
+/// inserts a record made of the last half of the first and the first half of
+/// the second, halving the effective hop and reducing DFT edge effects.
+/// (The paper's phrasing "second half of the second record" is taken as a
+/// typo for the standard 50%-overlap construction.)
+class ResliceOp final : public river::Operator {
+ public:
+  void process(river::Record rec, river::Emitter& out) override;
+  void flush(river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "reslice"; }
+
+ private:
+  void release_pending(river::Emitter& out);
+  std::optional<river::Record> pending_;
+};
+
+/// welchwindow: applies a Welch (or configured) window to every audio record.
+class WelchWindowOp final : public river::Operator {
+ public:
+  explicit WelchWindowOp(dsp::WindowKind kind = dsp::WindowKind::kWelch);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "welchwindow"; }
+
+ private:
+  dsp::WindowKind kind_;
+  std::map<std::size_t, std::vector<float>> window_cache_;  // by record length
+};
+
+/// float2cplx: converts float audio records to the complex format the dft
+/// operator requires.
+class Float2CplxOp final : public river::Operator {
+ public:
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "float2cplx"; }
+};
+
+/// dft: computes the discrete Fourier transform of each complex record,
+/// zero-padding (or truncating) to a fixed transform length so every
+/// spectrum has identical bin geometry.
+class DftOp final : public river::Operator {
+ public:
+  explicit DftOp(std::size_t dft_size);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "dft"; }
+
+ private:
+  std::size_t dft_size_;
+};
+
+/// cabs: complex absolute value of every element, producing float
+/// power-spectrum records.
+class CAbsOp final : public river::Operator {
+ public:
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "cabs"; }
+};
+
+/// cutout: keeps only the spectrum bins in [lo_bin, hi_bin) -- the paper's
+/// ~[1.2 kHz, 9.6 kHz) band, where birdsong lives and wind/human noise does
+/// not.
+class CutoutOp final : public river::Operator {
+ public:
+  CutoutOp(std::size_t lo_bin, std::size_t hi_bin);
+  /// Convenience: derive bins from the pipeline parameters.
+  explicit CutoutOp(const PipelineParams& params);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "cutout"; }
+
+ private:
+  std::size_t lo_bin_;
+  std::size_t hi_bin_;
+};
+
+/// paa: optional dimensionality reduction of each spectrum record by an
+/// integer factor (paper: 10, turning 1050-feature patterns into 105).
+class PaaOp final : public river::Operator {
+ public:
+  explicit PaaOp(std::size_t factor);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "paa"; }
+
+ private:
+  std::size_t factor_;
+};
+
+/// rec2vect: merges `merge` consecutive spectrum records into one pattern
+/// record (kSubtypePattern), advancing by `stride` records between patterns.
+/// Pattern state resets at every scope boundary so patterns never straddle
+/// ensembles.
+class Rec2VectOp final : public river::Operator {
+ public:
+  Rec2VectOp(std::size_t merge, std::size_t stride);
+
+  void process(river::Record rec, river::Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "rec2vect"; }
+
+  [[nodiscard]] std::size_t patterns_emitted() const { return patterns_; }
+
+ private:
+  void try_emit(river::Emitter& out);
+
+  std::size_t merge_;
+  std::size_t stride_;
+  std::deque<river::FloatVec> buffer_;
+  std::size_t buffer_offset_ = 0;  ///< records consumed from scope start
+  std::size_t next_start_ = 0;     ///< record index of the next pattern
+  std::uint64_t pattern_seq_ = 0;  ///< per-scope pattern counter
+  std::size_t patterns_ = 0;
+};
+
+}  // namespace dynriver::core

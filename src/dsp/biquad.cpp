@@ -1,0 +1,66 @@
+#include "dsp/biquad.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+struct RbjCoeffs {
+  double b0, b1, b2, a0, a1, a2;
+};
+}  // namespace
+
+Biquad Biquad::low_pass(double sample_rate, double cutoff_hz, double q) {
+  DR_EXPECTS(sample_rate > 0 && cutoff_hz > 0 && cutoff_hz < sample_rate / 2);
+  DR_EXPECTS(q > 0);
+  const double w0 = 2.0 * kPi * cutoff_hz / sample_rate;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const RbjCoeffs c{(1 - cw) / 2, 1 - cw, (1 - cw) / 2, 1 + alpha, -2 * cw,
+                    1 - alpha};
+  return Biquad(c.b0 / c.a0, c.b1 / c.a0, c.b2 / c.a0, c.a1 / c.a0, c.a2 / c.a0);
+}
+
+Biquad Biquad::high_pass(double sample_rate, double cutoff_hz, double q) {
+  DR_EXPECTS(sample_rate > 0 && cutoff_hz > 0 && cutoff_hz < sample_rate / 2);
+  DR_EXPECTS(q > 0);
+  const double w0 = 2.0 * kPi * cutoff_hz / sample_rate;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const RbjCoeffs c{(1 + cw) / 2, -(1 + cw), (1 + cw) / 2, 1 + alpha, -2 * cw,
+                    1 - alpha};
+  return Biquad(c.b0 / c.a0, c.b1 / c.a0, c.b2 / c.a0, c.a1 / c.a0, c.a2 / c.a0);
+}
+
+Biquad Biquad::band_pass(double sample_rate, double center_hz, double q) {
+  DR_EXPECTS(sample_rate > 0 && center_hz > 0 && center_hz < sample_rate / 2);
+  DR_EXPECTS(q > 0);
+  const double w0 = 2.0 * kPi * center_hz / sample_rate;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const RbjCoeffs c{alpha, 0.0, -alpha, 1 + alpha, -2 * cw, 1 - alpha};
+  return Biquad(c.b0 / c.a0, c.b1 / c.a0, c.b2 / c.a0, c.a1 / c.a0, c.a2 / c.a0);
+}
+
+float Biquad::step(float x) {
+  const double xd = static_cast<double>(x);
+  const double y = b0_ * xd + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = xd;
+  y2_ = y1_;
+  y1_ = y;
+  return static_cast<float>(y);
+}
+
+void Biquad::process(std::span<float> data) {
+  for (auto& v : data) v = step(v);
+}
+
+void Biquad::reset_state() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,38 @@
+// Biquad IIR filters (RBJ audio-EQ cookbook forms).
+//
+// The synthetic substrate shapes its noise sources with these: wind is
+// low-passed brown noise, ambient hiss is gently high-passed white noise.
+#pragma once
+
+#include <span>
+
+namespace dynriver::dsp {
+
+/// Direct-form-I biquad with persistent state for streaming use.
+class Biquad {
+ public:
+  /// Identity filter (passes input through).
+  Biquad() = default;
+
+  static Biquad low_pass(double sample_rate, double cutoff_hz, double q = 0.7071);
+  static Biquad high_pass(double sample_rate, double cutoff_hz, double q = 0.7071);
+  static Biquad band_pass(double sample_rate, double center_hz, double q);
+
+  /// Filter one sample.
+  [[nodiscard]] float step(float x);
+
+  /// Filter a buffer in place.
+  void process(std::span<float> data);
+
+  void reset_state();
+
+ private:
+  Biquad(double b0, double b1, double b2, double a1, double a2)
+      : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+  double b0_ = 1.0, b1_ = 0.0, b2_ = 0.0;
+  double a1_ = 0.0, a2_ = 0.0;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+}  // namespace dynriver::dsp

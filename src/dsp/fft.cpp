@@ -1,0 +1,155 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with a power-of-2 FFT.
+std::vector<Cplx> bluestein(std::span<const Cplx> input) {
+  const std::size_t n = input.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+
+  // chirp[k] = exp(-i*pi*k^2/n)
+  std::vector<Cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the argument small for numerical stability.
+    const auto k2 = static_cast<double>((static_cast<unsigned long long>(k) * k) %
+                                        (2 * n));
+    const double angle = kPi * k2 / static_cast<double>(n);
+    chirp[k] = Cplx(std::cos(angle), -std::sin(angle));
+  }
+
+  std::vector<Cplx> a(m, Cplx(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+
+  std::vector<Cplx> b(m, Cplx(0, 0));
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_radix2(a, /*inverse=*/false);
+  fft_radix2(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, /*inverse=*/true);
+
+  std::vector<Cplx> out(n);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
+  return out;
+}
+}  // namespace
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2(std::span<Cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  DR_EXPECTS(is_power_of_two(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Cplx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1, 0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = data[i + k];
+        const Cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Cplx> fft(std::span<const Cplx> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  if (is_power_of_two(n)) {
+    std::vector<Cplx> data(input.begin(), input.end());
+    fft_radix2(data, /*inverse=*/false);
+    return data;
+  }
+  return bluestein(input);
+}
+
+std::vector<Cplx> ifft(std::span<const Cplx> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  // IFFT via conjugation: ifft(x) = conj(fft(conj(x))) / n.
+  std::vector<Cplx> conj_in(n);
+  for (std::size_t i = 0; i < n; ++i) conj_in[i] = std::conj(input[i]);
+  std::vector<Cplx> out = fft(conj_in);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (auto& v : out) v = std::conj(v) * scale;
+  return out;
+}
+
+std::vector<Cplx> dft_naive(std::span<const Cplx> input) {
+  const std::size_t n = input.size();
+  std::vector<Cplx> out(n, Cplx(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx acc(0, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(k) * static_cast<double>(t) /
+          static_cast<double>(n);
+      acc += input[t] * Cplx(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Cplx> fft_real(std::span<const float> input) {
+  std::vector<Cplx> cplx_in(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    cplx_in[i] = Cplx(static_cast<double>(input[i]), 0.0);
+  }
+  return fft(cplx_in);
+}
+
+std::vector<float> magnitude_spectrum(std::span<const float> input) {
+  const auto spec = fft_real(input);
+  std::vector<float> mags(spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    mags[i] = static_cast<float>(std::abs(spec[i]));
+  }
+  return mags;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate) {
+  DR_EXPECTS(n > 0);
+  return static_cast<double>(k) * sample_rate / static_cast<double>(n);
+}
+
+std::size_t frequency_bin(double freq_hz, std::size_t n, double sample_rate) {
+  DR_EXPECTS(n > 0);
+  DR_EXPECTS(sample_rate > 0);
+  const double k = freq_hz * static_cast<double>(n) / sample_rate;
+  const auto bin = static_cast<std::size_t>(std::llround(std::max(0.0, k)));
+  return std::min(bin, n - 1);
+}
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,31 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::dsp {
+
+std::vector<float> resample_linear(std::span<const float> input, double from_rate,
+                                   double to_rate) {
+  DR_EXPECTS(from_rate > 0 && to_rate > 0);
+  if (input.empty()) return {};
+  if (from_rate == to_rate) return {input.begin(), input.end()};
+
+  const double ratio = from_rate / to_rate;
+  const auto out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(input.size() - 1) / ratio)) + 1;
+
+  std::vector<float> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double src = static_cast<double>(i) * ratio;
+    const auto idx = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(idx);
+    const float a = input[idx];
+    const float b = (idx + 1 < input.size()) ? input[idx + 1] : a;
+    out[i] = static_cast<float>((1.0 - frac) * a + frac * b);
+  }
+  return out;
+}
+
+}  // namespace dynriver::dsp

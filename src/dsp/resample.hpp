@@ -1,0 +1,18 @@
+// Linear-interpolation resampler.
+//
+// Sensor stations may record at different rates; the extraction pipeline
+// normalizes everything to its configured analysis rate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dynriver::dsp {
+
+/// Resample `input` from `from_rate` to `to_rate` using linear interpolation.
+/// Adequate for band-limited natural sounds well below Nyquist; higher-order
+/// interpolation is unnecessary for the extraction use case.
+[[nodiscard]] std::vector<float> resample_linear(std::span<const float> input,
+                                                 double from_rate, double to_rate);
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,154 @@
+#include "dsp/spectrogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "dsp/fft.hpp"
+
+namespace dynriver::dsp {
+
+double Spectrogram::frame_time(std::size_t i) const {
+  DR_EXPECTS(sample_rate > 0);
+  return static_cast<double>(i * hop) / sample_rate;
+}
+
+double Spectrogram::bin_freq(std::size_t k) const {
+  DR_EXPECTS(frame_size > 0);
+  return bin_frequency(k, frame_size, sample_rate);
+}
+
+Spectrogram stft(std::span<const float> signal, const SpectrogramParams& params) {
+  DR_EXPECTS(params.frame_size >= 2);
+  DR_EXPECTS(params.hop >= 1);
+  DR_EXPECTS(params.sample_rate > 0);
+
+  Spectrogram spec;
+  spec.sample_rate = params.sample_rate;
+  spec.frame_size = params.frame_size;
+  spec.hop = params.hop;
+
+  if (signal.size() < params.frame_size) return spec;
+
+  const auto window = make_window(params.window, params.frame_size);
+  const std::size_t num_bins = params.frame_size / 2 + 1;
+  const std::size_t num_frames = (signal.size() - params.frame_size) / params.hop + 1;
+  spec.frames.reserve(num_frames);
+
+  std::vector<float> frame(params.frame_size);
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    const std::size_t start = f * params.hop;
+    std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
+                params.frame_size, frame.begin());
+    apply_window(frame, window);
+    const auto spectrum = fft_real(frame);
+
+    std::vector<float> mags(num_bins);
+    for (std::size_t k = 0; k < num_bins; ++k) {
+      double mag = std::abs(spectrum[k]);
+      if (params.log_magnitude) mag = 20.0 * std::log10(mag + 1e-12);
+      mags[k] = static_cast<float>(mag);
+    }
+    spec.frames.push_back(std::move(mags));
+  }
+  return spec;
+}
+
+std::vector<float> normalize_oscillogram(std::span<const float> signal) {
+  std::vector<float> out(signal.begin(), signal.end());
+  if (out.empty()) return out;
+  const double mu = mean_of(signal);
+  float max_abs = 0.0F;
+  for (auto& v : out) {
+    v -= static_cast<float>(mu);
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  if (max_abs > 0.0F) {
+    for (auto& v : out) v /= max_abs;
+  }
+  return out;
+}
+
+namespace {
+char shade(double intensity) {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(intensity, 0.0, 0.999) * (sizeof(kLevels) - 1));
+  return kLevels[idx];
+}
+}  // namespace
+
+std::string ascii_spectrogram(const Spectrogram& spec, std::size_t cols,
+                              std::size_t rows) {
+  if (spec.num_frames() == 0 || spec.num_bins() == 0 || cols == 0 || rows == 0) {
+    return "(empty spectrogram)\n";
+  }
+  cols = std::min(cols, spec.num_frames());
+  rows = std::min(rows, spec.num_bins());
+
+  // Downsample the matrix by cell-averaging, then map to log shades.
+  std::vector<std::vector<double>> grid(rows, std::vector<double>(cols, 0.0));
+  double max_val = 1e-12;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t f0 = c * spec.num_frames() / cols;
+      const std::size_t f1 = std::max(f0 + 1, (c + 1) * spec.num_frames() / cols);
+      const std::size_t b0 = r * spec.num_bins() / rows;
+      const std::size_t b1 = std::max(b0 + 1, (r + 1) * spec.num_bins() / rows);
+      double acc = 0.0;
+      std::size_t cnt = 0;
+      for (std::size_t f = f0; f < f1; ++f) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          acc += spec.frames[f][b];
+          ++cnt;
+        }
+      }
+      grid[r][c] = acc / static_cast<double>(std::max<std::size_t>(cnt, 1));
+      max_val = std::max(max_val, grid[r][c]);
+    }
+  }
+
+  std::string out;
+  out.reserve((cols + 16) * rows);
+  // Highest frequency on top, like the paper's figures.
+  for (std::size_t r = rows; r-- > 0;) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double rel = std::log10(1.0 + 9.0 * grid[r][c] / max_val);  // 0..1
+      out += shade(rel);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_oscillogram(std::span<const float> signal, std::size_t cols,
+                              std::size_t rows) {
+  if (signal.empty() || cols == 0 || rows == 0) return "(empty signal)\n";
+  cols = std::min(cols, signal.size());
+
+  // Per-column peak amplitude, rendered as a vertical bar chart.
+  std::vector<double> peaks(cols, 0.0);
+  double max_peak = 1e-12;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t s0 = c * signal.size() / cols;
+    const std::size_t s1 = std::max(s0 + 1, (c + 1) * signal.size() / cols);
+    for (std::size_t s = s0; s < s1; ++s) {
+      peaks[c] = std::max(peaks[c], static_cast<double>(std::abs(signal[s])));
+    }
+    max_peak = std::max(max_peak, peaks[c]);
+  }
+
+  std::string out;
+  out.reserve((cols + 1) * rows);
+  for (std::size_t r = rows; r-- > 0;) {
+    const double threshold = static_cast<double>(r) / static_cast<double>(rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+      out += (peaks[c] / max_peak > threshold) ? '|' : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dynriver::dsp

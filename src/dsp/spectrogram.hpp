@@ -1,0 +1,58 @@
+// Short-time Fourier transform spectrograms (paper Fig. 2/3).
+//
+// A spectrogram depicts frequency on the vertical axis and time on the
+// horizontal axis; shading indicates intensity at a particular frequency and
+// time. Frames here are stored row-major: frame index (time) x bin (freq).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace dynriver::dsp {
+
+struct SpectrogramParams {
+  std::size_t frame_size = 900;   ///< samples per analysis frame
+  std::size_t hop = 450;          ///< frame advance in samples
+  WindowKind window = WindowKind::kWelch;
+  double sample_rate = 21600.0;   ///< Hz
+  bool log_magnitude = false;     ///< 20*log10(|X|+eps) when true
+};
+
+/// One STFT: frames x (frame_size/2 + 1) magnitude matrix plus axis info.
+struct Spectrogram {
+  std::vector<std::vector<float>> frames;  ///< [time][bin] magnitudes
+  double sample_rate = 0.0;
+  std::size_t frame_size = 0;
+  std::size_t hop = 0;
+
+  [[nodiscard]] std::size_t num_frames() const { return frames.size(); }
+  [[nodiscard]] std::size_t num_bins() const {
+    return frames.empty() ? 0 : frames.front().size();
+  }
+  /// Time (seconds) of the start of frame `i`.
+  [[nodiscard]] double frame_time(std::size_t i) const;
+  /// Center frequency (Hz) of bin `k`.
+  [[nodiscard]] double bin_freq(std::size_t k) const;
+};
+
+/// Compute a magnitude spectrogram of `signal`.
+[[nodiscard]] Spectrogram stft(std::span<const float> signal,
+                               const SpectrogramParams& params);
+
+/// Normalize an oscillogram for display: subtract mean, scale by max |x|
+/// (paper Fig. 2 top). Returns all zeros for a constant signal.
+[[nodiscard]] std::vector<float> normalize_oscillogram(std::span<const float> signal);
+
+/// Render a spectrogram as coarse ASCII art (time columns x freq rows) for
+/// the figure benches; `cols`/`rows` bound the output size.
+[[nodiscard]] std::string ascii_spectrogram(const Spectrogram& spec,
+                                            std::size_t cols, std::size_t rows);
+
+/// Render a signal as an ASCII oscillogram strip.
+[[nodiscard]] std::string ascii_oscillogram(std::span<const float> signal,
+                                            std::size_t cols, std::size_t rows);
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,157 @@
+#include "dsp/wav.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::dsp {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::uint8_t> bytes, std::size_t& pos) {
+  if (pos + sizeof(T) > bytes.size()) throw WavError("truncated WAV data");
+  T value;
+  std::memcpy(&value, bytes.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+std::int16_t float_to_pcm16(float v) {
+  const float clamped = std::clamp(v, -1.0F, 1.0F);
+  return static_cast<std::int16_t>(std::lround(clamped * 32767.0F));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_wav(const WavClip& clip) {
+  DR_EXPECTS(clip.sample_rate > 0);
+  DR_EXPECTS(clip.channels >= 1);
+
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(clip.samples.size() * sizeof(std::int16_t));
+  const std::uint16_t block_align =
+      static_cast<std::uint16_t>(clip.channels * sizeof(std::int16_t));
+  const std::uint32_t byte_rate = clip.sample_rate * block_align;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(44 + data_bytes);
+
+  const auto put_tag = [&out](const char* tag) {
+    out.insert(out.end(), tag, tag + 4);
+  };
+
+  put_tag("RIFF");
+  put<std::uint32_t>(out, 36 + data_bytes);
+  put_tag("WAVE");
+  put_tag("fmt ");
+  put<std::uint32_t>(out, 16);                  // PCM fmt chunk size
+  put<std::uint16_t>(out, 1);                   // PCM
+  put<std::uint16_t>(out, clip.channels);
+  put<std::uint32_t>(out, clip.sample_rate);
+  put<std::uint32_t>(out, byte_rate);
+  put<std::uint16_t>(out, block_align);
+  put<std::uint16_t>(out, 16);                  // bits per sample
+  put_tag("data");
+  put<std::uint32_t>(out, data_bytes);
+  for (const float s : clip.samples) put<std::int16_t>(out, float_to_pcm16(s));
+  return out;
+}
+
+WavClip decode_wav(std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  const auto expect_tag = [&](const char* tag) {
+    if (pos + 4 > bytes.size()) throw WavError("truncated WAV header");
+    if (std::memcmp(bytes.data() + pos, tag, 4) != 0) {
+      throw WavError(std::string("missing WAV chunk tag: ") + tag);
+    }
+    pos += 4;
+  };
+
+  expect_tag("RIFF");
+  (void)get<std::uint32_t>(bytes, pos);  // riff size (trusted from data chunk)
+  expect_tag("WAVE");
+
+  WavClip clip;
+  bool have_fmt = false;
+  std::uint16_t bits = 0;
+
+  // Walk chunks; tolerate extension chunks (LIST, fact, ...) between fmt/data.
+  while (pos + 8 <= bytes.size()) {
+    char tag[4];
+    std::memcpy(tag, bytes.data() + pos, 4);
+    pos += 4;
+    const auto chunk_size = get<std::uint32_t>(bytes, pos);
+
+    if (std::memcmp(tag, "fmt ", 4) == 0) {
+      std::size_t fmt_pos = pos;
+      const auto format = get<std::uint16_t>(bytes, fmt_pos);
+      if (format != 1) throw WavError("only PCM WAV is supported");
+      clip.channels = get<std::uint16_t>(bytes, fmt_pos);
+      clip.sample_rate = get<std::uint32_t>(bytes, fmt_pos);
+      (void)get<std::uint32_t>(bytes, fmt_pos);  // byte rate
+      (void)get<std::uint16_t>(bytes, fmt_pos);  // block align
+      bits = get<std::uint16_t>(bytes, fmt_pos);
+      if (bits != 16) throw WavError("only 16-bit PCM is supported");
+      have_fmt = true;
+    } else if (std::memcmp(tag, "data", 4) == 0) {
+      if (!have_fmt) throw WavError("WAV data chunk before fmt chunk");
+      if (pos + chunk_size > bytes.size()) throw WavError("truncated WAV data");
+      const std::size_t n_samples = chunk_size / sizeof(std::int16_t);
+      clip.samples.resize(n_samples);
+      for (std::size_t i = 0; i < n_samples; ++i) {
+        const auto raw = get<std::int16_t>(bytes, pos);
+        clip.samples[i] = static_cast<float>(raw) / 32768.0F;
+      }
+      return clip;
+    }
+    pos += chunk_size + (chunk_size & 1u);  // chunks are word-aligned
+  }
+  throw WavError("WAV file has no data chunk");
+}
+
+void write_wav(const std::filesystem::path& path, const WavClip& clip) {
+  const auto bytes = encode_wav(clip);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw WavError("cannot open for writing: " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw WavError("write failed: " + path.string());
+}
+
+WavClip read_wav(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw WavError("cannot open for reading: " + path.string());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw WavError("read failed: " + path.string());
+  return decode_wav(bytes);
+}
+
+std::vector<float> to_mono(const WavClip& clip) {
+  if (clip.channels <= 1) return clip.samples;
+  const std::size_t frames = clip.samples.size() / clip.channels;
+  std::vector<float> mono(frames, 0.0F);
+  for (std::size_t f = 0; f < frames; ++f) {
+    float acc = 0.0F;
+    for (std::uint16_t c = 0; c < clip.channels; ++c) {
+      acc += clip.samples[f * clip.channels + c];
+    }
+    mono[f] = acc / static_cast<float>(clip.channels);
+  }
+  return mono;
+}
+
+}  // namespace dynriver::dsp

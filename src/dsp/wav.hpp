@@ -1,0 +1,46 @@
+// Minimal WAV (RIFF/PCM16) reader and writer.
+//
+// Field sensor stations store clips as WAV; the paper's `wav2rec` operator
+// encapsulates WAV data in pipeline records. This module handles the
+// container format; samples are exposed as floats in [-1, 1].
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dynriver::dsp {
+
+class WavError : public std::runtime_error {
+ public:
+  explicit WavError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct WavClip {
+  std::uint32_t sample_rate = 0;
+  std::uint16_t channels = 1;
+  std::vector<float> samples;  ///< interleaved when channels > 1
+
+  [[nodiscard]] double duration_seconds() const {
+    if (sample_rate == 0 || channels == 0) return 0.0;
+    return static_cast<double>(samples.size()) /
+           (static_cast<double>(sample_rate) * channels);
+  }
+};
+
+/// Serialize samples as a PCM16 WAV byte blob (values clamped to [-1, 1]).
+[[nodiscard]] std::vector<std::uint8_t> encode_wav(const WavClip& clip);
+
+/// Parse a PCM16 WAV byte blob. Throws WavError on malformed input.
+[[nodiscard]] WavClip decode_wav(std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers.
+void write_wav(const std::filesystem::path& path, const WavClip& clip);
+[[nodiscard]] WavClip read_wav(const std::filesystem::path& path);
+
+/// Downmix interleaved multi-channel audio to mono by averaging.
+[[nodiscard]] std::vector<float> to_mono(const WavClip& clip);
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,87 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+const char* to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return "rectangular";
+    case WindowKind::kWelch:
+      return "welch";
+    case WindowKind::kHann:
+      return "hann";
+    case WindowKind::kHamming:
+      return "hamming";
+  }
+  return "unknown";
+}
+
+WindowKind window_from_string(std::string_view name) {
+  if (name == "rectangular" || name == "rect") return WindowKind::kRectangular;
+  if (name == "welch") return WindowKind::kWelch;
+  if (name == "hann") return WindowKind::kHann;
+  if (name == "hamming") return WindowKind::kHamming;
+  throw std::invalid_argument("unknown window kind: " + std::string(name));
+}
+
+std::vector<float> make_window(WindowKind kind, std::size_t n) {
+  DR_EXPECTS(n >= 1);
+  std::vector<float> w(n, 1.0F);
+  if (n == 1) return w;
+  const double last = static_cast<double>(n - 1);
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kWelch: {
+      // w[i] = 1 - ((i - (n-1)/2) / ((n-1)/2))^2
+      const double half = last / 2.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = (static_cast<double>(i) - half) / half;
+        w[i] = static_cast<float>(1.0 - x * x);
+      }
+      break;
+    }
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = static_cast<float>(
+            0.5 * (1.0 - std::cos(2.0 * kPi * static_cast<double>(i) / last)));
+      }
+      break;
+    case WindowKind::kHamming:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = static_cast<float>(
+            0.54 - 0.46 * std::cos(2.0 * kPi * static_cast<double>(i) / last));
+      }
+      break;
+  }
+  return w;
+}
+
+void apply_window(std::span<float> data, std::span<const float> window) {
+  DR_EXPECTS(data.size() == window.size());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] *= window[i];
+}
+
+void apply_window(std::span<float> data, WindowKind kind) {
+  const auto w = make_window(kind, data.size());
+  apply_window(data, w);
+}
+
+double window_power(std::span<const float> window) {
+  double acc = 0.0;
+  for (const float v : window) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,38 @@
+// Window functions.
+//
+// The paper's `welchwindow` operator applies a Welch window to each resliced
+// record to minimize edge effects between records. Hann/Hamming/rectangular
+// are included for the ablation benches.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dynriver::dsp {
+
+enum class WindowKind : std::uint8_t {
+  kRectangular,
+  kWelch,
+  kHann,
+  kHamming,
+};
+
+[[nodiscard]] const char* to_string(WindowKind kind);
+
+/// Parse a window name ("welch", "hann", ...). Throws std::invalid_argument.
+[[nodiscard]] WindowKind window_from_string(std::string_view name);
+
+/// Window coefficients of length n.
+[[nodiscard]] std::vector<float> make_window(WindowKind kind, std::size_t n);
+
+/// In-place application of a precomputed window (sizes must match).
+void apply_window(std::span<float> data, std::span<const float> window);
+
+/// Convenience: apply a freshly built window of the right size.
+void apply_window(std::span<float> data, WindowKind kind);
+
+/// Sum of squared coefficients (for power normalization in spectrograms).
+[[nodiscard]] double window_power(std::span<const float> window);
+
+}  // namespace dynriver::dsp

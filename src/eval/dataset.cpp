@@ -1,0 +1,160 @@
+#include "eval/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/stopwatch.hpp"
+#include "core/extractor.hpp"
+#include "core/features.hpp"
+#include "ts/paa.hpp"
+
+namespace dynriver::eval {
+
+std::size_t Dataset::pattern_count() const {
+  std::size_t acc = 0;
+  for (const auto& e : ensembles) acc += e.patterns.size();
+  return acc;
+}
+
+std::vector<std::size_t> Dataset::patterns_per_class() const {
+  std::vector<std::size_t> out(num_classes, 0);
+  for (const auto& e : ensembles) {
+    DR_ASSERT(e.label >= 0 && static_cast<std::size_t>(e.label) < num_classes);
+    out[static_cast<std::size_t>(e.label)] += e.patterns.size();
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::ensembles_per_class() const {
+  std::vector<std::size_t> out(num_classes, 0);
+  for (const auto& e : ensembles) {
+    out[static_cast<std::size_t>(e.label)] += 1;
+  }
+  return out;
+}
+
+Dataset Dataset::reduce_paa(std::size_t factor) const {
+  DR_EXPECTS(factor >= 1);
+  Dataset out;
+  out.num_classes = num_classes;
+  out.ensembles.reserve(ensembles.size());
+  for (const auto& e : ensembles) {
+    EnsembleData reduced = e;
+    for (auto& p : reduced.patterns) {
+      p = ts::paa_reduce_by(p, factor);
+    }
+    out.ensembles.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+const std::array<Table1Row, synth::kNumSpecies>& paper_table1() {
+  static const std::array<Table1Row, synth::kNumSpecies> rows = {{
+      {"AMGO", "American goldfinch", 229, 42},
+      {"BCCH", "Black capped chickadee", 672, 68},
+      {"BLJA", "Blue Jay", 318, 51},
+      {"DOWO", "Downy woodpecker", 272, 50},
+      {"HOFI", "House finch", 223, 26},
+      {"MODO", "Mourning dove", 338, 24},
+      {"NOCA", "Northern cardinal", 395, 42},
+      {"RWBL", "Red winged blackbird", 211, 27},
+      {"TUTI", "Tufted titmouse", 339, 59},
+      {"WBNU", "White breasted nuthatch", 676, 84},
+  }};
+  return rows;
+}
+
+double CorpusStats::reduction_fraction() const {
+  if (total_samples == 0) return 0.0;
+  return 1.0 - static_cast<double>(retained_samples) /
+                   static_cast<double>(total_samples);
+}
+
+BuildResult build_corpus(const BuildConfig& config) {
+  dynriver::Stopwatch watch;
+
+  core::PipelineParams params = config.params;
+  params.use_paa = false;  // master set is full resolution; PAA derived below
+  params.validate();
+  DR_EXPECTS(config.songs_per_clip >= 1);
+  DR_EXPECTS(config.corpus_scale > 0.0);
+
+  BuildResult result;
+  result.dataset.num_classes = synth::kNumSpecies;
+
+  synth::StationParams station_params = config.station;
+  station_params.sample_rate = params.sample_rate;
+  synth::SensorStation station(station_params, config.seed);
+
+  const core::EnsembleExtractor extractor(params);
+  const core::FeatureExtractor features(params);
+
+  for (std::size_t s = 0; s < synth::kNumSpecies; ++s) {
+    auto& sp_stats = result.stats.species[s];
+    sp_stats.code = synth::species(s).code;
+
+    int songs = config.songs_per_species[s];
+    if (songs < 0) songs = paper_table1()[s].ensembles;
+    songs = std::max(1, static_cast<int>(std::lround(songs * config.corpus_scale)));
+
+    int planted = 0;
+    while (planted < songs) {
+      const int in_clip = std::min(config.songs_per_clip, songs - planted);
+      const std::vector<synth::SpeciesId> singers(
+          in_clip, static_cast<synth::SpeciesId>(s));
+      const synth::ClipRecording clip = station.record_clip(singers);
+      planted += in_clip;
+      sp_stats.planted += in_clip;
+      ++result.stats.clips;
+      result.stats.total_samples += clip.clip.samples.size();
+
+      const auto extraction = extractor.extract(clip.clip.samples);
+      result.stats.extracted_ensembles += extraction.ensembles.size();
+      result.stats.retained_samples += extraction.retained_samples();
+
+      // Ground-truth validation: the stand-in for the paper's human listener.
+      std::vector<bool> truth_hit(clip.truth.size(), false);
+      for (const auto& ensemble : extraction.ensembles) {
+        int label = -1;
+        for (std::size_t t = 0; t < clip.truth.size(); ++t) {
+          if (synth::intervals_overlap(
+                  ensemble.start_sample, ensemble.end_sample(),
+                  clip.truth[t].start_sample, clip.truth[t].end_sample(),
+                  config.validation_overlap)) {
+            label = static_cast<int>(clip.truth[t].species);
+            truth_hit[t] = true;
+            break;
+          }
+        }
+        if (label < 0) {
+          ++result.stats.rejected_ensembles;
+          continue;
+        }
+
+        EnsembleData data;
+        data.label = label;
+        data.patterns = features.patterns(ensemble.samples);
+        if (data.patterns.empty()) {
+          ++result.stats.rejected_ensembles;
+          continue;
+        }
+        data.clip_id = clip.clip_id;
+        data.start_sample = ensemble.start_sample;
+        data.length = ensemble.length();
+        sp_stats.validated_ensembles += 1;
+        sp_stats.patterns += static_cast<int>(data.patterns.size());
+        result.dataset.ensembles.push_back(std::move(data));
+      }
+      for (const bool hit : truth_hit) {
+        if (!hit) ++result.stats.missed_songs;
+      }
+    }
+  }
+
+  result.paa_dataset = result.dataset.reduce_paa(config.params.paa_factor);
+  result.stats.build_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace dynriver::eval

@@ -1,0 +1,93 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace dynriver::eval {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes) : n_(num_classes) {
+  DR_EXPECTS(num_classes >= 1);
+  cells_.assign(n_ * n_, 0);
+}
+
+void ConfusionMatrix::add(std::size_t actual, std::size_t predicted) {
+  DR_EXPECTS(actual < n_ && predicted < n_);
+  ++cells_[actual * n_ + predicted];
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  DR_EXPECTS(other.n_ == n_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual, std::size_t predicted) const {
+  DR_EXPECTS(actual < n_ && predicted < n_);
+  return cells_[actual * n_ + predicted];
+}
+
+std::size_t ConfusionMatrix::row_total(std::size_t actual) const {
+  DR_EXPECTS(actual < n_);
+  std::size_t acc = 0;
+  for (std::size_t c = 0; c < n_; ++c) acc += cells_[actual * n_ + c];
+  return acc;
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t acc = 0;
+  for (const auto v : cells_) acc += v;
+  return acc;
+}
+
+double ConfusionMatrix::percent(std::size_t actual, std::size_t predicted) const {
+  const auto row = row_total(actual);
+  if (row == 0) return 0.0;
+  return 100.0 * static_cast<double>(count(actual, predicted)) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto all = total();
+  if (all == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < n_; ++i) diag += cells_[i * n_ + i];
+  return static_cast<double>(diag) / static_cast<double>(all);
+}
+
+std::string ConfusionMatrix::to_string(std::span<const std::string> labels) const {
+  DR_EXPECTS(labels.size() == n_);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << std::setw(6) << "" << " |";
+  for (const auto& l : labels) os << std::setw(6) << l;
+  os << "\n" << std::string(8 + 6 * n_, '-') << "\n";
+  for (std::size_t r = 0; r < n_; ++r) {
+    os << std::setw(6) << labels[r] << " |";
+    for (std::size_t c = 0; c < n_; ++c) {
+      const double pct = percent(r, c);
+      if (pct == 0.0) {
+        os << std::setw(6) << "";
+      } else {
+        os << std::setw(6) << pct;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+AccuracyStats summarize(std::span<const double> values) {
+  AccuracyStats out;
+  out.repeats = values.size();
+  if (values.empty()) return out;
+  RunningStats rs;
+  for (const double v : values) rs.add(v);
+  out.mean = rs.mean();
+  out.stddev = rs.sample_stddev();
+  return out;
+}
+
+}  // namespace dynriver::eval

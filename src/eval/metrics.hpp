@@ -1,0 +1,48 @@
+// Classification metrics: accuracy aggregation and confusion matrices
+// (paper, Tables 2 and 3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dynriver::eval {
+
+/// Row = actual class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t actual, std::size_t predicted);
+  void merge(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t num_classes() const { return n_; }
+  [[nodiscard]] std::size_t count(std::size_t actual, std::size_t predicted) const;
+  [[nodiscard]] std::size_t row_total(std::size_t actual) const;
+  [[nodiscard]] std::size_t total() const;
+
+  /// Percentage of class `actual` predicted as `predicted` (row-normalized,
+  /// like the paper's Table 3).
+  [[nodiscard]] double percent(std::size_t actual, std::size_t predicted) const;
+
+  /// Overall accuracy (trace / total).
+  [[nodiscard]] double accuracy() const;
+
+  /// Render as a Table 3 style matrix with row/column labels.
+  [[nodiscard]] std::string to_string(std::span<const std::string> labels) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;  // n_ x n_, row-major
+};
+
+/// Mean +/- sample standard deviation over experiment repetitions.
+struct AccuracyStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t repeats = 0;
+};
+
+[[nodiscard]] AccuracyStats summarize(std::span<const double> values);
+
+}  // namespace dynriver::eval

@@ -1,0 +1,255 @@
+#include "eval/protocol.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace dynriver::eval {
+
+namespace {
+
+/// Flattened view: (ensemble index, pattern index) pairs in training order.
+struct Item {
+  std::size_t ensemble;
+  std::size_t pattern;
+};
+
+std::vector<Item> flatten(const Dataset& data) {
+  std::vector<Item> items;
+  items.reserve(data.pattern_count());
+  for (std::size_t e = 0; e < data.ensembles.size(); ++e) {
+    for (std::size_t p = 0; p < data.ensembles[e].patterns.size(); ++p) {
+      items.push_back({e, p});
+    }
+  }
+  return items;
+}
+
+void train_all(meso::Classifier& clf, const Dataset& data,
+               std::span<const Item> items, std::size_t skip_ensemble,
+               double& train_seconds) {
+  dynriver::Stopwatch watch;
+  for (const Item& item : items) {
+    if (item.ensemble == skip_ensemble) continue;
+    const auto& e = data.ensembles[item.ensemble];
+    clf.train(e.patterns[item.pattern], e.label);
+  }
+  train_seconds += watch.seconds();
+}
+
+constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+int majority_vote(std::span<const int> votes, std::size_t num_classes) {
+  DR_EXPECTS(!votes.empty());
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (const int v : votes) {
+    if (v >= 0 && static_cast<std::size_t>(v) < num_classes) {
+      ++counts[static_cast<std::size_t>(v)];
+    }
+  }
+  return static_cast<int>(
+      std::distance(counts.begin(), std::max_element(counts.begin(), counts.end())));
+}
+
+ProtocolResult leave_one_out_ensemble(const Dataset& data,
+                                      const ClassifierFactory& make,
+                                      const ProtocolOptions& options) {
+  DR_EXPECTS(!data.ensembles.empty());
+  ProtocolResult result{.accuracy = {},
+                        .confusion = ConfusionMatrix(data.num_classes)};
+  dynriver::Rng rng(options.seed);
+  std::vector<double> rep_accuracy;
+
+  for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+    auto items = flatten(data);
+    std::shuffle(items.begin(), items.end(), rng.engine());
+
+    std::vector<std::size_t> holdouts(data.ensembles.size());
+    std::iota(holdouts.begin(), holdouts.end(), 0);
+    std::shuffle(holdouts.begin(), holdouts.end(), rng.engine());
+    if (options.max_holdouts > 0 && holdouts.size() > options.max_holdouts) {
+      holdouts.resize(options.max_holdouts);
+    }
+
+    std::size_t correct = 0;
+    for (const std::size_t held : holdouts) {
+      auto clf = make();
+      train_all(*clf, data, items, held, result.train_seconds_total);
+      ++result.trainings;
+
+      dynriver::Stopwatch test_watch;
+      const auto& ensemble = data.ensembles[held];
+      std::vector<int> votes;
+      votes.reserve(ensemble.patterns.size());
+      for (const auto& pattern : ensemble.patterns) {
+        votes.push_back(clf->classify(pattern));
+      }
+      const int predicted = majority_vote(votes, data.num_classes);
+      result.test_seconds_total += test_watch.seconds();
+
+      result.confusion.add(static_cast<std::size_t>(ensemble.label),
+                           static_cast<std::size_t>(predicted));
+      if (predicted == ensemble.label) ++correct;
+    }
+    rep_accuracy.push_back(static_cast<double>(correct) /
+                           static_cast<double>(holdouts.size()));
+  }
+  result.accuracy = summarize(rep_accuracy);
+  return result;
+}
+
+ProtocolResult leave_one_out_pattern(const Dataset& data,
+                                     const ClassifierFactory& make,
+                                     const ProtocolOptions& options) {
+  DR_EXPECTS(data.pattern_count() >= 2);
+  ProtocolResult result{.accuracy = {},
+                        .confusion = ConfusionMatrix(data.num_classes)};
+  dynriver::Rng rng(options.seed);
+  std::vector<double> rep_accuracy;
+
+  for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+    auto items = flatten(data);
+    std::shuffle(items.begin(), items.end(), rng.engine());
+
+    std::vector<std::size_t> holdout_pos(items.size());
+    std::iota(holdout_pos.begin(), holdout_pos.end(), 0);
+    std::shuffle(holdout_pos.begin(), holdout_pos.end(), rng.engine());
+    if (options.max_holdouts > 0 && holdout_pos.size() > options.max_holdouts) {
+      holdout_pos.resize(options.max_holdouts);
+    }
+
+    std::size_t correct = 0;
+    for (const std::size_t pos : holdout_pos) {
+      auto clf = make();
+      dynriver::Stopwatch train_watch;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i == pos) continue;
+        const auto& e = data.ensembles[items[i].ensemble];
+        clf->train(e.patterns[items[i].pattern], e.label);
+      }
+      result.train_seconds_total += train_watch.seconds();
+      ++result.trainings;
+
+      dynriver::Stopwatch test_watch;
+      const auto& test_ensemble = data.ensembles[items[pos].ensemble];
+      const int predicted =
+          clf->classify(test_ensemble.patterns[items[pos].pattern]);
+      result.test_seconds_total += test_watch.seconds();
+
+      const int actual = test_ensemble.label;
+      if (predicted >= 0) {
+        result.confusion.add(static_cast<std::size_t>(actual),
+                             static_cast<std::size_t>(predicted));
+      }
+      if (predicted == actual) ++correct;
+    }
+    rep_accuracy.push_back(static_cast<double>(correct) /
+                           static_cast<double>(holdout_pos.size()));
+  }
+  result.accuracy = summarize(rep_accuracy);
+  return result;
+}
+
+namespace {
+
+ProtocolResult resubstitution_impl(const Dataset& data,
+                                   const ClassifierFactory& make,
+                                   const ProtocolOptions& options,
+                                   bool ensemble_vote) {
+  DR_EXPECTS(!data.ensembles.empty());
+  ProtocolResult result{.accuracy = {},
+                        .confusion = ConfusionMatrix(data.num_classes)};
+  dynriver::Rng rng(options.seed);
+  std::vector<double> rep_accuracy;
+
+  for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+    auto items = flatten(data);
+    std::shuffle(items.begin(), items.end(), rng.engine());
+
+    auto clf = make();
+    train_all(*clf, data, items, kNoSkip, result.train_seconds_total);
+    ++result.trainings;
+
+    dynriver::Stopwatch test_watch;
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    if (ensemble_vote) {
+      for (const auto& ensemble : data.ensembles) {
+        std::vector<int> votes;
+        votes.reserve(ensemble.patterns.size());
+        for (const auto& pattern : ensemble.patterns) {
+          votes.push_back(clf->classify(pattern));
+        }
+        const int predicted = majority_vote(votes, data.num_classes);
+        result.confusion.add(static_cast<std::size_t>(ensemble.label),
+                             static_cast<std::size_t>(predicted));
+        if (predicted == ensemble.label) ++correct;
+        ++total;
+      }
+    } else {
+      for (const auto& ensemble : data.ensembles) {
+        for (const auto& pattern : ensemble.patterns) {
+          const int predicted = clf->classify(pattern);
+          if (predicted >= 0) {
+            result.confusion.add(static_cast<std::size_t>(ensemble.label),
+                                 static_cast<std::size_t>(predicted));
+          }
+          if (predicted == ensemble.label) ++correct;
+          ++total;
+        }
+      }
+    }
+    result.test_seconds_total += test_watch.seconds();
+    rep_accuracy.push_back(static_cast<double>(correct) /
+                           static_cast<double>(total));
+  }
+  result.accuracy = summarize(rep_accuracy);
+  return result;
+}
+
+}  // namespace
+
+ProtocolResult resubstitution_ensemble(const Dataset& data,
+                                       const ClassifierFactory& make,
+                                       const ProtocolOptions& options) {
+  return resubstitution_impl(data, make, options, /*ensemble_vote=*/true);
+}
+
+ProtocolResult resubstitution_pattern(const Dataset& data,
+                                      const ClassifierFactory& make,
+                                      const ProtocolOptions& options) {
+  return resubstitution_impl(data, make, options, /*ensemble_vote=*/false);
+}
+
+TrainTestTiming measure_train_test(const Dataset& data,
+                                   const ClassifierFactory& make,
+                                   std::uint64_t seed) {
+  TrainTestTiming timing;
+  dynriver::Rng rng(seed);
+  auto items = flatten(data);
+  std::shuffle(items.begin(), items.end(), rng.engine());
+  timing.patterns = items.size();
+
+  auto clf = make();
+  dynriver::Stopwatch train_watch;
+  for (const Item& item : items) {
+    const auto& e = data.ensembles[item.ensemble];
+    clf->train(e.patterns[item.pattern], e.label);
+  }
+  timing.train_seconds = train_watch.seconds();
+
+  dynriver::Stopwatch test_watch;
+  for (const Item& item : items) {
+    const auto& e = data.ensembles[item.ensemble];
+    (void)clf->classify(e.patterns[item.pattern]);
+  }
+  timing.test_seconds = test_watch.seconds();
+  return timing;
+}
+
+}  // namespace dynriver::eval

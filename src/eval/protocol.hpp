@@ -1,0 +1,77 @@
+// Cross-validation protocols (paper, Section 4).
+//
+// Leave-one-out: in turn select each ensemble (or pattern) as the test item,
+// train on everything else, test, repeat n times over shuffled data, report
+// mean +/- std. Resubstitution: train and test on the whole data set (an
+// estimate of the maximum attainable accuracy). Ensembles are tested by
+// voting: each member pattern votes for a species, the majority wins.
+//
+// MESO training is order-dependent, which is exactly why the paper repeats
+// every experiment over reshuffled data. Because true leave-one-out retrains
+// the classifier once per held-out item, `max_holdouts` optionally subsamples
+// the held-out items per repetition -- a statistically equivalent estimate at
+// a fraction of the cost. Set it to 0 for the paper's full protocol.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "eval/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "meso/types.hpp"
+
+namespace dynriver::eval {
+
+using ClassifierFactory = std::function<std::unique_ptr<meso::Classifier>()>;
+
+struct ProtocolOptions {
+  std::size_t repeats = 20;       ///< paper: 20 (LOO) / 100 (resubstitution)
+  std::uint64_t seed = 7;
+  std::size_t max_holdouts = 0;   ///< 0 = full leave-one-out
+};
+
+struct ProtocolResult {
+  AccuracyStats accuracy;           ///< over repetitions, in [0, 1]
+  ConfusionMatrix confusion;        ///< accumulated over all repetitions
+  double train_seconds_total = 0.0; ///< summed over all trainings
+  double test_seconds_total = 0.0;
+  std::size_t trainings = 0;        ///< number of classifier trainings run
+};
+
+/// Leave-one-ensemble-out with per-ensemble voting.
+[[nodiscard]] ProtocolResult leave_one_out_ensemble(const Dataset& data,
+                                                    const ClassifierFactory& make,
+                                                    const ProtocolOptions& options);
+
+/// Leave-one-pattern-out (ensemble grouping discarded, per the paper's
+/// pattern data sets).
+[[nodiscard]] ProtocolResult leave_one_out_pattern(const Dataset& data,
+                                                   const ClassifierFactory& make,
+                                                   const ProtocolOptions& options);
+
+/// Resubstitution, ensemble voting.
+[[nodiscard]] ProtocolResult resubstitution_ensemble(
+    const Dataset& data, const ClassifierFactory& make,
+    const ProtocolOptions& options);
+
+/// Resubstitution, per pattern.
+[[nodiscard]] ProtocolResult resubstitution_pattern(
+    const Dataset& data, const ClassifierFactory& make,
+    const ProtocolOptions& options);
+
+/// Single full train + full test wall-clock measurement (Table 2's
+/// Training/Testing rows).
+struct TrainTestTiming {
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+  std::size_t patterns = 0;
+};
+[[nodiscard]] TrainTestTiming measure_train_test(const Dataset& data,
+                                                 const ClassifierFactory& make,
+                                                 std::uint64_t seed);
+
+/// Majority vote over per-pattern predictions; ties break to the smaller
+/// label for determinism.
+[[nodiscard]] int majority_vote(std::span<const int> votes, std::size_t num_classes);
+
+}  // namespace dynriver::eval

@@ -1,0 +1,91 @@
+#include "meso/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::meso {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) { DR_EXPECTS(k >= 1); }
+
+void KnnClassifier::train(std::span<const float> features, Label label) {
+  DR_EXPECTS(!features.empty());
+  if (!patterns_.empty()) {
+    DR_EXPECTS(features.size() == patterns_.front().features.size());
+  }
+  patterns_.push_back(Pattern{FeatureVec(features.begin(), features.end()), label});
+}
+
+Label KnnClassifier::classify(std::span<const float> features) const {
+  if (patterns_.empty()) return -1;
+
+  // Max-heap of the k best (distance, label) pairs.
+  std::vector<std::pair<double, Label>> best;
+  best.reserve(k_ + 1);
+  for (const auto& p : patterns_) {
+    const double cutoff = best.size() == k_
+                              ? best.front().first
+                              : std::numeric_limits<double>::infinity();
+    const double d = squared_distance_bounded(p.features, features, cutoff);
+    if (best.size() == k_ && d >= cutoff) continue;
+    best.emplace_back(d, p.label);
+    std::push_heap(best.begin(), best.end());
+    if (best.size() > k_) {
+      std::pop_heap(best.begin(), best.end());
+      best.pop_back();
+    }
+  }
+
+  std::map<Label, std::size_t> votes;
+  for (const auto& [d, label] : best) ++votes[label];
+  Label winner = best.front().second;
+  std::size_t most = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > most) {
+      most = count;
+      winner = label;
+    }
+  }
+  return winner;
+}
+
+void KnnClassifier::reset() { patterns_.clear(); }
+
+void CentroidClassifier::train(std::span<const float> features, Label label) {
+  DR_EXPECTS(!features.empty());
+  auto& state = classes_[label];
+  if (state.mean.empty()) {
+    state.mean.assign(features.begin(), features.end());
+    state.count = 1;
+  } else {
+    DR_EXPECTS(features.size() == state.mean.size());
+    ++state.count;
+    const auto n = static_cast<float>(state.count);
+    for (std::size_t i = 0; i < state.mean.size(); ++i) {
+      state.mean[i] += (features[i] - state.mean[i]) / n;
+    }
+  }
+  ++count_;
+}
+
+Label CentroidClassifier::classify(std::span<const float> features) const {
+  if (classes_.empty()) return -1;
+  Label best_label = classes_.begin()->first;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& [label, state] : classes_) {
+    const double d = squared_distance_bounded(state.mean, features, best_d);
+    if (d < best_d) {
+      best_d = d;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+void CentroidClassifier::reset() {
+  classes_.clear();
+  count_ = 0;
+}
+
+}  // namespace dynriver::meso

@@ -1,0 +1,49 @@
+// Baseline classifiers for the MESO ablation benches.
+//
+// The MESO TKDE paper compares against standard classifiers; we provide a
+// k-nearest-neighbour linear scan (exact, the accuracy ceiling for
+// memory-based methods) and a per-class centroid classifier (the speed
+// floor) so bench_ablation_meso can reproduce the accuracy/time trade-off.
+#pragma once
+
+#include <map>
+
+#include "meso/types.hpp"
+
+namespace dynriver::meso {
+
+/// Exact k-NN with majority vote over the k nearest training patterns.
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 1);
+
+  void train(std::span<const float> features, Label label) override;
+  [[nodiscard]] Label classify(std::span<const float> features) const override;
+  void reset() override;
+  [[nodiscard]] std::size_t pattern_count() const override {
+    return patterns_.size();
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<Pattern> patterns_;
+};
+
+/// Nearest per-class mean.
+class CentroidClassifier final : public Classifier {
+ public:
+  void train(std::span<const float> features, Label label) override;
+  [[nodiscard]] Label classify(std::span<const float> features) const override;
+  void reset() override;
+  [[nodiscard]] std::size_t pattern_count() const override { return count_; }
+
+ private:
+  struct ClassState {
+    FeatureVec mean;
+    std::size_t count = 0;
+  };
+  std::map<Label, ClassState> classes_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dynriver::meso

@@ -1,0 +1,68 @@
+#include "meso/sphere.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::meso {
+
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  DR_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double squared_distance_bounded(std::span<const float> a, std::span<const float> b,
+                                double cutoff) {
+  DR_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  // Check the abandon condition in blocks: per-element checks cost more than
+  // they save on typical feature sizes (105/1050 floats).
+  constexpr std::size_t kBlock = 16;
+  std::size_t i = 0;
+  while (i < a.size()) {
+    const std::size_t end = std::min(i + kBlock, a.size());
+    for (; i < end; ++i) {
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      acc += d * d;
+    }
+    if (acc >= cutoff) return acc;
+  }
+  return acc;
+}
+
+SensitivitySphere::SensitivitySphere(std::span<const float> center, Label label,
+                                     std::size_t pattern_index)
+    : center_(center.begin(), center.end()) {
+  members_.push_back(pattern_index);
+  label_counts_[label] = 1;
+}
+
+void SensitivitySphere::absorb(std::span<const float> features, Label label,
+                               std::size_t pattern_index) {
+  DR_EXPECTS(features.size() == center_.size());
+  members_.push_back(pattern_index);
+  ++label_counts_[label];
+  // Running mean: c += (x - c) / n.
+  const auto n = static_cast<float>(members_.size());
+  for (std::size_t i = 0; i < center_.size(); ++i) {
+    center_[i] += (features[i] - center_[i]) / n;
+  }
+}
+
+Label SensitivitySphere::majority_label() const {
+  DR_ASSERT(!label_counts_.empty());
+  Label best_label = label_counts_.begin()->first;
+  std::uint32_t best_count = 0;
+  for (const auto& [label, count] : label_counts_) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace dynriver::meso

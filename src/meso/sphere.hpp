@@ -1,0 +1,48 @@
+// Sensitivity spheres: MESO's unit of perceptual organization.
+//
+// "A novel feature of MESO is its use of small agglomerative clusters, called
+// sensitivity spheres, that aggregate similar training patterns" (paper,
+// Section 2; Kasten & McKinley, TKDE 2007). A sphere keeps a running mean
+// center, the indices of its member patterns, and a per-label histogram so a
+// query can be answered either from the sphere's majority label or from its
+// most similar member pattern.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "meso/types.hpp"
+
+namespace dynriver::meso {
+
+class SensitivitySphere {
+ public:
+  /// Create a sphere seeded at a pattern.
+  SensitivitySphere(std::span<const float> center, Label label,
+                    std::size_t pattern_index);
+
+  /// Absorb a pattern: update the running mean center, member list and
+  /// label histogram.
+  void absorb(std::span<const float> features, Label label,
+              std::size_t pattern_index);
+
+  [[nodiscard]] std::span<const float> center() const { return center_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& members() const { return members_; }
+  [[nodiscard]] const std::map<Label, std::uint32_t>& label_counts() const {
+    return label_counts_;
+  }
+
+  /// Most frequent label (smallest label wins ties, deterministically).
+  [[nodiscard]] Label majority_label() const;
+
+  /// True iff all members share one label.
+  [[nodiscard]] bool pure() const { return label_counts_.size() == 1; }
+
+ private:
+  FeatureVec center_;
+  std::vector<std::size_t> members_;
+  std::map<Label, std::uint32_t> label_counts_;
+};
+
+}  // namespace dynriver::meso

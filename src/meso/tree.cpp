@@ -1,0 +1,149 @@
+#include "meso/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::meso {
+
+SphereTree::SphereTree(const std::vector<SensitivitySphere>& spheres,
+                       std::size_t leaf_size) {
+  DR_EXPECTS(leaf_size >= 1);
+  if (spheres.empty()) return;
+  std::vector<std::size_t> ids(spheres.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  root_ = build(spheres, std::move(ids), leaf_size);
+}
+
+std::unique_ptr<SphereTree::Node> SphereTree::build(
+    const std::vector<SensitivitySphere>& spheres, std::vector<std::size_t> ids,
+    std::size_t leaf_size) {
+  auto node = std::make_unique<Node>();
+  ++node_count_;
+
+  // Node center = mean of member sphere centers.
+  const std::size_t dim = spheres[ids.front()].center().size();
+  node->center.assign(dim, 0.0F);
+  for (const std::size_t id : ids) {
+    const auto c = spheres[id].center();
+    for (std::size_t d = 0; d < dim; ++d) node->center[d] += c[d];
+  }
+  const auto inv = 1.0F / static_cast<float>(ids.size());
+  for (auto& v : node->center) v *= inv;
+
+  for (const std::size_t id : ids) {
+    node->radius = std::max(
+        node->radius,
+        std::sqrt(squared_distance(node->center, spheres[id].center())));
+  }
+
+  if (ids.size() <= leaf_size) {
+    node->sphere_ids = std::move(ids);
+    return node;
+  }
+
+  // Approximate farthest pair: start anywhere, walk to the farthest twice.
+  std::size_t seed_a = ids.front();
+  for (int iter = 0; iter < 2; ++iter) {
+    double best = -1.0;
+    std::size_t far = seed_a;
+    for (const std::size_t id : ids) {
+      const double d =
+          squared_distance(spheres[seed_a].center(), spheres[id].center());
+      if (d > best) {
+        best = d;
+        far = id;
+      }
+    }
+    seed_a = far;
+  }
+  double best = -1.0;
+  std::size_t seed_b = seed_a;
+  for (const std::size_t id : ids) {
+    const double d =
+        squared_distance(spheres[seed_a].center(), spheres[id].center());
+    if (d > best) {
+      best = d;
+      seed_b = id;
+    }
+  }
+
+  std::vector<std::size_t> left_ids;
+  std::vector<std::size_t> right_ids;
+  for (const std::size_t id : ids) {
+    const double da = squared_distance(spheres[seed_a].center(), spheres[id].center());
+    const double db = squared_distance(spheres[seed_b].center(), spheres[id].center());
+    (da <= db ? left_ids : right_ids).push_back(id);
+  }
+  // Degenerate split (all centers identical): stop dividing.
+  if (left_ids.empty() || right_ids.empty()) {
+    node->sphere_ids = std::move(ids);
+    return node;
+  }
+
+  node->left = build(spheres, std::move(left_ids), leaf_size);
+  node->right = build(spheres, std::move(right_ids), leaf_size);
+  return node;
+}
+
+SphereTree::Result SphereTree::nearest(
+    const std::vector<SensitivitySphere>& spheres,
+    std::span<const float> query) const {
+  DR_EXPECTS(root_ != nullptr);
+  Result result;
+  result.squared_dist = std::numeric_limits<double>::infinity();
+
+  // Best-first search: priority queue keyed by the ball lower bound.
+  struct Entry {
+    double lower_bound;
+    const Node* node;
+    bool operator>(const Entry& other) const {
+      return lower_bound > other.lower_bound;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+
+  const auto lower_bound_of = [&](const Node& node) {
+    const double d = std::sqrt(squared_distance(node.center, query));
+    const double lb = d - node.radius;
+    return lb > 0.0 ? lb * lb : 0.0;
+  };
+
+  frontier.push({lower_bound_of(*root_), root_.get()});
+  while (!frontier.empty()) {
+    const Entry entry = frontier.top();
+    frontier.pop();
+    if (entry.lower_bound >= result.squared_dist) break;  // exact cutoff
+    ++result.nodes_visited;
+
+    const Node& node = *entry.node;
+    if (node.is_leaf()) {
+      for (const std::size_t id : node.sphere_ids) {
+        const double d = squared_distance_bounded(spheres[id].center(), query,
+                                                  result.squared_dist);
+        if (d < result.squared_dist) {
+          result.squared_dist = d;
+          result.sphere_index = id;
+        }
+      }
+      continue;
+    }
+    frontier.push({lower_bound_of(*node.left), node.left.get()});
+    frontier.push({lower_bound_of(*node.right), node.right.get()});
+  }
+  return result;
+}
+
+std::size_t SphereTree::depth_of(const Node& node) {
+  if (node.is_leaf()) return 1;
+  return 1 + std::max(depth_of(*node.left), depth_of(*node.right));
+}
+
+std::size_t SphereTree::depth() const {
+  return root_ ? depth_of(*root_) : 0;
+}
+
+}  // namespace dynriver::meso

@@ -1,0 +1,56 @@
+// Agglomerative sphere tree: MESO's hierarchical organization of sensitivity
+// spheres for sub-linear nearest-sphere queries.
+//
+// The tree groups sphere centers recursively (binary splits seeded by an
+// approximate farthest pair). Queries run best-first with a ball-bound
+// (dist(q, node center) - node radius), which makes the search exact: it
+// always returns the same sphere as a linear scan, verified by tests.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "meso/sphere.hpp"
+
+namespace dynriver::meso {
+
+class SphereTree {
+ public:
+  /// Build over the given sphere set (indices into `spheres`).
+  SphereTree(const std::vector<SensitivitySphere>& spheres, std::size_t leaf_size);
+
+  /// Index of the sphere whose center is nearest to `query`, plus the
+  /// squared distance. `spheres` must be the same vector the tree was built
+  /// over (same order, possibly with centers unchanged).
+  struct Result {
+    std::size_t sphere_index = 0;
+    double squared_dist = 0.0;
+    std::size_t nodes_visited = 0;  ///< search effort, for benches
+  };
+  [[nodiscard]] Result nearest(const std::vector<SensitivitySphere>& spheres,
+                               std::span<const float> query) const;
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  struct Node {
+    FeatureVec center;
+    double radius = 0.0;  // max distance from node center to any sphere center
+    std::vector<std::size_t> sphere_ids;  // non-empty only at leaves
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+
+    [[nodiscard]] bool is_leaf() const { return !left && !right; }
+  };
+
+  std::unique_ptr<Node> build(const std::vector<SensitivitySphere>& spheres,
+                              std::vector<std::size_t> ids, std::size_t leaf_size);
+  static std::size_t depth_of(const Node& node);
+
+  std::unique_ptr<Node> root_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace dynriver::meso

@@ -1,0 +1,47 @@
+// Shared types for the MESO perceptual memory system.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dynriver::meso {
+
+using FeatureVec = std::vector<float>;
+using Label = std::int32_t;
+
+/// A labelled training pattern.
+struct Pattern {
+  FeatureVec features;
+  Label label = -1;
+};
+
+/// Squared Euclidean distance.
+[[nodiscard]] double squared_distance(std::span<const float> a,
+                                      std::span<const float> b);
+
+/// Squared Euclidean distance with early abandonment: returns a value
+/// >= cutoff as soon as the partial sum crosses `cutoff`.
+[[nodiscard]] double squared_distance_bounded(std::span<const float> a,
+                                              std::span<const float> b,
+                                              double cutoff);
+
+/// Abstract incremental classifier, shared by MESO and the baselines so the
+/// evaluation protocols (leave-one-out, resubstitution) are generic.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Incrementally learn one labelled pattern.
+  virtual void train(std::span<const float> features, Label label) = 0;
+
+  /// Predict the label of an unlabelled pattern (-1 when untrained).
+  [[nodiscard]] virtual Label classify(std::span<const float> features) const = 0;
+
+  /// Forget everything.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::size_t pattern_count() const = 0;
+};
+
+}  // namespace dynriver::meso

@@ -1,0 +1,102 @@
+#include "river/channel.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+InProcessChannel::InProcessChannel(std::size_t capacity) : capacity_(capacity) {
+  DR_EXPECTS(capacity >= 1);
+}
+
+bool InProcessChannel::send(Record rec) {
+  std::unique_lock lock(mu_);
+  cv_send_.wait(lock, [this] {
+    return queue_.size() < capacity_ || closed_ || disconnected_;
+  });
+  if (closed_ || disconnected_) return false;
+  queue_.push_back(std::move(rec));
+  cv_recv_.notify_one();
+  return true;
+}
+
+RecvStatus InProcessChannel::recv(Record& out) {
+  std::unique_lock lock(mu_);
+  cv_recv_.wait(lock,
+                [this] { return !queue_.empty() || closed_ || disconnected_; });
+  if (!queue_.empty()) {
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_send_.notify_one();
+    return RecvStatus::kRecord;
+  }
+  return disconnected_ ? RecvStatus::kDisconnected : RecvStatus::kClosed;
+}
+
+RecvStatus InProcessChannel::recv_for(Record& out, int timeout_ms) {
+  std::unique_lock lock(mu_);
+  const bool ready = cv_recv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [this] { return !queue_.empty() || closed_ || disconnected_; });
+  if (!ready) return RecvStatus::kTimeout;
+  if (!queue_.empty()) {
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_send_.notify_one();
+    return RecvStatus::kRecord;
+  }
+  return disconnected_ ? RecvStatus::kDisconnected : RecvStatus::kClosed;
+}
+
+void InProcessChannel::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_recv_.notify_all();
+  cv_send_.notify_all();
+}
+
+void InProcessChannel::disconnect() {
+  {
+    std::lock_guard lock(mu_);
+    disconnected_ = true;
+    queue_.clear();  // an abnormal death loses in-flight records
+  }
+  cv_recv_.notify_all();
+  cv_send_.notify_all();
+}
+
+std::size_t InProcessChannel::size() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+LossyChannel::LossyChannel(std::shared_ptr<RecordChannel> inner,
+                           std::size_t fail_after)
+    : inner_(std::move(inner)), fail_after_(fail_after) {
+  DR_EXPECTS(inner_ != nullptr);
+}
+
+bool LossyChannel::send(Record rec) {
+  if (failed_) return false;
+  if (sent_ >= fail_after_) {
+    failed_ = true;
+    inner_->disconnect();
+    return false;
+  }
+  ++sent_;
+  return inner_->send(std::move(rec));
+}
+
+RecvStatus LossyChannel::recv(Record& out) { return inner_->recv(out); }
+
+void LossyChannel::close() {
+  if (!failed_) inner_->close();
+}
+
+void LossyChannel::disconnect() {
+  failed_ = true;
+  inner_->disconnect();
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,99 @@
+// Record channels: the links between pipeline segments.
+//
+// A channel moves records between segments that may live on different
+// threads or hosts. InProcessChannel is a bounded MPMC queue providing
+// backpressure; LossyChannel wraps another channel and injects faults
+// (drops the connection after N records) to exercise BadCloseScope recovery.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "river/record.hpp"
+
+namespace dynriver::river {
+
+/// Result of a receive operation.
+enum class RecvStatus : std::uint8_t {
+  kRecord,        ///< a record was received
+  kClosed,        ///< the channel was closed cleanly by the sender
+  kDisconnected,  ///< the connection died without a clean close
+  kTimeout,       ///< recv_for() deadline expired with no record
+};
+
+/// Abstract bidirectional-agnostic record link. Senders call `send` and then
+/// either `close` (clean end-of-stream) or drop the channel (abnormal).
+class RecordChannel {
+ public:
+  virtual ~RecordChannel() = default;
+
+  /// Blocking send. Returns false when the peer is gone.
+  virtual bool send(Record rec) = 0;
+
+  /// Blocking receive.
+  virtual RecvStatus recv(Record& out) = 0;
+
+  /// Receive with a deadline. Channels that cannot wait with a timeout run
+  /// a plain blocking receive instead (and therefore never return kTimeout).
+  virtual RecvStatus recv_for(Record& out, int timeout_ms) {
+    (void)timeout_ms;
+    return recv(out);
+  }
+
+  /// Clean end-of-stream from the sending side.
+  virtual void close() = 0;
+
+  /// Abnormal termination (simulates a dying host/segment).
+  virtual void disconnect() = 0;
+};
+
+/// Bounded in-process MPMC channel with blocking semantics.
+class InProcessChannel final : public RecordChannel {
+ public:
+  explicit InProcessChannel(std::size_t capacity = 256);
+
+  bool send(Record rec) override;
+  RecvStatus recv(Record& out) override;
+  RecvStatus recv_for(Record& out, int timeout_ms) override;
+  void close() override;
+  void disconnect() override;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_send_;
+  std::condition_variable cv_recv_;
+  std::deque<Record> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  bool disconnected_ = false;
+};
+
+/// Fault-injection wrapper: forwards to an inner channel but abnormally
+/// disconnects after `fail_after` records have been sent.
+class LossyChannel final : public RecordChannel {
+ public:
+  LossyChannel(std::shared_ptr<RecordChannel> inner, std::size_t fail_after);
+
+  bool send(Record rec) override;
+  RecvStatus recv(Record& out) override;
+  void close() override;
+  void disconnect() override;
+
+  [[nodiscard]] std::size_t sent() const { return sent_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  std::shared_ptr<RecordChannel> inner_;
+  std::size_t fail_after_;
+  std::size_t sent_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dynriver::river

@@ -1,0 +1,121 @@
+#include "river/manager.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+PipelineManager::~PipelineManager() {
+  std::unique_lock lock(mu_);
+  for (auto& [name, dep] : deployments_) {
+    if (dep->worker.joinable()) {
+      lock.unlock();
+      dep->worker.join();
+      lock.lock();
+    }
+  }
+}
+
+VirtualHost& PipelineManager::add_host(std::string name) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] =
+      hosts_.emplace(name, std::make_unique<VirtualHost>(name));
+  DR_EXPECTS(inserted);
+  return *it->second;
+}
+
+VirtualHost& PipelineManager::host(const std::string& name) {
+  std::lock_guard lock(mu_);
+  const auto it = hosts_.find(name);
+  DR_EXPECTS(it != hosts_.end());
+  return *it->second;
+}
+
+void PipelineManager::run_epoch_locked(Deployment& dep) {
+  // Caller holds the lock; start the worker thread for one epoch.
+  Segment* segment = dep.segment.get();
+  VirtualHost* site = dep.host;
+  dep.paused = false;
+  dep.worker = std::thread([this, segment, site, &dep] {
+    const SegmentRunStats stats = segment->run();
+    site->account(stats);
+    {
+      std::lock_guard lk(mu_);
+      dep.last_stats.records_in += stats.records_in;
+      dep.last_stats.records_out += stats.records_out;
+      dep.last_stats.bad_closes_emitted += stats.bad_closes_emitted;
+      dep.last_stats.cause = stats.cause;
+      if (stats.cause == SegmentStopCause::kPausedForRelocation) {
+        dep.paused = true;
+      } else {
+        dep.finished = true;
+      }
+    }
+    cv_.notify_all();
+  });
+}
+
+void PipelineManager::deploy(std::unique_ptr<Segment> segment,
+                             const std::string& host_name) {
+  DR_EXPECTS(segment != nullptr);
+  std::lock_guard lock(mu_);
+  const auto hit = hosts_.find(host_name);
+  DR_EXPECTS(hit != hosts_.end());
+
+  auto dep = std::make_unique<Deployment>();
+  dep->segment = std::move(segment);
+  dep->host = hit->second.get();
+  const std::string name = dep->segment->name();
+  auto [it, inserted] = deployments_.emplace(name, std::move(dep));
+  DR_EXPECTS(inserted);
+  run_epoch_locked(*it->second);
+}
+
+bool PipelineManager::relocate(const std::string& segment_name,
+                               const std::string& host_name) {
+  std::unique_lock lock(mu_);
+  const auto it = deployments_.find(segment_name);
+  DR_EXPECTS(it != deployments_.end());
+  const auto hit = hosts_.find(host_name);
+  DR_EXPECTS(hit != hosts_.end());
+  Deployment& dep = *it->second;
+  if (dep.finished) return false;
+
+  dep.segment->request_pause();
+  cv_.wait(lock, [&dep] { return dep.paused || dep.finished; });
+  if (dep.worker.joinable()) {
+    lock.unlock();
+    dep.worker.join();
+    lock.lock();
+  }
+  if (dep.finished) return false;
+
+  dep.segment->clear_pause();
+  dep.host = hit->second.get();
+  run_epoch_locked(dep);
+  return true;
+}
+
+std::map<std::string, SegmentRunStats> PipelineManager::wait_all() {
+  std::unique_lock lock(mu_);
+  for (auto& [name, dep] : deployments_) {
+    cv_.wait(lock, [&dep = *dep] { return dep.finished; });
+    if (dep->worker.joinable()) {
+      lock.unlock();
+      dep->worker.join();
+      lock.lock();
+    }
+  }
+  std::map<std::string, SegmentRunStats> stats;
+  for (auto& [name, dep] : deployments_) stats.emplace(name, dep->last_stats);
+  return stats;
+}
+
+std::string PipelineManager::location_of(const std::string& segment_name) const {
+  std::lock_guard lock(mu_);
+  const auto it = deployments_.find(segment_name);
+  DR_EXPECTS(it != deployments_.end());
+  if (it->second->finished) return "";
+  return it->second->host->name();
+}
+
+}  // namespace dynriver::river

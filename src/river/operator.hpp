@@ -1,0 +1,82 @@
+// Operator interfaces for Dynamic River pipelines.
+//
+// A pipeline is a sequential set of operations composed between a data source
+// and its final sink (paper, Section 2). Operators are push-based: each
+// receives records and emits zero or more records downstream through an
+// Emitter. `flush` signals the end of the stream so stateful operators can
+// drain buffered work.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "river/record.hpp"
+
+namespace dynriver::river {
+
+/// Downstream sink handed to an operator during processing.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(Record rec) = 0;
+};
+
+/// Emitter that appends to a vector; convenient for tests and batch drivers.
+class VectorEmitter final : public Emitter {
+ public:
+  void emit(Record rec) override { records.push_back(std::move(rec)); }
+  std::vector<Record> records;
+};
+
+/// Emitter that invokes a callback; used to chain operators.
+class CallbackEmitter final : public Emitter {
+ public:
+  explicit CallbackEmitter(std::function<void(Record)> fn) : fn_(std::move(fn)) {}
+  void emit(Record rec) override { fn_(std::move(rec)); }
+
+ private:
+  std::function<void(Record)> fn_;
+};
+
+/// Emitter that drops everything (sink terminators).
+class NullEmitter final : public Emitter {
+ public:
+  void emit(Record) override {}
+};
+
+/// Base class for all pipeline operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Process one record; emit any number of output records.
+  virtual void process(Record rec, Emitter& out) = 0;
+
+  /// End-of-stream: drain buffered state. Default: nothing to drain.
+  virtual void flush(Emitter& out) { (void)out; }
+
+  /// Stable operator name used in diagnostics and topology printouts.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Adapter turning a callable into an operator (for small glue stages).
+class LambdaOperator final : public Operator {
+ public:
+  using Fn = std::function<void(Record, Emitter&)>;
+  LambdaOperator(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  void process(Record rec, Emitter& out) override { fn_(std::move(rec), out); }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace dynriver::river

@@ -1,0 +1,62 @@
+#include "river/ops_util.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+void CounterOp::process(Record rec, Emitter& out) {
+  ++records_;
+  if (rec.type == RecordType::kData) {
+    ++data_records_;
+    payload_bytes_ += rec.payload_bytes();
+  }
+  out.emit(std::move(rec));
+}
+
+void SubtypeFilterOp::process(Record rec, Emitter& out) {
+  if (rec.type != RecordType::kData || rec.subtype == subtype_) {
+    out.emit(std::move(rec));
+  }
+}
+
+void ScopeSelectOp::process(Record rec, Emitter& out) {
+  switch (rec.type) {
+    case RecordType::kOpenScope:
+      if (inside_depth_ > 0 || rec.scope_type == scope_type_) {
+        ++inside_depth_;
+        out.emit(std::move(rec));
+      }
+      return;
+    case RecordType::kCloseScope:
+    case RecordType::kBadCloseScope:
+      if (inside_depth_ > 0) {
+        --inside_depth_;
+        out.emit(std::move(rec));
+      }
+      return;
+    case RecordType::kData:
+      if (inside_depth_ > 0) out.emit(std::move(rec));
+      return;
+  }
+}
+
+void AttrStampOp::process(Record rec, Emitter& out) {
+  rec.set_attr(key_, value_);
+  out.emit(std::move(rec));
+}
+
+TeeOp::TeeOp(std::shared_ptr<RecordChannel> side) : side_(std::move(side)) {
+  DR_EXPECTS(side_ != nullptr);
+}
+
+void TeeOp::process(Record rec, Emitter& out) {
+  side_->send(rec);  // copy to the side channel
+  out.emit(std::move(rec));
+}
+
+void TeeOp::flush(Emitter& out) {
+  (void)out;
+  side_->close();
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,158 @@
+#include "river/record.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+const char* to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kData:
+      return "Data";
+    case RecordType::kOpenScope:
+      return "OpenScope";
+    case RecordType::kCloseScope:
+      return "CloseScope";
+    case RecordType::kBadCloseScope:
+      return "BadCloseScope";
+  }
+  return "Unknown";
+}
+
+std::span<const float> Record::floats() const {
+  DR_EXPECTS(is_float());
+  return std::get<FloatVec>(payload);
+}
+
+std::span<float> Record::floats() {
+  DR_EXPECTS(is_float());
+  return std::get<FloatVec>(payload);
+}
+
+std::span<const std::complex<float>> Record::cplx() const {
+  DR_EXPECTS(is_complex());
+  return std::get<CplxVec>(payload);
+}
+
+std::span<std::complex<float>> Record::cplx() {
+  DR_EXPECTS(is_complex());
+  return std::get<CplxVec>(payload);
+}
+
+std::span<const std::uint8_t> Record::bytes() const {
+  DR_EXPECTS(is_bytes());
+  return std::get<ByteVec>(payload);
+}
+
+std::size_t Record::payload_size() const {
+  return std::visit(
+      [](const auto& p) -> std::size_t {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return 0;
+        } else {
+          return p.size();
+        }
+      },
+      payload);
+}
+
+std::size_t Record::payload_bytes() const {
+  return std::visit(
+      [](const auto& p) -> std::size_t {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return 0;
+        } else {
+          return p.size() * sizeof(typename T::value_type);
+        }
+      },
+      payload);
+}
+
+void Record::set_attr(std::string key, AttrValue value) {
+  attrs.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Record::has_attr(std::string_view key) const {
+  return attrs.find(key) != attrs.end();
+}
+
+std::int64_t Record::attr_int(std::string_view key, std::int64_t fallback) const {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) return fallback;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second)) return *v;
+  return fallback;
+}
+
+double Record::attr_double(std::string_view key, double fallback) const {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) return fallback;
+  if (const auto* v = std::get_if<double>(&it->second)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&it->second)) {
+    return static_cast<double>(*v);
+  }
+  return fallback;
+}
+
+std::string Record::attr_string(std::string_view key, std::string fallback) const {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) return fallback;
+  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  return fallback;
+}
+
+Record Record::open_scope(std::uint32_t scope_type, std::uint32_t depth) {
+  Record rec;
+  rec.type = RecordType::kOpenScope;
+  rec.scope_type = scope_type;
+  rec.scope_depth = depth;
+  return rec;
+}
+
+Record Record::close_scope(std::uint32_t scope_type, std::uint32_t depth) {
+  Record rec;
+  rec.type = RecordType::kCloseScope;
+  rec.scope_type = scope_type;
+  rec.scope_depth = depth;
+  return rec;
+}
+
+Record Record::bad_close_scope(std::uint32_t scope_type, std::uint32_t depth) {
+  Record rec;
+  rec.type = RecordType::kBadCloseScope;
+  rec.scope_type = scope_type;
+  rec.scope_depth = depth;
+  return rec;
+}
+
+Record Record::data(std::uint32_t subtype, FloatVec values) {
+  Record rec;
+  rec.type = RecordType::kData;
+  rec.subtype = subtype;
+  rec.payload = std::move(values);
+  return rec;
+}
+
+Record Record::data_complex(std::uint32_t subtype, CplxVec values) {
+  Record rec;
+  rec.type = RecordType::kData;
+  rec.subtype = subtype;
+  rec.payload = std::move(values);
+  return rec;
+}
+
+Record Record::data_bytes(std::uint32_t subtype, ByteVec values) {
+  Record rec;
+  rec.type = RecordType::kData;
+  rec.subtype = subtype;
+  rec.payload = std::move(values);
+  return rec;
+}
+
+bool operator==(const Record& a, const Record& b) {
+  return a.type == b.type && a.subtype == b.subtype &&
+         a.scope_depth == b.scope_depth && a.scope_type == b.scope_type &&
+         a.sequence == b.sequence && a.payload == b.payload && a.attrs == b.attrs;
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,138 @@
+// Dynamic River record model.
+//
+// A Dynamic River pipeline transports a stream of records between operators.
+// Records are grouped using the `subtype`, `scope` and `scope_type` header
+// fields (paper, Section 2).  A *scope* is a sequence of records that share
+// contextual meaning -- e.g. all records produced from one acoustic clip.
+// Within the stream each scope begins with an OpenScope record and ends with
+// a CloseScope record; a BadCloseScope record closes a scope that did not
+// reach its intended point of closure (e.g. an upstream segment died).
+// Scopes nest; `scope_depth` holds the nesting depth, with 0 the outermost.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dynriver::river {
+
+/// Structural record kinds.  Data records carry payload; scope records
+/// delimit contextual groups.
+enum class RecordType : std::uint8_t {
+  kData = 0,
+  kOpenScope = 1,
+  kCloseScope = 2,
+  kBadCloseScope = 3,
+};
+
+[[nodiscard]] const char* to_string(RecordType type);
+
+/// Returns true for CloseScope and BadCloseScope.
+[[nodiscard]] constexpr bool is_scope_close(RecordType type) {
+  return type == RecordType::kCloseScope || type == RecordType::kBadCloseScope;
+}
+
+// ---------------------------------------------------------------------------
+// Well-known subtype and scope-type identifiers.
+//
+// Applications may define their own values at or above kUserSubtypeBase /
+// kUserScopeTypeBase; values below are reserved by the library and the
+// acoustic pipeline from the paper.
+// ---------------------------------------------------------------------------
+
+// Record subtypes (meaning of the payload of a Data record).
+inline constexpr std::uint32_t kSubtypeRaw = 0;           ///< unspecified bytes
+inline constexpr std::uint32_t kSubtypeAudio = 1;         ///< PCM amplitude samples
+inline constexpr std::uint32_t kSubtypeAnomalyScore = 2;  ///< smoothed SAX anomaly scores
+inline constexpr std::uint32_t kSubtypeTrigger = 3;       ///< 0/1 trigger signal
+inline constexpr std::uint32_t kSubtypeSpectrum = 4;      ///< power-spectrum values
+inline constexpr std::uint32_t kSubtypePattern = 5;       ///< classifier feature vector
+inline constexpr std::uint32_t kSubtypeComplex = 6;       ///< complex DFT output
+inline constexpr std::uint32_t kUserSubtypeBase = 1000;
+
+// Scope types (meaning of an OpenScope..CloseScope group).
+inline constexpr std::uint32_t kScopeStream = 0;    ///< whole-stream scope
+inline constexpr std::uint32_t kScopeClip = 1;      ///< one acoustic clip
+inline constexpr std::uint32_t kScopeEnsemble = 2;  ///< one extracted ensemble
+inline constexpr std::uint32_t kUserScopeTypeBase = 1000;
+
+/// Attribute values attached to records (context information; e.g. the
+/// sampling rate of an acoustic clip on its OpenScope record).
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+using AttrMap = std::map<std::string, AttrValue, std::less<>>;
+
+/// Payload alternatives.  Acoustic pipelines mostly move float vectors
+/// (amplitudes, scores, spectra) and complex vectors (DFT stages); raw bytes
+/// support opaque transport (e.g. WAV container data).
+using ByteVec = std::vector<std::uint8_t>;
+using FloatVec = std::vector<float>;
+using CplxVec = std::vector<std::complex<float>>;
+using Payload = std::variant<std::monostate, ByteVec, FloatVec, CplxVec>;
+
+/// A Dynamic River record: small header + typed payload + attributes.
+struct Record {
+  RecordType type = RecordType::kData;
+  std::uint32_t subtype = kSubtypeRaw;
+  std::uint32_t scope_depth = 0;
+  std::uint32_t scope_type = kScopeStream;
+  std::uint64_t sequence = 0;  ///< per-producer sequence number
+  Payload payload;
+  AttrMap attrs;
+
+  // -- payload helpers ------------------------------------------------------
+
+  [[nodiscard]] bool has_payload() const {
+    return !std::holds_alternative<std::monostate>(payload);
+  }
+  [[nodiscard]] bool is_float() const {
+    return std::holds_alternative<FloatVec>(payload);
+  }
+  [[nodiscard]] bool is_complex() const {
+    return std::holds_alternative<CplxVec>(payload);
+  }
+  [[nodiscard]] bool is_bytes() const {
+    return std::holds_alternative<ByteVec>(payload);
+  }
+
+  /// Typed access; throws ContractViolation when the payload kind differs.
+  [[nodiscard]] std::span<const float> floats() const;
+  [[nodiscard]] std::span<float> floats();
+  [[nodiscard]] std::span<const std::complex<float>> cplx() const;
+  [[nodiscard]] std::span<std::complex<float>> cplx();
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const;
+
+  /// Number of payload elements (0 for empty payloads).
+  [[nodiscard]] std::size_t payload_size() const;
+
+  /// Approximate wire footprint in bytes (used for data-reduction metrics).
+  [[nodiscard]] std::size_t payload_bytes() const;
+
+  // -- attribute helpers ----------------------------------------------------
+
+  void set_attr(std::string key, AttrValue value);
+  [[nodiscard]] bool has_attr(std::string_view key) const;
+  /// Typed attribute reads; `fallback` when missing or of a different type.
+  [[nodiscard]] std::int64_t attr_int(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] double attr_double(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string attr_string(std::string_view key,
+                                        std::string fallback) const;
+
+  // -- factories ------------------------------------------------------------
+
+  static Record open_scope(std::uint32_t scope_type, std::uint32_t depth);
+  static Record close_scope(std::uint32_t scope_type, std::uint32_t depth);
+  static Record bad_close_scope(std::uint32_t scope_type, std::uint32_t depth);
+  static Record data(std::uint32_t subtype, FloatVec values);
+  static Record data_complex(std::uint32_t subtype, CplxVec values);
+  static Record data_bytes(std::uint32_t subtype, ByteVec values);
+};
+
+/// Structural equality (header, payload, attributes). Sequence numbers are
+/// compared too; callers that do not care should clear them first.
+[[nodiscard]] bool operator==(const Record& a, const Record& b);
+
+}  // namespace dynriver::river

@@ -1,0 +1,71 @@
+#include "river/record_log.hpp"
+
+#include <array>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+RecordLogWriter::RecordLogWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("cannot open record log for writing: " +
+                             path.string());
+  }
+}
+
+void RecordLogWriter::write(const Record& rec) {
+  const auto frame = encode_record(rec);
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_) throw std::runtime_error("record log write failed");
+  ++count_;
+}
+
+void RecordLogWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+RecordLogReader::RecordLogReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw std::runtime_error("cannot open record log for reading: " +
+                             path.string());
+  }
+}
+
+bool RecordLogReader::next(Record& out) {
+  while (true) {
+    if (decoder_.next(out)) {
+      ++count_;
+      return true;
+    }
+    if (eof_) {
+      if (decoder_.buffered_bytes() > 0) {
+        throw WireError("record log ends with a partial frame");
+      }
+      return false;
+    }
+    std::array<char, 64 * 1024> chunk;
+    in_.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const auto n = in_.gcount();
+    if (n > 0) {
+      decoder_.feed(reinterpret_cast<const std::uint8_t*>(chunk.data()),
+                    static_cast<std::size_t>(n));
+    }
+    if (in_.eof()) eof_ = true;
+  }
+}
+
+std::size_t replay_log(const std::filesystem::path& path, Emitter& sink) {
+  RecordLogReader reader(path);
+  Record rec;
+  std::size_t n = 0;
+  while (reader.next(rec)) {
+    sink.emit(std::move(rec));
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace dynriver::river

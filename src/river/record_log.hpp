@@ -1,0 +1,78 @@
+// Record logs: durable storage for record streams.
+//
+// The paper's `readout` operator "writes the clips to record for storage";
+// during analysis "a data feed is invoked to read clips from storage".
+// RecordLogWriter/RecordLogReader implement that storage as a flat file of
+// wire-encoded frames, and ReadoutOp wraps the writer as a pipeline operator
+// that forwards records downstream while persisting them.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "river/operator.hpp"
+#include "river/wire.hpp"
+
+namespace dynriver::river {
+
+/// Appends wire-encoded records to a file.
+class RecordLogWriter {
+ public:
+  explicit RecordLogWriter(const std::filesystem::path& path);
+
+  void write(const Record& rec);
+  void close();
+
+  [[nodiscard]] std::size_t records_written() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t count_ = 0;
+};
+
+/// Sequentially reads records back from a log file.
+class RecordLogReader {
+ public:
+  explicit RecordLogReader(const std::filesystem::path& path);
+
+  /// Read the next record; false at end of file.
+  /// Throws WireError on a corrupt log.
+  [[nodiscard]] bool next(Record& out);
+
+  [[nodiscard]] std::size_t records_read() const { return count_; }
+
+ private:
+  std::ifstream in_;
+  WireDecoder decoder_;
+  std::size_t count_ = 0;
+  bool eof_ = false;
+};
+
+/// Pipeline operator: persist the stream to a log while forwarding it.
+class ReadoutOp final : public Operator {
+ public:
+  explicit ReadoutOp(const std::filesystem::path& path) : writer_(path) {}
+
+  void process(Record rec, Emitter& out) override {
+    writer_.write(rec);
+    out.emit(std::move(rec));
+  }
+  void flush(Emitter& out) override {
+    (void)out;
+    writer_.close();
+  }
+  [[nodiscard]] std::string_view name() const override { return "readout"; }
+
+  [[nodiscard]] std::size_t records_written() const {
+    return writer_.records_written();
+  }
+
+ private:
+  RecordLogWriter writer_;
+};
+
+/// Replay a whole log file through an emitter (the paper's "data feed").
+std::size_t replay_log(const std::filesystem::path& path, Emitter& sink);
+
+}  // namespace dynriver::river

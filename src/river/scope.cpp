@@ -1,0 +1,55 @@
+#include "river/scope.hpp"
+
+#include <string>
+
+namespace dynriver::river {
+
+void ScopeTracker::observe(const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kOpenScope: {
+      if (rec.scope_depth != open_.size()) {
+        throw ScopeError("OpenScope at depth " + std::to_string(rec.scope_depth) +
+                         " but " + std::to_string(open_.size()) +
+                         " scopes are open");
+      }
+      open_.push_back(rec.scope_type);
+      break;
+    }
+    case RecordType::kCloseScope:
+    case RecordType::kBadCloseScope: {
+      if (open_.empty()) {
+        throw ScopeError("scope close with no open scope");
+      }
+      const std::uint32_t expected_depth =
+          static_cast<std::uint32_t>(open_.size() - 1);
+      if (rec.scope_depth != expected_depth) {
+        throw ScopeError("scope close at depth " + std::to_string(rec.scope_depth) +
+                         " but innermost open scope is at depth " +
+                         std::to_string(expected_depth));
+      }
+      if (rec.scope_type != open_.back()) {
+        throw ScopeError("scope close of type " + std::to_string(rec.scope_type) +
+                         " does not match open scope type " +
+                         std::to_string(open_.back()));
+      }
+      open_.pop_back();
+      break;
+    }
+    case RecordType::kData:
+      // Data records are valid at any depth, including depth 0 (unscoped).
+      break;
+  }
+}
+
+std::vector<Record> ScopeTracker::force_close_all() {
+  std::vector<Record> closes;
+  closes.reserve(open_.size());
+  while (!open_.empty()) {
+    const auto depth = static_cast<std::uint32_t>(open_.size() - 1);
+    closes.push_back(Record::bad_close_scope(open_.back(), depth));
+    open_.pop_back();
+  }
+  return closes;
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,50 @@
+// Scope tracking for Dynamic River streams.
+//
+// The streamin operator uses a ScopeTracker to validate the scope grammar of
+// an incoming stream and -- when an upstream segment terminates unexpectedly,
+// leaving scopes open -- to generate the BadCloseScope records that close all
+// open scopes so downstream processing can resynchronize (paper, Section 2).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "river/record.hpp"
+
+namespace dynriver::river {
+
+/// Thrown when a stream violates the scope grammar (close without open,
+/// mismatched depth or type, data records at impossible depths).
+class ScopeError : public std::runtime_error {
+ public:
+  explicit ScopeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Tracks the stack of open scopes in a record stream.
+class ScopeTracker {
+ public:
+  /// Observe one record. Throws ScopeError when the stream is malformed.
+  void observe(const Record& rec);
+
+  /// Current nesting depth (number of open scopes).
+  [[nodiscard]] std::size_t depth() const { return open_.size(); }
+
+  [[nodiscard]] bool any_open() const { return !open_.empty(); }
+
+  /// Scope types of currently open scopes, outermost first.
+  [[nodiscard]] const std::vector<std::uint32_t>& open_scopes() const {
+    return open_;
+  }
+
+  /// Produce BadCloseScope records closing every open scope, innermost
+  /// first, and reset the tracker. Used on abnormal upstream termination.
+  [[nodiscard]] std::vector<Record> force_close_all();
+
+  void reset() { open_.clear(); }
+
+ private:
+  std::vector<std::uint32_t> open_;  // scope_type per nesting level
+};
+
+}  // namespace dynriver::river

@@ -1,0 +1,85 @@
+// Pipeline segments: relocatable units of distributed processing.
+//
+// "Pipeline segments are created by composing sequences of operators that
+// produce a partial result important to the overall pipeline application"
+// (paper, Section 2). A segment pulls records from an input channel, runs
+// them through its operator chain, and pushes results to an output channel.
+// Segments pause only at top-level scope boundaries, which is what makes
+// dynamic recomposition safe: a relocated segment never splits a scope.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "river/channel.hpp"
+#include "river/pipeline.hpp"
+#include "river/scope.hpp"
+
+namespace dynriver::river {
+
+/// Emitter that forwards into a RecordChannel (used as a segment's sink).
+class ChannelEmitter final : public Emitter {
+ public:
+  explicit ChannelEmitter(std::shared_ptr<RecordChannel> channel);
+  void emit(Record rec) override;
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::shared_ptr<RecordChannel> channel_;
+  std::size_t dropped_ = 0;
+};
+
+/// Why a segment's run loop returned.
+enum class SegmentStopCause : std::uint8_t {
+  kUpstreamClosed,        ///< clean end of stream
+  kUpstreamDisconnected,  ///< abnormal upstream death (BadCloseScopes emitted)
+  kPausedForRelocation,   ///< stopped at a scope boundary on request
+};
+
+struct SegmentRunStats {
+  std::size_t records_in = 0;
+  std::size_t records_out = 0;
+  std::size_t bad_closes_emitted = 0;
+  SegmentStopCause cause = SegmentStopCause::kUpstreamClosed;
+};
+
+/// A named, relocatable pipeline segment.
+///
+/// The segment object owns its operator chain. `run()` executes one *epoch*:
+/// it processes records until the stream ends or a relocation request is
+/// honoured at a top-level scope boundary. Operator state survives across
+/// epochs, so a relocated segment resumes exactly where it paused.
+class Segment {
+ public:
+  Segment(std::string name, Pipeline pipeline,
+          std::shared_ptr<RecordChannel> input,
+          std::shared_ptr<RecordChannel> output);
+
+  /// Run one epoch on the calling thread (blocking).
+  SegmentRunStats run();
+
+  /// Ask the segment to pause at the next top-level scope boundary.
+  void request_pause() { pause_requested_.store(true, std::memory_order_relaxed); }
+  void clear_pause() { pause_requested_.store(false, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Pipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const std::shared_ptr<RecordChannel>& input() const {
+    return input_;
+  }
+  [[nodiscard]] const std::shared_ptr<RecordChannel>& output() const {
+    return output_;
+  }
+
+ private:
+  std::string name_;
+  Pipeline pipeline_;
+  std::shared_ptr<RecordChannel> input_;
+  std::shared_ptr<RecordChannel> output_;
+  std::atomic<bool> pause_requested_{false};
+  ScopeTracker tracker_;
+};
+
+}  // namespace dynriver::river

@@ -1,0 +1,69 @@
+#include "river/stream_io.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+StreamOut::StreamOut(std::shared_ptr<RecordChannel> channel)
+    : channel_(std::move(channel)) {
+  DR_EXPECTS(channel_ != nullptr);
+}
+
+void StreamOut::process(Record rec, Emitter& out) {
+  (void)out;  // terminal: records leave the segment through the channel
+  if (!channel_->send(std::move(rec))) ++dropped_;
+}
+
+void StreamOut::flush(Emitter& out) {
+  (void)out;
+  channel_->close();
+}
+
+namespace {
+
+StreamInResult stream_in_impl(RecordChannel& channel, Pipeline* pipeline,
+                              Emitter& sink) {
+  StreamInResult result;
+  ScopeTracker tracker;
+
+  const auto deliver = [&](Record rec) {
+    if (pipeline != nullptr) {
+      pipeline->push(std::move(rec), sink);
+    } else {
+      sink.emit(std::move(rec));
+    }
+  };
+
+  Record rec;
+  while (true) {
+    const RecvStatus status = channel.recv(rec);
+    if (status == RecvStatus::kRecord) {
+      tracker.observe(rec);  // throws ScopeError on malformed streams
+      ++result.records_in;
+      deliver(std::move(rec));
+      continue;
+    }
+
+    result.clean = (status == RecvStatus::kClosed) && !tracker.any_open();
+    // Both an abnormal disconnect and a clean close with dangling scopes
+    // require forced closure so downstream state stays consistent.
+    for (auto& close_rec : tracker.force_close_all()) {
+      ++result.bad_closes_emitted;
+      deliver(std::move(close_rec));
+    }
+    if (pipeline != nullptr) pipeline->finish(sink);
+    return result;
+  }
+}
+
+}  // namespace
+
+StreamInResult stream_in(RecordChannel& channel, Pipeline& pipeline, Emitter& sink) {
+  return stream_in_impl(channel, &pipeline, sink);
+}
+
+StreamInResult stream_in(RecordChannel& channel, Emitter& sink) {
+  return stream_in_impl(channel, nullptr, sink);
+}
+
+}  // namespace dynriver::river

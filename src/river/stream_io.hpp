@@ -1,0 +1,53 @@
+// streamin / streamout: the operators that connect pipeline segments across
+// hosts (paper, Section 2).
+//
+// StreamOut is a regular operator that forwards records into a RecordChannel.
+// StreamIn is a *driver*: it pulls records from a channel and pushes them into
+// a local pipeline, tracking scopes so that when the upstream terminates
+// unexpectedly it can generate BadCloseScope records to close all open scopes
+// and keep downstream processing consistent.
+#pragma once
+
+#include <memory>
+
+#include "river/channel.hpp"
+#include "river/operator.hpp"
+#include "river/pipeline.hpp"
+#include "river/scope.hpp"
+
+namespace dynriver::river {
+
+/// Terminal operator that writes records into a channel.
+class StreamOut final : public Operator {
+ public:
+  explicit StreamOut(std::shared_ptr<RecordChannel> channel);
+
+  void process(Record rec, Emitter& out) override;
+  void flush(Emitter& out) override;
+  [[nodiscard]] std::string_view name() const override { return "streamout"; }
+
+  /// Number of records the channel refused (peer gone).
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::shared_ptr<RecordChannel> channel_;
+  std::size_t dropped_ = 0;
+};
+
+/// Outcome of a StreamIn run.
+struct StreamInResult {
+  std::size_t records_in = 0;        ///< records received from the channel
+  std::size_t bad_closes_emitted = 0;  ///< synthesized BadCloseScope records
+  bool clean = false;                ///< true iff upstream closed cleanly
+};
+
+/// Pulls records from `channel`, pushes them through `pipeline` into `sink`,
+/// and enforces the scope grammar. On abnormal upstream termination (or a
+/// clean close that still leaves scopes open) it synthesizes BadCloseScope
+/// records for every open scope. Returns when the stream ends either way.
+StreamInResult stream_in(RecordChannel& channel, Pipeline& pipeline, Emitter& sink);
+
+/// Variant without a processing pipeline: records go straight to the sink.
+StreamInResult stream_in(RecordChannel& channel, Emitter& sink);
+
+}  // namespace dynriver::river

@@ -1,0 +1,186 @@
+#include "river/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+namespace {
+std::string errno_message(const char* prefix) {
+  return std::string(prefix) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+FdHandle::~FdHandle() { reset(); }
+
+FdHandle::FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw TcpError(errno_message("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TcpError("invalid address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw TcpError(errno_message("connect"));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(fd));
+}
+
+bool TcpStream::send_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const auto n = ::send(fd_.get(), data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::ptrdiff_t TcpStream::recv_some(std::uint8_t* data, std::size_t len) {
+  while (true) {
+    const auto n = ::recv(fd_.get(), data, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+void TcpStream::shutdown_now() {
+  if (fd_.valid()) {
+    // Force an abortive close: RST instead of FIN, so the peer sees an error
+    // rather than an orderly shutdown.
+    struct linger lg {};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    fd_.reset();
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = FdHandle(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw TcpError(errno_message("socket"));
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw TcpError(errno_message("bind"));
+  }
+  if (::listen(fd_.get(), 16) != 0) throw TcpError(errno_message("listen"));
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw TcpError(errno_message("getsockname"));
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpStream TcpListener::accept() {
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) throw TcpError(errno_message("accept"));
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(FdHandle(client));
+}
+
+void TcpListener::close() { fd_.reset(); }
+
+const std::array<std::uint8_t, 8>& eos_sentinel() {
+  // magic "DRIV" followed by 0xFFFF version marker and 0xFFFF pad: cannot be
+  // confused with a real frame because the wire version is small.
+  static const std::array<std::uint8_t, 8> sentinel = {0x56, 0x49, 0x52, 0x44,
+                                                       0xFF, 0xFF, 0xFF, 0xFF};
+  return sentinel;
+}
+
+TcpRecordChannel::TcpRecordChannel(TcpStream stream) : stream_(std::move(stream)) {}
+
+bool TcpRecordChannel::send(Record rec) {
+  if (send_closed_) return false;
+  const auto frame = encode_record(rec);
+  return stream_.send_all(frame.data(), frame.size());
+}
+
+RecvStatus TcpRecordChannel::recv(Record& out) {
+  const auto& eos = eos_sentinel();
+  while (true) {
+    if (saw_clean_close_) return RecvStatus::kClosed;
+    // The sentinel is always the final bytes of the stream; check for it at
+    // the buffer front before attempting a frame decode (its first four
+    // bytes alias the frame magic, so decoding it would raise a version
+    // error instead of signalling a clean close). A partial sentinel prefix
+    // must wait for more bytes rather than being decoded.
+    const std::size_t avail =
+        std::min<std::size_t>(decoder_.buffered_bytes(), eos.size());
+    const bool eos_prefix =
+        avail > 0 && decoder_.front_matches(eos.data(), avail);
+    if (eos_prefix && avail == eos.size()) {
+      saw_clean_close_ = true;
+      return RecvStatus::kClosed;
+    }
+    if (!eos_prefix && decoder_.next(out)) return RecvStatus::kRecord;
+
+    std::array<std::uint8_t, 16 * 1024> chunk;
+    const auto n = stream_.recv_some(chunk.data(), chunk.size());
+    if (n > 0) {
+      decoder_.feed(chunk.data(), static_cast<std::size_t>(n));
+      continue;
+    }
+    // n == 0: orderly FIN without the sentinel (upstream closed its socket
+    // without announcing end of stream); n < 0: error. Both are abnormal.
+    return RecvStatus::kDisconnected;
+  }
+}
+
+void TcpRecordChannel::close() {
+  if (send_closed_) return;
+  send_closed_ = true;
+  const auto& eos = eos_sentinel();
+  stream_.send_all(eos.data(), eos.size());
+}
+
+void TcpRecordChannel::disconnect() {
+  send_closed_ = true;
+  stream_.shutdown_now();
+}
+
+}  // namespace dynriver::river

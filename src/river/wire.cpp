@@ -1,0 +1,282 @@
+#include "river/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::river {
+
+namespace {
+
+// -- little-endian primitives -------------------------------------------------
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::array<std::uint8_t, sizeof(T)> raw;
+  std::memcpy(raw.data(), &value, sizeof(T));
+  out.insert(out.end(), raw.begin(), raw.end());
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void read_bytes(std::uint8_t* dst, std::size_t n) {
+    require(n);
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return len_ - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > len_) throw WireError("truncated record frame");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kAttrTagInt = 0;
+constexpr std::uint8_t kAttrTagDouble = 1;
+constexpr std::uint8_t kAttrTagString = 2;
+
+std::uint32_t crc_table_entry(std::uint32_t i) {
+  std::uint32_t c = i;
+  for (int k = 0; k < 8; ++k) {
+    c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+  }
+  return c;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) t[i] = crc_table_entry(i);
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto& table = crc_table();
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_record(const Record& rec) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + rec.payload_bytes());
+
+  put<std::uint32_t>(out, kWireMagic);
+  put<std::uint16_t>(out, kWireVersion);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.type));
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.payload.index()));
+  put<std::uint32_t>(out, rec.subtype);
+  put<std::uint32_t>(out, rec.scope_depth);
+  put<std::uint32_t>(out, rec.scope_type);
+  put<std::uint64_t>(out, rec.sequence);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(rec.attrs.size()));
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(rec.payload_size()));
+
+  for (const auto& [key, value] : rec.attrs) {
+    DR_EXPECTS(key.size() <= 0xFFFF);
+    put<std::uint16_t>(out, static_cast<std::uint16_t>(key.size()));
+    out.insert(out.end(), key.begin(), key.end());
+    if (const auto* iv = std::get_if<std::int64_t>(&value)) {
+      put<std::uint8_t>(out, kAttrTagInt);
+      put<std::int64_t>(out, *iv);
+    } else if (const auto* dv = std::get_if<double>(&value)) {
+      put<std::uint8_t>(out, kAttrTagDouble);
+      put<double>(out, *dv);
+    } else {
+      const auto& s = std::get<std::string>(value);
+      put<std::uint8_t>(out, kAttrTagString);
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+      out.insert(out.end(), s.begin(), s.end());
+    }
+  }
+
+  std::visit(
+      [&out](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          // no payload bytes
+        } else if constexpr (std::is_same_v<T, ByteVec>) {
+          out.insert(out.end(), p.begin(), p.end());
+        } else if constexpr (std::is_same_v<T, FloatVec>) {
+          for (float v : p) put<float>(out, v);
+        } else if constexpr (std::is_same_v<T, CplxVec>) {
+          for (const auto& v : p) {
+            put<float>(out, v.real());
+            put<float>(out, v.imag());
+          }
+        }
+      },
+      rec.payload);
+
+  const std::uint32_t crc = crc32(out.data() + 4, out.size() - 4);
+  put<std::uint32_t>(out, crc);
+  return out;
+}
+
+Record decode_record(const std::uint8_t* data, std::size_t len,
+                     std::size_t& consumed) {
+  Reader r(data, len);
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != kWireMagic) throw WireError("bad frame magic");
+  const auto version = r.get<std::uint16_t>();
+  if (version != kWireVersion) throw WireError("unsupported wire version");
+
+  Record rec;
+  const auto type_raw = r.get<std::uint8_t>();
+  if (type_raw > static_cast<std::uint8_t>(RecordType::kBadCloseScope)) {
+    throw WireError("unknown record type");
+  }
+  rec.type = static_cast<RecordType>(type_raw);
+  const auto pay_tag = r.get<std::uint8_t>();
+  if (pay_tag > 3) throw WireError("unknown payload tag");
+  rec.subtype = r.get<std::uint32_t>();
+  rec.scope_depth = r.get<std::uint32_t>();
+  rec.scope_type = r.get<std::uint32_t>();
+  rec.sequence = r.get<std::uint64_t>();
+  const auto nattr = r.get<std::uint32_t>();
+  const auto paylen = r.get<std::uint64_t>();
+
+  // Every length below is validated against the remaining buffer BEFORE
+  // allocating, so a corrupted length field yields a WireError rather than
+  // an attempted multi-gigabyte allocation.
+  for (std::uint32_t i = 0; i < nattr; ++i) {
+    const auto key_len = r.get<std::uint16_t>();
+    if (key_len > r.remaining()) throw WireError("truncated attribute key");
+    std::string key(key_len, '\0');
+    r.read_bytes(reinterpret_cast<std::uint8_t*>(key.data()), key_len);
+    const auto tag = r.get<std::uint8_t>();
+    switch (tag) {
+      case kAttrTagInt:
+        rec.attrs.emplace(std::move(key), r.get<std::int64_t>());
+        break;
+      case kAttrTagDouble:
+        rec.attrs.emplace(std::move(key), r.get<double>());
+        break;
+      case kAttrTagString: {
+        const auto slen = r.get<std::uint32_t>();
+        if (slen > r.remaining()) throw WireError("truncated attribute value");
+        std::string s(slen, '\0');
+        r.read_bytes(reinterpret_cast<std::uint8_t*>(s.data()), slen);
+        rec.attrs.emplace(std::move(key), std::move(s));
+        break;
+      }
+      default:
+        throw WireError("unknown attribute tag");
+    }
+  }
+
+  static constexpr std::size_t kElemSize[] = {0, 1, sizeof(float),
+                                              2 * sizeof(float)};
+  if (pay_tag != 0 && paylen > r.remaining() / kElemSize[pay_tag]) {
+    throw WireError("truncated record frame");
+  }
+
+  switch (pay_tag) {
+    case 0:
+      rec.payload = std::monostate{};
+      if (paylen != 0) throw WireError("empty payload with nonzero length");
+      break;
+    case 1: {
+      ByteVec p(paylen);
+      if (paylen > 0) r.read_bytes(p.data(), paylen);
+      rec.payload = std::move(p);
+      break;
+    }
+    case 2: {
+      FloatVec p(paylen);
+      for (auto& v : p) v = r.get<float>();
+      rec.payload = std::move(p);
+      break;
+    }
+    case 3: {
+      CplxVec p(paylen);
+      for (auto& v : p) {
+        const float re = r.get<float>();
+        const float im = r.get<float>();
+        v = {re, im};
+      }
+      rec.payload = std::move(p);
+      break;
+    }
+    default:
+      throw WireError("unknown payload tag");
+  }
+
+  const std::size_t body_end = r.pos();
+  const auto stored_crc = r.get<std::uint32_t>();
+  const std::uint32_t actual_crc = crc32(data + 4, body_end - 4);
+  if (stored_crc != actual_crc) throw WireError("record checksum mismatch");
+
+  consumed = r.pos();
+  return rec;
+}
+
+Record decode_record(const std::vector<std::uint8_t>& frame) {
+  std::size_t consumed = 0;
+  Record rec = decode_record(frame.data(), frame.size(), consumed);
+  if (consumed != frame.size()) throw WireError("trailing bytes after frame");
+  return rec;
+}
+
+void WireDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool WireDecoder::next(Record& out) {
+  compact();
+  if (buf_.size() - pos_ < 4) return false;
+  try {
+    std::size_t consumed = 0;
+    out = decode_record(buf_.data() + pos_, buf_.size() - pos_, consumed);
+    pos_ += consumed;
+    return true;
+  } catch (const WireError& err) {
+    // Distinguish "need more bytes" from genuine corruption: truncation is
+    // recoverable by feeding more data, everything else is fatal.
+    if (std::string_view(err.what()).find("truncated") != std::string_view::npos) {
+      return false;
+    }
+    throw;
+  }
+}
+
+bool WireDecoder::front_matches(const std::uint8_t* prefix, std::size_t len) const {
+  if (buffered_bytes() < len) return false;
+  return std::memcmp(buf_.data() + pos_, prefix, len) == 0;
+}
+
+void WireDecoder::compact() {
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,83 @@
+// Binary wire format for Dynamic River records.
+//
+// Records cross host boundaries through the streamin/streamout operators; the
+// format below is a small, versioned, little-endian framing with an explicit
+// length and a checksum so a receiver can resynchronize after a partial write
+// from a dying upstream segment.
+//
+// Frame layout:
+//   magic   u32  'DRIV' (0x44524956)
+//   version u16
+//   type    u8
+//   pay_tag u8   (payload alternative index)
+//   subtype u32
+//   depth   u32
+//   stype   u32
+//   seq     u64
+//   nattr   u32
+//   paylen  u64  (payload length in ELEMENTS)
+//   ...attributes... (key: u16 len + bytes; tag u8; value)
+//   ...payload...    (elementwise little-endian)
+//   crc32   u32  (over everything after magic, excluding the crc itself)
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "river/record.hpp"
+
+namespace dynriver::river {
+
+/// Thrown on malformed input (bad magic, truncated frame, checksum mismatch,
+/// unknown tags).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x44524956;  // "DRIV"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Exposed for tests.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+/// Serialize a record into a self-delimiting byte frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_record(const Record& rec);
+
+/// Decode one record from a buffer. `consumed` receives the frame size.
+/// Throws WireError on malformed input.
+[[nodiscard]] Record decode_record(const std::uint8_t* data, std::size_t len,
+                                   std::size_t& consumed);
+
+/// Convenience: decode a frame that is exactly one record.
+[[nodiscard]] Record decode_record(const std::vector<std::uint8_t>& frame);
+
+/// Incremental decoder: feed arbitrary chunks, pop completed records.
+/// Used by TCP transport where frames arrive fragmented.
+class WireDecoder {
+ public:
+  /// Append raw bytes received from the network.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Try to decode the next complete record; returns false when more bytes
+  /// are needed. Throws WireError on malformed input.
+  [[nodiscard]] bool next(Record& out);
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+  /// True iff the buffered bytes begin with `prefix` (used by transports to
+  /// detect in-band control markers such as the TCP end-of-stream sentinel).
+  [[nodiscard]] bool front_matches(const std::uint8_t* prefix,
+                                   std::size_t len) const;
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dynriver::river

@@ -1,0 +1,106 @@
+#include "synth/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::synth {
+
+float WhiteNoise::step() {
+  return static_cast<float>(rng_.uniform(-1.0, 1.0));
+}
+
+float BrownNoise::step() {
+  state_ = state_ * leak_ + static_cast<double>(white_.step()) * 0.1;
+  return static_cast<float>(state_);
+}
+
+PinkNoise::PinkNoise(dynriver::Rng rng) : rng_(rng) {
+  rows_.assign(kRows, 0.0);
+  for (auto& r : rows_) {
+    r = rng_.uniform(-1.0, 1.0);
+    running_sum_ += r;
+  }
+}
+
+float PinkNoise::step() {
+  // Voss-McCartney: update the row whose bit toggles at this counter value.
+  ++counter_;
+  const std::uint32_t zeros = counter_ == 0
+                                  ? kRows - 1
+                                  : static_cast<std::uint32_t>(
+                                        __builtin_ctz(counter_));
+  const std::size_t row = std::min<std::size_t>(zeros, kRows - 1);
+  running_sum_ -= rows_[row];
+  rows_[row] = rng_.uniform(-1.0, 1.0);
+  running_sum_ += rows_[row];
+  return static_cast<float>(running_sum_ / static_cast<double>(kRows));
+}
+
+WindModel::WindModel(dynriver::Rng rng, double sample_rate, double cutoff_hz)
+    : brown_(rng.split()),
+      low_pass_(dsp::Biquad::low_pass(sample_rate, cutoff_hz)),
+      gust_rng_(rng.split()),
+      sample_rate_(sample_rate) {
+  DR_EXPECTS(sample_rate > 0);
+}
+
+float WindModel::step() {
+  if (gust_countdown_ == 0) {
+    // Pick a new gust target and a 0.5-3 s transition.
+    gust_target_ = gust_rng_.uniform(0.15, 1.0);
+    gust_countdown_ = static_cast<std::size_t>(
+        gust_rng_.uniform(0.5, 3.0) * sample_rate_);
+  }
+  --gust_countdown_;
+  gust_level_ += (gust_target_ - gust_level_) / (0.2 * sample_rate_);
+  const float raw = brown_.step();
+  return low_pass_.step(raw) * static_cast<float>(gust_level_);
+}
+
+HumanActivityModel::HumanActivityModel(dynriver::Rng rng, double sample_rate,
+                                       double thump_rate_hz)
+    : rng_(rng.split()),
+      sample_rate_(sample_rate),
+      thump_probability_(thump_rate_hz / sample_rate),
+      thump_noise_(rng.split()),
+      thump_filter_(dsp::Biquad::low_pass(sample_rate, 300.0)) {
+  DR_EXPECTS(sample_rate > 0);
+}
+
+float HumanActivityModel::step() {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  hum_phase_ += kTwoPi * 120.0 / sample_rate_;
+  if (hum_phase_ > kTwoPi) hum_phase_ -= kTwoPi;
+  // Mains hum with 2nd and 3rd harmonics.
+  const double hum = 0.6 * std::sin(hum_phase_) + 0.25 * std::sin(2 * hum_phase_) +
+                     0.15 * std::sin(3 * hum_phase_);
+
+  if (rng_.chance(thump_probability_)) thump_energy_ = 1.0;
+  double thump = 0.0;
+  if (thump_energy_ > 1e-4) {
+    thump = thump_energy_ * static_cast<double>(
+                                thump_filter_.step(thump_noise_.step()));
+    thump_energy_ *= std::exp(-8.0 / sample_rate_);  // ~125 ms decay constant
+  }
+  return static_cast<float>(hum * 0.5 + thump * 4.0);
+}
+
+std::vector<float> render_background(dynriver::Rng rng, double sample_rate,
+                                     std::size_t n, const NoiseMix& mix) {
+  WindModel wind(rng.split(), sample_rate);
+  HumanActivityModel human(rng.split(), sample_rate);
+  WhiteNoise hiss(rng.split());
+
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(wind.step()) * mix.wind +
+                     static_cast<double>(human.step()) * mix.human +
+                     static_cast<double>(hiss.step()) * mix.ambient;
+    out[i] = static_cast<float>(v);
+  }
+  return out;
+}
+
+}  // namespace dynriver::synth

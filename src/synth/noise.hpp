@@ -1,0 +1,103 @@
+// Environmental noise models for the synthetic acoustic substrate.
+//
+// The paper notes that clips "typically contain other sounds such as those
+// produced by wind and human activity", concentrated at low frequency --
+// which is why the pipeline cuts out ~[1.2 kHz, 9.6 kHz]. The models here
+// reproduce that structure: wind is gusty low-passed brown noise, human
+// activity is mains hum plus occasional broadband thumps, and ambient is a
+// low hiss.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/biquad.hpp"
+
+namespace dynriver::synth {
+
+/// Uniform white noise in [-1, 1].
+class WhiteNoise {
+ public:
+  explicit WhiteNoise(dynriver::Rng rng) : rng_(rng) {}
+  float step();
+
+ private:
+  dynriver::Rng rng_;
+};
+
+/// Leaky-integrated white noise (Brownian / red spectrum ~1/f^2).
+class BrownNoise {
+ public:
+  explicit BrownNoise(dynriver::Rng rng, double leak = 0.995)
+      : white_(rng), leak_(leak) {}
+  float step();
+
+ private:
+  WhiteNoise white_;
+  double leak_;
+  double state_ = 0.0;
+};
+
+/// Pink (1/f) noise via the Voss-McCartney algorithm.
+class PinkNoise {
+ public:
+  explicit PinkNoise(dynriver::Rng rng);
+  float step();
+
+ private:
+  dynriver::Rng rng_;
+  static constexpr std::size_t kRows = 12;
+  std::vector<double> rows_;
+  double running_sum_ = 0.0;
+  std::uint32_t counter_ = 0;
+};
+
+/// Gusty wind: brown noise low-passed below `cutoff_hz`, amplitude-modulated
+/// by a slow random walk so the energy rises and falls like real gusts.
+class WindModel {
+ public:
+  WindModel(dynriver::Rng rng, double sample_rate, double cutoff_hz = 400.0);
+  float step();
+
+ private:
+  BrownNoise brown_;
+  dsp::Biquad low_pass_;
+  dynriver::Rng gust_rng_;
+  double gust_level_ = 0.5;
+  double gust_target_ = 0.5;
+  std::size_t gust_countdown_ = 0;
+  double sample_rate_;
+};
+
+/// Distant human activity: 120 Hz mains hum with harmonics plus occasional
+/// low-frequency thumps (doors, machinery) with exponential decay.
+class HumanActivityModel {
+ public:
+  HumanActivityModel(dynriver::Rng rng, double sample_rate,
+                     double thump_rate_hz = 0.2);
+  float step();
+
+ private:
+  dynriver::Rng rng_;
+  double sample_rate_;
+  double thump_probability_;  // per sample
+  double hum_phase_ = 0.0;
+  double thump_energy_ = 0.0;
+  WhiteNoise thump_noise_;
+  dsp::Biquad thump_filter_;
+};
+
+/// Combined background bed used by the sensor station.
+struct NoiseMix {
+  double wind = 0.05;     ///< wind RMS-ish level
+  double human = 0.015;   ///< human activity level
+  double ambient = 0.004; ///< broadband hiss level
+};
+
+/// Render `n` samples of the mixed background bed.
+[[nodiscard]] std::vector<float> render_background(dynriver::Rng rng,
+                                                   double sample_rate,
+                                                   std::size_t n,
+                                                   const NoiseMix& mix);
+
+}  // namespace dynriver::synth

@@ -1,0 +1,330 @@
+#include "synth/species.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::synth {
+
+namespace {
+
+SyllableSpec chirp(double f0, double f1, double dur, double amp = 0.8) {
+  SyllableSpec s;
+  s.f_start_hz = f0;
+  s.f_end_hz = f1;
+  s.duration_s = dur;
+  s.amplitude = amp;
+  return s;
+}
+
+SyllableSpec buzz(double center, double dur, double noise, double amp = 0.8) {
+  SyllableSpec s;
+  s.f_start_hz = center;
+  s.f_end_hz = center;
+  s.duration_s = dur;
+  s.amplitude = amp;
+  s.noise_mix = noise;
+  s.harmonics = 3;
+  s.harmonic_decay = 0.6;
+  return s;
+}
+
+std::array<SpeciesTemplate, kNumSpecies> build_catalog() {
+  std::array<SpeciesTemplate, kNumSpecies> cat;
+
+  // -- AMGO: American goldfinch. "po-ta-to-chip" flight call: four quick
+  // down-slurred chirps around 3-4.5 kHz. Short song; confusable with other
+  // finch-like chirpers (BCCH/HOFI overlap its band).
+  {
+    auto& t = cat[0];
+    t.id = SpeciesId::kAMGO;
+    t.code = "AMGO";
+    t.common_name = "American goldfinch";
+    SongElement e{chirp(4500, 3200, 0.12, 0.85), 0.06, 4, 1, false};
+    t.elements = {e};
+    t.freq_jitter = 0.11;
+    t.tempo_jitter = 0.10;
+    t.plasticity = 0.25;
+  }
+
+  // -- BCCH: Black-capped chickadee. "fee-bee" pure tones followed by a
+  // variable run of buzzy "dee" notes. The dee count is famously plastic.
+  {
+    auto& t = cat[1];
+    t.id = SpeciesId::kBCCH;
+    t.code = "BCCH";
+    t.common_name = "Black capped chickadee";
+    t.elements = {
+        {chirp(4000, 3800, 0.24, 0.8), 0.08, 1, 0, false},
+        {chirp(3450, 3300, 0.28, 0.8), 0.09, 1, 0, false},
+        {buzz(3600, 0.14, 0.45, 0.7), 0.05, 3, 2, true},
+    };
+    t.freq_jitter = 0.10;
+    t.tempo_jitter = 0.08;
+    t.plasticity = 0.3;
+  }
+
+  // -- BLJA: Blue jay. Harsh descending "jeer" scream: broadband buzz with
+  // strong noise component around 2-3 kHz, usually doubled.
+  {
+    auto& t = cat[2];
+    t.id = SpeciesId::kBLJA;
+    t.code = "BLJA";
+    t.common_name = "Blue Jay";
+    SyllableSpec jeer = buzz(2600, 0.34, 0.55, 0.9);
+    jeer.f_start_hz = 3100;
+    jeer.f_end_hz = 2200;
+    SongElement e{jeer, 0.1, 2, 0, false};
+    t.elements = {e};
+    t.freq_jitter = 0.08;
+    t.plasticity = 0.15;
+  }
+
+  // -- DOWO: Downy woodpecker. Descending whinny: a rapid run of short
+  // notes sliding from ~4 kHz down to ~2.2 kHz. Very stereotyped.
+  {
+    auto& t = cat[3];
+    t.id = SpeciesId::kDOWO;
+    t.code = "DOWO";
+    t.common_name = "Downy woodpecker";
+    t.elements.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      const double f = 4000.0 * std::pow(2200.0 / 4000.0, i / 7.0);
+      t.elements.push_back({chirp(f * 1.06, f * 0.94, 0.058, 0.8), 0.022, 1, 0,
+                            i >= 6});  // tail notes sometimes dropped
+    }
+    t.freq_jitter = 0.065;
+    t.tempo_jitter = 0.05;
+    t.plasticity = 0.15;
+  }
+
+  // -- HOFI: House finch. Long disorganized warble of varied chirps across
+  // 2.5-6 kHz; highly plastic ordering with irregular element timing and
+  // loudness (a perfectly regular chirp train would read as homogeneous
+  // texture to the anomaly scorer, which real warbles do not).
+  {
+    auto& t = cat[4];
+    t.id = SpeciesId::kHOFI;
+    t.code = "HOFI";
+    t.common_name = "House finch";
+    const double f0s[] = {3200, 5200, 2700, 4400, 5800, 3000, 4800, 3600, 5400, 2900};
+    const double f1s[] = {4300, 3800, 3900, 5700, 4200, 4400, 3300, 5100, 4000, 4200};
+    const double durs[] = {0.06, 0.13, 0.07, 0.10, 0.055, 0.12, 0.08, 0.14, 0.065, 0.11};
+    const double gaps[] = {0.02, 0.09, 0.015, 0.12, 0.03, 0.015, 0.10, 0.02, 0.08, 0.03};
+    const double amps[] = {0.8, 0.5, 0.9, 0.6, 0.85, 0.45, 0.75, 0.9, 0.55, 0.8};
+    t.elements.reserve(10);
+    for (int i = 0; i < 10; ++i) {
+      t.elements.push_back(
+          {chirp(f0s[i], f1s[i], durs[i], amps[i]), gaps[i], 1, 0, i % 3 == 2});
+    }
+    t.freq_jitter = 0.10;
+    t.tempo_jitter = 0.09;
+    t.plasticity = 0.35;
+  }
+
+  // -- MODO: Mourning dove. Low slow "cooOO-coo-coo" with strong harmonics.
+  // The fundamental sits near the pipeline's 1.2 kHz cutout edge, so part of
+  // its energy is clipped -- one reason it is the most-confused species in
+  // the paper's Table 3 (67.0% diagonal).
+  {
+    auto& t = cat[5];
+    t.id = SpeciesId::kMODO;
+    t.code = "MODO";
+    t.common_name = "Mourning dove";
+    SyllableSpec coo1 = chirp(1300, 1650, 0.40, 0.85);
+    coo1.harmonics = 3;
+    coo1.harmonic_decay = 0.45;
+    coo1.attack_s = 0.04;
+    coo1.release_s = 0.08;
+    SyllableSpec coo2 = chirp(1550, 1340, 0.32, 0.8);
+    coo2.harmonics = 3;
+    coo2.harmonic_decay = 0.45;
+    coo2.attack_s = 0.04;
+    coo2.release_s = 0.08;
+    t.elements = {
+        {coo1, 0.12, 1, 0, false},
+        {coo2, 0.10, 3, 1, false},
+    };
+    t.freq_jitter = 0.13;
+    t.tempo_jitter = 0.14;
+    t.plasticity = 0.3;
+  }
+
+  // -- NOCA: Northern cardinal. Loud slurred whistles sweeping widely
+  // downward ("cheer cheer") followed by short two-part "birdie" notes.
+  {
+    auto& t = cat[6];
+    t.id = SpeciesId::kNOCA;
+    t.code = "NOCA";
+    t.common_name = "Northern cardinal";
+    t.elements = {
+        {chirp(4600, 2000, 0.22, 0.9), 0.06, 3, 1, false},
+        {chirp(2400, 3600, 0.09, 0.85), 0.04, 3, 1, true},
+    };
+    t.freq_jitter = 0.08;
+    t.tempo_jitter = 0.07;
+    t.plasticity = 0.2;
+  }
+
+  // -- RWBL: Red-winged blackbird. "conk-la-REE": two short notes then a
+  // long terminal trill -- the trill's fast FM texture is unique in this
+  // set, making RWBL the best-classified species in Table 3 (94.7%).
+  {
+    auto& t = cat[7];
+    t.id = SpeciesId::kRWBL;
+    t.code = "RWBL";
+    t.common_name = "Red winged blackbird";
+    SyllableSpec trill = chirp(3700, 4100, 0.68, 0.9);
+    trill.vibrato_hz = 55.0;
+    trill.vibrato_depth_hz = 450.0;
+    trill.noise_mix = 0.3;
+    trill.harmonics = 2;
+    t.elements = {
+        {chirp(2700, 2900, 0.08, 0.8), 0.04, 1, 0, false},
+        {chirp(3200, 3000, 0.08, 0.8), 0.04, 1, 0, false},
+        {trill, 0.05, 1, 0, false},
+    };
+    t.freq_jitter = 0.065;
+    t.tempo_jitter = 0.05;
+    t.plasticity = 0.1;
+  }
+
+  // -- TUTI: Tufted titmouse. Clear repeated two-note whistle
+  // "peter-peter" around 3-4 kHz.
+  {
+    auto& t = cat[8];
+    t.id = SpeciesId::kTUTI;
+    t.code = "TUTI";
+    t.common_name = "Tufted titmouse";
+    t.elements = {
+        {chirp(4100, 3400, 0.12, 0.85), 0.03, 1, 0, false},
+        {chirp(3300, 3250, 0.12, 0.85), 0.09, 1, 0, false},
+        {chirp(4100, 3400, 0.12, 0.85), 0.03, 1, 0, false},
+        {chirp(3300, 3250, 0.12, 0.85), 0.09, 1, 1, false},
+    };
+    t.freq_jitter = 0.08;
+    t.tempo_jitter = 0.06;
+    t.plasticity = 0.12;
+  }
+
+  // -- WBNU: White-breasted nuthatch. Nasal "yank-yank": low notes with a
+  // dense harmonic stack and a slightly noisy quality, repeated ~4 times.
+  {
+    auto& t = cat[9];
+    t.id = SpeciesId::kWBNU;
+    t.code = "WBNU";
+    t.common_name = "White breasted nuthatch";
+    SyllableSpec yank = chirp(2050, 1880, 0.17, 0.85);
+    yank.harmonics = 4;
+    yank.harmonic_decay = 0.7;
+    yank.noise_mix = 0.12;
+    SongElement e{yank, 0.085, 4, 1, false};
+    t.elements = {e};
+    t.freq_jitter = 0.08;
+    t.tempo_jitter = 0.07;
+    t.plasticity = 0.15;
+  }
+
+  return cat;
+}
+
+}  // namespace
+
+const std::array<SpeciesTemplate, kNumSpecies>& species_catalog() {
+  static const auto catalog = build_catalog();
+  return catalog;
+}
+
+const SpeciesTemplate& species(SpeciesId id) {
+  return species_catalog()[static_cast<std::size_t>(id)];
+}
+
+const SpeciesTemplate& species(std::size_t index) {
+  DR_EXPECTS(index < kNumSpecies);
+  return species_catalog()[index];
+}
+
+double nominal_song_duration(const SpeciesTemplate& tpl) {
+  double total = 0.0;
+  for (const auto& e : tpl.elements) {
+    total += (e.syllable.duration_s + e.gap_after_s) * e.repeats;
+  }
+  return total;
+}
+
+std::vector<float> render_song(const SpeciesTemplate& tpl, double sample_rate,
+                               dynriver::Rng& rng) {
+  DR_EXPECTS(!tpl.elements.empty());
+
+  // Rendition-level variation: one draw per song, shared by all syllables,
+  // models individual/day-to-day differences.
+  const double freq_scale = std::exp(rng.gaussian(0.0, tpl.freq_jitter));
+  const double tempo_scale = std::exp(rng.gaussian(0.0, tpl.tempo_jitter));
+  const double amp_scale =
+      std::clamp(std::exp(rng.gaussian(0.0, tpl.amp_jitter)), 0.4, 1.15);
+
+  std::vector<float> song;
+  song.reserve(static_cast<std::size_t>(
+      (nominal_song_duration(tpl) * 1.5 + 0.1) * sample_rate));
+
+  for (const auto& element : tpl.elements) {
+    if (element.optional && rng.chance(tpl.plasticity)) continue;
+
+    int repeats = element.repeats;
+    if (element.repeat_jitter > 0) {
+      repeats += static_cast<int>(
+          rng.uniform_int(-element.repeat_jitter, element.repeat_jitter));
+      repeats = std::max(1, repeats);
+    }
+
+    for (int r = 0; r < repeats; ++r) {
+      SyllableSpec syl = element.syllable;
+      const double per_syl =
+          std::exp(rng.gaussian(0.0, tpl.syllable_freq_jitter));
+      syl.f_start_hz *= freq_scale * per_syl;
+      syl.f_end_hz *= freq_scale * per_syl;
+      syl.vibrato_depth_hz *= freq_scale;
+      syl.duration_s *= tempo_scale;
+      syl.amplitude = std::clamp(syl.amplitude * amp_scale, 0.0, 1.0);
+
+      const auto rendered = render_syllable(syl, sample_rate, rng);
+      song.insert(song.end(), rendered.begin(), rendered.end());
+
+      const auto gap_samples = static_cast<std::size_t>(
+          element.gap_after_s * tempo_scale * sample_rate);
+      song.insert(song.end(), gap_samples, 0.0F);
+    }
+  }
+  DR_ENSURES(!song.empty());
+  return song;
+}
+
+std::vector<float> render_distractor(double sample_rate, dynriver::Rng& rng) {
+  const auto kind = rng.uniform_int(0, 2);
+  switch (kind) {
+    case 0: {
+      // Branch crack: a very short broadband burst.
+      SyllableSpec s = buzz(4000, 0.02, 1.0, 0.9);
+      s.attack_s = 0.001;
+      s.release_s = 0.01;
+      return render_syllable(s, sample_rate, rng);
+    }
+    case 1: {
+      // Distant vehicle: 1.5 s low rumble sweeping slightly downward.
+      SyllableSpec s = buzz(160, 1.5, 0.8, 0.6);
+      s.f_start_hz = 200;
+      s.f_end_hz = 120;
+      s.attack_s = 0.3;
+      s.release_s = 0.4;
+      return render_syllable(s, sample_rate, rng);
+    }
+    default: {
+      // Metallic squeak: short high tone.
+      SyllableSpec s = chirp(7000, 7400, 0.09, 0.7);
+      return render_syllable(s, sample_rate, rng);
+    }
+  }
+}
+
+}  // namespace dynriver::synth

@@ -1,0 +1,83 @@
+// Parametric song models for the 10 bird species of the paper's Table 1.
+//
+// Each template describes a species-stereotypical song as a sequence of
+// syllables (sweeps, trills, buzzes, coos) with gaps and repeat counts.
+// Rendering applies per-rendition variation -- frequency/tempo/amplitude
+// jitter plus "plastic" structural changes (optional elements, repeat count
+// variation) -- reflecting that "even stereotypical songs vary between
+// individual birds of the same species" (paper, Section 2). Durations are
+// tuned so the patterns-per-ensemble ratios track Table 1 (e.g. the mourning
+// dove's long coo vs the goldfinch's short flight call).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "synth/syllable.hpp"
+
+namespace dynriver::synth {
+
+/// Table 1 species, in the paper's order.
+enum class SpeciesId : int {
+  kAMGO = 0,  ///< American goldfinch
+  kBCCH,      ///< Black capped chickadee
+  kBLJA,      ///< Blue jay
+  kDOWO,      ///< Downy woodpecker
+  kHOFI,      ///< House finch
+  kMODO,      ///< Mourning dove
+  kNOCA,      ///< Northern cardinal
+  kRWBL,      ///< Red winged blackbird
+  kTUTI,      ///< Tufted titmouse
+  kWBNU,      ///< White breasted nuthatch
+};
+
+inline constexpr std::size_t kNumSpecies = 10;
+
+/// One element of a song: a syllable, its trailing gap, and repetition.
+struct SongElement {
+  SyllableSpec syllable;
+  double gap_after_s = 0.05;
+  int repeats = 1;
+  int repeat_jitter = 0;   ///< uniform +/- variation of `repeats`
+  bool optional = false;   ///< may be dropped entirely (plastic songs)
+};
+
+struct SpeciesTemplate {
+  SpeciesId id = SpeciesId::kAMGO;
+  std::string code;         ///< four-letter species code (Table 1)
+  std::string common_name;  ///< common name (Table 1)
+  std::vector<SongElement> elements;
+
+  // Per-rendition variation (log-normal scales).
+  double freq_jitter = 0.04;
+  double tempo_jitter = 0.06;
+  double amp_jitter = 0.15;
+  double syllable_freq_jitter = 0.02;
+  /// Probability of structural change per optional element.
+  double plasticity = 0.1;
+};
+
+/// The full catalog, indexed by SpeciesId.
+[[nodiscard]] const std::array<SpeciesTemplate, kNumSpecies>& species_catalog();
+
+[[nodiscard]] const SpeciesTemplate& species(SpeciesId id);
+[[nodiscard]] const SpeciesTemplate& species(std::size_t index);
+
+/// Render one song rendition with variation. Returned samples are mono at
+/// `sample_rate`, peak amplitude <= ~0.9.
+[[nodiscard]] std::vector<float> render_song(const SpeciesTemplate& tpl,
+                                             double sample_rate,
+                                             dynriver::Rng& rng);
+
+/// Nominal (unjittered) song duration in seconds.
+[[nodiscard]] double nominal_song_duration(const SpeciesTemplate& tpl);
+
+/// Non-bird transient (branch crack, distant vehicle, squeak): exercises the
+/// ground-truth validation filter that substitutes for the paper's human
+/// listener.
+[[nodiscard]] std::vector<float> render_distractor(double sample_rate,
+                                                   dynriver::Rng& rng);
+
+}  // namespace dynriver::synth

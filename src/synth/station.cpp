@@ -1,0 +1,112 @@
+#include "synth/station.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::synth {
+
+SensorStation::SensorStation(StationParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  DR_EXPECTS(params.sample_rate > 0);
+  DR_EXPECTS(params.clip_seconds > 0);
+  DR_EXPECTS(params.song_gain > 0);
+}
+
+ClipRecording SensorStation::record_clip(const std::vector<SpeciesId>& singers) {
+  std::vector<std::pair<SpeciesId, std::vector<float>>> songs;
+  songs.reserve(singers.size());
+  for (const SpeciesId id : singers) {
+    songs.emplace_back(id, render_song(species(id), params_.sample_rate, rng_));
+  }
+  return assemble(songs, rng_.chance(params_.distractor_probability));
+}
+
+ClipRecording SensorStation::record_silence() {
+  return assemble({}, rng_.chance(params_.distractor_probability));
+}
+
+ClipRecording SensorStation::assemble(
+    const std::vector<std::pair<SpeciesId, std::vector<float>>>& songs,
+    bool with_distractor) {
+  const auto total = static_cast<std::size_t>(params_.clip_seconds *
+                                              params_.sample_rate);
+  ClipRecording rec;
+  rec.clip_id = next_clip_id_++;
+  rec.clip.sample_rate = static_cast<std::uint32_t>(params_.sample_rate);
+  rec.clip.channels = 1;
+  rec.clip.samples =
+      render_background(rng_.split(), params_.sample_rate, total, params_.noise);
+
+  // Place events sequentially with random gaps, respecting warmup margins
+  // and the minimum inter-event gap; the layout is feasible as long as total
+  // event time stays well under the clip length.
+  const auto margin =
+      static_cast<std::size_t>(params_.warmup_margin_s * params_.sample_rate);
+  const auto min_gap =
+      static_cast<std::size_t>(params_.min_event_gap_s * params_.sample_rate);
+
+  struct Event {
+    std::optional<SpeciesId> species;  // nullopt = distractor
+    std::vector<float> samples;
+  };
+  std::vector<Event> events;
+  for (const auto& [id, samples] : songs) events.push_back({id, samples});
+  if (with_distractor) {
+    events.push_back({std::nullopt, render_distractor(params_.sample_rate, rng_)});
+    ++rec.distractors;
+  }
+  // Random placement order so distractors interleave with songs.
+  std::shuffle(events.begin(), events.end(), rng_.engine());
+
+  std::size_t event_total = 0;
+  for (const auto& e : events) event_total += e.samples.size() + min_gap;
+  const std::size_t usable = total > 2 * margin ? total - 2 * margin : 0;
+  DR_EXPECTS(event_total <= usable);  // clip too short for requested events
+
+  // Distribute leftover space as random gaps between events.
+  std::size_t slack = usable - event_total;
+  std::size_t cursor = margin;
+  for (const auto& event : events) {
+    const auto jump = static_cast<std::size_t>(
+        rng_.uniform(0.0, static_cast<double>(slack) /
+                              static_cast<double>(events.size())));
+    cursor += jump;
+    slack -= jump;
+
+    const double gain = params_.song_gain;
+    for (std::size_t i = 0; i < event.samples.size(); ++i) {
+      rec.clip.samples[cursor + i] += event.samples[i] * static_cast<float>(gain);
+    }
+    if (event.species.has_value()) {
+      rec.truth.push_back({*event.species, cursor, event.samples.size()});
+    }
+    cursor += event.samples.size() + min_gap;
+  }
+
+  // Soft-limit to [-0.98, 0.98] to mimic the ADC's dynamic range.
+  for (auto& v : rec.clip.samples) {
+    v = std::clamp(v, -0.98F, 0.98F);
+  }
+  std::sort(rec.truth.begin(), rec.truth.end(),
+            [](const auto& a, const auto& b) {
+              return a.start_sample < b.start_sample;
+            });
+  return rec;
+}
+
+bool intervals_overlap(std::size_t a_start, std::size_t a_end, std::size_t b_start,
+                       std::size_t b_end, double min_fraction) {
+  DR_EXPECTS(a_end >= a_start && b_end >= b_start);
+  const std::size_t lo = std::max(a_start, b_start);
+  const std::size_t hi = std::min(a_end, b_end);
+  if (hi <= lo) return false;
+  const std::size_t overlap = hi - lo;
+  const std::size_t shorter = std::min(a_end - a_start, b_end - b_start);
+  if (shorter == 0) return false;
+  return static_cast<double>(overlap) >=
+         min_fraction * static_cast<double>(shorter);
+}
+
+}  // namespace dynriver::synth

@@ -1,0 +1,88 @@
+// Simulated acoustic sensor station.
+//
+// Substitute for the paper's pole-mounted Crossbow Stargate stations at the
+// Kellogg Biological Research Station (Fig. 1): each station renders 30 s
+// clips -- background noise bed plus bird songs planted at known positions --
+// at 21,600 Hz PCM16 (30 s = 1.296 MB, matching the paper's ~1.26 MB clips).
+// Ground-truth intervals play the role of the paper's human listener when
+// validating extracted ensembles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/wav.hpp"
+#include "synth/noise.hpp"
+#include "synth/species.hpp"
+
+namespace dynriver::synth {
+
+/// A vocalization planted into a clip (ground truth).
+struct PlantedVocalization {
+  SpeciesId species = SpeciesId::kAMGO;
+  std::size_t start_sample = 0;
+  std::size_t length = 0;
+
+  [[nodiscard]] std::size_t end_sample() const { return start_sample + length; }
+};
+
+/// One recorded clip with its ground truth.
+struct ClipRecording {
+  std::uint64_t clip_id = 0;
+  dsp::WavClip clip;
+  std::vector<PlantedVocalization> truth;
+  std::size_t distractors = 0;  ///< non-bird transients planted
+};
+
+struct StationParams {
+  double sample_rate = 21600.0;
+  double clip_seconds = 30.0;
+  NoiseMix noise;
+  /// Linear gain applied to songs relative to the noise bed.
+  double song_gain = 0.35;
+  /// Probability that a clip receives one non-bird transient.
+  double distractor_probability = 0.15;
+  /// Minimum silence between planted events (seconds) so the trigger can
+  /// return to baseline.
+  double min_event_gap_s = 1.2;
+  /// Keep this much clip head/tail free of events (seconds) so the anomaly
+  /// detector can warm up its windows and baseline statistics.
+  double warmup_margin_s = 2.0;
+};
+
+/// A single sensor station with its own deterministic randomness.
+class SensorStation {
+ public:
+  SensorStation(StationParams params, std::uint64_t seed);
+
+  /// Record one clip containing a rendition of each requested species (in
+  /// random non-overlapping positions). Species may repeat in the list to
+  /// plant several songs. Returns the clip and its ground truth.
+  [[nodiscard]] ClipRecording record_clip(const std::vector<SpeciesId>& singers);
+
+  /// Record a clip with no birds at all (background only).
+  [[nodiscard]] ClipRecording record_silence();
+
+  [[nodiscard]] const StationParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t clips_recorded() const { return next_clip_id_; }
+
+ private:
+  [[nodiscard]] ClipRecording assemble(
+      const std::vector<std::pair<SpeciesId, std::vector<float>>>& songs,
+      bool with_distractor);
+
+  StationParams params_;
+  dynriver::Rng rng_;
+  std::uint64_t next_clip_id_ = 0;
+};
+
+/// True iff [a_start, a_end) and [b_start, b_end) overlap by at least
+/// `min_fraction` of the shorter interval. Used to validate extracted
+/// ensembles against ground truth.
+[[nodiscard]] bool intervals_overlap(std::size_t a_start, std::size_t a_end,
+                                     std::size_t b_start, std::size_t b_end,
+                                     double min_fraction);
+
+}  // namespace dynriver::synth

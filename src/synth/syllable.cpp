@@ -1,0 +1,97 @@
+#include "synth/syllable.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "dsp/biquad.hpp"
+
+namespace dynriver::synth {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+void apply_envelope(std::vector<float>& samples, double sample_rate,
+                    double attack_s, double release_s) {
+  const std::size_t n = samples.size();
+  if (n == 0) return;
+  const auto attack = std::min<std::size_t>(
+      n / 2, static_cast<std::size_t>(attack_s * sample_rate));
+  const auto release = std::min<std::size_t>(
+      n / 2, static_cast<std::size_t>(release_s * sample_rate));
+
+  for (std::size_t i = 0; i < attack; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(attack);
+    samples[i] *= static_cast<float>(0.5 * (1.0 - std::cos(std::numbers::pi * t)));
+  }
+  for (std::size_t i = 0; i < release; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(release);
+    samples[n - 1 - i] *=
+        static_cast<float>(0.5 * (1.0 - std::cos(std::numbers::pi * t)));
+  }
+}
+
+std::vector<float> render_syllable(const SyllableSpec& spec, double sample_rate,
+                                   dynriver::Rng& rng) {
+  DR_EXPECTS(sample_rate > 0);
+  DR_EXPECTS(spec.duration_s > 0);
+  DR_EXPECTS(spec.f_start_hz > 0 && spec.f_end_hz > 0);
+  DR_EXPECTS(spec.harmonics >= 1);
+  DR_EXPECTS(spec.noise_mix >= 0.0 && spec.noise_mix <= 1.0);
+
+  const auto n = static_cast<std::size_t>(spec.duration_s * sample_rate);
+  std::vector<float> out(n, 0.0F);
+  if (n == 0) return out;
+
+  const double nyquist_limit = 0.45 * sample_rate;
+  const double log_f0 = std::log(spec.f_start_hz);
+  const double log_f1 = std::log(spec.f_end_hz);
+
+  // Tonal component: harmonic stack over a frequency sweep with vibrato.
+  double phase = 0.0;
+  const double tone_gain = 1.0 - spec.noise_mix;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    double f = std::exp(log_f0 + (log_f1 - log_f0) * t);
+    if (spec.vibrato_hz > 0.0) {
+      f += spec.vibrato_depth_hz *
+           std::sin(kTwoPi * spec.vibrato_hz * static_cast<double>(i) /
+                    sample_rate);
+    }
+    f = std::clamp(f, 20.0, nyquist_limit);
+    phase += kTwoPi * f / sample_rate;
+
+    double v = 0.0;
+    double partial_amp = 1.0;
+    double amp_norm = 0.0;
+    for (int h = 1; h <= spec.harmonics; ++h) {
+      if (f * h < nyquist_limit) {
+        v += partial_amp * std::sin(phase * h);
+        amp_norm += partial_amp;
+      }
+      partial_amp *= spec.harmonic_decay;
+    }
+    if (amp_norm > 0.0) v /= amp_norm;
+    out[i] = static_cast<float>(v * tone_gain);
+  }
+
+  // Noise component: white noise band-passed around the sweep midpoint.
+  if (spec.noise_mix > 0.0) {
+    const double center =
+        std::clamp(std::exp(0.5 * (log_f0 + log_f1)), 50.0, nyquist_limit);
+    auto bp = dsp::Biquad::band_pass(sample_rate, center, /*q=*/2.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float noise = static_cast<float>(rng.uniform(-1.0, 1.0));
+      // Band-passed noise loses energy; boost to keep buzzes audible.
+      out[i] += static_cast<float>(spec.noise_mix * 3.0) * bp.step(noise);
+    }
+  }
+
+  for (auto& v : out) v *= static_cast<float>(spec.amplitude);
+  apply_envelope(out, sample_rate, spec.attack_s, spec.release_s);
+  return out;
+}
+
+}  // namespace dynriver::synth

@@ -1,0 +1,41 @@
+// Syllable synthesis: the atomic unit of a bird vocalization.
+//
+// Real birdsong decomposes into syllables -- short frequency-modulated tones
+// with species-specific sweeps, trills, harmonic stacks and noisy (buzzy)
+// qualities. A SyllableSpec captures these parameters; `render_syllable`
+// produces samples via a phase accumulator with optional vibrato FM,
+// harmonic partials, and a band-noise component for harsh calls.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dynriver::synth {
+
+struct SyllableSpec {
+  double f_start_hz = 3000.0;   ///< sweep start frequency
+  double f_end_hz = 3000.0;     ///< sweep end frequency (log interpolation)
+  double duration_s = 0.1;
+  double amplitude = 0.8;       ///< peak amplitude in [0, 1]
+  double vibrato_hz = 0.0;      ///< trill/FM rate (0 = pure sweep)
+  double vibrato_depth_hz = 0.0;
+  int harmonics = 1;            ///< number of harmonic partials (>= 1)
+  double harmonic_decay = 0.5;  ///< amplitude ratio between partials
+  double noise_mix = 0.0;       ///< 0 = tonal, 1 = pure band noise (buzz)
+  double attack_s = 0.008;
+  double release_s = 0.02;
+};
+
+/// Render one syllable at `sample_rate`. Partials above 0.45 * sample_rate
+/// are skipped to avoid aliasing. `rng` drives the noise component.
+[[nodiscard]] std::vector<float> render_syllable(const SyllableSpec& spec,
+                                                 double sample_rate,
+                                                 dynriver::Rng& rng);
+
+/// Multiply a rendered buffer by an attack/release envelope (raised cosine
+/// edges). Exposed for tests.
+void apply_envelope(std::vector<float>& samples, double sample_rate,
+                    double attack_s, double release_s);
+
+}  // namespace dynriver::synth

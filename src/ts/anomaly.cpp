@@ -1,0 +1,114 @@
+#include "ts/anomaly.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::ts {
+
+void AnomalyParams::validate() const {
+  DR_EXPECTS(window >= 4);
+  DR_EXPECTS(alphabet >= 2 && alphabet <= 64);
+  DR_EXPECTS(level >= 1 && level <= 4);
+  DR_EXPECTS(window > level);
+  DR_EXPECTS(ma_window >= 1);
+  DR_EXPECTS(frame >= 1);
+}
+
+StreamingAnomalyScorer::StreamingAnomalyScorer(const AnomalyParams& params)
+    : params_(params),
+      breakpoints_(sax_breakpoints(params.alphabet)),
+      lag_(params.alphabet, params.level),
+      lead_(params.alphabet, params.level),
+      ma_(params.ma_window),
+      grams_per_window_(params.window - params.level + 1) {
+  params.validate();
+}
+
+bool StreamingAnomalyScorer::warmed_up() const {
+  return lag_.total() == grams_per_window_ && lead_.total() == grams_per_window_;
+}
+
+double StreamingAnomalyScorer::push(float sample) {
+  if (params_.frame == 1) {
+    // Classic SAX texture: symbolize the raw sample value.
+    push_symbol_value(sample);
+  } else {
+    // Energy mode: one symbol per frame, encoding log-RMS energy.
+    frame_energy_ += static_cast<double>(sample) * sample;
+    if (++frame_fill_ == params_.frame) {
+      const double rms =
+          std::sqrt(frame_energy_ / static_cast<double>(params_.frame));
+      push_symbol_value(static_cast<float>(std::log(rms + 1e-8)));
+      frame_energy_ = 0.0;
+      frame_fill_ = 0;
+    }
+  }
+  return ma_.push(raw_score_);
+}
+
+void StreamingAnomalyScorer::push_symbol_value(float value) {
+  const float z = znorm_.push(value);
+  const Symbol sym = discretize_value(static_cast<double>(z), breakpoints_);
+
+  symbols_.push_back(sym);
+  if (symbols_.size() < params_.level) {
+    raw_score_ = 0.0;
+    return;
+  }
+  // Form the newest gram from the trailing `level` symbols.
+  std::size_t cell = 0;
+  for (std::size_t i = symbols_.size() - params_.level; i < symbols_.size(); ++i) {
+    cell = cell * params_.alphabet + symbols_[i];
+  }
+  if (symbols_.size() > params_.level) symbols_.pop_front();
+
+  cells_.push_back(cell);
+  lead_.add_cell(cell);
+
+  if (lead_.total() > grams_per_window_) {
+    // The oldest lead gram crosses the boundary into the lag window.
+    const std::size_t boundary = cells_[cells_.size() - 1 - grams_per_window_];
+    lead_.remove_cell(boundary);
+    lag_.add_cell(boundary);
+  }
+  if (lag_.total() > grams_per_window_) {
+    lag_.remove_cell(cells_.front());
+    cells_.pop_front();
+  }
+
+  raw_score_ = warmed_up() ? bitmap_distance(lag_, lead_) : 0.0;
+}
+
+void StreamingAnomalyScorer::reset() {
+  znorm_.reset();
+  symbols_.clear();
+  cells_.clear();
+  lag_.clear();
+  lead_.clear();
+  ma_.reset();
+  raw_score_ = 0.0;
+  frame_energy_ = 0.0;
+  frame_fill_ = 0;
+}
+
+std::vector<double> anomaly_scores(std::span<const float> series,
+                                   const AnomalyParams& params) {
+  StreamingAnomalyScorer scorer(params);
+  std::vector<double> out(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) out[i] = scorer.push(series[i]);
+  return out;
+}
+
+std::vector<double> raw_anomaly_scores(std::span<const float> series,
+                                       const AnomalyParams& params) {
+  StreamingAnomalyScorer scorer(params);
+  std::vector<double> out(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    scorer.push(series[i]);
+    out[i] = scorer.raw_score();
+  }
+  return out;
+}
+
+}  // namespace dynriver::ts

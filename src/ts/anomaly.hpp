@@ -1,0 +1,87 @@
+// SAX-bitmap anomaly scoring over streams (paper, Sections 2-3).
+//
+// Two adjacent windows slide over the signal: a *lag* window (recent past)
+// and a *lead* window (most recent samples). Each window is summarized by a
+// SAX bitmap; the anomaly score is the Euclidean distance between the two
+// frequency matrices. A moving average smoothes score spikes into a window
+// of anomalous behaviour usable by the trigger/cutter operators. The score
+// rises when the signal's symbolic texture changes -- e.g. when a bird
+// vocalization starts against background noise -- and falls when behaviour
+// becomes homogeneous again.
+//
+// Paper defaults: anomaly window 100 samples, alphabet 8, moving average
+// window 2250 scores.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "ts/bitmap.hpp"
+#include "ts/znorm.hpp"
+
+namespace dynriver::ts {
+
+struct AnomalyParams {
+  std::size_t window = 100;      ///< symbols per bitmap window
+  std::size_t alphabet = 8;      ///< SAX alphabet size
+  std::size_t level = 2;         ///< bitmap subword length (1..3 typical)
+  std::size_t ma_window = 2250;  ///< moving-average smoothing window (samples)
+  /// Samples aggregated into one SAX symbol. With frame == 1 the raw sample
+  /// value is symbolized (classic SAX texture). With frame > 1 each symbol
+  /// encodes the log-RMS energy of a frame -- for audio this makes
+  /// background noise concentrate into few symbols (low, stable score)
+  /// while the on/off syllable structure of vocalizations keeps the lag and
+  /// lead windows differing for the duration of the event.
+  std::size_t frame = 1;
+
+  void validate() const;
+};
+
+/// Streaming scorer: one call per sample, O(alphabet^level) per call.
+class StreamingAnomalyScorer {
+ public:
+  explicit StreamingAnomalyScorer(const AnomalyParams& params);
+
+  /// Feed one raw sample; returns the *smoothed* anomaly score aligned with
+  /// this sample (0 until both windows have filled).
+  double push(float sample);
+
+  /// Last unsmoothed bitmap distance.
+  [[nodiscard]] double raw_score() const { return raw_score_; }
+
+  /// True once lag and lead windows are both full.
+  [[nodiscard]] bool warmed_up() const;
+
+  [[nodiscard]] const AnomalyParams& params() const { return params_; }
+
+  /// Clear all state (start of a new clip).
+  void reset();
+
+ private:
+  void push_symbol_value(float value);
+
+  AnomalyParams params_;
+  std::vector<double> breakpoints_;
+  StreamingZnorm znorm_;
+  std::deque<Symbol> symbols_;       // last `level-1` symbols for gram forming
+  std::deque<std::size_t> cells_;    // gram cells, oldest first
+  SaxBitmap lag_;
+  SaxBitmap lead_;
+  MovingAverage ma_;
+  std::size_t grams_per_window_;
+  double raw_score_ = 0.0;
+  // Frame aggregation state (frame > 1).
+  double frame_energy_ = 0.0;
+  std::size_t frame_fill_ = 0;
+};
+
+/// Batch convenience: smoothed score per sample (same length as input).
+[[nodiscard]] std::vector<double> anomaly_scores(std::span<const float> series,
+                                                 const AnomalyParams& params);
+
+/// Batch convenience: raw (unsmoothed) score per sample.
+[[nodiscard]] std::vector<double> raw_anomaly_scores(std::span<const float> series,
+                                                     const AnomalyParams& params);
+
+}  // namespace dynriver::ts

@@ -1,0 +1,82 @@
+#include "ts/bitmap.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::ts {
+
+namespace {
+std::size_t int_pow(std::size_t base, std::size_t exp) {
+  std::size_t result = 1;
+  for (std::size_t i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+}  // namespace
+
+SaxBitmap::SaxBitmap(std::size_t alphabet, std::size_t level)
+    : alphabet_(alphabet), level_(level) {
+  DR_EXPECTS(alphabet >= 2 && alphabet <= 64);
+  DR_EXPECTS(level >= 1 && level <= 4);
+  counts_.assign(int_pow(alphabet, level), 0);
+}
+
+std::size_t SaxBitmap::cell_index(std::span<const Symbol> subword) const {
+  DR_EXPECTS(subword.size() == level_);
+  std::size_t idx = 0;
+  for (const Symbol s : subword) {
+    DR_EXPECTS(s < alphabet_);
+    idx = idx * alphabet_ + s;
+  }
+  return idx;
+}
+
+void SaxBitmap::add_cell(std::size_t cell) {
+  DR_EXPECTS(cell < counts_.size());
+  ++counts_[cell];
+  ++total_;
+}
+
+void SaxBitmap::remove_cell(std::size_t cell) {
+  DR_EXPECTS(cell < counts_.size());
+  DR_EXPECTS(counts_[cell] > 0);
+  --counts_[cell];
+  --total_;
+}
+
+void SaxBitmap::add_all(std::span<const Symbol> symbols) {
+  if (symbols.size() < level_) return;
+  for (std::size_t i = 0; i + level_ <= symbols.size(); ++i) {
+    add(symbols.subspan(i, level_));
+  }
+}
+
+std::vector<double> SaxBitmap::frequencies() const {
+  std::vector<double> freq(counts_.size(), 0.0);
+  if (total_ == 0) return freq;
+  const double inv = 1.0 / static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    freq[i] = static_cast<double>(counts_[i]) * inv;
+  }
+  return freq;
+}
+
+void SaxBitmap::clear() {
+  counts_.assign(counts_.size(), 0);
+  total_ = 0;
+}
+
+double bitmap_distance(const SaxBitmap& a, const SaxBitmap& b) {
+  DR_EXPECTS(a.alphabet() == b.alphabet());
+  DR_EXPECTS(a.level() == b.level());
+  const auto fa = a.frequencies();
+  const auto fb = b.frequencies();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double d = fa[i] - fb[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace dynriver::ts

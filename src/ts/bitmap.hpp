@@ -1,0 +1,57 @@
+// SAX time-series bitmaps (Kumar et al.; paper, Section 2).
+//
+// A bitmap counts occurrences of symbolic subwords of length L (1, 2 or 3
+// symbols) over a window of SAX symbols; cell frequencies are the counts
+// divided by the total number of subwords. An anomaly score is the Euclidean
+// distance between two (normalized) bitmaps -- here, a lag window and a lead
+// window sliding over the stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ts/sax.hpp"
+
+namespace dynriver::ts {
+
+/// Frequency matrix over alphabet^level subword cells with O(1) incremental
+/// update, designed for streaming windows.
+class SaxBitmap {
+ public:
+  SaxBitmap(std::size_t alphabet, std::size_t level);
+
+  /// Flat cell index of a subword (most recent symbol last).
+  [[nodiscard]] std::size_t cell_index(std::span<const Symbol> subword) const;
+
+  void add(std::span<const Symbol> subword) { add_cell(cell_index(subword)); }
+  void remove(std::span<const Symbol> subword) { remove_cell(cell_index(subword)); }
+  void add_cell(std::size_t cell);
+  void remove_cell(std::size_t cell);
+
+  /// Count every subword of `symbols` (batch construction).
+  void add_all(std::span<const Symbol> symbols);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t cells() const { return counts_.size(); }
+  [[nodiscard]] std::size_t alphabet() const { return alphabet_; }
+  [[nodiscard]] std::size_t level() const { return level_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& counts() const { return counts_; }
+
+  /// Cell frequencies (counts / total); all zeros when empty.
+  [[nodiscard]] std::vector<double> frequencies() const;
+
+  void clear();
+
+ private:
+  std::size_t alphabet_;
+  std::size_t level_;
+  std::vector<std::uint32_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Euclidean distance between the frequency matrices of two bitmaps
+/// (must have equal alphabet and level).
+[[nodiscard]] double bitmap_distance(const SaxBitmap& a, const SaxBitmap& b);
+
+}  // namespace dynriver::ts

@@ -1,0 +1,136 @@
+#include "ts/discord.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/contracts.hpp"
+#include "ts/sax.hpp"
+#include "ts/znorm.hpp"
+
+namespace dynriver::ts {
+
+double subsequence_distance(std::span<const float> a, std::span<const float> b) {
+  DR_EXPECTS(a.size() == b.size());
+  const auto za = znormalize(a);
+  const auto zb = znormalize(b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    const double d = static_cast<double>(za[i]) - static_cast<double>(zb[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+namespace {
+
+/// Distance with early abandon: returns something >= `cutoff` as soon as the
+/// partial sum exceeds it.
+double distance_early_abandon(std::span<const float> za, std::span<const float> zb,
+                              double cutoff) {
+  const double cutoff_sq = cutoff * cutoff;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    const double d = static_cast<double>(za[i]) - static_cast<double>(zb[i]);
+    acc += d * d;
+    if (acc >= cutoff_sq) return std::sqrt(acc);
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<std::vector<float>> znormalized_subsequences(
+    std::span<const float> series, std::size_t window) {
+  const std::size_t count = series.size() - window + 1;
+  std::vector<std::vector<float>> subs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    subs[i] = znormalize(series.subspan(i, window));
+  }
+  return subs;
+}
+
+}  // namespace
+
+DiscordResult find_discord_brute(std::span<const float> series,
+                                 std::size_t window) {
+  DR_EXPECTS(window >= 2);
+  DR_EXPECTS(series.size() >= 2 * window);
+  const std::size_t count = series.size() - window + 1;
+  const auto subs = znormalized_subsequences(series, window);
+
+  DiscordResult best;
+  best.distance = -1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < count; ++j) {
+      if (i == j) continue;
+      const std::size_t gap = (i > j) ? i - j : j - i;
+      if (gap < window) continue;  // self-match exclusion
+      ++best.calls;
+      nearest = std::min(nearest,
+                         distance_early_abandon(subs[i], subs[j], nearest));
+      if (nearest <= best.distance) break;  // cannot become the discord
+    }
+    if (std::isfinite(nearest) && nearest > best.distance) {
+      best.distance = nearest;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+DiscordResult find_discord_hotsax(std::span<const float> series,
+                                  const HotSaxParams& params) {
+  DR_EXPECTS(params.window >= 2);
+  DR_EXPECTS(series.size() >= 2 * params.window);
+  const std::size_t window = params.window;
+  const std::size_t count = series.size() - window + 1;
+  const auto subs = znormalized_subsequences(series, window);
+
+  // Bucket subsequences by SAX word.
+  std::map<std::string, std::vector<std::size_t>> buckets;
+  std::vector<std::string> words(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto sax = to_sax(series.subspan(i, window),
+                            {params.sax_segments, params.alphabet});
+    words[i] = sax_to_string(sax, params.alphabet);
+    buckets[words[i]].push_back(i);
+  }
+
+  // Outer loop: candidates from the rarest buckets first (likely discords).
+  std::vector<std::size_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return buckets[words[a]].size() < buckets[words[b]].size();
+  });
+
+  DiscordResult best;
+  best.distance = -1.0;
+  for (const std::size_t i : order) {
+    double nearest = std::numeric_limits<double>::infinity();
+    bool abandoned = false;
+
+    // Inner heuristic: same-bucket subsequences first (they are likely close,
+    // driving `nearest` down quickly and enabling early abandonment).
+    const auto visit = [&](std::size_t j) {
+      if (abandoned || i == j) return;
+      const std::size_t gap = (i > j) ? i - j : j - i;
+      if (gap < window) return;
+      ++best.calls;
+      nearest =
+          std::min(nearest, distance_early_abandon(subs[i], subs[j], nearest));
+      if (nearest <= best.distance) abandoned = true;
+    };
+
+    for (const std::size_t j : buckets[words[i]]) visit(j);
+    for (std::size_t j = 0; j < count && !abandoned; ++j) visit(j);
+
+    if (!abandoned && std::isfinite(nearest) && nearest > best.distance) {
+      best.distance = nearest;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dynriver::ts

@@ -1,0 +1,43 @@
+// Time-series discord discovery.
+//
+// A discord is the subsequence least similar to all others (Keogh, Lin & Fu,
+// "HOT SAX"). The paper positions ensembles as complementary to discords:
+// discords need a finite series, while ensembles are found online. We
+// implement both a brute-force reference and the HOT SAX heuristic ordering
+// so the relationship can be studied on extracted data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dynriver::ts {
+
+struct DiscordResult {
+  std::size_t index = 0;    ///< start of the discord subsequence
+  double distance = 0.0;    ///< distance to its nearest non-self match
+  std::size_t calls = 0;    ///< distance computations performed (for benches)
+};
+
+/// Z-normalized Euclidean distance between two equal-length subsequences.
+[[nodiscard]] double subsequence_distance(std::span<const float> a,
+                                          std::span<const float> b);
+
+/// Brute force O(n^2) discord search. Subsequences overlapping by more than
+/// zero samples are excluded as self-matches (|i - j| >= window).
+[[nodiscard]] DiscordResult find_discord_brute(std::span<const float> series,
+                                               std::size_t window);
+
+struct HotSaxParams {
+  std::size_t window = 64;
+  std::size_t sax_segments = 4;
+  std::size_t alphabet = 4;
+};
+
+/// HOT SAX: identical result to brute force, typically far fewer distance
+/// calls thanks to outer-loop ordering (rare SAX words first) and early
+/// abandoning in the inner loop.
+[[nodiscard]] DiscordResult find_discord_hotsax(std::span<const float> series,
+                                                const HotSaxParams& params);
+
+}  // namespace dynriver::ts

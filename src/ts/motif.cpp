@@ -1,0 +1,97 @@
+#include "ts/motif.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "ts/discord.hpp"
+#include "ts/znorm.hpp"
+
+namespace dynriver::ts {
+
+MotifResult find_motif_brute(std::span<const float> series,
+                             const MotifParams& params) {
+  const std::size_t window = params.window;
+  DR_EXPECTS(window >= 2);
+  DR_EXPECTS(series.size() >= 2 * window);
+  const std::size_t count = series.size() - window + 1;
+
+  std::vector<std::vector<float>> subs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    subs[i] = znormalize(series.subspan(i, window));
+  }
+
+  MotifResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + window; j < count; ++j) {
+      double acc = 0.0;
+      const double cutoff = best.distance * best.distance;
+      bool abandoned = false;
+      for (std::size_t k = 0; k < window; ++k) {
+        const double d =
+            static_cast<double>(subs[i][k]) - static_cast<double>(subs[j][k]);
+        acc += d * d;
+        if (acc >= cutoff) {
+          abandoned = true;
+          break;
+        }
+      }
+      if (!abandoned) {
+        best.distance = std::sqrt(acc);
+        best.first = i;
+        best.second = j;
+      }
+    }
+  }
+
+  if (std::isfinite(best.distance)) {
+    best.neighbors = motif_occurrences(series, window, best.first,
+                                       params.radius_scale * best.distance)
+                         .size();
+  }
+  return best;
+}
+
+std::vector<std::size_t> motif_occurrences(std::span<const float> series,
+                                           std::size_t window, std::size_t center,
+                                           double radius) {
+  DR_EXPECTS(window >= 2);
+  DR_EXPECTS(series.size() >= window);
+  DR_EXPECTS(center + window <= series.size());
+  const std::size_t count = series.size() - window + 1;
+  const auto center_sub = znormalize(series.subspan(center, window));
+
+  // Collect all candidates within radius, then keep a non-overlapping subset
+  // greedily by increasing distance.
+  std::vector<std::pair<double, std::size_t>> close;
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t gap = (center > j) ? center - j : j - center;
+    if (gap != 0 && gap < window) continue;
+    const auto sub = znormalize(series.subspan(j, window));
+    double acc = 0.0;
+    for (std::size_t k = 0; k < window; ++k) {
+      const double d =
+          static_cast<double>(center_sub[k]) - static_cast<double>(sub[k]);
+      acc += d * d;
+    }
+    const double dist = std::sqrt(acc);
+    if (dist <= radius) close.emplace_back(dist, j);
+  }
+  std::sort(close.begin(), close.end());
+
+  std::vector<std::size_t> picked;
+  for (const auto& [dist, j] : close) {
+    const bool overlaps = std::any_of(
+        picked.begin(), picked.end(), [&](std::size_t p) {
+          const std::size_t gap = (p > j) ? p - j : j - p;
+          return gap < window;
+        });
+    if (!overlaps) picked.push_back(j);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace dynriver::ts

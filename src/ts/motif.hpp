@@ -1,0 +1,40 @@
+// Time-series motif discovery (Lin et al., "Finding motifs in time series").
+//
+// A motif is a frequently occurring subsequence. The paper frames ensembles
+// as *candidate* motifs: locally anomalous patterns that may recur rarely.
+// This module finds the closest non-overlapping subsequence pair (the
+// 1-motif) and counts its neighbourhood, so extracted ensembles can be
+// post-classified as motif-like (recurring) or discord-like (isolated).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dynriver::ts {
+
+struct MotifResult {
+  std::size_t first = 0;     ///< start of the first occurrence
+  std::size_t second = 0;    ///< start of its closest non-overlapping match
+  double distance = 0.0;     ///< z-normalized Euclidean distance
+  std::size_t neighbors = 0; ///< occurrences within `radius` of `first`
+};
+
+struct MotifParams {
+  std::size_t window = 64;
+  /// Neighbourhood radius as a multiple of the motif pair distance
+  /// (neighbour iff dist <= radius_scale * motif distance).
+  double radius_scale = 2.0;
+};
+
+/// Exact closest-pair motif with self-match exclusion (|i-j| >= window).
+[[nodiscard]] MotifResult find_motif_brute(std::span<const float> series,
+                                           const MotifParams& params);
+
+/// All starts whose subsequence is within `radius` of `center`'s subsequence
+/// (non-overlapping with each other, greedy from best).
+[[nodiscard]] std::vector<std::size_t> motif_occurrences(
+    std::span<const float> series, std::size_t window, std::size_t center,
+    double radius);
+
+}  // namespace dynriver::ts

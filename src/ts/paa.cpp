@@ -1,0 +1,81 @@
+#include "ts/paa.hpp"
+
+#include "common/contracts.hpp"
+
+namespace dynriver::ts {
+
+std::vector<float> paa(std::span<const float> series, std::size_t segments) {
+  DR_EXPECTS(segments >= 1);
+  DR_EXPECTS(!series.empty());
+  DR_EXPECTS(segments <= series.size());
+
+  const std::size_t n = series.size();
+  std::vector<float> out(segments, 0.0F);
+
+  if (n % segments == 0) {
+    const std::size_t len = n / segments;
+    for (std::size_t s = 0; s < segments; ++s) {
+      double acc = 0.0;
+      for (std::size_t i = s * len; i < (s + 1) * len; ++i) {
+        acc += static_cast<double>(series[i]);
+      }
+      out[s] = static_cast<float>(acc / static_cast<double>(len));
+    }
+    return out;
+  }
+
+  // Generalized PAA: sample i contributes to segment floor(i*w/n) with
+  // fractional weighting at segment boundaries.
+  std::vector<double> acc(segments, 0.0);
+  const double seg_len = static_cast<double>(n) / static_cast<double>(segments);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(i);
+    const double hi = lo + 1.0;
+    std::size_t s0 = static_cast<std::size_t>(lo / seg_len);
+    std::size_t s1 = static_cast<std::size_t>((hi - 1e-12) / seg_len);
+    s0 = std::min(s0, segments - 1);
+    s1 = std::min(s1, segments - 1);
+    if (s0 == s1) {
+      acc[s0] += static_cast<double>(series[i]);
+    } else {
+      // Sample straddles a boundary: split its unit mass proportionally.
+      const double boundary = static_cast<double>(s1) * seg_len;
+      acc[s0] += static_cast<double>(series[i]) * (boundary - lo);
+      acc[s1] += static_cast<double>(series[i]) * (hi - boundary);
+    }
+  }
+  for (std::size_t s = 0; s < segments; ++s) {
+    out[s] = static_cast<float>(acc[s] / seg_len);
+  }
+  return out;
+}
+
+std::vector<float> paa_reduce_by(std::span<const float> series, std::size_t factor) {
+  DR_EXPECTS(factor >= 1);
+  if (series.empty()) return {};
+  const std::size_t n = series.size();
+  const std::size_t segments = (n + factor - 1) / factor;
+  std::vector<float> out(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::size_t lo = s * factor;
+    const std::size_t hi = std::min(lo + factor, n);
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) acc += static_cast<double>(series[i]);
+    out[s] = static_cast<float>(acc / static_cast<double>(hi - lo));
+  }
+  return out;
+}
+
+std::vector<float> paa_inverse(std::span<const float> reduced, std::size_t n) {
+  DR_EXPECTS(!reduced.empty());
+  DR_EXPECTS(n >= reduced.size());
+  std::vector<float> out(n);
+  const std::size_t w = reduced.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = std::min(i * w / n, w - 1);
+    out[i] = reduced[s];
+  }
+  return out;
+}
+
+}  // namespace dynriver::ts

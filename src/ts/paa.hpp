@@ -1,0 +1,31 @@
+// Piecewise Aggregate Approximation (paper, Section 2; Keogh et al. / Yi &
+// Faloutsos).
+//
+// A sequence Q of length n is segmented into w <= n equal-sized subsequences
+// and each segment is replaced by its mean. PAA "smoothes intra-signal
+// variation and reduces pattern dimensionality". When n is not divisible by
+// w, fractional frames are handled by weighting boundary samples (standard
+// generalized PAA), so any (n, w) combination is valid.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dynriver::ts {
+
+/// Reduce `series` to `segments` mean values.
+[[nodiscard]] std::vector<float> paa(std::span<const float> series,
+                                     std::size_t segments);
+
+/// Reduce by an integer factor: output length = ceil(n / factor); each output
+/// is the mean of up to `factor` consecutive samples. Matches the paper's
+/// "reduced by a factor of 10 using PAA".
+[[nodiscard]] std::vector<float> paa_reduce_by(std::span<const float> series,
+                                               std::size_t factor);
+
+/// Expand a PAA sequence back to length n (piecewise-constant inverse),
+/// useful for visual comparison like the paper's Figure 3.
+[[nodiscard]] std::vector<float> paa_inverse(std::span<const float> reduced,
+                                             std::size_t n);
+
+}  // namespace dynriver::ts

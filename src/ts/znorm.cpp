@@ -1,0 +1,49 @@
+#include "ts/znorm.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace dynriver::ts {
+
+std::vector<float> znormalize(std::span<const float> series) {
+  std::vector<float> out(series.begin(), series.end());
+  znormalize_inplace(out);
+  return out;
+}
+
+void znormalize_inplace(std::span<float> series) {
+  if (series.empty()) return;
+  const double mu = mean_of(series);
+  const double sigma = stddev_of(series);
+  if (sigma < kZnormEpsilon) {
+    for (auto& v : series) v = 0.0F;
+    return;
+  }
+  const auto fmu = static_cast<float>(mu);
+  const auto inv = static_cast<float>(1.0 / sigma);
+  for (auto& v : series) v = (v - fmu) * inv;
+}
+
+float StreamingZnorm::push(float x) {
+  ++count_;
+  const double delta = static_cast<double>(x) - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (static_cast<double>(x) - mean_);
+  const double sigma = stddev();
+  if (count_ < 2 || sigma < kZnormEpsilon) return 0.0F;
+  return static_cast<float>((static_cast<double>(x) - mean_) / sigma);
+}
+
+double StreamingZnorm::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+void StreamingZnorm::reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+}  // namespace dynriver::ts

@@ -1,0 +1,161 @@
+// Common utilities: contracts, running statistics, moving average, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+
+using dynriver::MovingAverage;
+using dynriver::Rng;
+using dynriver::RunningStats;
+
+TEST(Contracts, ViolationsThrowWithLocation) {
+  try {
+    DR_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const dynriver::ContractViolation& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresAndAssertDistinguished) {
+  EXPECT_THROW(DR_ENSURES(false), dynriver::ContractViolation);
+  EXPECT_THROW(DR_ASSERT(false), dynriver::ContractViolation);
+  EXPECT_NO_THROW(DR_EXPECTS(true));
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats rs;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);      // population
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_NEAR(rs.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, FewSamplesHaveZeroVariance) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(2.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffsets) {
+  RunningStats rs;
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  for (int i = 0; i < 1000; ++i) rs.add(1e9 + (i % 2));
+  EXPECT_NEAR(rs.variance(), 0.25, 1e-6);
+}
+
+TEST(MovingAverage, WarmupAveragesSeenValues) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.push(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ma.push(4.0), 3.0);
+  EXPECT_DOUBLE_EQ(ma.push(6.0), 4.0);
+}
+
+TEST(MovingAverage, SlidesAfterFilling) {
+  MovingAverage ma(3);
+  ma.push(1.0);
+  ma.push(2.0);
+  ma.push(3.0);
+  EXPECT_DOUBLE_EQ(ma.push(4.0), 3.0);   // (2+3+4)/3
+  EXPECT_DOUBLE_EQ(ma.push(10.0), 17.0 / 3.0);
+  EXPECT_EQ(ma.size(), 3u);
+}
+
+TEST(MovingAverage, WindowOneTracksInput) {
+  MovingAverage ma(1);
+  EXPECT_DOUBLE_EQ(ma.push(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(ma.push(-1.0), -1.0);
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAverage{0}, dynriver::ContractViolation);
+}
+
+TEST(MovingAverage, ResetRestartsWarmup) {
+  MovingAverage ma(3);
+  ma.push(9.0);
+  ma.reset();
+  EXPECT_DOUBLE_EQ(ma.value(), 0.0);
+  EXPECT_DOUBLE_EQ(ma.push(1.0), 1.0);
+}
+
+TEST(MeanStdHelpers, SpanOverloads) {
+  const std::vector<float> xs = {1.0F, 2.0F, 3.0F, 4.0F};
+  EXPECT_DOUBLE_EQ(dynriver::mean_of(std::span<const float>(xs)), 2.5);
+  EXPECT_NEAR(dynriver::stddev_of(std::span<const float>(xs)),
+              std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(dynriver::mean_of(std::span<const double>{}), 0.0);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(rng.gaussian(3.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 3.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Different children disagree (overwhelmingly likely).
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.uniform_int(0, 1000000) == child2.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  dynriver::Stopwatch watch;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);  // keep the loop observable
+  EXPECT_GT(watch.seconds(), 0.0);
+  EXPECT_GE(watch.millis(), watch.seconds() * 1000.0 * 0.99);
+}

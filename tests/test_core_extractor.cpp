@@ -1,0 +1,236 @@
+// End-to-end extraction on synthetic clips: planted vocalizations are found,
+// boundaries are sane, data reduction is near the paper's ~80%, and the
+// feature pipeline produces the paper's pattern geometry (1050/105 features,
+// 0.125 s cadence).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "core/extractor.hpp"
+#include "core/features.hpp"
+#include "core/params.hpp"
+#include "synth/station.hpp"
+
+namespace core = dynriver::core;
+namespace synth = dynriver::synth;
+
+namespace {
+core::PipelineParams default_params() {
+  core::PipelineParams p;
+  return p;
+}
+
+synth::ClipRecording make_clip(std::uint64_t seed,
+                               const std::vector<synth::SpeciesId>& singers) {
+  synth::StationParams sp;
+  synth::SensorStation station(sp, seed);
+  return station.record_clip(singers);
+}
+}  // namespace
+
+TEST(PipelineParams, PaperGeometry) {
+  const auto p = default_params();
+  EXPECT_EQ(p.cutout_lo_bin(), 50u);
+  EXPECT_EQ(p.cutout_hi_bin(), 400u);
+  EXPECT_EQ(p.bins_per_record(), 350u);
+  EXPECT_EQ(p.features_per_record(), 35u);   // PAA x10
+  EXPECT_EQ(p.features_per_pattern(), 105u); // 3 records merged
+  EXPECT_NEAR(p.pattern_seconds(), 0.125, 1e-9);
+
+  core::PipelineParams raw = p;
+  raw.use_paa = false;
+  EXPECT_EQ(raw.features_per_pattern(), 1050u);
+}
+
+TEST(PipelineParams, ValidationCatchesNonsense) {
+  auto p = default_params();
+  p.cutout_hi_hz = 20000.0;  // above Nyquist
+  EXPECT_THROW(p.validate(), dynriver::ContractViolation);
+
+  p = default_params();
+  p.dft_size = 100;  // smaller than record
+  EXPECT_THROW(p.validate(), dynriver::ContractViolation);
+}
+
+TEST(EnsembleExtractor, FindsPlantedVocalizations) {
+  const auto clip = make_clip(21, {synth::SpeciesId::kNOCA,
+                                   synth::SpeciesId::kNOCA});
+  const core::EnsembleExtractor extractor(default_params());
+  const auto result = extractor.extract(clip.clip.samples);
+
+  // Every planted song should be covered by some extracted ensemble.
+  for (const auto& t : clip.truth) {
+    bool found = false;
+    for (const auto& e : result.ensembles) {
+      if (synth::intervals_overlap(e.start_sample, e.end_sample(),
+                                   t.start_sample, t.end_sample(), 0.25)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "song at " << t.start_sample << " not extracted";
+  }
+}
+
+TEST(EnsembleExtractor, SilenceYieldsLittle) {
+  synth::StationParams sp;
+  sp.distractor_probability = 0.0;
+  synth::SensorStation station(sp, 22);
+  const auto clip = station.record_silence();
+  const core::EnsembleExtractor extractor(default_params());
+  const auto result = extractor.extract(clip.clip.samples);
+  // Background-only clips should keep almost nothing.
+  EXPECT_LT(static_cast<double>(result.retained_samples()),
+            0.1 * static_cast<double>(clip.clip.samples.size()));
+}
+
+TEST(EnsembleExtractor, DataReductionNearPaper) {
+  // The paper reports 80.6% reduction. With ~2 songs per 30 s clip the
+  // extracted fraction should land well above 50% reduction and below 99%.
+  const core::EnsembleExtractor extractor(default_params());
+  std::size_t total = 0;
+  std::size_t kept = 0;
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    const auto clip = make_clip(seed, {synth::SpeciesId::kBCCH,
+                                       synth::SpeciesId::kMODO});
+    const auto result = extractor.extract(clip.clip.samples);
+    total += clip.clip.samples.size();
+    kept += result.retained_samples();
+  }
+  const double reduction = 1.0 - static_cast<double>(kept) / total;
+  EXPECT_GT(reduction, 0.5);
+  EXPECT_LT(reduction, 0.99);
+}
+
+TEST(EnsembleExtractor, KeepSignalsProducesAlignedSeries) {
+  const auto clip = make_clip(41, {synth::SpeciesId::kRWBL});
+  const core::EnsembleExtractor extractor(default_params());
+  const auto result = extractor.extract(clip.clip.samples, /*keep_signals=*/true);
+  EXPECT_EQ(result.scores.size(), clip.clip.samples.size());
+  EXPECT_EQ(result.trigger.size(), clip.clip.samples.size());
+  ASSERT_FALSE(result.ensembles.empty());
+
+  // Ensemble boundaries are triggered samples; interiors may bridge short
+  // untriggered gaps (merge_gap_samples), but each ensemble must be
+  // substantially triggered and every long triggered run must be kept.
+  for (const auto& e : result.ensembles) {
+    EXPECT_EQ(result.trigger[e.start_sample], 1);
+    EXPECT_EQ(result.trigger[e.end_sample() - 1], 1);
+    std::size_t triggered = 0;
+    for (std::size_t i = e.start_sample; i < e.end_sample(); ++i) {
+      triggered += result.trigger[i];
+    }
+    EXPECT_GT(static_cast<double>(triggered) / e.length(), 0.3);
+  }
+}
+
+TEST(EnsembleExtractor, EnsemblesAreDisjointAndOrdered) {
+  const auto clip = make_clip(42, {synth::SpeciesId::kTUTI,
+                                   synth::SpeciesId::kWBNU});
+  const core::EnsembleExtractor extractor(default_params());
+  const auto result = extractor.extract(clip.clip.samples);
+  for (std::size_t i = 1; i < result.ensembles.size(); ++i) {
+    EXPECT_GE(result.ensembles[i].start_sample,
+              result.ensembles[i - 1].end_sample());
+  }
+  for (const auto& e : result.ensembles) {
+    EXPECT_GE(e.length(), default_params().min_ensemble_samples);
+    EXPECT_LE(e.end_sample(), clip.clip.samples.size());
+  }
+}
+
+TEST(EnsembleExtractor, EnsembleSamplesMatchOriginalSignal) {
+  const auto clip = make_clip(43, {synth::SpeciesId::kBLJA});
+  const core::EnsembleExtractor extractor(default_params());
+  const auto result = extractor.extract(clip.clip.samples);
+  ASSERT_FALSE(result.ensembles.empty());
+  for (const auto& e : result.ensembles) {
+    for (std::size_t i = 0; i < e.samples.size(); ++i) {
+      EXPECT_FLOAT_EQ(e.samples[i], clip.clip.samples[e.start_sample + i]);
+    }
+  }
+}
+
+TEST(FeatureExtractor, PatternGeometry) {
+  const core::FeatureExtractor fx(default_params());
+  // A 1-second ensemble at 21.6 kHz = 24 records -> with reslice 47 sliced
+  // records -> floor((47-3)/6)+1 = 8 patterns of 105 features.
+  std::vector<float> ensemble(21600);
+  for (std::size_t i = 0; i < ensemble.size(); ++i) {
+    ensemble[i] = static_cast<float>(std::sin(0.9 * static_cast<double>(i)));
+  }
+  const auto patterns = fx.patterns(ensemble);
+  ASSERT_FALSE(patterns.empty());
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.size(), 105u);
+  }
+  EXPECT_NEAR(static_cast<double>(patterns.size()), 8.0, 1.0);
+}
+
+TEST(FeatureExtractor, RawModeProduces1050Features) {
+  auto params = default_params();
+  params.use_paa = false;
+  const core::FeatureExtractor fx(params);
+  std::vector<float> ensemble(21600, 0.1F);
+  const auto patterns = fx.patterns(ensemble);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns.front().size(), 1050u);
+}
+
+TEST(FeatureExtractor, TooShortEnsembleYieldsNoPatterns) {
+  const core::FeatureExtractor fx(default_params());
+  std::vector<float> tiny(400, 0.5F);
+  EXPECT_TRUE(fx.patterns(tiny).empty());
+}
+
+TEST(FeatureExtractor, SpectrumPeaksInCorrectPaaBucket) {
+  // A pure 3 kHz tone: bin (3000-1200)/24 = 75 of the cutout band, PAA
+  // bucket 7 of 35 per record.
+  auto params = default_params();
+  const core::FeatureExtractor fx(params);
+  std::vector<float> record(900);
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    record[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 3000.0 * i / params.sample_rate));
+  }
+  const auto spectrum = fx.record_spectrum(record);
+  ASSERT_EQ(spectrum.size(), 35u);
+  const auto peak =
+      std::distance(spectrum.begin(),
+                    std::max_element(spectrum.begin(), spectrum.end()));
+  EXPECT_EQ(peak, 7);
+}
+
+TEST(FeatureExtractor, PaaPatternIsReductionOfRawPattern) {
+  auto raw_params = default_params();
+  raw_params.use_paa = false;
+  auto paa_params = default_params();
+
+  const core::FeatureExtractor raw_fx(raw_params);
+  const core::FeatureExtractor paa_fx(paa_params);
+
+  std::vector<float> ensemble(10800);
+  for (std::size_t i = 0; i < ensemble.size(); ++i) {
+    ensemble[i] = static_cast<float>(std::sin(0.31 * static_cast<double>(i)) +
+                                     0.2 * std::sin(1.7 * static_cast<double>(i)));
+  }
+  const auto raw = raw_fx.patterns(ensemble);
+  const auto paa = paa_fx.patterns(ensemble);
+  ASSERT_EQ(raw.size(), paa.size());
+  ASSERT_FALSE(raw.empty());
+
+  // Each PAA feature equals the mean of 10 consecutive raw features.
+  for (std::size_t p = 0; p < raw.size(); ++p) {
+    ASSERT_EQ(raw[p].size(), 1050u);
+    ASSERT_EQ(paa[p].size(), 105u);
+    for (std::size_t f = 0; f < 105; ++f) {
+      double mean = 0.0;
+      for (std::size_t k = 0; k < 10; ++k) mean += raw[p][f * 10 + k];
+      mean /= 10.0;
+      EXPECT_NEAR(paa[p][f], mean, 1e-4);
+    }
+  }
+}

@@ -1,0 +1,134 @@
+// FFT correctness: radix-2 and Bluestein against the naive DFT, Parseval,
+// impulse/sinusoid identities, inverse round-trips, bin geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "common/contracts.hpp"
+#include "dsp/fft.hpp"
+
+namespace dsp = dynriver::dsp;
+
+namespace {
+
+std::vector<dsp::Cplx> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<dsp::Cplx> out(n);
+  for (auto& v : out) v = {dist(gen), dist(gen)};
+  return out;
+}
+
+double max_error(const std::vector<dsp::Cplx>& a, const std::vector<dsp::Cplx>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
+  return err;
+}
+
+}  // namespace
+
+TEST(FftBasics, PowerOfTwoDetection) {
+  EXPECT_TRUE(dsp::is_power_of_two(1));
+  EXPECT_TRUE(dsp::is_power_of_two(2));
+  EXPECT_TRUE(dsp::is_power_of_two(1024));
+  EXPECT_FALSE(dsp::is_power_of_two(0));
+  EXPECT_FALSE(dsp::is_power_of_two(3));
+  EXPECT_FALSE(dsp::is_power_of_two(900));
+}
+
+TEST(FftBasics, NextPowerOfTwo) {
+  EXPECT_EQ(dsp::next_power_of_two(1), 1u);
+  EXPECT_EQ(dsp::next_power_of_two(2), 2u);
+  EXPECT_EQ(dsp::next_power_of_two(3), 4u);
+  EXPECT_EQ(dsp::next_power_of_two(900), 1024u);
+  EXPECT_EQ(dsp::next_power_of_two(1801), 2048u);
+}
+
+TEST(FftBasics, EmptyInput) {
+  EXPECT_TRUE(dsp::fft({}).empty());
+  EXPECT_TRUE(dsp::ifft({}).empty());
+}
+
+TEST(FftBasics, ImpulseHasFlatSpectrum) {
+  std::vector<dsp::Cplx> x(64, {0, 0});
+  x[0] = {1, 0};
+  const auto spec = dsp::fft(x);
+  for (const auto& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftBasics, PureToneConcentratesInOneBin) {
+  constexpr std::size_t kN = 128;
+  constexpr std::size_t kBin = 9;
+  std::vector<float> x(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * kBin * i / double(kN)));
+  }
+  const auto mags = dsp::magnitude_spectrum(x);
+  EXPECT_NEAR(mags[kBin], kN / 2.0, 1e-3);
+  EXPECT_NEAR(mags[kN - kBin], kN / 2.0, 1e-3);  // conjugate mirror
+  for (std::size_t k = 0; k < kN; ++k) {
+    if (k != kBin && k != kN - kBin) EXPECT_LT(mags[k], 1e-6) << "bin " << k;
+  }
+}
+
+// Cross-check fft against the naive DFT over a mix of power-of-2 and odd
+// lengths, including the pipeline's 900.
+class FftVsNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsNaive, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, static_cast<unsigned>(n));
+  const auto fast = dsp::fft(x);
+  const auto slow = dsp::dft_naive(x);
+  EXPECT_LT(max_error(fast, slow), 1e-7 * n) << "n=" << n;
+}
+
+TEST_P(FftVsNaive, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, static_cast<unsigned>(n) + 1000);
+  const auto back = dsp::ifft(dsp::fft(x));
+  EXPECT_LT(max_error(back, x), 1e-9 * n) << "n=" << n;
+}
+
+TEST_P(FftVsNaive, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, static_cast<unsigned>(n) + 2000);
+  const auto spec = dsp::fft(x);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  double freq_energy = 0.0;
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * n * std::max(1.0, time_energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsNaive,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 27, 64, 100,
+                                           128, 225, 256, 337, 512, 900, 1024));
+
+TEST(FftBins, BinFrequencyGeometry) {
+  // 900-point transform at 21600 Hz: 24 Hz bins.
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency(0, 900, 21600.0), 0.0);
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency(1, 900, 21600.0), 24.0);
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency(50, 900, 21600.0), 1200.0);
+  EXPECT_DOUBLE_EQ(dsp::bin_frequency(400, 900, 21600.0), 9600.0);
+}
+
+TEST(FftBins, FrequencyBinRoundTrip) {
+  EXPECT_EQ(dsp::frequency_bin(1200.0, 900, 21600.0), 50u);
+  EXPECT_EQ(dsp::frequency_bin(9600.0, 900, 21600.0), 400u);
+  EXPECT_EQ(dsp::frequency_bin(1211.0, 900, 21600.0), 50u);  // rounds to nearest
+  EXPECT_EQ(dsp::frequency_bin(1e9, 900, 21600.0), 899u);    // clamped
+}
+
+TEST(FftRadix2, RejectsNonPowerOfTwo) {
+  std::vector<dsp::Cplx> x(900);
+  EXPECT_THROW(dsp::fft_radix2(x, false), dynriver::ContractViolation);
+}

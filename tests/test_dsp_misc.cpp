@@ -1,0 +1,266 @@
+// DSP odds and ends: windows, WAV container, spectrogram, biquads, resampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numbers>
+
+#include "common/contracts.hpp"
+#include "dsp/biquad.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/spectrogram.hpp"
+#include "dsp/wav.hpp"
+#include "dsp/window.hpp"
+
+namespace dsp = dynriver::dsp;
+
+TEST(Window, WelchShape) {
+  const auto w = dsp::make_window(dsp::WindowKind::kWelch, 5);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_NEAR(w[0], 0.0F, 1e-6);
+  EXPECT_NEAR(w[2], 1.0F, 1e-6);  // peak at center
+  EXPECT_NEAR(w[4], 0.0F, 1e-6);
+  EXPECT_NEAR(w[1], 0.75F, 1e-6);  // 1 - (1/2)^2
+}
+
+TEST(Window, HannAndHammingEndpoints) {
+  const auto hann = dsp::make_window(dsp::WindowKind::kHann, 9);
+  EXPECT_NEAR(hann.front(), 0.0F, 1e-6);
+  EXPECT_NEAR(hann[4], 1.0F, 1e-6);
+  const auto hamming = dsp::make_window(dsp::WindowKind::kHamming, 9);
+  EXPECT_NEAR(hamming.front(), 0.08F, 1e-6);
+  EXPECT_NEAR(hamming[4], 1.0F, 1e-6);
+}
+
+TEST(Window, SymmetryForAllKinds) {
+  for (const auto kind : {dsp::WindowKind::kRectangular, dsp::WindowKind::kWelch,
+                          dsp::WindowKind::kHann, dsp::WindowKind::kHamming}) {
+    const auto w = dsp::make_window(kind, 64);
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_NEAR(w[i], w[63 - i], 1e-6) << dsp::to_string(kind) << " i=" << i;
+    }
+  }
+}
+
+TEST(Window, NameRoundTrip) {
+  for (const auto kind : {dsp::WindowKind::kRectangular, dsp::WindowKind::kWelch,
+                          dsp::WindowKind::kHann, dsp::WindowKind::kHamming}) {
+    EXPECT_EQ(dsp::window_from_string(dsp::to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)dsp::window_from_string("kaiser"), std::invalid_argument);
+}
+
+TEST(Window, ApplyScalesSamples) {
+  std::vector<float> data(8, 2.0F);
+  dsp::apply_window(data, dsp::WindowKind::kWelch);
+  EXPECT_NEAR(data.front(), 0.0F, 1e-6);
+  // Power helper is positive and below n.
+  const auto w = dsp::make_window(dsp::WindowKind::kWelch, 8);
+  const double power = dsp::window_power(w);
+  EXPECT_GT(power, 0.0);
+  EXPECT_LT(power, 8.0);
+}
+
+TEST(Wav, EncodeDecodeRoundTrip) {
+  dsp::WavClip clip;
+  clip.sample_rate = 21600;
+  clip.channels = 1;
+  clip.samples.resize(1000);
+  for (std::size_t i = 0; i < clip.samples.size(); ++i) {
+    clip.samples[i] = static_cast<float>(std::sin(0.05 * static_cast<double>(i)));
+  }
+  const auto decoded = dsp::decode_wav(dsp::encode_wav(clip));
+  EXPECT_EQ(decoded.sample_rate, clip.sample_rate);
+  EXPECT_EQ(decoded.channels, 1);
+  ASSERT_EQ(decoded.samples.size(), clip.samples.size());
+  for (std::size_t i = 0; i < clip.samples.size(); i += 37) {
+    EXPECT_NEAR(decoded.samples[i], clip.samples[i], 1.0F / 16000.0F);
+  }
+}
+
+TEST(Wav, ClampsOutOfRangeSamples) {
+  dsp::WavClip clip;
+  clip.sample_rate = 8000;
+  clip.samples = {2.0F, -3.0F};
+  const auto decoded = dsp::decode_wav(dsp::encode_wav(clip));
+  EXPECT_NEAR(decoded.samples[0], 1.0F, 1e-3);
+  EXPECT_NEAR(decoded.samples[1], -1.0F, 1e-3);
+}
+
+TEST(Wav, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "dr_test.wav";
+  dsp::WavClip clip;
+  clip.sample_rate = 21600;
+  clip.samples.assign(500, 0.25F);
+  dsp::write_wav(path, clip);
+  const auto loaded = dsp::read_wav(path);
+  EXPECT_EQ(loaded.samples.size(), 500u);
+  EXPECT_NEAR(loaded.duration_seconds(), 500.0 / 21600.0, 1e-9);
+  std::filesystem::remove(path);
+}
+
+TEST(Wav, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {'n', 'o', 't', 'w', 'a', 'v', '!'};
+  EXPECT_THROW((void)dsp::decode_wav(garbage), dsp::WavError);
+}
+
+TEST(Wav, StereoDownmix) {
+  dsp::WavClip clip;
+  clip.sample_rate = 8000;
+  clip.channels = 2;
+  clip.samples = {1.0F, 0.0F, 0.5F, 0.5F};  // interleaved L R
+  const auto mono = dsp::to_mono(clip);
+  ASSERT_EQ(mono.size(), 2u);
+  EXPECT_FLOAT_EQ(mono[0], 0.5F);
+  EXPECT_FLOAT_EQ(mono[1], 0.5F);
+}
+
+TEST(Spectrogram, ToneAppearsAtCorrectBinAndAllFrames) {
+  dsp::SpectrogramParams params;
+  params.frame_size = 256;
+  params.hop = 128;
+  params.sample_rate = 8192.0;
+  std::vector<float> signal(4096);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 1024.0 * i / params.sample_rate));
+  }
+  const auto spec = dsp::stft(signal, params);
+  ASSERT_GT(spec.num_frames(), 10u);
+  EXPECT_EQ(spec.num_bins(), 129u);
+  const std::size_t expected_bin = 32;  // 1024 Hz / (8192/256)
+  for (const auto& frame : spec.frames) {
+    std::size_t peak = 0;
+    for (std::size_t k = 1; k < frame.size(); ++k) {
+      if (frame[k] > frame[peak]) peak = k;
+    }
+    EXPECT_EQ(peak, expected_bin);
+  }
+  EXPECT_NEAR(spec.bin_freq(expected_bin), 1024.0, 1e-9);
+  EXPECT_NEAR(spec.frame_time(2), 2.0 * 128.0 / 8192.0, 1e-12);
+}
+
+TEST(Spectrogram, ShortSignalYieldsNoFrames) {
+  dsp::SpectrogramParams params;
+  params.frame_size = 256;
+  const std::vector<float> tiny(100, 1.0F);
+  EXPECT_EQ(dsp::stft(tiny, params).num_frames(), 0u);
+}
+
+TEST(Oscillogram, NormalizationCentersAndScales) {
+  const std::vector<float> signal = {1.0F, 2.0F, 3.0F};
+  const auto norm = dsp::normalize_oscillogram(signal);
+  EXPECT_FLOAT_EQ(norm[0], -1.0F);
+  EXPECT_FLOAT_EQ(norm[1], 0.0F);
+  EXPECT_FLOAT_EQ(norm[2], 1.0F);
+  // Constant signal -> all zeros, no division by zero.
+  const auto flat = dsp::normalize_oscillogram(std::vector<float>(5, 7.0F));
+  for (const float v : flat) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+TEST(AsciiRendering, ProducesNonEmptyArt) {
+  dsp::SpectrogramParams params;
+  params.frame_size = 128;
+  params.hop = 64;
+  params.sample_rate = 8192.0;
+  std::vector<float> signal(8192);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = static_cast<float>(std::sin(0.7 * static_cast<double>(i)));
+  }
+  const auto spec = dsp::stft(signal, params);
+  const auto art = dsp::ascii_spectrogram(spec, 40, 10);
+  EXPECT_GT(art.size(), 400u);
+  const auto osc = dsp::ascii_oscillogram(signal, 40, 6);
+  EXPECT_GT(osc.size(), 240u);
+}
+
+TEST(Biquad, LowPassAttenuatesHighFrequencies) {
+  constexpr double kRate = 21600.0;
+  auto lp = dsp::Biquad::low_pass(kRate, 500.0);
+  double low_energy = 0.0;
+  double high_energy = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    const auto low_in = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 100.0 * i / kRate));
+    low_energy += std::pow(lp.step(low_in), 2);
+  }
+  lp.reset_state();
+  for (int i = 0; i < 4096; ++i) {
+    const auto high_in = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 5000.0 * i / kRate));
+    high_energy += std::pow(lp.step(high_in), 2);
+  }
+  EXPECT_GT(low_energy, high_energy * 50.0);
+}
+
+TEST(Biquad, HighPassAttenuatesLowFrequencies) {
+  constexpr double kRate = 21600.0;
+  auto hp = dsp::Biquad::high_pass(kRate, 1000.0);
+  double low = 0.0, high = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    low += std::pow(hp.step(static_cast<float>(
+               std::sin(2.0 * std::numbers::pi * 100.0 * i / kRate))), 2);
+  }
+  hp.reset_state();
+  for (int i = 0; i < 4096; ++i) {
+    high += std::pow(hp.step(static_cast<float>(
+                std::sin(2.0 * std::numbers::pi * 5000.0 * i / kRate))), 2);
+  }
+  EXPECT_GT(high, low * 50.0);
+}
+
+TEST(Biquad, BandPassSelectsCenter) {
+  constexpr double kRate = 21600.0;
+  auto bp = dsp::Biquad::band_pass(kRate, 3000.0, 2.0);
+  double center = 0.0, off = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    center += std::pow(bp.step(static_cast<float>(
+                  std::sin(2.0 * std::numbers::pi * 3000.0 * i / kRate))), 2);
+  }
+  bp.reset_state();
+  for (int i = 0; i < 4096; ++i) {
+    off += std::pow(bp.step(static_cast<float>(
+               std::sin(2.0 * std::numbers::pi * 500.0 * i / kRate))), 2);
+  }
+  EXPECT_GT(center, off * 10.0);
+}
+
+TEST(Biquad, InvalidParamsThrow) {
+  EXPECT_THROW((void)dsp::Biquad::low_pass(8000.0, 5000.0),
+               dynriver::ContractViolation);  // above Nyquist
+  EXPECT_THROW((void)dsp::Biquad::high_pass(0.0, 100.0),
+               dynriver::ContractViolation);
+}
+
+TEST(Resample, IdentityWhenRatesMatch) {
+  const std::vector<float> x = {1.0F, 2.0F, 3.0F};
+  EXPECT_EQ(dsp::resample_linear(x, 8000, 8000), x);
+}
+
+TEST(Resample, PreservesToneFrequency) {
+  constexpr double kFrom = 44100.0;
+  constexpr double kTo = 21600.0;
+  std::vector<float> x(44100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 2000.0 * i / kFrom));
+  }
+  const auto y = dsp::resample_linear(x, kFrom, kTo);
+  EXPECT_NEAR(static_cast<double>(y.size()), kTo, 3.0);
+
+  // Count zero crossings: ~2 * 2000 per second.
+  int crossings = 0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if ((y[i - 1] < 0) != (y[i] < 0)) ++crossings;
+  }
+  EXPECT_NEAR(crossings, 4000, 40);
+}
+
+TEST(Resample, UpsamplingInterpolatesLinearly) {
+  const std::vector<float> x = {0.0F, 1.0F};
+  const auto y = dsp::resample_linear(x, 1000, 2000);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_FLOAT_EQ(y[0], 0.0F);
+  EXPECT_FLOAT_EQ(y[1], 0.5F);
+  EXPECT_FLOAT_EQ(y[2], 1.0F);
+}

@@ -1,0 +1,173 @@
+// Cross-cutting property tests: wire-format robustness under random
+// corruption, MESO invariants across its parameter space, and extraction
+// determinism.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/extractor.hpp"
+#include "meso/classifier.hpp"
+#include "river/wire.hpp"
+#include "synth/station.hpp"
+
+namespace core = dynriver::core;
+namespace meso = dynriver::meso;
+namespace river = dynriver::river;
+namespace synth = dynriver::synth;
+
+// -- Wire format: random single-byte corruption must never be accepted ------
+
+class WireCorruption : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WireCorruption, FlippedByteIsDetectedOrChangesNothing) {
+  std::mt19937 gen(GetParam());
+
+  river::Record rec = river::Record::data(
+      river::kSubtypeSpectrum, river::FloatVec(64, 1.25F));
+  rec.scope_depth = 2;
+  rec.set_attr("clip", std::int64_t{12});
+  rec.set_attr("station", std::string("kbs"));
+  const auto frame = river::encode_record(rec);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = frame;
+    const auto pos = std::uniform_int_distribution<std::size_t>(
+        0, corrupted.size() - 1)(gen);
+    const auto bit = std::uniform_int_distribution<int>(0, 7)(gen);
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 << bit);
+
+    // Either decoding throws (detected) -- it must never silently return a
+    // different record.
+    try {
+      const auto decoded = river::decode_record(corrupted);
+      // CRC collision for a single bit flip is impossible; the only benign
+      // path would be flipping a bit back to itself, which XOR precludes.
+      FAIL() << "corruption at byte " << pos << " bit " << bit
+             << " was not detected";
+    } catch (const river::WireError&) {
+      // expected
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireCorruption, ::testing::Values(1, 2, 3, 4));
+
+TEST(WireProperty, RoundTripRandomRecords) {
+  std::mt19937 gen(99);
+  std::uniform_real_distribution<float> dist(-10.0F, 10.0F);
+  for (int trial = 0; trial < 100; ++trial) {
+    river::Record rec;
+    rec.type = static_cast<river::RecordType>(
+        std::uniform_int_distribution<int>(0, 3)(gen));
+    rec.subtype = std::uniform_int_distribution<std::uint32_t>(0, 2000)(gen);
+    rec.scope_depth = std::uniform_int_distribution<std::uint32_t>(0, 8)(gen);
+    rec.sequence = gen();
+    const auto n = std::uniform_int_distribution<std::size_t>(0, 300)(gen);
+    river::FloatVec payload(n);
+    for (auto& v : payload) v = dist(gen);
+    if (n > 0) rec.payload = std::move(payload);
+    if (trial % 3 == 0) rec.set_attr("k", static_cast<double>(trial));
+
+    const auto decoded = river::decode_record(river::encode_record(rec));
+    EXPECT_TRUE(decoded == rec) << "trial " << trial;
+  }
+}
+
+// -- MESO invariants across its parameter space -----------------------------
+
+class MesoParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {
+};
+
+TEST_P(MesoParamSweep, InvariantsHoldForAllConfigurations) {
+  const auto [grow, shrink, leaf] = GetParam();
+  meso::MesoParams params;
+  params.grow_rate = grow;
+  params.shrink_rate = shrink;
+  params.tree_leaf_size = leaf;
+  meso::MesoClassifier clf(params);
+
+  std::mt19937 gen(static_cast<unsigned>(leaf * 100 + grow * 10));
+  std::normal_distribution<float> noise(0.0F, 0.6F);
+  for (int i = 0; i < 300; ++i) {
+    const int label = i % 4;
+    std::vector<float> x(6);
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      x[d] = (d % 4 == static_cast<std::size_t>(label) ? 3.0F : 0.0F) +
+             noise(gen);
+    }
+    clf.train(x, label);
+
+    // Invariants after every single training step:
+    EXPECT_EQ(clf.pattern_count(), static_cast<std::size_t>(i + 1));
+    EXPECT_GE(clf.sphere_count(), 1u);
+    EXPECT_LE(clf.sphere_count(), clf.pattern_count());
+    EXPECT_GE(clf.delta(), 0.0);
+  }
+  // Sphere membership partitions the training set.
+  std::size_t members = 0;
+  for (const auto& s : clf.spheres()) members += s.size();
+  EXPECT_EQ(members, clf.pattern_count());
+
+  // Classification still works on the exact blob centers.
+  for (int label = 0; label < 4; ++label) {
+    std::vector<float> center(6);
+    for (std::size_t d = 0; d < center.size(); ++d) {
+      center[d] = (d % 4 == static_cast<std::size_t>(label)) ? 3.0F : 0.0F;
+    }
+    EXPECT_EQ(clf.classify(center), label)
+        << "grow=" << grow << " shrink=" << shrink << " leaf=" << leaf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MesoParamSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.3),
+                       ::testing::Values(0.0, 0.1, 0.5),
+                       ::testing::Values(1u, 4u, 32u)));
+
+// -- Extraction determinism and monotone reduction ---------------------------
+
+TEST(ExtractionProperty, DeterministicAcrossRuns) {
+  synth::StationParams sp;
+  synth::SensorStation station(sp, 777);
+  const auto clip = station.record_clip({synth::SpeciesId::kNOCA});
+
+  const core::EnsembleExtractor extractor{core::PipelineParams{}};
+  const auto a = extractor.extract(clip.clip.samples);
+  const auto b = extractor.extract(clip.clip.samples);
+  ASSERT_EQ(a.ensembles.size(), b.ensembles.size());
+  for (std::size_t i = 0; i < a.ensembles.size(); ++i) {
+    EXPECT_EQ(a.ensembles[i].start_sample, b.ensembles[i].start_sample);
+    EXPECT_EQ(a.ensembles[i].samples, b.ensembles[i].samples);
+  }
+}
+
+class TriggerSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TriggerSigmaSweep, HigherThresholdNeverExtractsMore) {
+  synth::StationParams sp;
+  sp.distractor_probability = 0.0;
+  synth::SensorStation station(sp, 888);
+  const auto clip = station.record_clip(
+      {synth::SpeciesId::kBCCH, synth::SpeciesId::kTUTI});
+
+  core::PipelineParams lo;
+  lo.trigger_sigma = GetParam();
+  core::PipelineParams hi;
+  hi.trigger_sigma = GetParam() * 2.0;
+
+  const auto kept_lo = core::EnsembleExtractor(lo)
+                           .extract(clip.clip.samples)
+                           .retained_samples();
+  const auto kept_hi = core::EnsembleExtractor(hi)
+                           .extract(clip.clip.samples)
+                           .retained_samples();
+  // A stricter trigger keeps at most marginally more (merge-gap boundary
+  // effects) and usually strictly less.
+  EXPECT_LE(kept_hi, kept_lo + static_cast<std::size_t>(
+                                   lo.merge_gap_samples));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, TriggerSigmaSweep,
+                         ::testing::Values(2.0, 3.0, 5.0));

@@ -1,0 +1,190 @@
+// Pipeline composition: chaining, flush ordering, utility operators,
+// record logs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "river/ops_util.hpp"
+#include "river/pipeline.hpp"
+#include "river/record_log.hpp"
+
+namespace river = dynriver::river;
+using river::Record;
+using river::RecordType;
+
+namespace {
+/// Doubles every float payload value.
+class DoubleOp final : public river::Operator {
+ public:
+  void process(Record rec, river::Emitter& out) override {
+    if (rec.is_float()) {
+      for (auto& v : rec.floats()) v *= 2.0F;
+    }
+    out.emit(std::move(rec));
+  }
+  [[nodiscard]] std::string_view name() const override { return "double"; }
+};
+
+/// Buffers everything, emits on flush (tests flush cascading).
+class BufferAllOp final : public river::Operator {
+ public:
+  void process(Record rec, river::Emitter&) override {
+    buffered_.push_back(std::move(rec));
+  }
+  void flush(river::Emitter& out) override {
+    for (auto& rec : buffered_) out.emit(std::move(rec));
+    buffered_.clear();
+  }
+  [[nodiscard]] std::string_view name() const override { return "buffer_all"; }
+
+ private:
+  std::vector<Record> buffered_;
+};
+}  // namespace
+
+TEST(Pipeline, EmptyPipelinePassesThrough) {
+  river::Pipeline p;
+  auto out = river::run_pipeline(p, {Record::data(0, {1.0F})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0].floats()[0], 1.0F);
+}
+
+TEST(Pipeline, OperatorsChainInOrder) {
+  river::Pipeline p;
+  p.emplace<DoubleOp>().emplace<DoubleOp>();
+  auto out = river::run_pipeline(p, {Record::data(0, {3.0F})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0].floats()[0], 12.0F);  // x2 twice
+}
+
+TEST(Pipeline, FlushedRecordsTraverseDownstream) {
+  river::Pipeline p;
+  p.emplace<BufferAllOp>().emplace<DoubleOp>();
+  auto out = river::run_pipeline(p, {Record::data(0, {5.0F})});
+  ASSERT_EQ(out.size(), 1u);
+  // The buffered record must still pass the downstream DoubleOp on flush.
+  EXPECT_FLOAT_EQ(out[0].floats()[0], 10.0F);
+}
+
+TEST(Pipeline, TopologyReportsNames) {
+  river::Pipeline p;
+  p.emplace<DoubleOp>().emplace<river::IdentityOp>();
+  const auto names = p.topology();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "double");
+  EXPECT_EQ(names[1], "identity");
+}
+
+TEST(Pipeline, LambdaOperator) {
+  river::Pipeline p;
+  p.emplace<river::LambdaOperator>("drop_data", [](Record rec, river::Emitter& out) {
+    if (rec.type != RecordType::kData) out.emit(std::move(rec));
+  });
+  auto out = river::run_pipeline(
+      p, {Record::open_scope(river::kScopeClip, 0), Record::data(0, {1.0F}),
+          Record::close_scope(river::kScopeClip, 0)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CounterOp, CountsDataAndBytes) {
+  river::Pipeline p;
+  auto counter = std::make_unique<river::CounterOp>();
+  auto* raw = counter.get();
+  p.add(std::move(counter));
+  (void)river::run_pipeline(
+      p, {Record::open_scope(river::kScopeClip, 0),
+          Record::data(river::kSubtypeAudio, {1.0F, 2.0F, 3.0F}),
+          Record::data(river::kSubtypeAudio, {4.0F}),
+          Record::close_scope(river::kScopeClip, 0)});
+  EXPECT_EQ(raw->records(), 4u);
+  EXPECT_EQ(raw->data_records(), 2u);
+  EXPECT_EQ(raw->payload_bytes(), 16u);
+}
+
+TEST(SubtypeFilterOp, DropsOtherSubtypes) {
+  river::Pipeline p;
+  p.emplace<river::SubtypeFilterOp>(river::kSubtypeAudio);
+  auto out = river::run_pipeline(
+      p, {Record::open_scope(river::kScopeClip, 0),
+          Record::data(river::kSubtypeAudio, {1.0F}),
+          Record::data(river::kSubtypeSpectrum, {2.0F}),
+          Record::close_scope(river::kScopeClip, 0)});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].subtype, river::kSubtypeAudio);
+}
+
+TEST(ScopeSelectOp, KeepsOnlyMatchingScopes) {
+  river::Pipeline p;
+  p.emplace<river::ScopeSelectOp>(river::kScopeEnsemble);
+  auto out = river::run_pipeline(
+      p, {Record::open_scope(river::kScopeClip, 0),
+          Record::data(river::kSubtypeAudio, {9.0F}),  // outside: dropped
+          Record::open_scope(river::kScopeEnsemble, 1),
+          Record::data(river::kSubtypeAudio, {1.0F}),  // inside: kept
+          Record::close_scope(river::kScopeEnsemble, 1),
+          Record::data(river::kSubtypeAudio, {9.0F}),  // outside again
+          Record::close_scope(river::kScopeClip, 0)});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].type, RecordType::kOpenScope);
+  EXPECT_FLOAT_EQ(out[1].floats()[0], 1.0F);
+  EXPECT_EQ(out[2].type, RecordType::kCloseScope);
+}
+
+TEST(AttrStampOp, StampsEveryRecord) {
+  river::Pipeline p;
+  p.emplace<river::AttrStampOp>("station", std::string("kbs-1"));
+  auto out = river::run_pipeline(p, {Record::data(0, {1.0F})});
+  EXPECT_EQ(out[0].attr_string("station", ""), "kbs-1");
+}
+
+TEST(RecordLog, WriteReadRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "dr_test_log.drl";
+  {
+    river::RecordLogWriter writer(path);
+    for (int i = 0; i < 50; ++i) {
+      auto rec = Record::data(river::kSubtypeAudio, {static_cast<float>(i)});
+      rec.sequence = static_cast<std::uint64_t>(i);
+      writer.write(rec);
+    }
+    EXPECT_EQ(writer.records_written(), 50u);
+  }
+  river::RecordLogReader reader(path);
+  Record rec;
+  int count = 0;
+  while (reader.next(rec)) {
+    EXPECT_EQ(rec.sequence, static_cast<std::uint64_t>(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+  std::filesystem::remove(path);
+}
+
+TEST(RecordLog, ReadoutOpPersistsWhileForwarding) {
+  const auto path = std::filesystem::temp_directory_path() / "dr_test_readout.drl";
+  {
+    river::Pipeline p;
+    p.emplace<river::ReadoutOp>(path);
+    auto out = river::run_pipeline(
+        p, {Record::data(0, {1.0F}), Record::data(0, {2.0F})});
+    EXPECT_EQ(out.size(), 2u);  // forwarded
+  }
+  river::VectorEmitter replay;
+  EXPECT_EQ(river::replay_log(path, replay), 2u);  // persisted
+  EXPECT_EQ(replay.records.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(RecordLog, PartialTrailingFrameDetected) {
+  const auto path = std::filesystem::temp_directory_path() / "dr_test_trunc.drl";
+  {
+    river::RecordLogWriter writer(path);
+    writer.write(Record::data(0, {1.0F}));
+  }
+  // Truncate the file mid-frame.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+  river::RecordLogReader reader(path);
+  Record rec;
+  EXPECT_THROW((void)reader.next(rec), river::WireError);
+  std::filesystem::remove(path);
+}

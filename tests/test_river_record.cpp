@@ -1,0 +1,100 @@
+// Record model: payload typing, attributes, factories, equality.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "river/record.hpp"
+
+namespace river = dynriver::river;
+using river::Record;
+using river::RecordType;
+
+TEST(Record, DefaultIsEmptyData) {
+  const Record rec;
+  EXPECT_EQ(rec.type, RecordType::kData);
+  EXPECT_FALSE(rec.has_payload());
+  EXPECT_EQ(rec.payload_size(), 0u);
+  EXPECT_EQ(rec.payload_bytes(), 0u);
+}
+
+TEST(Record, FactoriesSetHeaders) {
+  const auto open = Record::open_scope(river::kScopeClip, 2);
+  EXPECT_EQ(open.type, RecordType::kOpenScope);
+  EXPECT_EQ(open.scope_type, river::kScopeClip);
+  EXPECT_EQ(open.scope_depth, 2u);
+
+  const auto close = Record::close_scope(river::kScopeEnsemble, 1);
+  EXPECT_EQ(close.type, RecordType::kCloseScope);
+
+  const auto bad = Record::bad_close_scope(river::kScopeClip, 0);
+  EXPECT_EQ(bad.type, RecordType::kBadCloseScope);
+  EXPECT_TRUE(river::is_scope_close(bad.type));
+  EXPECT_TRUE(river::is_scope_close(close.type));
+  EXPECT_FALSE(river::is_scope_close(open.type));
+}
+
+TEST(Record, TypedPayloadAccess) {
+  auto rec = Record::data(river::kSubtypeAudio, {1.0F, 2.0F, 3.0F});
+  EXPECT_TRUE(rec.is_float());
+  EXPECT_EQ(rec.floats().size(), 3u);
+  EXPECT_EQ(rec.payload_size(), 3u);
+  EXPECT_EQ(rec.payload_bytes(), 12u);
+  EXPECT_THROW((void)rec.cplx(), dynriver::ContractViolation);
+  EXPECT_THROW((void)rec.bytes(), dynriver::ContractViolation);
+}
+
+TEST(Record, ComplexAndBytePayloads) {
+  const auto cplx =
+      Record::data_complex(river::kSubtypeComplex, {{1.0F, -1.0F}, {0.5F, 2.0F}});
+  EXPECT_TRUE(cplx.is_complex());
+  EXPECT_EQ(cplx.payload_bytes(), 2 * sizeof(std::complex<float>));
+
+  const auto bytes = Record::data_bytes(river::kSubtypeRaw, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(bytes.is_bytes());
+  EXPECT_EQ(bytes.payload_bytes(), 5u);
+}
+
+TEST(Record, AttributeTypedReads) {
+  Record rec;
+  rec.set_attr("rate", 21600.0);
+  rec.set_attr("clip", std::int64_t{17});
+  rec.set_attr("station", std::string("kbs-3"));
+
+  EXPECT_TRUE(rec.has_attr("rate"));
+  EXPECT_FALSE(rec.has_attr("missing"));
+  EXPECT_DOUBLE_EQ(rec.attr_double("rate", 0.0), 21600.0);
+  EXPECT_EQ(rec.attr_int("clip", -1), 17);
+  EXPECT_EQ(rec.attr_string("station", ""), "kbs-3");
+  // Type mismatch falls back.
+  EXPECT_EQ(rec.attr_int("station", -1), -1);
+  // Int promotes to double.
+  EXPECT_DOUBLE_EQ(rec.attr_double("clip", 0.0), 17.0);
+  // Missing key falls back.
+  EXPECT_EQ(rec.attr_string("missing", "dflt"), "dflt");
+}
+
+TEST(Record, AttrOverwrite) {
+  Record rec;
+  rec.set_attr("k", std::int64_t{1});
+  rec.set_attr("k", std::int64_t{2});
+  EXPECT_EQ(rec.attr_int("k", 0), 2);
+  EXPECT_EQ(rec.attrs.size(), 1u);
+}
+
+TEST(Record, StructuralEquality) {
+  auto a = Record::data(river::kSubtypeAudio, {1.0F, 2.0F});
+  auto b = Record::data(river::kSubtypeAudio, {1.0F, 2.0F});
+  EXPECT_TRUE(a == b);
+  b.set_attr("x", 1.0);
+  EXPECT_FALSE(a == b);
+  a.set_attr("x", 1.0);
+  EXPECT_TRUE(a == b);
+  a.sequence = 5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RecordType, Names) {
+  EXPECT_STREQ(river::to_string(RecordType::kData), "Data");
+  EXPECT_STREQ(river::to_string(RecordType::kOpenScope), "OpenScope");
+  EXPECT_STREQ(river::to_string(RecordType::kCloseScope), "CloseScope");
+  EXPECT_STREQ(river::to_string(RecordType::kBadCloseScope), "BadCloseScope");
+}

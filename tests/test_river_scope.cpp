@@ -1,0 +1,99 @@
+// Scope grammar: nesting validation, forced closure, error detection.
+#include <gtest/gtest.h>
+
+#include "river/scope.hpp"
+
+namespace river = dynriver::river;
+using river::Record;
+using river::ScopeTracker;
+
+TEST(ScopeTracker, WellFormedNesting) {
+  ScopeTracker tracker;
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  EXPECT_EQ(tracker.depth(), 1u);
+  tracker.observe(Record::open_scope(river::kScopeEnsemble, 1));
+  EXPECT_EQ(tracker.depth(), 2u);
+  tracker.observe(Record::data(river::kSubtypeAudio, {1.0F}));
+  tracker.observe(Record::close_scope(river::kScopeEnsemble, 1));
+  tracker.observe(Record::close_scope(river::kScopeClip, 0));
+  EXPECT_EQ(tracker.depth(), 0u);
+  EXPECT_FALSE(tracker.any_open());
+}
+
+TEST(ScopeTracker, DataAllowedAtAnyDepth) {
+  ScopeTracker tracker;
+  tracker.observe(Record::data(river::kSubtypeAudio, {1.0F}));  // unscoped
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  tracker.observe(Record::data(river::kSubtypeAudio, {1.0F}));
+  EXPECT_EQ(tracker.depth(), 1u);
+}
+
+TEST(ScopeTracker, CloseWithoutOpenThrows) {
+  ScopeTracker tracker;
+  EXPECT_THROW(tracker.observe(Record::close_scope(river::kScopeClip, 0)),
+               river::ScopeError);
+}
+
+TEST(ScopeTracker, WrongDepthThrows) {
+  ScopeTracker tracker;
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  EXPECT_THROW(tracker.observe(Record::open_scope(river::kScopeEnsemble, 5)),
+               river::ScopeError);
+  EXPECT_THROW(tracker.observe(Record::close_scope(river::kScopeClip, 3)),
+               river::ScopeError);
+}
+
+TEST(ScopeTracker, WrongTypeThrows) {
+  ScopeTracker tracker;
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  EXPECT_THROW(tracker.observe(Record::close_scope(river::kScopeEnsemble, 0)),
+               river::ScopeError);
+}
+
+TEST(ScopeTracker, BadCloseAcceptedLikeClose) {
+  ScopeTracker tracker;
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  tracker.observe(Record::bad_close_scope(river::kScopeClip, 0));
+  EXPECT_EQ(tracker.depth(), 0u);
+}
+
+TEST(ScopeTracker, ForceCloseEmitsInnermostFirst) {
+  ScopeTracker tracker;
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  tracker.observe(Record::open_scope(river::kScopeEnsemble, 1));
+  tracker.observe(Record::open_scope(river::kUserScopeTypeBase + 7, 2));
+
+  const auto closes = tracker.force_close_all();
+  ASSERT_EQ(closes.size(), 3u);
+  EXPECT_EQ(closes[0].type, river::RecordType::kBadCloseScope);
+  EXPECT_EQ(closes[0].scope_type, river::kUserScopeTypeBase + 7);
+  EXPECT_EQ(closes[0].scope_depth, 2u);
+  EXPECT_EQ(closes[1].scope_type, river::kScopeEnsemble);
+  EXPECT_EQ(closes[1].scope_depth, 1u);
+  EXPECT_EQ(closes[2].scope_type, river::kScopeClip);
+  EXPECT_EQ(closes[2].scope_depth, 0u);
+  EXPECT_FALSE(tracker.any_open());
+
+  // The synthesized closes must themselves form a valid continuation.
+  ScopeTracker verifier;
+  verifier.observe(Record::open_scope(river::kScopeClip, 0));
+  verifier.observe(Record::open_scope(river::kScopeEnsemble, 1));
+  verifier.observe(Record::open_scope(river::kUserScopeTypeBase + 7, 2));
+  for (const auto& rec : closes) verifier.observe(rec);
+  EXPECT_FALSE(verifier.any_open());
+}
+
+TEST(ScopeTracker, ForceCloseOnEmptyIsEmpty) {
+  ScopeTracker tracker;
+  EXPECT_TRUE(tracker.force_close_all().empty());
+}
+
+TEST(ScopeTracker, OpenScopesExposed) {
+  ScopeTracker tracker;
+  tracker.observe(Record::open_scope(river::kScopeClip, 0));
+  tracker.observe(Record::open_scope(river::kScopeEnsemble, 1));
+  const auto& open = tracker.open_scopes();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(open[0], river::kScopeClip);
+  EXPECT_EQ(open[1], river::kScopeEnsemble);
+}

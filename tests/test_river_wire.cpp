@@ -1,0 +1,139 @@
+// Wire format: round-trips for every payload/attribute shape, checksum
+// detection, truncation handling, incremental decoding under arbitrary
+// fragmentation.
+#include <gtest/gtest.h>
+
+#include "river/wire.hpp"
+
+namespace river = dynriver::river;
+using river::Record;
+using river::RecordType;
+
+namespace {
+Record rich_record() {
+  auto rec = Record::data(river::kSubtypeSpectrum, {1.5F, -2.25F, 0.0F, 1e-7F});
+  rec.scope_depth = 3;
+  rec.scope_type = river::kScopeEnsemble;
+  rec.sequence = 0xDEADBEEFCAFEull;
+  rec.set_attr("rate", 21600.0);
+  rec.set_attr("clip", std::int64_t{-9});
+  rec.set_attr("station", std::string("kbs"));
+  return rec;
+}
+}  // namespace
+
+TEST(Wire, RoundTripRichRecord) {
+  const Record original = rich_record();
+  const auto frame = river::encode_record(original);
+  const Record decoded = river::decode_record(frame);
+  EXPECT_TRUE(decoded == original);
+}
+
+TEST(Wire, RoundTripAllRecordTypes) {
+  for (const auto type : {RecordType::kData, RecordType::kOpenScope,
+                          RecordType::kCloseScope, RecordType::kBadCloseScope}) {
+    Record rec;
+    rec.type = type;
+    rec.scope_type = river::kScopeClip;
+    const Record decoded = river::decode_record(river::encode_record(rec));
+    EXPECT_TRUE(decoded == rec);
+  }
+}
+
+TEST(Wire, RoundTripAllPayloadKinds) {
+  Record empty;
+  EXPECT_TRUE(river::decode_record(river::encode_record(empty)) == empty);
+
+  const auto bytes = Record::data_bytes(river::kSubtypeRaw, {0, 255, 128});
+  EXPECT_TRUE(river::decode_record(river::encode_record(bytes)) == bytes);
+
+  const auto floats = Record::data(river::kSubtypeAudio, {1.0F, -1.0F});
+  EXPECT_TRUE(river::decode_record(river::encode_record(floats)) == floats);
+
+  const auto cplx =
+      Record::data_complex(river::kSubtypeComplex, {{3.0F, 4.0F}});
+  EXPECT_TRUE(river::decode_record(river::encode_record(cplx)) == cplx);
+}
+
+TEST(Wire, RoundTripLargePayload) {
+  river::FloatVec big(100000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<float>(i);
+  const auto rec = Record::data(river::kSubtypeAudio, std::move(big));
+  EXPECT_TRUE(river::decode_record(river::encode_record(rec)) == rec);
+}
+
+TEST(Wire, BadMagicRejected) {
+  auto frame = river::encode_record(rich_record());
+  frame[0] ^= 0xFF;
+  EXPECT_THROW((void)river::decode_record(frame), river::WireError);
+}
+
+TEST(Wire, CorruptionDetectedByChecksum) {
+  auto frame = river::encode_record(rich_record());
+  frame[frame.size() / 2] ^= 0x01;  // flip one payload/attr bit
+  EXPECT_THROW((void)river::decode_record(frame), river::WireError);
+}
+
+TEST(Wire, TruncatedFrameRejected) {
+  const auto frame = river::encode_record(rich_record());
+  for (const std::size_t cut : {std::size_t{1}, frame.size() / 2, frame.size() - 1}) {
+    std::size_t consumed = 0;
+    EXPECT_THROW((void)river::decode_record(frame.data(), cut, consumed),
+                 river::WireError);
+  }
+}
+
+TEST(Wire, TrailingBytesRejected) {
+  auto frame = river::encode_record(rich_record());
+  frame.push_back(0);
+  EXPECT_THROW((void)river::decode_record(frame), river::WireError);
+}
+
+TEST(Wire, Crc32KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE 802.3).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(river::crc32(data, sizeof(data)), 0xCBF43926u);
+}
+
+// Incremental decoder must produce identical records regardless of how the
+// byte stream is fragmented.
+class WireDecoderFragmentation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WireDecoderFragmentation, ReassemblesChunkedStream) {
+  const std::size_t chunk = GetParam();
+  std::vector<Record> originals;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 25; ++i) {
+    auto rec = rich_record();
+    rec.sequence = static_cast<std::uint64_t>(i);
+    const auto frame = river::encode_record(rec);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    originals.push_back(std::move(rec));
+  }
+
+  river::WireDecoder decoder;
+  std::vector<Record> decoded;
+  Record rec;
+  for (std::size_t off = 0; off < stream.size(); off += chunk) {
+    const std::size_t len = std::min(chunk, stream.size() - off);
+    decoder.feed(stream.data() + off, len);
+    while (decoder.next(rec)) decoded.push_back(rec);
+  }
+  ASSERT_EQ(decoded.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_TRUE(decoded[i] == originals[i]) << "record " << i;
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, WireDecoderFragmentation,
+                         ::testing::Values(1, 3, 7, 16, 64, 333, 4096, 1 << 20));
+
+TEST(WireDecoder, SurfacesCorruptionMidStream) {
+  auto frame = river::encode_record(rich_record());
+  frame[10] ^= 0x40;  // corrupt after the magic
+  river::WireDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  Record rec;
+  EXPECT_THROW((void)decoder.next(rec), river::WireError);
+}

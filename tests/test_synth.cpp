@@ -1,0 +1,233 @@
+// Synthetic substrate: determinism, spectral placement of songs (in the
+// pipeline's cutout band), noise spectral placement (below the band), ground
+// truth integrity, and clip sizing against the paper's ~1.26 MB figure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/spectrogram.hpp"
+#include "synth/noise.hpp"
+#include "synth/species.hpp"
+#include "synth/station.hpp"
+
+namespace synth = dynriver::synth;
+namespace dsp = dynriver::dsp;
+using dynriver::Rng;
+
+namespace {
+constexpr double kRate = 21600.0;
+
+/// Fraction of spectral energy inside [lo_hz, hi_hz).
+double band_energy_fraction(const std::vector<float>& samples, double lo_hz,
+                            double hi_hz) {
+  dsp::SpectrogramParams params;
+  params.frame_size = 900;
+  params.hop = 450;
+  params.sample_rate = kRate;
+  const auto spec = dsp::stft(samples, params);
+  double in_band = 0.0;
+  double total = 1e-12;
+  for (const auto& frame : spec.frames) {
+    for (std::size_t k = 1; k < frame.size(); ++k) {  // skip DC
+      const double f = spec.bin_freq(k);
+      const double e = static_cast<double>(frame[k]) * frame[k];
+      total += e;
+      if (f >= lo_hz && f < hi_hz) in_band += e;
+    }
+  }
+  return in_band / total;
+}
+}  // namespace
+
+TEST(Syllable, RenderedLengthMatchesDuration) {
+  Rng rng(1);
+  synth::SyllableSpec spec;
+  spec.duration_s = 0.25;
+  const auto samples = synth::render_syllable(spec, kRate, rng);
+  EXPECT_EQ(samples.size(), static_cast<std::size_t>(0.25 * kRate));
+}
+
+TEST(Syllable, EnvelopeTapersEdges) {
+  Rng rng(2);
+  synth::SyllableSpec spec;
+  spec.duration_s = 0.2;
+  spec.attack_s = 0.02;
+  spec.release_s = 0.02;
+  const auto samples = synth::render_syllable(spec, kRate, rng);
+  EXPECT_NEAR(samples.front(), 0.0F, 1e-5);
+  EXPECT_NEAR(samples.back(), 0.0F, 1e-3);
+}
+
+TEST(Syllable, AmplitudeBounded) {
+  Rng rng(3);
+  synth::SyllableSpec spec;
+  spec.amplitude = 1.0;
+  spec.harmonics = 4;
+  spec.noise_mix = 0.5;
+  spec.duration_s = 0.3;
+  const auto samples = synth::render_syllable(spec, kRate, rng);
+  for (const float v : samples) EXPECT_LE(std::abs(v), 2.0F);
+}
+
+TEST(Syllable, ToneEnergyAtRequestedFrequency) {
+  Rng rng(4);
+  synth::SyllableSpec spec;
+  spec.f_start_hz = 3000;
+  spec.f_end_hz = 3000;
+  spec.duration_s = 0.3;
+  const auto samples = synth::render_syllable(spec, kRate, rng);
+  EXPECT_GT(band_energy_fraction(samples, 2800, 3200), 0.9);
+}
+
+TEST(SpeciesCatalog, HasTenSpeciesWithPaperCodes) {
+  const auto& cat = synth::species_catalog();
+  ASSERT_EQ(cat.size(), synth::kNumSpecies);
+  const char* codes[] = {"AMGO", "BCCH", "BLJA", "DOWO", "HOFI",
+                         "MODO", "NOCA", "RWBL", "TUTI", "WBNU"};
+  for (std::size_t i = 0; i < synth::kNumSpecies; ++i) {
+    EXPECT_EQ(cat[i].code, codes[i]);
+    EXPECT_FALSE(cat[i].elements.empty());
+  }
+}
+
+TEST(SpeciesCatalog, DurationsTrackTable1PatternsPerEnsemble) {
+  // patterns/ensembles in Table 1 implies relative song lengths: MODO is the
+  // longest (14.1 patterns/ensemble), AMGO/DOWO among the shortest (~5.4).
+  const double modo =
+      synth::nominal_song_duration(synth::species(synth::SpeciesId::kMODO));
+  const double amgo =
+      synth::nominal_song_duration(synth::species(synth::SpeciesId::kAMGO));
+  const double dowo =
+      synth::nominal_song_duration(synth::species(synth::SpeciesId::kDOWO));
+  EXPECT_GT(modo, 2.0 * amgo);
+  EXPECT_GT(modo, 2.0 * dowo);
+  for (std::size_t i = 0; i < synth::kNumSpecies; ++i) {
+    const double d = synth::nominal_song_duration(synth::species(i));
+    EXPECT_GT(d, 0.3) << synth::species(i).code;
+    EXPECT_LT(d, 3.0) << synth::species(i).code;
+  }
+}
+
+TEST(SpeciesRender, DeterministicGivenSeed) {
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const auto a =
+      synth::render_song(synth::species(synth::SpeciesId::kNOCA), kRate, rng_a);
+  const auto b =
+      synth::render_song(synth::species(synth::SpeciesId::kNOCA), kRate, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SpeciesRender, RenditionsVary) {
+  Rng rng(100);
+  const auto a =
+      synth::render_song(synth::species(synth::SpeciesId::kBCCH), kRate, rng);
+  const auto b =
+      synth::render_song(synth::species(synth::SpeciesId::kBCCH), kRate, rng);
+  EXPECT_NE(a, b);  // jitter must produce different renditions
+}
+
+class SpeciesBandEnergy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpeciesBandEnergy, SongEnergyInsideCutoutBand) {
+  // Every species must put most of its energy in the pipeline's analysis
+  // band [1.2, 9.6) kHz, or classification could not possibly work.
+  Rng rng(GetParam() * 31 + 5);
+  const auto song = synth::render_song(synth::species(GetParam()), kRate, rng);
+  EXPECT_GT(band_energy_fraction(song, 1200, 9600), 0.55)
+      << synth::species(GetParam()).code;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecies, SpeciesBandEnergy,
+                         ::testing::Range<std::size_t>(0, synth::kNumSpecies));
+
+TEST(NoiseModels, WindEnergyIsBelowTheBand) {
+  auto samples = synth::render_background(Rng(5), kRate, 1 << 16,
+                                          {.wind = 1.0, .human = 0.0,
+                                           .ambient = 0.0});
+  EXPECT_LT(band_energy_fraction(samples, 1200, 9600), 0.1);
+}
+
+TEST(NoiseModels, HumanActivityEnergyIsBelowTheBand) {
+  auto samples = synth::render_background(Rng(6), kRate, 1 << 16,
+                                          {.wind = 0.0, .human = 1.0,
+                                           .ambient = 0.0});
+  EXPECT_LT(band_energy_fraction(samples, 1200, 9600), 0.15);
+}
+
+TEST(NoiseModels, PinkNoiseHasMoreLowThanHighEnergy) {
+  synth::PinkNoise pink{Rng(7)};
+  std::vector<float> samples(1 << 15);
+  for (auto& v : samples) v = pink.step();
+  const double low = band_energy_fraction(samples, 0, 2000);
+  const double high = band_energy_fraction(samples, 8000, 10800);
+  EXPECT_GT(low, high * 2.0);
+}
+
+TEST(SensorStation, ClipSizeMatchesPaper) {
+  synth::StationParams params;
+  synth::SensorStation station(params, 11);
+  const auto rec = station.record_silence();
+  // 30 s x 21600 Hz x 2 bytes = 1.296 MB, the paper's "approximately 1.26MB".
+  const double mb = static_cast<double>(rec.clip.samples.size()) * 2.0 / 1e6;
+  EXPECT_NEAR(mb, 1.296, 1e-6);
+  EXPECT_NEAR(rec.clip.duration_seconds(), 30.0, 1e-9);
+}
+
+TEST(SensorStation, GroundTruthMatchesRequestedSingers) {
+  synth::StationParams params;
+  synth::SensorStation station(params, 12);
+  const std::vector<synth::SpeciesId> singers = {
+      synth::SpeciesId::kNOCA, synth::SpeciesId::kMODO, synth::SpeciesId::kNOCA};
+  const auto rec = station.record_clip(singers);
+  ASSERT_EQ(rec.truth.size(), 3u);
+  std::size_t noca = 0, modo = 0;
+  for (const auto& t : rec.truth) {
+    if (t.species == synth::SpeciesId::kNOCA) ++noca;
+    if (t.species == synth::SpeciesId::kMODO) ++modo;
+    EXPECT_GT(t.length, 0u);
+    EXPECT_LE(t.end_sample(), rec.clip.samples.size());
+  }
+  EXPECT_EQ(noca, 2u);
+  EXPECT_EQ(modo, 1u);
+}
+
+TEST(SensorStation, EventsAreDisjointAndOrdered) {
+  synth::StationParams params;
+  synth::SensorStation station(params, 13);
+  const std::vector<synth::SpeciesId> singers(
+      4, synth::SpeciesId::kTUTI);
+  const auto rec = station.record_clip(singers);
+  ASSERT_EQ(rec.truth.size(), 4u);
+  for (std::size_t i = 1; i < rec.truth.size(); ++i) {
+    EXPECT_GE(rec.truth[i].start_sample, rec.truth[i - 1].end_sample());
+  }
+}
+
+TEST(SensorStation, SongsRaiseInBandEnergy) {
+  synth::StationParams params;
+  synth::SensorStation station(params, 14);
+  const auto quiet = station.record_silence();
+  const auto singing = station.record_clip(
+      {synth::SpeciesId::kNOCA, synth::SpeciesId::kNOCA});
+  const double quiet_band = band_energy_fraction(quiet.clip.samples, 1200, 9600);
+  const double singing_band =
+      band_energy_fraction(singing.clip.samples, 1200, 9600);
+  EXPECT_GT(singing_band, quiet_band * 2.0);
+}
+
+TEST(SensorStation, ClipIdsIncrement) {
+  synth::StationParams params;
+  synth::SensorStation station(params, 15);
+  EXPECT_EQ(station.record_silence().clip_id, 0u);
+  EXPECT_EQ(station.record_silence().clip_id, 1u);
+  EXPECT_EQ(station.clips_recorded(), 2u);
+}
+
+TEST(IntervalOverlap, Basics) {
+  EXPECT_TRUE(synth::intervals_overlap(0, 100, 50, 150, 0.5));
+  EXPECT_FALSE(synth::intervals_overlap(0, 100, 100, 200, 0.01));
+  EXPECT_FALSE(synth::intervals_overlap(0, 100, 95, 300, 0.5));
+  EXPECT_TRUE(synth::intervals_overlap(0, 1000, 400, 500, 1.0));  // containment
+}

@@ -1,0 +1,212 @@
+// Z-normalization, PAA properties (parameterized), discord and motif
+// discovery on planted structures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "common/contracts.hpp"
+#include "ts/discord.hpp"
+#include "ts/motif.hpp"
+#include "ts/paa.hpp"
+#include "ts/znorm.hpp"
+
+namespace ts = dynriver::ts;
+
+TEST(Znorm, ZeroMeanUnitVariance) {
+  std::vector<float> xs = {1.0F, 5.0F, 3.0F, 7.0F, 4.0F, 2.0F};
+  const auto z = ts::znormalize(xs);
+  double mean = 0.0;
+  for (const float v : z) mean += v;
+  mean /= static_cast<double>(z.size());
+  EXPECT_NEAR(mean, 0.0, 1e-6);
+  double var = 0.0;
+  for (const float v : z) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(z.size());
+  EXPECT_NEAR(var, 1.0, 1e-5);
+}
+
+TEST(Znorm, ConstantSeriesBecomesZeros) {
+  const auto z = ts::znormalize(std::vector<float>(10, 4.2F));
+  for (const float v : z) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+TEST(Znorm, ScaleAndOffsetInvariance) {
+  std::vector<float> a = {1.0F, 2.0F, 5.0F, 3.0F};
+  std::vector<float> b;
+  for (const float v : a) b.push_back(v * 7.0F + 100.0F);
+  const auto za = ts::znormalize(a);
+  const auto zb = ts::znormalize(b);
+  for (std::size_t i = 0; i < za.size(); ++i) EXPECT_NEAR(za[i], zb[i], 1e-4);
+}
+
+TEST(StreamingZnorm, ConvergesToBatchStatistics) {
+  std::mt19937 gen(5);
+  std::normal_distribution<float> dist(10.0F, 3.0F);
+  ts::StreamingZnorm zn;
+  for (int i = 0; i < 50000; ++i) (void)zn.push(dist(gen));
+  EXPECT_NEAR(zn.mean(), 10.0, 0.1);
+  EXPECT_NEAR(zn.stddev(), 3.0, 0.1);
+}
+
+class PaaProperties : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PaaProperties, MeanPreservedAndLengthCorrect) {
+  const auto [n, w] = GetParam();
+  if (w > n) GTEST_SKIP();
+  std::mt19937 gen(static_cast<unsigned>(n * 1000 + w));
+  std::uniform_real_distribution<float> dist(-5.0F, 5.0F);
+  std::vector<float> series(n);
+  for (auto& v : series) v = dist(gen);
+
+  const auto reduced = ts::paa(series, w);
+  ASSERT_EQ(reduced.size(), static_cast<std::size_t>(w));
+
+  // PAA preserves the global mean (each sample contributes its full mass).
+  double orig_mean = 0.0;
+  for (const float v : series) orig_mean += v;
+  orig_mean /= n;
+  double paa_mean = 0.0;
+  const double seg_len = static_cast<double>(n) / w;
+  for (const float v : reduced) paa_mean += v * seg_len;
+  paa_mean /= n;
+  EXPECT_NEAR(paa_mean, orig_mean, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PaaProperties,
+    ::testing::Combine(::testing::Values(10, 100, 128, 350, 900),
+                       ::testing::Values(1, 5, 7, 10, 35, 128)));
+
+TEST(Paa, EvenDivisionIsExactBlockMeans) {
+  const std::vector<float> xs = {1.0F, 3.0F, 5.0F, 7.0F, 2.0F, 4.0F};
+  const auto reduced = ts::paa(xs, 3);
+  ASSERT_EQ(reduced.size(), 3u);
+  EXPECT_FLOAT_EQ(reduced[0], 2.0F);
+  EXPECT_FLOAT_EQ(reduced[1], 6.0F);
+  EXPECT_FLOAT_EQ(reduced[2], 3.0F);
+}
+
+TEST(Paa, ReduceByFactorHandlesRemainder) {
+  const std::vector<float> xs = {2.0F, 4.0F, 6.0F, 8.0F, 10.0F};
+  const auto reduced = ts::paa_reduce_by(xs, 2);
+  ASSERT_EQ(reduced.size(), 3u);
+  EXPECT_FLOAT_EQ(reduced[0], 3.0F);
+  EXPECT_FLOAT_EQ(reduced[1], 7.0F);
+  EXPECT_FLOAT_EQ(reduced[2], 10.0F);  // lone tail sample
+}
+
+TEST(Paa, InverseExpandsPiecewiseConstant) {
+  const std::vector<float> reduced = {1.0F, 2.0F};
+  const auto expanded = ts::paa_inverse(reduced, 6);
+  ASSERT_EQ(expanded.size(), 6u);
+  EXPECT_FLOAT_EQ(expanded[0], 1.0F);
+  EXPECT_FLOAT_EQ(expanded[2], 1.0F);
+  EXPECT_FLOAT_EQ(expanded[3], 2.0F);
+  EXPECT_FLOAT_EQ(expanded[5], 2.0F);
+}
+
+TEST(Paa, SmoothingReducesVariance) {
+  std::mt19937 gen(3);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  std::vector<float> noisy(1000);
+  for (auto& v : noisy) v = dist(gen);
+  const auto smooth = ts::paa_reduce_by(noisy, 10);
+  double var_orig = 0.0;
+  for (const float v : noisy) var_orig += v * v;
+  var_orig /= noisy.size();
+  double var_smooth = 0.0;
+  for (const float v : smooth) var_smooth += v * v;
+  var_smooth /= smooth.size();
+  EXPECT_LT(var_smooth, var_orig * 0.3);  // ~1/10 in expectation
+}
+
+namespace {
+/// Periodic signal with one planted anomaly (a phase-inverted cycle).
+std::vector<float> periodic_with_anomaly(std::size_t n, std::size_t period,
+                                         std::size_t anomaly_at) {
+  std::vector<float> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                        static_cast<double>(period));
+    if (i >= anomaly_at && i < anomaly_at + period) v = -v * 0.4 + 0.5;
+    xs[i] = static_cast<float>(v);
+  }
+  return xs;
+}
+}  // namespace
+
+TEST(Discord, BruteForceFindsPlantedAnomaly) {
+  constexpr std::size_t kPeriod = 32;
+  constexpr std::size_t kAnomalyAt = 400;
+  const auto xs = periodic_with_anomaly(1024, kPeriod, kAnomalyAt);
+  const auto result = ts::find_discord_brute(xs, kPeriod);
+  // The discord window must overlap the planted anomaly.
+  EXPECT_GT(result.index + kPeriod, kAnomalyAt);
+  EXPECT_LT(result.index, kAnomalyAt + kPeriod);
+  EXPECT_GT(result.distance, 0.0);
+}
+
+TEST(Discord, HotSaxAgreesWithBruteForce) {
+  constexpr std::size_t kPeriod = 32;
+  const auto xs = periodic_with_anomaly(768, kPeriod, 300);
+  const auto brute = ts::find_discord_brute(xs, kPeriod);
+  ts::HotSaxParams params;
+  params.window = kPeriod;
+  const auto hot = ts::find_discord_hotsax(xs, params);
+  EXPECT_EQ(hot.index, brute.index);
+  EXPECT_NEAR(hot.distance, brute.distance, 1e-9);
+  // The heuristic must not do more work than brute force.
+  EXPECT_LE(hot.calls, brute.calls);
+}
+
+TEST(Discord, RequiresLongEnoughSeries) {
+  const std::vector<float> tiny(16, 1.0F);
+  EXPECT_THROW((void)ts::find_discord_brute(tiny, 16),
+               dynriver::ContractViolation);
+}
+
+TEST(Motif, FindsRepeatedPattern) {
+  // Noise with two identical embedded shapes.
+  std::mt19937 gen(17);
+  std::normal_distribution<float> dist(0.0F, 0.3F);
+  std::vector<float> xs(600);
+  for (auto& v : xs) v = dist(gen);
+  const auto shape = [](std::size_t k) {
+    return static_cast<float>(2.0 * std::sin(0.5 * static_cast<double>(k)) +
+                              static_cast<double>(k) * 0.05);
+  };
+  for (std::size_t k = 0; k < 50; ++k) {
+    xs[100 + k] = shape(k);
+    xs[400 + k] = shape(k);
+  }
+  ts::MotifParams params;
+  params.window = 50;
+  const auto motif = ts::find_motif_brute(xs, params);
+  EXPECT_NEAR(static_cast<double>(motif.first), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(motif.second), 400.0, 2.0);
+  EXPECT_LT(motif.distance, 1.0);
+  EXPECT_GE(motif.neighbors, 2u);
+}
+
+TEST(Motif, OccurrencesAreNonOverlapping) {
+  std::vector<float> xs(300);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<float>(std::sin(0.3 * static_cast<double>(i)));
+  }
+  const auto occurrences = ts::motif_occurrences(xs, 40, 0, 5.0);
+  for (std::size_t i = 1; i < occurrences.size(); ++i) {
+    EXPECT_GE(occurrences[i] - occurrences[i - 1], 40u);
+  }
+  EXPECT_GE(occurrences.size(), 2u);  // periodic signal recurs
+}
+
+TEST(SubsequenceDistance, IdenticalShapesAreZero) {
+  std::vector<float> a(64), b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = static_cast<float>(std::sin(0.2 * static_cast<double>(i)));
+    b[i] = a[i] * 5.0F + 3.0F;  // affine copy: same z-normalized shape
+  }
+  EXPECT_NEAR(ts::subsequence_distance(a, b), 0.0, 1e-4);
+}

@@ -1,0 +1,152 @@
+// SAX: inverse normal CDF accuracy, breakpoint equiprobability, the paper's
+// Figure 4 example shape, MINDIST lower-bound property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "common/contracts.hpp"
+#include "ts/sax.hpp"
+#include "ts/znorm.hpp"
+
+namespace ts = dynriver::ts;
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(ts::inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(ts::inverse_normal_cdf(0.8413447460685429), 1.0, 1e-6);
+  EXPECT_NEAR(ts::inverse_normal_cdf(0.02275013194817921), -2.0, 1e-6);
+  EXPECT_NEAR(ts::inverse_normal_cdf(0.9986501019683699), 3.0, 1e-6);
+}
+
+TEST(InverseNormalCdf, Symmetry) {
+  for (const double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(ts::inverse_normal_cdf(p), -ts::inverse_normal_cdf(1.0 - p), 1e-9);
+  }
+}
+
+TEST(InverseNormalCdf, RejectsOutOfRange) {
+  EXPECT_THROW((void)ts::inverse_normal_cdf(0.0), dynriver::ContractViolation);
+  EXPECT_THROW((void)ts::inverse_normal_cdf(1.0), dynriver::ContractViolation);
+}
+
+TEST(SaxBreakpoints, KnownTableValues) {
+  // Classic SAX lookup-table values (Lin et al.) for alphabet 4: -0.67, 0, 0.67.
+  const auto b4 = ts::sax_breakpoints(4);
+  ASSERT_EQ(b4.size(), 3u);
+  EXPECT_NEAR(b4[0], -0.6745, 1e-3);
+  EXPECT_NEAR(b4[1], 0.0, 1e-9);
+  EXPECT_NEAR(b4[2], 0.6745, 1e-3);
+
+  // Alphabet 8 (the paper's setting): -1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15.
+  const auto b8 = ts::sax_breakpoints(8);
+  ASSERT_EQ(b8.size(), 7u);
+  EXPECT_NEAR(b8[0], -1.1503, 1e-3);
+  EXPECT_NEAR(b8[3], 0.0, 1e-9);
+  EXPECT_NEAR(b8[6], 1.1503, 1e-3);
+}
+
+TEST(SaxBreakpoints, MonotonicallyIncreasing) {
+  for (std::size_t a = 2; a <= 20; ++a) {
+    const auto b = ts::sax_breakpoints(a);
+    ASSERT_EQ(b.size(), a - 1);
+    for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  }
+}
+
+// Gaussian data discretized against the breakpoints should hit each symbol
+// with roughly equal probability -- SAX's defining property.
+class SaxEquiprobability : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SaxEquiprobability, SymbolsAreEquiprobable) {
+  const std::size_t alphabet = GetParam();
+  std::mt19937 gen(1234);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  constexpr std::size_t kN = 200000;
+  std::vector<float> data(kN);
+  for (auto& v : data) v = dist(gen);
+
+  const auto breaks = ts::sax_breakpoints(alphabet);
+  std::vector<std::size_t> counts(alphabet, 0);
+  for (const float v : data) {
+    ++counts[ts::discretize_value(v, breaks)];
+  }
+  const double expected = static_cast<double>(kN) / static_cast<double>(alphabet);
+  for (std::size_t s = 0; s < alphabet; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]), expected, expected * 0.05)
+        << "symbol " << s << " alphabet " << alphabet;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, SaxEquiprobability,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16, 20));
+
+TEST(SaxConversion, FullPipelineProducesExpectedLength) {
+  std::vector<float> series(256);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = static_cast<float>(std::sin(0.1 * static_cast<double>(i)));
+  }
+  const auto sax = ts::to_sax(series, {18, 5});
+  EXPECT_EQ(sax.size(), 18u);
+  for (const auto s : sax) EXPECT_LT(s, 5);
+}
+
+TEST(SaxConversion, ConstantSeriesMapsToMiddleSymbol) {
+  // A constant series Z-normalizes to all zeros; with an even alphabet zero
+  // sits exactly on the middle breakpoint and lands in the upper-middle bin.
+  const std::vector<float> series(64, 3.14F);
+  const auto sax = ts::to_sax(series, {8, 4});
+  for (const auto s : sax) EXPECT_EQ(s, 2);
+}
+
+TEST(SaxToString, LettersAndIntegers) {
+  const std::vector<ts::Symbol> syms = {0, 1, 4, 2};
+  EXPECT_EQ(ts::sax_to_string(syms, 5), "abec");
+  EXPECT_EQ(ts::sax_to_string(syms, 30), "1 2 5 3");
+}
+
+TEST(SaxMinDist, ZeroForAdjacentSymbols) {
+  const std::vector<ts::Symbol> a = {0, 1, 2, 3};
+  const std::vector<ts::Symbol> b = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ts::sax_min_dist(a, b, 128, 5), 0.0);
+}
+
+TEST(SaxMinDist, LowerBoundsTrueDistance) {
+  // MINDIST(A,B) <= Euclid(a,b) for z-normalized sequences (Lin et al.).
+  std::mt19937 gen(99);
+  std::normal_distribution<float> dist(0.0F, 1.0F);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> x(120), y(120);
+    for (auto& v : x) v = dist(gen);
+    for (auto& v : y) v = dist(gen);
+    const auto zx = ts::znormalize(x);
+    const auto zy = ts::znormalize(y);
+    double true_dist = 0.0;
+    for (std::size_t i = 0; i < zx.size(); ++i) {
+      const double d = static_cast<double>(zx[i]) - static_cast<double>(zy[i]);
+      true_dist += d * d;
+    }
+    true_dist = std::sqrt(true_dist);
+
+    const auto sax_x = ts::to_sax(x, {12, 6});
+    const auto sax_y = ts::to_sax(y, {12, 6});
+    const double lower = ts::sax_min_dist(sax_x, sax_y, 120, 6);
+    EXPECT_LE(lower, true_dist + 1e-9) << "trial " << trial;
+  }
+}
+
+// The paper's Figure 4: an 18-segment PAA sequence mapped to alphabet 5,
+// rendered as integers. We verify the published SAX string shape: values in
+// [1,5] and transitions consistent with the discretization.
+TEST(SaxFigure4, PaperExampleShape) {
+  // Signal resembling Fig. 4's PAA profile (values in roughly [-2, 2]).
+  const std::vector<float> paa_values = {-0.5F, 0.2F, -0.4F, 0.9F,  0.1F, 0.0F,
+                                         0.05F, 0.7F, -1.8F, 1.9F,  0.0F, -1.7F,
+                                         -0.6F, 0.8F, 1.0F,  0.15F, 0.9F, 0.1F};
+  const auto breaks = ts::sax_breakpoints(5);
+  const auto syms = ts::discretize(paa_values, breaks);
+  ASSERT_EQ(syms.size(), 18u);
+  // Extremes map to extreme symbols.
+  EXPECT_EQ(syms[8], 0);  // -1.8 -> lowest region -> "1"
+  EXPECT_EQ(syms[9], 4);  // +1.9 -> highest region -> "5"
+  for (const auto s : syms) EXPECT_LT(s, 5);
+}
