@@ -38,9 +38,11 @@ int main() {
     dynriver::Stopwatch watch;
     double extract_seconds = 0.0;
     for (int c = 0; c < clips; ++c) {
-      const auto id1 = static_cast<synth::SpeciesId>(c % synth::kNumSpecies);
+      const auto id1 = static_cast<synth::SpeciesId>(static_cast<std::size_t>(c) %
+                                                     synth::kNumSpecies);
       const auto id2 =
-          static_cast<synth::SpeciesId>((c + 3) % synth::kNumSpecies);
+          static_cast<synth::SpeciesId>(static_cast<std::size_t>(c + 3) %
+                                        synth::kNumSpecies);
       const auto clip = station.record_clip({id1, id2});
 
       watch.restart();
@@ -67,11 +69,13 @@ int main() {
       }
     }
 
-    const double recall = 100.0 * found / static_cast<double>(planted);
+    const double recall =
+        100.0 * static_cast<double>(found) / static_cast<double>(planted);
     if (alphabet == 8) recall_at_8 = recall;
     std::printf("%-10zu %9.1f%% %12.2f %13.1f%% %12.3f\n", alphabet, recall,
                 static_cast<double>(spurious) / clips,
-                100.0 * (1.0 - static_cast<double>(kept) / total),
+                100.0 * (1.0 - static_cast<double>(kept) /
+                                   static_cast<double>(total)),
                 1e6 * extract_seconds / static_cast<double>(total));
   }
 

@@ -29,7 +29,8 @@ Quality measure(const core::PipelineParams& pp, int clips) {
 
   std::size_t planted = 0, found = 0, spurious = 0;
   for (int c = 0; c < clips; ++c) {
-    const auto id1 = static_cast<synth::SpeciesId>(c % synth::kNumSpecies);
+    const auto id1 = static_cast<synth::SpeciesId>(static_cast<std::size_t>(c) %
+                                                   synth::kNumSpecies);
     const auto clip = station.record_clip({id1, id1});
     const auto result = extractor.extract(clip.clip.samples);
     planted += clip.truth.size();
@@ -49,7 +50,7 @@ Quality measure(const core::PipelineParams& pp, int clips) {
       if (!used[e]) ++spurious;
     }
   }
-  return {100.0 * found / static_cast<double>(planted),
+  return {100.0 * static_cast<double>(found) / static_cast<double>(planted),
           static_cast<double>(spurious) / clips};
 }
 }  // namespace

@@ -33,14 +33,14 @@ int main() {
   int best_density = 0;
   for (const int density : {1, 2, 3, 4, 5}) {
     synth::StationParams sp;
-    synth::SensorStation station(sp, 9000 + density);
+    synth::SensorStation station(sp, static_cast<std::uint64_t>(9000 + density));
     std::size_t total = 0;
     std::size_t kept = 0;
     for (int c = 0; c < clips_per_density; ++c) {
       std::vector<synth::SpeciesId> singers;
       for (int s = 0; s < density; ++s) {
-        singers.push_back(static_cast<synth::SpeciesId>((c * density + s) %
-                                                        synth::kNumSpecies));
+        singers.push_back(static_cast<synth::SpeciesId>(
+            static_cast<std::size_t>(c * density + s) % synth::kNumSpecies));
       }
       const auto clip = station.record_clip(singers);
       const auto result = extractor.extract(clip.clip.samples);

@@ -77,7 +77,8 @@ int main() {
                 static_cast<double>(e.length()) / pp.sample_rate);
   }
   std::printf("Retained %.1f%% of the clip (reduction %.1f%%)\n",
-              100.0 * result.retained_samples() / static_cast<double>(n),
+              100.0 * static_cast<double>(result.retained_samples()) /
+                  static_cast<double>(n),
               100.0 * result.reduction_fraction(n));
 
   // Shape checks: each planted song is covered by an ensemble; the ensembles

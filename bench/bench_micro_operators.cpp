@@ -164,7 +164,8 @@ void BM_WireEncodeDecode900f(benchmark::State& state) {
     auto decoded = river::decode_record(frame);
     benchmark::DoNotOptimize(decoded);
   }
-  state.SetBytesProcessed(state.iterations() * 900 * sizeof(float));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(900 * sizeof(float)));
 }
 BENCHMARK(BM_WireEncodeDecode900f);
 

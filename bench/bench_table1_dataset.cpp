@@ -40,17 +40,21 @@ int main() {
     std::printf("%-6s %-26s | %8d %8d %8.2f | %8zu %8zu %8.2f\n", paper[s].code,
                 paper[s].common_name, paper[s].patterns, paper[s].ensembles,
                 ratio_paper, pat[s], ens[s], ratio_meas);
-    total_pat_paper += paper[s].patterns;
-    total_ens_paper += paper[s].ensembles;
+    total_pat_paper += static_cast<std::size_t>(paper[s].patterns);
+    total_ens_paper += static_cast<std::size_t>(paper[s].ensembles);
     total_pat += pat[s];
     total_ens += ens[s];
   }
   bench::print_rule(96);
   std::printf("%-6s %-26s | %8zu %8zu %8.2f | %8zu %8zu %8.2f\n", "TOTAL", "",
               total_pat_paper, total_ens_paper,
-              static_cast<double>(total_pat_paper) / total_ens_paper, total_pat,
+              static_cast<double>(total_pat_paper) /
+                  static_cast<double>(total_ens_paper),
+              total_pat,
               total_ens,
-              total_ens ? static_cast<double>(total_pat) / total_ens : 0.0);
+              total_ens ? static_cast<double>(total_pat) /
+                              static_cast<double>(total_ens)
+                        : 0.0);
 
   std::printf(
       "\n(P) = paper (473 ensembles / 3673 patterns from KBS recordings)\n"
@@ -62,7 +66,8 @@ int main() {
 
   // Shape checks the reproduction must satisfy.
   const auto ratio = [&](std::size_t s) {
-    return ens[s] ? static_cast<double>(pat[s]) / ens[s] : 0.0;
+    return ens[s] ? static_cast<double>(pat[s]) / static_cast<double>(ens[s])
+                  : 0.0;
   };
   const bool modo_longest =
       ratio(5) > ratio(0) && ratio(5) > ratio(3);  // MODO > AMGO, DOWO

@@ -63,7 +63,8 @@ int main() {
       rows[i].resub =
           eval::resubstitution_pattern(*sets[i], factory, resub_opts).accuracy;
     }
-    rows[i].timing = eval::measure_train_test(*sets[i], factory, 7 + i);
+    rows[i].timing = eval::measure_train_test(*sets[i], factory,
+                                              static_cast<std::uint64_t>(7 + i));
   }
 
   std::printf("\n%-14s | %18s | %18s | %12s\n", "Data set", "Leave-one-out %",

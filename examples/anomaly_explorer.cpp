@@ -36,7 +36,8 @@ std::vector<float> ecg_stream(std::size_t n, std::size_t anomaly_at,
     const double d = static_cast<double>(phase) - static_cast<double>(qrs_at);
     v += (anomalous ? 1.1 : 1.0) * std::exp(-d * d / (2.0 * 5.0 * 5.0));
     if (!anomalous) {
-      v += 0.15 * std::sin(2.0 * std::numbers::pi * phase / 160.0);  // T wave
+      v += 0.15 * std::sin(2.0 * std::numbers::pi *
+                           static_cast<double>(phase) / 160.0);  // T wave
     }
     xs[i] = static_cast<float>(v);
   }
@@ -49,7 +50,8 @@ std::vector<float> traffic_stream(std::size_t n, std::size_t burst_at,
                                   std::size_t burst_len, Rng& rng) {
   std::vector<float> xs(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double v = 1.0 + 0.15 * std::sin(2.0 * std::numbers::pi * i / 40000.0);
+    double v = 1.0 + 0.15 * std::sin(2.0 * std::numbers::pi *
+                                     static_cast<double>(i) / 40000.0);
     v += 0.08 * rng.gaussian(0.0, 1.0);
     if (i >= burst_at && i < burst_at + burst_len) {
       v += 2.5 + 0.8 * rng.gaussian(0.0, 1.0);  // volumetric burst
@@ -67,11 +69,15 @@ void report(const char* name, const core::ExtractionResult& result,
     const bool overlaps =
         e.start_sample < truth_at + truth_len && truth_at < e.end_sample();
     hit = hit || overlaps;
-    std::printf("  [%8.2f, %8.2f) %s\n", e.start_sample / rate,
-                e.end_sample() / rate, overlaps ? "<-- planted anomaly" : "");
+    std::printf("  [%8.2f, %8.2f) %s\n",
+                static_cast<double>(e.start_sample) / rate,
+                static_cast<double>(e.end_sample()) / rate,
+                overlaps ? "<-- planted anomaly" : "");
   }
-  std::printf("  planted anomaly at [%8.2f, %8.2f): %s\n\n", truth_at / rate,
-              (truth_at + truth_len) / rate, hit ? "FOUND" : "missed");
+  std::printf("  planted anomaly at [%8.2f, %8.2f): %s\n\n",
+              static_cast<double>(truth_at) / rate,
+              static_cast<double>(truth_at + truth_len) / rate,
+              hit ? "FOUND" : "missed");
 }
 
 }  // namespace
@@ -134,14 +140,15 @@ int main() {
     std::vector<float> xs(3000);
     for (std::size_t i = 0; i < xs.size(); ++i) {
       xs[i] = static_cast<float>(
-          std::sin(2.0 * std::numbers::pi * i / 100.0) +
+          std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 100.0) +
           0.05 * rng.gaussian(0.0, 1.0));
     }
     // Plant one discordant cycle and a repeated foreign shape.
     for (std::size_t k = 0; k < 100; ++k) {
       xs[1200 + k] = static_cast<float>(0.3 * rng.gaussian(0.0, 1.0));
       const auto shape =
-          static_cast<float>(0.8 * std::sin(2.0 * std::numbers::pi * k / 25.0));
+          static_cast<float>(0.8 * std::sin(2.0 * std::numbers::pi *
+                                            static_cast<double>(k) / 25.0));
       xs[500 + k] += shape;
       xs[2200 + k] += shape;
     }

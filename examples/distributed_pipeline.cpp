@@ -59,7 +59,8 @@ int main() {
     std::thread feeder([&] {
       for (int c = 0; c < 4; ++c) {
         feed_clip(*source, station,
-                  static_cast<synth::SpeciesId>(c % synth::kNumSpecies));
+                  static_cast<synth::SpeciesId>(static_cast<std::size_t>(c) %
+                                                synth::kNumSpecies));
         if (c == 1) {
           // Relocate while clips keep flowing.
           manager.relocate("birdsong", "observatory");

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
       const auto n_singers = fauna.uniform_int(1, 3);
       for (int s = 0; s < n_singers; ++s) {
         const auto id = static_cast<synth::SpeciesId>(
-            (st * 3 + fauna.uniform_int(0, 4)) % synth::kNumSpecies);
+            static_cast<std::size_t>(st * 3 + fauna.uniform_int(0, 4)) %
+            synth::kNumSpecies);
         singers.push_back(id);
         ++species_truth[static_cast<int>(id)];
       }
@@ -92,7 +93,9 @@ int main(int argc, char** argv) {
     std::printf("  %-28s %-9s | planted songs\n", "species", "detections");
     for (const auto& [species, count] : species_activity) {
       std::printf("  %-28s %-9d | %d\n",
-                  synth::species(species).common_name.c_str(), count,
+                  synth::species(static_cast<std::size_t>(species))
+                      .common_name.c_str(),
+                  count,
                   species_truth.count(species) ? species_truth[species] : 0);
     }
     std::printf("\n");
@@ -102,7 +105,8 @@ int main(int argc, char** argv) {
               "planted fauna.\n",
               total_detections,
               total_detections
-                  ? 100.0 * correct_detections / total_detections
+                  ? 100.0 * static_cast<double>(correct_detections) /
+                        static_cast<double>(total_detections)
                   : 0.0);
   return 0;
 }

@@ -86,9 +86,11 @@ int main(int argc, char** argv) {
         std::count(votes.begin(), votes.end(), winner));
     std::printf("%-10lld [%6.2f, %6.2f)  %-7zu %3.0f%%   %s (%s)\n",
                 static_cast<long long>(ensemble_id), t0, t1, votes.size(),
-                100.0 * winner_votes / votes.size(),
-                synth::species(winner).code.c_str(),
-                synth::species(winner).common_name.c_str());
+                100.0 * static_cast<double>(winner_votes) /
+                    static_cast<double>(votes.size()),
+                synth::species(static_cast<std::size_t>(winner)).code.c_str(),
+                synth::species(static_cast<std::size_t>(winner))
+                    .common_name.c_str());
   }
 
   std::printf("\nGround truth:\n");

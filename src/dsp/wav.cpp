@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <string_view>
 
 #include "common/contracts.hpp"
 
@@ -47,8 +48,10 @@ std::vector<std::uint8_t> encode_wav(const WavClip& clip) {
   std::vector<std::uint8_t> out;
   out.reserve(44 + data_bytes);
 
-  const auto put_tag = [&out](const char* tag) {
-    out.insert(out.end(), tag, tag + 4);
+  // Byte-wise append: GCC 12's -Wstringop-overflow misfires on
+  // vector::insert from a 4-char literal at -O2.
+  const auto put_tag = [&out](std::string_view tag) {
+    for (const char c : tag) out.push_back(static_cast<std::uint8_t>(c));
   };
 
   put_tag("RIFF");

@@ -102,7 +102,7 @@ BuildResult build_corpus(const BuildConfig& config) {
     while (planted < songs) {
       const int in_clip = std::min(config.songs_per_clip, songs - planted);
       const std::vector<synth::SpeciesId> singers(
-          in_clip, static_cast<synth::SpeciesId>(s));
+          static_cast<std::size_t>(in_clip), static_cast<synth::SpeciesId>(s));
       const synth::ClipRecording clip = station.record_clip(singers);
       planted += in_clip;
       sp_stats.planted += in_clip;

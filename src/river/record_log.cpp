@@ -1,13 +1,72 @@
 #include "river/record_log.hpp"
 
 #include <array>
+#include <vector>
 
 #include "common/contracts.hpp"
 
 namespace dynriver::river {
 
-RecordLogWriter::RecordLogWriter(const std::filesystem::path& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
+namespace {
+
+/// Scan an existing log and return {valid_bytes, valid_records}: the prefix
+/// that parses as complete frames. Anything past it — a torn tail from a
+/// writer that died mid-frame, or a corrupted frame — is dropped, matching
+/// write-ahead-log recovery semantics.
+std::pair<std::uintmax_t, std::size_t> scan_valid_prefix(
+    const std::filesystem::path& path) {
+  // A failed scan must abort recovery, never masquerade as "no valid
+  // frames": returning {0,0} here would make the caller truncate a log
+  // whose contents it simply could not read.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("cannot open record log for recovery scan: " +
+                             path.string());
+  }
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) {
+    throw std::runtime_error("cannot size record log for recovery scan: " +
+                             path.string());
+  }
+  const auto size = static_cast<std::size_t>(end_pos);
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) {
+    throw std::runtime_error("record log recovery scan read failed: " +
+                             path.string());
+  }
+
+  std::size_t pos = 0;
+  std::size_t records = 0;
+  while (pos < size) {
+    try {
+      std::size_t consumed = 0;
+      (void)decode_record(bytes.data() + pos, size - pos, consumed);
+      pos += consumed;
+      ++records;
+    } catch (const WireError&) {
+      break;
+    }
+  }
+  return {pos, records};
+}
+
+}  // namespace
+
+RecordLogWriter::RecordLogWriter(const std::filesystem::path& path,
+                                 LogOpenMode mode) {
+  if (mode == LogOpenMode::kRecover && std::filesystem::exists(path)) {
+    const auto [valid_bytes, valid_records] = scan_valid_prefix(path);
+    recovered_ = valid_records;
+    if (valid_bytes < std::filesystem::file_size(path)) {
+      std::filesystem::resize_file(path, valid_bytes);
+    }
+    out_.open(path, std::ios::binary | std::ios::app);
+  } else {
+    out_.open(path, std::ios::binary | std::ios::trunc);
+  }
   if (!out_) {
     throw std::runtime_error("cannot open record log for writing: " +
                              path.string());

@@ -16,19 +16,32 @@
 
 namespace dynriver::river {
 
+/// How RecordLogWriter treats an existing file at its path.
+enum class LogOpenMode {
+  /// Start a fresh log, discarding any existing file (default).
+  kTruncate,
+  /// Keep every complete frame already on disk, drop a trailing partial
+  /// write (e.g. from a station that died mid-frame), and append after it.
+  kRecover,
+};
+
 /// Appends wire-encoded records to a file.
 class RecordLogWriter {
  public:
-  explicit RecordLogWriter(const std::filesystem::path& path);
+  explicit RecordLogWriter(const std::filesystem::path& path,
+                           LogOpenMode mode = LogOpenMode::kTruncate);
 
   void write(const Record& rec);
   void close();
 
   [[nodiscard]] std::size_t records_written() const { return count_; }
+  /// Complete frames preserved from a previous writer (kRecover only).
+  [[nodiscard]] std::size_t recovered_records() const { return recovered_; }
 
  private:
   std::ofstream out_;
   std::size_t count_ = 0;
+  std::size_t recovered_ = 0;
 };
 
 /// Sequentially reads records back from a log file.

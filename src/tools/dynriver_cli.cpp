@@ -127,7 +127,8 @@ int cmd_extract(int argc, char** argv) {
 
   std::printf("%zu ensemble(s); kept %.1f%% of %zu samples\n",
               result.ensembles.size(),
-              100.0 * result.retained_samples() / std::max<std::size_t>(1, mono.size()),
+              100.0 * static_cast<double>(result.retained_samples()) /
+                  static_cast<double>(std::max<std::size_t>(1, mono.size())),
               mono.size());
   for (std::size_t i = 0; i < result.ensembles.size(); ++i) {
     const auto& e = result.ensembles[i];

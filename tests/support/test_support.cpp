@@ -1,0 +1,119 @@
+#include "test_support.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <random>
+
+#include <unistd.h>
+
+namespace dynriver::testsupport {
+
+namespace fs = std::filesystem;
+
+ScopedTempDir::ScopedTempDir(const std::string& tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto base = fs::temp_directory_path();
+  // Distinguish parallel ctest processes by pid, same-process reuse by counter.
+  const auto unique = tag + "_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(counter.fetch_add(1));
+  dir_ = base / unique;
+  fs::create_directories(dir_);
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  std::error_code ec;  // best effort: never throw from a destructor
+  fs::remove_all(dir_, ec);
+}
+
+namespace {
+template <typename T>
+double max_abs_error_impl(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) {
+    ADD_FAILURE() << "size mismatch: " << a.size() << " vs " << b.size();
+    return std::numeric_limits<double>::infinity();
+  }
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    err = std::max(err, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return err;
+}
+}  // namespace
+
+double max_abs_error(const std::vector<std::complex<double>>& a,
+                     const std::vector<std::complex<double>>& b) {
+  return max_abs_error_impl(a, b);
+}
+
+double max_abs_error(const std::vector<float>& a, const std::vector<float>& b) {
+  return max_abs_error_impl(a, b);
+}
+
+double max_abs_error(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  return max_abs_error_impl(a, b);
+}
+
+std::vector<std::complex<double>> random_complex_signal(std::size_t n,
+                                                        unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> out(n);
+  for (auto& v : out) v = {dist(gen), dist(gen)};
+  return out;
+}
+
+std::vector<float> noise_with_tone(std::size_t n, std::size_t tone_start,
+                                   std::size_t tone_len, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0F, 0.1F);
+  std::vector<float> x(n);
+  for (auto& v : x) v = dist(gen);
+  for (std::size_t i = tone_start; i < std::min(n, tone_start + tone_len); ++i) {
+    x[i] += static_cast<float>(
+        0.8 * std::sin(2.0 * std::numbers::pi * 0.05 * static_cast<double>(i)));
+  }
+  return x;
+}
+
+std::vector<float> noise_with_bursts(std::size_t n, std::size_t start,
+                                     std::size_t len, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0F, 0.1F);
+  std::vector<float> x(n);
+  for (auto& v : x) v = dist(gen);
+  for (std::size_t i = start; i < std::min(n, start + len); ++i) {
+    const std::size_t phase = (i - start) % 1800;
+    if (phase < 1200) {
+      x[i] += static_cast<float>(
+          0.8 * std::sin(2.0 * std::numbers::pi * 0.05 * static_cast<double>(i)));
+    }
+  }
+  return x;
+}
+
+std::vector<float> periodic_with_anomaly(std::size_t n, std::size_t period,
+                                         std::size_t anomaly_at) {
+  std::vector<float> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                        static_cast<double>(period));
+    if (i >= anomaly_at && i < anomaly_at + period) v = -v * 0.4 + 0.5;
+    xs[i] = static_cast<float>(v);
+  }
+  return xs;
+}
+
+synth::ClipRecording record_station_clip(
+    std::uint64_t seed, const std::vector<synth::SpeciesId>& singers,
+    double distractor_probability) {
+  synth::StationParams sp;
+  sp.distractor_probability = distractor_probability;
+  synth::SensorStation station(sp, seed);
+  return station.record_clip(singers);
+}
+
+}  // namespace dynriver::testsupport

@@ -13,6 +13,7 @@
 #include "core/features.hpp"
 #include "core/params.hpp"
 #include "synth/station.hpp"
+#include "test_support.hpp"
 
 namespace core = dynriver::core;
 namespace synth = dynriver::synth;
@@ -25,9 +26,9 @@ core::PipelineParams default_params() {
 
 synth::ClipRecording make_clip(std::uint64_t seed,
                                const std::vector<synth::SpeciesId>& singers) {
-  synth::StationParams sp;
-  synth::SensorStation station(sp, seed);
-  return station.record_clip(singers);
+  // Keep the station default distractor probability: the extractor must
+  // tolerate the occasional non-bird transient.
+  return dynriver::testsupport::record_station_clip(seed, singers, 0.15);
 }
 }  // namespace
 
@@ -100,7 +101,8 @@ TEST(EnsembleExtractor, DataReductionNearPaper) {
     total += clip.clip.samples.size();
     kept += result.retained_samples();
   }
-  const double reduction = 1.0 - static_cast<double>(kept) / total;
+  const double reduction =
+      1.0 - static_cast<double>(kept) / static_cast<double>(total);
   EXPECT_GT(reduction, 0.5);
   EXPECT_LT(reduction, 0.99);
 }
@@ -123,7 +125,8 @@ TEST(EnsembleExtractor, KeepSignalsProducesAlignedSeries) {
     for (std::size_t i = e.start_sample; i < e.end_sample(); ++i) {
       triggered += result.trigger[i];
     }
-    EXPECT_GT(static_cast<double>(triggered) / e.length(), 0.3);
+    EXPECT_GT(static_cast<double>(triggered) / static_cast<double>(e.length()),
+              0.3);
   }
 }
 
@@ -193,8 +196,8 @@ TEST(FeatureExtractor, SpectrumPeaksInCorrectPaaBucket) {
   const core::FeatureExtractor fx(params);
   std::vector<float> record(900);
   for (std::size_t i = 0; i < record.size(); ++i) {
-    record[i] = static_cast<float>(
-        std::sin(2.0 * std::numbers::pi * 3000.0 * i / params.sample_rate));
+    record[i] = static_cast<float>(std::sin(
+        2.0 * std::numbers::pi * 3000.0 * static_cast<double>(i) / params.sample_rate));
   }
   const auto spectrum = fx.record_spectrum(record);
   ASSERT_EQ(spectrum.size(), 35u);

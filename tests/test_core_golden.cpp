@@ -1,0 +1,110 @@
+// Golden end-to-end extraction: a fixed-seed station clip with five planted
+// songs must always yield the same ensembles and land on the paper's ~80%
+// data reduction (Kasten, McKinley & Gage report 80.6%).
+//
+// Boundaries are asserted within a small tolerance rather than exactly:
+// the trigger threshold sits on floating-point accumulations whose last
+// few ULPs may differ across compilers and libm versions, which can shift
+// an onset by a handful of samples, never by a syllable.
+#include <gtest/gtest.h>
+
+#include "core/extractor.hpp"
+#include "core/params.hpp"
+#include "synth/station.hpp"
+#include "test_support.hpp"
+
+namespace core = dynriver::core;
+namespace synth = dynriver::synth;
+
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 11;
+
+/// Golden ensemble boundaries for kGoldenSeed (samples at 21.6 kHz).
+struct GoldenEnsemble {
+  std::size_t start;
+  std::size_t end;
+};
+constexpr GoldenEnsemble kGolden[] = {
+    {102946, 132726},
+    {206426, 243499},
+    {285414, 308885},
+    {346764, 369741},
+    {412769, 429112},
+};
+
+/// ±0.11 s: generous against float/libm drift, far below syllable scale.
+constexpr std::size_t kBoundaryTolerance = 2400;
+
+synth::ClipRecording golden_clip() {
+  return dynriver::testsupport::record_station_clip(
+      kGoldenSeed,
+      {synth::SpeciesId::kNOCA, synth::SpeciesId::kTUTI,
+       synth::SpeciesId::kBCCH, synth::SpeciesId::kMODO,
+       synth::SpeciesId::kRWBL});
+}
+
+void expect_near_sample(std::size_t actual, std::size_t expected,
+                        const char* what, std::size_t index) {
+  const std::size_t diff =
+      actual > expected ? actual - expected : expected - actual;
+  EXPECT_LE(diff, kBoundaryTolerance)
+      << what << " of ensemble " << index << ": got " << actual
+      << ", golden " << expected;
+}
+
+}  // namespace
+
+TEST(GoldenExtraction, EnsembleCountAndBoundaries) {
+  const auto clip = golden_clip();
+  const core::EnsembleExtractor extractor((core::PipelineParams()));
+  const auto result = extractor.extract(clip.clip.samples);
+
+  ASSERT_EQ(result.ensembles.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < std::size(kGolden); ++i) {
+    expect_near_sample(result.ensembles[i].start_sample, kGolden[i].start,
+                       "start", i);
+    expect_near_sample(result.ensembles[i].end_sample(), kGolden[i].end,
+                       "end", i);
+  }
+}
+
+TEST(GoldenExtraction, EveryPlantedSongIsCovered) {
+  const auto clip = golden_clip();
+  const core::EnsembleExtractor extractor((core::PipelineParams()));
+  const auto result = extractor.extract(clip.clip.samples);
+
+  ASSERT_EQ(clip.truth.size(), std::size(kGolden));
+  for (const auto& t : clip.truth) {
+    bool covered = false;
+    for (const auto& e : result.ensembles) {
+      if (synth::intervals_overlap(e.start_sample, e.end_sample(),
+                                   t.start_sample, t.end_sample(), 0.5)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "planted song at " << t.start_sample
+                         << " not covered by any ensemble";
+  }
+}
+
+TEST(GoldenExtraction, ReductionMatchesPaper) {
+  const auto clip = golden_clip();
+  const core::EnsembleExtractor extractor((core::PipelineParams()));
+  const auto result = extractor.extract(clip.clip.samples);
+
+  // Paper, Table 1: 80.6% reduction. The golden clip measures 0.7999.
+  const double reduction = result.reduction_fraction(clip.clip.samples.size());
+  EXPECT_NEAR(reduction, 0.806, 0.05);
+
+  // Determinism: a second extraction of the same clip is bit-identical.
+  const auto again = extractor.extract(clip.clip.samples);
+  ASSERT_EQ(again.ensembles.size(), result.ensembles.size());
+  for (std::size_t i = 0; i < result.ensembles.size(); ++i) {
+    EXPECT_EQ(again.ensembles[i].start_sample,
+              result.ensembles[i].start_sample);
+    EXPECT_EQ(again.ensembles[i].end_sample(), result.ensembles[i].end_sample());
+  }
+  EXPECT_EQ(again.retained_samples(), result.retained_samples());
+}

@@ -10,6 +10,7 @@
 #include "meso/baselines.hpp"
 #include "core/multistream.hpp"
 #include "synth/station.hpp"
+#include "test_support.hpp"
 
 namespace core = dynriver::core;
 namespace synth = dynriver::synth;
@@ -17,10 +18,7 @@ namespace synth = dynriver::synth;
 namespace {
 synth::ClipRecording record_clip(std::uint64_t seed,
                                  const std::vector<synth::SpeciesId>& singers) {
-  synth::StationParams sp;
-  sp.distractor_probability = 0.0;
-  synth::SensorStation station(sp, seed);
-  return station.record_clip(singers);
+  return dynriver::testsupport::record_station_clip(seed, singers);
 }
 
 core::MultiStreamParams default_multi() {

@@ -14,6 +14,7 @@
 #include "core/ops_spectral.hpp"
 #include "river/scope.hpp"
 #include "synth/station.hpp"
+#include "test_support.hpp"
 
 namespace core = dynriver::core;
 namespace dsp = dynriver::dsp;
@@ -29,11 +30,8 @@ core::PipelineParams test_params() {
 }
 
 synth::ClipRecording record_test_clip(std::uint64_t seed) {
-  synth::StationParams sp;
-  sp.distractor_probability = 0.0;
-  synth::SensorStation station(sp, seed);
-  return station.record_clip(
-      {synth::SpeciesId::kNOCA, synth::SpeciesId::kTUTI});
+  return dynriver::testsupport::record_station_clip(
+      seed, {synth::SpeciesId::kNOCA, synth::SpeciesId::kTUTI});
 }
 }  // namespace
 
@@ -116,7 +114,9 @@ TEST(TriggerOp, ConvertsScoresToBinarySignal) {
   input.push_back(Record::open_scope(river::kScopeClip, 0));
   // Flat scores (baseline), then a jump.
   river::FloatVec flat(500, 0.1F);
-  for (std::size_t i = 0; i < 200; ++i) flat[i] = 0.1F + 0.0001F * (i % 7);
+  for (std::size_t i = 0; i < 200; ++i) {
+    flat[i] = 0.1F + 0.0001F * static_cast<float>(i % 7);
+  }
   input.push_back(Record::data(river::kSubtypeAnomalyScore, flat));
   river::FloatVec jump(100, 5.0F);
   input.push_back(Record::data(river::kSubtypeAnomalyScore, jump));
@@ -156,7 +156,7 @@ TEST(ResliceOp, InsertsOverlapRecords) {
   p.emplace<core::ResliceOp>();
 
   river::FloatVec a(4), b(4);
-  for (int i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) {
     a[i] = static_cast<float>(i);          // 0 1 2 3
     b[i] = static_cast<float>(10 + i);     // 10 11 12 13
   }
@@ -199,8 +199,8 @@ TEST(SpectralChain, ProducesBandLimitedSpectra) {
   // 3 kHz tone record.
   river::FloatVec tone(900);
   for (std::size_t i = 0; i < tone.size(); ++i) {
-    tone[i] = static_cast<float>(
-        std::sin(2.0 * std::numbers::pi * 3000.0 * i / params.sample_rate));
+    tone[i] = static_cast<float>(std::sin(
+        2.0 * std::numbers::pi * 3000.0 * static_cast<double>(i) / params.sample_rate));
   }
   const auto out =
       river::run_pipeline(p, {Record::data(river::kSubtypeAudio, tone)});

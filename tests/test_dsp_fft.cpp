@@ -4,31 +4,14 @@
 
 #include <cmath>
 #include <numbers>
-#include <random>
 
 #include "common/contracts.hpp"
 #include "dsp/fft.hpp"
+#include "test_support.hpp"
 
 namespace dsp = dynriver::dsp;
-
-namespace {
-
-std::vector<dsp::Cplx> random_signal(std::size_t n, unsigned seed) {
-  std::mt19937 gen(seed);
-  std::uniform_real_distribution<double> dist(-1.0, 1.0);
-  std::vector<dsp::Cplx> out(n);
-  for (auto& v : out) v = {dist(gen), dist(gen)};
-  return out;
-}
-
-double max_error(const std::vector<dsp::Cplx>& a, const std::vector<dsp::Cplx>& b) {
-  EXPECT_EQ(a.size(), b.size());
-  double err = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::abs(a[i] - b[i]));
-  return err;
-}
-
-}  // namespace
+using dynriver::testsupport::max_abs_error;
+using dynriver::testsupport::random_complex_signal;
 
 TEST(FftBasics, PowerOfTwoDetection) {
   EXPECT_TRUE(dsp::is_power_of_two(1));
@@ -67,14 +50,17 @@ TEST(FftBasics, PureToneConcentratesInOneBin) {
   constexpr std::size_t kBin = 9;
   std::vector<float> x(kN);
   for (std::size_t i = 0; i < kN; ++i) {
-    x[i] = static_cast<float>(
-        std::sin(2.0 * std::numbers::pi * kBin * i / double(kN)));
+    x[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi *
+                                       static_cast<double>(kBin * i) /
+                                       static_cast<double>(kN)));
   }
   const auto mags = dsp::magnitude_spectrum(x);
   EXPECT_NEAR(mags[kBin], kN / 2.0, 1e-3);
   EXPECT_NEAR(mags[kN - kBin], kN / 2.0, 1e-3);  // conjugate mirror
   for (std::size_t k = 0; k < kN; ++k) {
-    if (k != kBin && k != kN - kBin) EXPECT_LT(mags[k], 1e-6) << "bin " << k;
+    if (k != kBin && k != kN - kBin) {
+      EXPECT_LT(mags[k], 1e-6) << "bin " << k;
+    }
   }
 }
 
@@ -84,29 +70,29 @@ class FftVsNaive : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(FftVsNaive, MatchesNaiveDft) {
   const std::size_t n = GetParam();
-  const auto x = random_signal(n, static_cast<unsigned>(n));
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n));
   const auto fast = dsp::fft(x);
   const auto slow = dsp::dft_naive(x);
-  EXPECT_LT(max_error(fast, slow), 1e-7 * n) << "n=" << n;
+  EXPECT_LT(max_abs_error(fast, slow), 1e-7 * static_cast<double>(n)) << "n=" << n;
 }
 
 TEST_P(FftVsNaive, InverseRoundTrips) {
   const std::size_t n = GetParam();
-  const auto x = random_signal(n, static_cast<unsigned>(n) + 1000);
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 1000);
   const auto back = dsp::ifft(dsp::fft(x));
-  EXPECT_LT(max_error(back, x), 1e-9 * n) << "n=" << n;
+  EXPECT_LT(max_abs_error(back, x), 1e-9 * static_cast<double>(n)) << "n=" << n;
 }
 
 TEST_P(FftVsNaive, ParsevalHolds) {
   const std::size_t n = GetParam();
-  const auto x = random_signal(n, static_cast<unsigned>(n) + 2000);
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 2000);
   const auto spec = dsp::fft(x);
   double time_energy = 0.0;
   for (const auto& v : x) time_energy += std::norm(v);
   double freq_energy = 0.0;
   for (const auto& v : spec) freq_energy += std::norm(v);
   EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
-              1e-8 * n * std::max(1.0, time_energy));
+              1e-8 * static_cast<double>(n) * std::max(1.0, time_energy));
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FftVsNaive,

@@ -11,6 +11,7 @@
 #include "dsp/spectrogram.hpp"
 #include "dsp/wav.hpp"
 #include "dsp/window.hpp"
+#include "test_support.hpp"
 
 namespace dsp = dynriver::dsp;
 
@@ -88,7 +89,8 @@ TEST(Wav, ClampsOutOfRangeSamples) {
 }
 
 TEST(Wav, FileRoundTrip) {
-  const auto path = std::filesystem::temp_directory_path() / "dr_test.wav";
+  const dynriver::testsupport::ScopedTempDir tmp("wav");
+  const auto path = tmp.file("roundtrip.wav");
   dsp::WavClip clip;
   clip.sample_rate = 21600;
   clip.samples.assign(500, 0.25F);
@@ -96,7 +98,6 @@ TEST(Wav, FileRoundTrip) {
   const auto loaded = dsp::read_wav(path);
   EXPECT_EQ(loaded.samples.size(), 500u);
   EXPECT_NEAR(loaded.duration_seconds(), 500.0 / 21600.0, 1e-9);
-  std::filesystem::remove(path);
 }
 
 TEST(Wav, RejectsGarbage) {
@@ -123,7 +124,8 @@ TEST(Spectrogram, ToneAppearsAtCorrectBinAndAllFrames) {
   std::vector<float> signal(4096);
   for (std::size_t i = 0; i < signal.size(); ++i) {
     signal[i] = static_cast<float>(
-        std::sin(2.0 * std::numbers::pi * 1024.0 * i / params.sample_rate));
+        std::sin(2.0 * std::numbers::pi * 1024.0 * static_cast<double>(i) /
+                 params.sample_rate));
   }
   const auto spec = dsp::stft(signal, params);
   ASSERT_GT(spec.num_frames(), 10u);
@@ -243,7 +245,7 @@ TEST(Resample, PreservesToneFrequency) {
   std::vector<float> x(44100);
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = static_cast<float>(
-        std::sin(2.0 * std::numbers::pi * 2000.0 * i / kFrom));
+        std::sin(2.0 * std::numbers::pi * 2000.0 * static_cast<double>(i) / kFrom));
   }
   const auto y = dsp::resample_linear(x, kFrom, kTo);
   EXPECT_NEAR(static_cast<double>(y.size()), kTo, 3.0);
@@ -263,4 +265,83 @@ TEST(Resample, UpsamplingInterpolatesLinearly) {
   EXPECT_FLOAT_EQ(y[0], 0.0F);
   EXPECT_FLOAT_EQ(y[1], 0.5F);
   EXPECT_FLOAT_EQ(y[2], 1.0F);
+}
+
+TEST(Resample, IdentityRoundTripIsExact) {
+  // from_rate == to_rate must return the input bit-for-bit, even for
+  // awkward lengths and non-integer rates.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{900},
+                              std::size_t{1001}}) {
+    std::vector<float> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(std::sin(0.37 * static_cast<double>(i)));
+    }
+    const auto y = dsp::resample_linear(x, 21600.0, 21600.0);
+    ASSERT_EQ(y.size(), x.size()) << "n=" << n;
+    EXPECT_EQ(dynriver::testsupport::max_abs_error(y, x), 0.0) << "n=" << n;
+  }
+}
+
+TEST(Resample, RatioRoundTripRecoversBandLimitedSignal) {
+  // Up 2x then back down: linear interpolation is exact at original sample
+  // positions for the upsample, so the round trip must be near-lossless for
+  // a smooth, oversampled signal.
+  constexpr std::size_t kN = 4096;
+  std::vector<float> x(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 100.0 * static_cast<double>(i) / 21600.0));
+  }
+  const auto up = dsp::resample_linear(x, 21600.0, 43200.0);
+  const auto back = dsp::resample_linear(up, 43200.0, 21600.0);
+  ASSERT_GE(back.size(), kN - 2);
+  double err = 0.0;
+  for (std::size_t i = 0; i + 2 < std::min(back.size(), x.size()); ++i) {
+    err = std::max(err, static_cast<double>(std::abs(back[i] - x[i])));
+  }
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(Resample, ExtremeRatiosKeepSaneLengths) {
+  const std::vector<float> x(1000, 0.5F);
+  const auto down = dsp::resample_linear(x, 48000.0, 100.0);  // 480x decimation
+  EXPECT_NEAR(static_cast<double>(down.size()), 1000.0 / 480.0, 2.0);
+  for (const float v : down) EXPECT_FLOAT_EQ(v, 0.5F);
+  const auto up = dsp::resample_linear(x, 100.0, 48000.0);  // 480x interpolation
+  EXPECT_NEAR(static_cast<double>(up.size()), 1000.0 * 480.0, 481.0);
+}
+
+TEST(Biquad, StableAtExtremeQ) {
+  // A Q=100 resonator rings hard but must never diverge: feed it an impulse
+  // plus broadband noise and require the output envelope to stay bounded and
+  // ultimately decay.
+  auto filt = dsp::Biquad::band_pass(21600.0, 2000.0, 100.0);
+  std::vector<float> x =
+      dynriver::testsupport::noise_with_tone(21600, 2000, 4000, 5);
+  x[0] = 1.0F;  // impulse on top of the noise bed
+  double peak = 0.0;
+  for (float& v : x) {
+    v = filt.step(v);
+    peak = std::max(peak, static_cast<double>(std::abs(v)));
+    ASSERT_TRUE(std::isfinite(v));
+  }
+  EXPECT_LT(peak, 100.0);
+
+  // After the input stops, the resonator must decay toward silence.
+  double tail = 0.0;
+  for (int i = 0; i < 200000; ++i) tail = std::abs(filt.step(0.0F));
+  EXPECT_LT(tail, 1e-6);
+}
+
+TEST(Biquad, ExtremeQLowAndHighPassStayFinite) {
+  for (const double q : {50.0, 200.0, 1000.0}) {
+    auto lp = dsp::Biquad::low_pass(21600.0, 1000.0, q);
+    auto hp = dsp::Biquad::high_pass(21600.0, 1000.0, q);
+    const auto noise =
+        dynriver::testsupport::noise_with_tone(8192, 1000, 2000, 17);
+    for (const float v : noise) {
+      ASSERT_TRUE(std::isfinite(lp.step(v))) << "q=" << q;
+      ASSERT_TRUE(std::isfinite(hp.step(v))) << "q=" << q;
+    }
+  }
 }

@@ -127,7 +127,8 @@ TEST(MesoClassifier, LearnsSeparableBlobs) {
   for (const auto& p : blobs) {
     if (clf.classify(p.features) == p.label) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / blobs.size(), 0.97);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(blobs.size()),
+            0.97);
   // And it should compress: far fewer spheres than patterns.
   EXPECT_LT(clf.sphere_count(), blobs.size());
   EXPECT_GT(clf.sphere_count(), 0u);
@@ -142,7 +143,8 @@ TEST(MesoClassifier, GeneralizesToHeldOutSamples) {
   for (const auto& p : test_set) {
     if (clf.classify(p.features) == p.label) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / test_set.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test_set.size()),
+            0.9);
 }
 
 TEST(MesoClassifier, DeltaBootstrapsAndAdapts) {
@@ -181,7 +183,9 @@ TEST(MesoClassifier, StatsAreConsistent) {
   EXPECT_GE(stats.purity, 0.0);
   EXPECT_LE(stats.purity, 1.0);
   EXPECT_NEAR(stats.mean_sphere_size,
-              static_cast<double>(stats.patterns) / stats.spheres, 1e-9);
+              static_cast<double>(stats.patterns) /
+                  static_cast<double>(stats.spheres),
+              1e-9);
 }
 
 TEST(MesoClassifier, ResetForgetsEverything) {
@@ -226,7 +230,8 @@ TEST(MesoClassifier, MajorityLabelQueryMode) {
   for (const auto& p : blobs) {
     if (clf.classify(p.features) == p.label) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / blobs.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(blobs.size()),
+            0.9);
 }
 
 TEST(MesoClassifier, DimensionMismatchThrows) {
@@ -282,7 +287,7 @@ TEST(Baselines, AccuracyOrderingOnBlobs) {
     for (const auto& p : test_set) {
       if (clf.classify(p.features) == p.label) ++correct;
     }
-    return static_cast<double>(correct) / test_set.size();
+    return static_cast<double>(correct) / static_cast<double>(test_set.size());
   };
   const double knn_acc = accuracy(knn);
   const double meso_acc = accuracy(mesoc);

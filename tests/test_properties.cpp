@@ -87,7 +87,7 @@ TEST_P(MesoParamSweep, InvariantsHoldForAllConfigurations) {
   params.tree_leaf_size = leaf;
   meso::MesoClassifier clf(params);
 
-  std::mt19937 gen(static_cast<unsigned>(leaf * 100 + grow * 10));
+  std::mt19937 gen(static_cast<unsigned>(static_cast<double>(leaf * 100) + grow * 10));
   std::normal_distribution<float> noise(0.0F, 0.6F);
   for (int i = 0; i < 300; ++i) {
     const int label = i % 4;

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "river/ops_util.hpp"
 #include "river/pipeline.hpp"
 #include "river/record_log.hpp"
+#include "test_support.hpp"
+
+using RecordLog = dynriver::testsupport::TempDirTest;
 
 namespace river = dynriver::river;
 using river::Record;
@@ -137,8 +141,8 @@ TEST(AttrStampOp, StampsEveryRecord) {
   EXPECT_EQ(out[0].attr_string("station", ""), "kbs-1");
 }
 
-TEST(RecordLog, WriteReadRoundTrip) {
-  const auto path = std::filesystem::temp_directory_path() / "dr_test_log.drl";
+TEST_F(RecordLog, WriteReadRoundTrip) {
+  const auto path = temp_file("log.drl");
   {
     river::RecordLogWriter writer(path);
     for (int i = 0; i < 50; ++i) {
@@ -156,11 +160,10 @@ TEST(RecordLog, WriteReadRoundTrip) {
     ++count;
   }
   EXPECT_EQ(count, 50);
-  std::filesystem::remove(path);
 }
 
-TEST(RecordLog, ReadoutOpPersistsWhileForwarding) {
-  const auto path = std::filesystem::temp_directory_path() / "dr_test_readout.drl";
+TEST_F(RecordLog, ReadoutOpPersistsWhileForwarding) {
+  const auto path = temp_file("readout.drl");
   {
     river::Pipeline p;
     p.emplace<river::ReadoutOp>(path);
@@ -171,11 +174,10 @@ TEST(RecordLog, ReadoutOpPersistsWhileForwarding) {
   river::VectorEmitter replay;
   EXPECT_EQ(river::replay_log(path, replay), 2u);  // persisted
   EXPECT_EQ(replay.records.size(), 2u);
-  std::filesystem::remove(path);
 }
 
-TEST(RecordLog, PartialTrailingFrameDetected) {
-  const auto path = std::filesystem::temp_directory_path() / "dr_test_trunc.drl";
+TEST_F(RecordLog, PartialTrailingFrameDetected) {
+  const auto path = temp_file("trunc.drl");
   {
     river::RecordLogWriter writer(path);
     writer.write(Record::data(0, {1.0F}));
@@ -186,5 +188,74 @@ TEST(RecordLog, PartialTrailingFrameDetected) {
   river::RecordLogReader reader(path);
   Record rec;
   EXPECT_THROW((void)reader.next(rec), river::WireError);
-  std::filesystem::remove(path);
+}
+
+TEST_F(RecordLog, RecoverAfterPartialWriteKeepsCompleteFrames) {
+  const auto path = temp_file("recover.drl");
+  {
+    river::RecordLogWriter writer(path);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      auto rec = Record::data(river::kSubtypeAudio, {static_cast<float>(i)});
+      rec.sequence = i;
+      writer.write(rec);
+    }
+  }
+  // Simulate a writer dying mid-frame: chop 5 bytes off the tail.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+
+  {
+    river::RecordLogWriter writer(path, river::LogOpenMode::kRecover);
+    EXPECT_EQ(writer.recovered_records(), 19u);  // torn frame 19 dropped
+    auto rec = Record::data(river::kSubtypeAudio, {99.0F});
+    rec.sequence = 99;
+    writer.write(rec);
+  }
+
+  // The log now replays cleanly: 19 original frames then the appended one.
+  river::RecordLogReader reader(path);
+  Record rec;
+  std::vector<std::uint64_t> sequences;
+  while (reader.next(rec)) sequences.push_back(rec.sequence);
+  ASSERT_EQ(sequences.size(), 20u);
+  for (std::uint64_t i = 0; i < 19; ++i) EXPECT_EQ(sequences[i], i);
+  EXPECT_EQ(sequences.back(), 99u);
+}
+
+TEST_F(RecordLog, RecoverOnFreshPathBehavesLikeTruncate) {
+  const auto path = temp_file("recover_fresh.drl");
+  river::RecordLogWriter writer(path, river::LogOpenMode::kRecover);
+  EXPECT_EQ(writer.recovered_records(), 0u);
+  writer.write(Record::data(0, {1.0F}));
+  writer.close();
+  river::VectorEmitter replay;
+  EXPECT_EQ(river::replay_log(path, replay), 1u);
+}
+
+TEST_F(RecordLog, RecoverDropsEverythingAfterMidFileCorruption) {
+  const auto path = temp_file("recover_corrupt.drl");
+  {
+    river::RecordLogWriter writer(path);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      auto rec = Record::data(river::kSubtypeAudio, {static_cast<float>(i)});
+      rec.sequence = i;
+      writer.write(rec);
+    }
+  }
+  // Flip a byte early in the file: frames from the damaged one onward are
+  // unrecoverable (WAL semantics: keep the valid prefix only).
+  const auto size = std::filesystem::file_size(path);
+  const auto frame_bytes = size / 10;
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(3 * frame_bytes + 20));
+    const char corrupt = '\xFF';
+    f.write(&corrupt, 1);
+  }
+  river::RecordLogWriter writer(path, river::LogOpenMode::kRecover);
+  EXPECT_LE(writer.recovered_records(), 3u);
+  writer.close();
+  // Whatever survived must replay without throwing.
+  river::VectorEmitter replay;
+  EXPECT_EQ(river::replay_log(path, replay), writer.recovered_records());
 }

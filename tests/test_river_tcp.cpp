@@ -27,7 +27,7 @@ TEST(Tcp, RecordRoundTripOverLoopback) {
 
   std::thread client([port] {
     river::TcpRecordChannel ch(river::TcpStream::connect("127.0.0.1", port));
-    for (int i = 0; i < 100; ++i) EXPECT_TRUE(ch.send(make_audio(i)));
+    for (std::uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(ch.send(make_audio(i)));
     ch.close();
   });
 

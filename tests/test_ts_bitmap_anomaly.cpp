@@ -10,6 +10,7 @@
 #include "common/contracts.hpp"
 #include "ts/anomaly.hpp"
 #include "ts/bitmap.hpp"
+#include "test_support.hpp"
 
 namespace ts = dynriver::ts;
 
@@ -79,38 +80,8 @@ TEST(SaxBitmap, MismatchedConfigsThrow) {
   EXPECT_THROW((void)ts::bitmap_distance(a, b), dynriver::ContractViolation);
 }
 
-namespace {
-std::vector<float> noise_with_tone(std::size_t n, std::size_t tone_start,
-                                   std::size_t tone_len, unsigned seed) {
-  std::mt19937 gen(seed);
-  std::normal_distribution<float> dist(0.0F, 0.1F);
-  std::vector<float> x(n);
-  for (auto& v : x) v = dist(gen);
-  for (std::size_t i = tone_start; i < std::min(n, tone_start + tone_len); ++i) {
-    x[i] += static_cast<float>(
-        0.8 * std::sin(2.0 * std::numbers::pi * 0.05 * static_cast<double>(i)));
-  }
-  return x;
-}
-
-/// Noise with a syllable-like event: tone bursts of 1200 samples separated
-/// by 600-sample gaps (the envelope structure real vocalizations have).
-std::vector<float> noise_with_bursts(std::size_t n, std::size_t start,
-                                     std::size_t len, unsigned seed) {
-  std::mt19937 gen(seed);
-  std::normal_distribution<float> dist(0.0F, 0.1F);
-  std::vector<float> x(n);
-  for (auto& v : x) v = dist(gen);
-  for (std::size_t i = start; i < std::min(n, start + len); ++i) {
-    const std::size_t phase = (i - start) % 1800;
-    if (phase < 1200) {
-      x[i] += static_cast<float>(
-          0.8 * std::sin(2.0 * std::numbers::pi * 0.05 * static_cast<double>(i)));
-    }
-  }
-  return x;
-}
-}  // namespace
+using dynriver::testsupport::noise_with_bursts;
+using dynriver::testsupport::noise_with_tone;
 
 TEST(StreamingAnomaly, OnsetSpikeInSampleMode) {
   // In classic per-sample mode the bitmap score marks texture *boundaries*:
@@ -172,7 +143,9 @@ TEST(StreamingAnomaly, WarmupProducesZeroScores) {
   std::normal_distribution<float> dist(0.0F, 1.0F);
   for (std::size_t i = 0; i < 100; ++i) {
     (void)scorer.push(dist(gen));
-    if (i < 98) EXPECT_DOUBLE_EQ(scorer.raw_score(), 0.0) << "i=" << i;
+    if (i < 98) {
+      EXPECT_DOUBLE_EQ(scorer.raw_score(), 0.0) << "i=" << i;
+    }
   }
   EXPECT_TRUE(scorer.warmed_up());
 }

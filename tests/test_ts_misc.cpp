@@ -11,6 +11,7 @@
 #include "ts/motif.hpp"
 #include "ts/paa.hpp"
 #include "ts/znorm.hpp"
+#include "test_support.hpp"
 
 namespace ts = dynriver::ts;
 
@@ -57,10 +58,10 @@ TEST_P(PaaProperties, MeanPreservedAndLengthCorrect) {
   if (w > n) GTEST_SKIP();
   std::mt19937 gen(static_cast<unsigned>(n * 1000 + w));
   std::uniform_real_distribution<float> dist(-5.0F, 5.0F);
-  std::vector<float> series(n);
+  std::vector<float> series(static_cast<std::size_t>(n));
   for (auto& v : series) v = dist(gen);
 
-  const auto reduced = ts::paa(series, w);
+  const auto reduced = ts::paa(series, static_cast<std::size_t>(w));
   ASSERT_EQ(reduced.size(), static_cast<std::size_t>(w));
 
   // PAA preserves the global mean (each sample contributes its full mass).
@@ -115,27 +116,14 @@ TEST(Paa, SmoothingReducesVariance) {
   const auto smooth = ts::paa_reduce_by(noisy, 10);
   double var_orig = 0.0;
   for (const float v : noisy) var_orig += v * v;
-  var_orig /= noisy.size();
+  var_orig /= static_cast<double>(noisy.size());
   double var_smooth = 0.0;
   for (const float v : smooth) var_smooth += v * v;
-  var_smooth /= smooth.size();
+  var_smooth /= static_cast<double>(smooth.size());
   EXPECT_LT(var_smooth, var_orig * 0.3);  // ~1/10 in expectation
 }
 
-namespace {
-/// Periodic signal with one planted anomaly (a phase-inverted cycle).
-std::vector<float> periodic_with_anomaly(std::size_t n, std::size_t period,
-                                         std::size_t anomaly_at) {
-  std::vector<float> xs(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double v = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
-                        static_cast<double>(period));
-    if (i >= anomaly_at && i < anomaly_at + period) v = -v * 0.4 + 0.5;
-    xs[i] = static_cast<float>(v);
-  }
-  return xs;
-}
-}  // namespace
+using dynriver::testsupport::periodic_with_anomaly;
 
 TEST(Discord, BruteForceFindsPlantedAnomaly) {
   constexpr std::size_t kPeriod = 32;
