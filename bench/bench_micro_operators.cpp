@@ -1,21 +1,33 @@
 // Ablation A5: micro-benchmarks of the individual substrate operations,
-// using google-benchmark. Covers the DFT (radix-2 vs Bluestein vs naive),
-// SAX anomaly scoring, the trigger, full-clip extraction, feature
-// extraction, MESO training/query, wire encode/decode, and channel
-// throughput.
+// using google-benchmark. Covers the DFT (planned vs legacy unplanned vs
+// naive), SAX anomaly scoring, the trigger, full-clip extraction (single-
+// and multi-stream, serial and threaded), feature extraction, MESO
+// training/query, wire encode/decode, and channel throughput.
+//
+// In addition to the google-benchmark cases, main() runs a small adaptive
+// timing sweep over the spectral hot path and writes the results as
+// machine-readable JSON (default BENCH_micro.json; override with
+// DR_MICRO_JSON, shrink the per-op budget with DR_MICRO_MIN_MS — the CI
+// bench-smoke step uses DR_MICRO_MIN_MS=2). Set DR_MICRO_SKIP_GBENCH=1 to
+// skip the google-benchmark section and only produce the JSON.
 #include <benchmark/benchmark.h>
 
 #include <random>
 
+#include "bench_util.hpp"
 #include "core/extractor.hpp"
 #include "core/features.hpp"
+#include "core/multistream.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "dsp/spectrogram.hpp"
 #include "meso/classifier.hpp"
 #include "river/channel.hpp"
 #include "river/wire.hpp"
 #include "synth/station.hpp"
 #include "ts/anomaly.hpp"
 
+namespace bench = dynriver::bench;
 namespace core = dynriver::core;
 namespace dsp = dynriver::dsp;
 namespace meso = dynriver::meso;
@@ -43,6 +55,30 @@ const synth::ClipRecording& cached_clip() {
   return clip;
 }
 
+/// A second channel for the multi-stream benches: the cached clip with a
+/// slight gain/noise perturbation, like a second microphone of one station.
+const std::vector<float>& cached_second_channel() {
+  static const std::vector<float> channel = [] {
+    const auto& base = cached_clip().clip.samples;
+    std::mt19937 gen(2718);
+    std::normal_distribution<float> noise(0.0F, 0.002F);
+    std::vector<float> out(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      out[i] = 0.9F * base[i] + noise(gen);
+    }
+    return out;
+  }();
+  return channel;
+}
+
+std::vector<dsp::Cplx> random_cplx(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> dist(0.0, 0.5);
+  std::vector<dsp::Cplx> out(n);
+  for (auto& v : out) v = dsp::Cplx(dist(gen), dist(gen));
+  return out;
+}
+
 // -- DFT -----------------------------------------------------------------
 
 void BM_FftRadix2_1024(benchmark::State& state) {
@@ -55,14 +91,38 @@ void BM_FftRadix2_1024(benchmark::State& state) {
 }
 BENCHMARK(BM_FftRadix2_1024);
 
-void BM_FftBluestein_900(benchmark::State& state) {
+// Legacy unplanned path: per-call twiddles, chirp, and scratch.
+void BM_FftUnplanned_900(benchmark::State& state) {
   std::vector<dsp::Cplx> data(900, {0.5, -0.25});
   for (auto _ : state) {
-    auto out = dsp::fft(data);
+    auto out = dsp::fft_unplanned(data);
     benchmark::DoNotOptimize(out);
   }
 }
-BENCHMARK(BM_FftBluestein_900);
+BENCHMARK(BM_FftUnplanned_900);
+
+// Planned path: precomputed tables + reusable scratch via the plan cache.
+void BM_FftPlanned_900(benchmark::State& state) {
+  std::vector<dsp::Cplx> data(900, {0.5, -0.25});
+  std::vector<dsp::Cplx> out(900);
+  dsp::FftPlan& plan = dsp::local_plan_cache().get(900);
+  for (auto _ : state) {
+    plan.forward(data, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftPlanned_900);
+
+void BM_FftPlanned_1024(benchmark::State& state) {
+  std::vector<dsp::Cplx> data(1024, {0.5, -0.25});
+  std::vector<dsp::Cplx> out(1024);
+  dsp::FftPlan& plan = dsp::local_plan_cache().get(1024);
+  for (auto _ : state) {
+    plan.forward(data, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftPlanned_1024);
 
 void BM_DftNaive_900(benchmark::State& state) {
   std::vector<dsp::Cplx> data(900, {0.5, -0.25});
@@ -102,6 +162,23 @@ void BM_ExtractClip30s(benchmark::State& state) {
                           static_cast<std::int64_t>(clip.clip.samples.size()));
 }
 BENCHMARK(BM_ExtractClip30s)->Unit(benchmark::kMillisecond);
+
+// Two-channel extraction; Arg = score_threads (1 = serial, 0 = shared pool).
+void BM_MultiStreamExtract2ch(benchmark::State& state) {
+  core::MultiStreamParams params;
+  params.score_threads = static_cast<std::size_t>(state.range(0));
+  const core::MultiStreamExtractor extractor(params);
+  const auto& a = cached_clip().clip.samples;
+  const auto& b = cached_second_channel();
+  const std::vector<std::span<const float>> streams = {a, b};
+  for (auto _ : state) {
+    auto result = extractor.extract(streams);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * a.size()));
+}
+BENCHMARK(BM_MultiStreamExtract2ch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_FeatureExtractOneSecond(benchmark::State& state) {
   core::PipelineParams pp;
@@ -182,6 +259,116 @@ void BM_ChannelSendRecv(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelSendRecv);
 
+// -- JSON sweep (machine-readable perf trajectory) ---------------------------
+
+void run_json_sweep() {
+  const double min_ms = bench::env_double("DR_MICRO_MIN_MS", 50.0);
+  const char* json_env = std::getenv("DR_MICRO_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_micro.json";
+
+  bench::BenchJsonWriter json;
+  const auto record = [&](const char* op, std::size_t size, auto&& fn) {
+    std::size_t reps = 0;
+    const double ns = bench::measure_ns_per_op(fn, min_ms, &reps);
+    json.add(op, size, ns, reps);
+    std::printf("  %-28s n=%-8zu %12.1f ns/op  (%zu reps)\n", op, size, ns, reps);
+    return ns;
+  };
+
+  bench::print_header("micro JSON sweep (BENCH_micro.json)");
+
+  // Planned vs legacy FFT on the pipeline's Bluestein size (900), a prime
+  // (257), and a power of two (1024). The plan is fetched once per size
+  // from the thread-local cache, like every production call site.
+  double planned_900 = 0.0;
+  double unplanned_900 = 0.0;
+  for (const std::size_t n : {std::size_t{900}, std::size_t{257}, std::size_t{1024}}) {
+    const auto input = random_cplx(n, static_cast<unsigned>(n));
+    std::vector<dsp::Cplx> out(n);
+    dsp::FftPlan& plan = dsp::local_plan_cache().get(n);
+    const double planned = record("fft_planned", n, [&] {
+      plan.forward(input, out);
+      benchmark::DoNotOptimize(out);
+    });
+    const double unplanned = record("fft_unplanned", n, [&] {
+      auto spec = dsp::fft_unplanned(input);
+      benchmark::DoNotOptimize(spec);
+    });
+    if (n == 900) {
+      planned_900 = planned;
+      unplanned_900 = unplanned;
+    }
+  }
+
+  // Spectrogram of one second of audio through the shared plan + scratch.
+  {
+    const auto signal = random_signal(21600, 23);
+    record("stft_1s", signal.size(), [&] {
+      auto spec = dsp::stft(signal, dsp::SpectrogramParams{});
+      benchmark::DoNotOptimize(spec);
+    });
+  }
+
+  // Feature extraction of one second (the dft-per-record hot path).
+  {
+    const core::FeatureExtractor fx{core::PipelineParams{}};
+    const auto ensemble = random_signal(21600, 11);
+    record("feature_patterns_1s", ensemble.size(), [&] {
+      auto patterns = fx.patterns(ensemble);
+      benchmark::DoNotOptimize(patterns);
+    });
+  }
+
+  // Full-clip extraction, then 2-channel serial vs threaded scoring.
+  {
+    const auto& clip = cached_clip().clip.samples;
+    const core::EnsembleExtractor extractor{core::PipelineParams{}};
+    record("extract_clip30s", clip.size(), [&] {
+      auto result = extractor.extract(clip);
+      benchmark::DoNotOptimize(result);
+    });
+
+    const std::vector<std::span<const float>> streams = {clip,
+                                                         cached_second_channel()};
+    core::MultiStreamParams serial_params;
+    serial_params.score_threads = 1;
+    const core::MultiStreamExtractor serial(serial_params);
+    record("multistream2_serial", 2 * clip.size(), [&] {
+      auto result = serial.extract(streams);
+      benchmark::DoNotOptimize(result);
+    });
+
+    core::MultiStreamParams threaded_params;
+    threaded_params.score_threads = 0;  // shared pool
+    const core::MultiStreamExtractor threaded(threaded_params);
+    record("multistream2_threaded", 2 * clip.size(), [&] {
+      auto result = threaded.extract(streams);
+      benchmark::DoNotOptimize(result);
+    });
+  }
+
+  if (planned_900 > 0.0) {
+    std::printf("\n  planned-vs-legacy FFT speedup @900: %.2fx\n",
+                unplanned_900 / planned_900);
+  }
+  if (json.write(json_path)) {
+    std::printf("  wrote %s (%zu entries, git %s)\n\n", json_path.c_str(),
+                json.records().size(), bench::git_describe().c_str());
+  } else {
+    std::printf("  FAILED to write %s\n\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  run_json_sweep();
+  std::fflush(stdout);
+  if (bench::env_size("DR_MICRO_SKIP_GBENCH", 0) == 0) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,12 +8,21 @@
 //   DR_BENCH_REPEATS  protocol repetitions (default 3; paper: 20/100)
 //   DR_BENCH_HOLDOUTS leave-one-out holdouts per repetition (default 60;
 //                     0 = full leave-one-out, the paper's exact protocol)
+//   DR_BENCH_CACHE    1 (default) = reuse the on-disk corpus cache;
+//                     0 = always re-synthesize
+//   DR_BENCH_CACHE_DIR  corpus cache directory (default build/bench_corpus_cache,
+//                     relative to the working directory)
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/stopwatch.hpp"
+#include "eval/corpus_cache.hpp"
 #include "eval/dataset.hpp"
 #include "eval/protocol.hpp"
 #include "meso/classifier.hpp"
@@ -34,14 +43,31 @@ inline double bench_scale() { return env_double("DR_BENCH_SCALE", 0.35); }
 inline std::size_t bench_repeats() { return env_size("DR_BENCH_REPEATS", 3); }
 inline std::size_t bench_holdouts() { return env_size("DR_BENCH_HOLDOUTS", 60); }
 
-/// Build the simulated field corpus at the configured scale.
+/// Build the simulated field corpus at the configured scale, reusing the
+/// on-disk cache (eval/corpus_cache.hpp) unless DR_BENCH_CACHE=0: the first
+/// bench run writes a versioned file keyed by the config fingerprint, later
+/// runs (of any bench) reload it instead of re-synthesizing.
 inline eval::BuildResult build_bench_corpus(std::uint64_t seed = 42) {
   eval::BuildConfig cfg;
   cfg.seed = seed;
   cfg.corpus_scale = bench_scale();
+
+  const bool use_cache = env_size("DR_BENCH_CACHE", 1) != 0;
+  const char* dir_env = std::getenv("DR_BENCH_CACHE_DIR");
+  const std::string cache_dir =
+      dir_env != nullptr ? dir_env : "build/bench_corpus_cache";
+
   std::printf("[setup] building corpus: scale=%.2f seed=%llu ...\n",
               cfg.corpus_scale, static_cast<unsigned long long>(seed));
-  auto result = eval::build_corpus(cfg);
+  eval::BuildResult result;
+  if (use_cache) {
+    bool cache_hit = false;
+    result = eval::load_or_build_corpus(cfg, cache_dir, &cache_hit);
+    std::printf("[setup] corpus cache %s: %s\n", cache_hit ? "hit" : "miss",
+                eval::corpus_cache_path(cache_dir, cfg).string().c_str());
+  } else {
+    result = eval::build_corpus(cfg);
+  }
   std::printf(
       "[setup] %zu clips, %zu ensembles, %zu patterns (%.1fs; reduction %.1f%%)\n\n",
       result.stats.clips, result.dataset.ensemble_count(),
@@ -59,6 +85,103 @@ inline eval::ProtocolOptions loo_options() {
   opts.repeats = bench_repeats();
   opts.max_holdouts = bench_holdouts();
   return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output (BENCH_micro.json and friends)
+// ---------------------------------------------------------------------------
+
+/// `git describe --always --dirty` of the working tree, or "unknown" when
+/// git (or the repository) is unavailable. Stamped into the JSON output so
+/// the perf trajectory can be correlated with commits.
+inline std::string git_describe() {
+  std::string out;
+  if (FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+    pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+/// One measured operation for the JSON report.
+struct BenchRecord {
+  std::string op;        ///< operation name, e.g. "fft_planned"
+  std::size_t size = 0;  ///< problem size (transform length, samples, ...)
+  double ns_per_op = 0;
+  std::size_t reps = 0;  ///< iterations actually timed
+};
+
+/// Collects BenchRecords and writes them as a small self-describing JSON
+/// document: {"schema", "git", "benchmarks": [{op,size,ns_per_op,reps}]}.
+class BenchJsonWriter {
+ public:
+  void add(std::string op, std::size_t size, double ns_per_op, std::size_t reps) {
+    records_.push_back(
+        {std::move(op), size, ns_per_op, reps});
+  }
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const {
+    return records_;
+  }
+
+  /// Write the report to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"schema\": \"dynriver-bench-v1\",\n  \"git\": \"%s\",\n",
+                 escape(git_describe()).c_str());
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"size\": %zu, \"ns_per_op\": %.3f, "
+                   "\"reps\": %zu}%s\n",
+                   escape(r.op).c_str(), r.size, r.ns_per_op, r.reps,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::vector<BenchRecord> records_;
+};
+
+/// Time `fn` adaptively: batches double until the measured batch takes at
+/// least `min_ms` milliseconds. Returns ns/op and the rep count actually
+/// timed via `reps_out`.
+template <typename Fn>
+double measure_ns_per_op(Fn&& fn, double min_ms, std::size_t* reps_out) {
+  fn();  // warmup (also builds any lazily cached plans)
+  std::size_t reps = 1;
+  for (;;) {
+    dynriver::Stopwatch watch;
+    for (std::size_t i = 0; i < reps; ++i) fn();
+    const double ms = watch.millis();
+    if (ms >= min_ms || reps >= (1ULL << 30)) {
+      if (reps_out != nullptr) *reps_out = reps;
+      return ms * 1e6 / static_cast<double>(reps);
+    }
+    reps *= 2;
+  }
 }
 
 inline void print_rule(int width = 78) {

@@ -2,10 +2,13 @@
 
 #include <sstream>
 
+#include <memory>
+
 #include "common/contracts.hpp"
 #include "core/ops_acoustic.hpp"
 #include "core/ops_anomaly.hpp"
 #include "core/ops_spectral.hpp"
+#include "core/spectral_engine.hpp"
 
 namespace dynriver::core {
 
@@ -24,11 +27,14 @@ river::Pipeline make_extraction_pipeline(const PipelineParams& params) {
 
 river::Pipeline make_spectral_pipeline(const PipelineParams& params) {
   params.validate();
+  // One spectral engine per pipeline: welchwindow and dft share its window
+  // tables and plan-cached FFT scratch.
+  const auto engine = std::make_shared<const SpectralEngine>(params);
   river::Pipeline p;
   if (params.reslice) p.emplace<ResliceOp>();
-  p.emplace<WelchWindowOp>(params.window);
+  p.emplace<WelchWindowOp>(engine);
   p.emplace<Float2CplxOp>();
-  p.emplace<DftOp>(params.dft_size);
+  p.emplace<DftOp>(engine);
   p.emplace<CAbsOp>();
   p.emplace<CutoutOp>(params);
   if (params.use_paa && params.paa_factor > 1) p.emplace<PaaOp>(params.paa_factor);

@@ -18,9 +18,15 @@ double ExtractionResult::reduction_fraction(std::size_t total_samples) const {
                    static_cast<double>(total_samples);
 }
 
-EnsembleExtractor::EnsembleExtractor(PipelineParams params)
-    : params_(std::move(params)) {
+EnsembleExtractor::EnsembleExtractor(PipelineParams params,
+                                     std::shared_ptr<const SpectralEngine> engine)
+    : params_(params), features_(std::move(params), std::move(engine)) {
   params_.validate();
+}
+
+std::vector<std::vector<float>> EnsembleExtractor::featurize(
+    const Ensemble& ensemble) const {
+  return features_.patterns(ensemble.samples);
 }
 
 ExtractionResult EnsembleExtractor::extract(std::span<const float> samples,

@@ -6,9 +6,11 @@
 // and is convenient for analysis code, tests, and the figure benches.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/features.hpp"
 #include "core/params.hpp"
 
 namespace dynriver::core {
@@ -40,17 +42,30 @@ struct ExtractionResult {
 
 class EnsembleExtractor {
  public:
-  explicit EnsembleExtractor(PipelineParams params);
+  /// `engine` lets the extractor share one SpectralEngine with other
+  /// spectral consumers (FeatureExtractor, river pipelines); nullptr builds
+  /// a private engine from `params`.
+  explicit EnsembleExtractor(PipelineParams params,
+                             std::shared_ptr<const SpectralEngine> engine = nullptr);
 
   /// Extract all ensembles from a clip. `keep_signals` additionally returns
   /// the per-sample score and trigger series (Fig. 6).
   [[nodiscard]] ExtractionResult extract(std::span<const float> samples,
                                          bool keep_signals = false) const;
 
+  /// Spectral patterns of one extracted ensemble, computed through the
+  /// shared engine (equivalent to FeatureExtractor::patterns).
+  [[nodiscard]] std::vector<std::vector<float>> featurize(
+      const Ensemble& ensemble) const;
+
   [[nodiscard]] const PipelineParams& params() const { return params_; }
+  [[nodiscard]] const std::shared_ptr<const SpectralEngine>& engine() const {
+    return features_.engine();
+  }
 
  private:
   PipelineParams params_;
+  FeatureExtractor features_;  ///< shares the engine; powers featurize()
 };
 
 }  // namespace dynriver::core

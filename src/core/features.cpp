@@ -3,16 +3,17 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
-#include "dsp/fft.hpp"
-#include "dsp/window.hpp"
 #include "ts/paa.hpp"
 
 namespace dynriver::core {
 
-FeatureExtractor::FeatureExtractor(PipelineParams params)
-    : params_(std::move(params)) {
+FeatureExtractor::FeatureExtractor(PipelineParams params,
+                                   std::shared_ptr<const SpectralEngine> engine)
+    : params_(std::move(params)), engine_(std::move(engine)) {
   params_.validate();
-  window_ = dsp::make_window(params_.window, params_.record_size);
+  if (!engine_) engine_ = std::make_shared<const SpectralEngine>(params_);
+  DR_EXPECTS(engine_->dft_size() == params_.dft_size);
+  DR_EXPECTS(engine_->window_kind() == params_.window);
 }
 
 std::vector<float> FeatureExtractor::record_spectrum(
@@ -20,17 +21,10 @@ std::vector<float> FeatureExtractor::record_spectrum(
   DR_EXPECTS(!record.empty());
   DR_EXPECTS(record.size() <= params_.dft_size);
 
-  // Window (cached for the nominal size, built ad hoc for partial records).
-  std::vector<float> windowed(record.begin(), record.end());
-  if (record.size() == window_.size()) {
-    dsp::apply_window(windowed, window_);
-  } else {
-    dsp::apply_window(windowed, params_.window);
-  }
-
-  // Zero-pad to the fixed transform size, then magnitude spectrum.
-  windowed.resize(params_.dft_size, 0.0F);
-  const auto mags = dsp::magnitude_spectrum(windowed);
+  // Windowed + zero-padded magnitude spectrum through the shared engine
+  // (plan-cached FFT, thread-local scratch).
+  thread_local std::vector<float> mags;
+  engine_->windowed_magnitudes(record, mags);
 
   const std::size_t lo = params_.cutout_lo_bin();
   const std::size_t hi = params_.cutout_hi_bin();

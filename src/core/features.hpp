@@ -5,16 +5,21 @@
 // the river operators is covered by integration tests.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/params.hpp"
+#include "core/spectral_engine.hpp"
 
 namespace dynriver::core {
 
 class FeatureExtractor {
  public:
-  explicit FeatureExtractor(PipelineParams params);
+  /// `engine` lets several extractors (and river pipelines) share one
+  /// SpectralEngine; nullptr builds a private engine from `params`.
+  explicit FeatureExtractor(PipelineParams params,
+                            std::shared_ptr<const SpectralEngine> engine = nullptr);
 
   /// Compute the spectrum (post-cutout, post-PAA) of one analysis record.
   [[nodiscard]] std::vector<float> record_spectrum(
@@ -27,10 +32,13 @@ class FeatureExtractor {
       std::span<const float> ensemble) const;
 
   [[nodiscard]] const PipelineParams& params() const { return params_; }
+  [[nodiscard]] const std::shared_ptr<const SpectralEngine>& engine() const {
+    return engine_;
+  }
 
  private:
   PipelineParams params_;
-  std::vector<float> window_;  // cached full-size analysis window
+  std::shared_ptr<const SpectralEngine> engine_;
 };
 
 }  // namespace dynriver::core

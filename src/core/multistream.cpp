@@ -4,14 +4,17 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
 #include "core/ops_anomaly.hpp"
 #include "ts/anomaly.hpp"
 
 namespace dynriver::core {
 
-MultiStreamExtractor::MultiStreamExtractor(MultiStreamParams params)
-    : params_(std::move(params)) {
+MultiStreamExtractor::MultiStreamExtractor(
+    MultiStreamParams params, std::shared_ptr<const SpectralEngine> engine)
+    : params_(std::move(params)), features_(params_.base, std::move(engine)) {
   params_.base.validate();
+  runner_ = std::make_unique<common::TaskRunner>(params_.score_threads);
 }
 
 MultiExtractionResult MultiStreamExtractor::extract(
@@ -23,31 +26,17 @@ MultiExtractionResult MultiStreamExtractor::extract(
   MultiExtractionResult result;
   if (keep_signals) result.fused_scores.resize(n);
 
-  std::vector<ts::StreamingAnomalyScorer> scorers;
-  scorers.reserve(streams.size());
-  for (std::size_t s = 0; s < streams.size(); ++s) {
-    scorers.emplace_back(params_.base.anomaly);
-  }
   TriggerState trigger(params_.base.trigger_sigma,
                        params_.base.trigger_min_baseline,
                        params_.base.trigger_hold_samples);
 
-  // Pass 1: fused score -> triggered runs.
+  // Per-sample fusion -> trigger -> run bookkeeping, shared by both scoring
+  // strategies below. Fusion always reads channels in fixed order, so the
+  // strategies are bit-identical.
   std::vector<std::pair<std::size_t, std::size_t>> runs;
   bool active = false;
   std::size_t run_start = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double fused = params_.fusion == ScoreFusion::kMax ? 0.0 : 0.0;
-    if (params_.fusion == ScoreFusion::kMax) {
-      for (std::size_t s = 0; s < streams.size(); ++s) {
-        fused = std::max(fused, scorers[s].push(streams[s][i]));
-      }
-    } else {
-      for (std::size_t s = 0; s < streams.size(); ++s) {
-        fused += scorers[s].push(streams[s][i]);
-      }
-      fused /= static_cast<double>(streams.size());
-    }
+  const auto consume = [&](std::size_t i, double fused) {
     const bool trig = trigger.push(fused);
     if (keep_signals) result.fused_scores[i] = static_cast<float>(fused);
     if (trig && !active) {
@@ -56,6 +45,56 @@ MultiExtractionResult MultiStreamExtractor::extract(
     } else if (!trig && active) {
       active = false;
       runs.emplace_back(run_start, i);
+    }
+  };
+
+  if (runner_->serial() || streams.size() == 1) {
+    // Streaming fusion: one scorer per channel advanced in lockstep, O(1)
+    // extra memory — archive-scale clips never materialize score buffers.
+    std::vector<ts::StreamingAnomalyScorer> scorers;
+    scorers.reserve(streams.size());
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      scorers.emplace_back(params_.base.anomaly);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double fused = 0.0;
+      if (params_.fusion == ScoreFusion::kMax) {
+        for (std::size_t s = 0; s < streams.size(); ++s) {
+          fused = std::max(fused, scorers[s].push(streams[s][i]));
+        }
+      } else {
+        for (std::size_t s = 0; s < streams.size(); ++s) {
+          fused += scorers[s].push(streams[s][i]);
+        }
+        fused /= static_cast<double>(streams.size());
+      }
+      consume(i, fused);
+    }
+  } else {
+    // Parallel scoring: each channel's scorer is an independent streaming
+    // automaton, so channels run concurrently into disjoint per-channel
+    // slots (O(channels * n) doubles), then fusion reads them serially.
+    std::vector<std::vector<double>> scores(streams.size());
+    runner_->run(streams.size(), [&](std::size_t s) {
+      ts::StreamingAnomalyScorer scorer(params_.base.anomaly);
+      auto& out = scores[s];
+      out.resize(n);
+      const auto stream = streams[s];
+      for (std::size_t i = 0; i < n; ++i) out[i] = scorer.push(stream[i]);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      double fused = 0.0;
+      if (params_.fusion == ScoreFusion::kMax) {
+        for (std::size_t s = 0; s < streams.size(); ++s) {
+          fused = std::max(fused, scores[s][i]);
+        }
+      } else {
+        for (std::size_t s = 0; s < streams.size(); ++s) {
+          fused += scores[s][i];
+        }
+        fused /= static_cast<double>(streams.size());
+      }
+      consume(i, fused);
     }
   }
   if (active) runs.emplace_back(run_start, n);
@@ -84,6 +123,16 @@ MultiExtractionResult MultiStreamExtractor::extract(
     result.ensembles.push_back(std::move(ensemble));
   }
   return result;
+}
+
+std::vector<std::vector<std::vector<float>>> MultiStreamExtractor::featurize(
+    const MultiEnsemble& ensemble) const {
+  std::vector<std::vector<std::vector<float>>> out;
+  out.reserve(ensemble.channel_samples.size());
+  for (const auto& channel : ensemble.channel_samples) {
+    out.push_back(features_.patterns(channel));
+  }
+  return out;
 }
 
 std::vector<float> augment_with_context(std::span<const float> pattern,

@@ -18,9 +18,12 @@
 //     MESO can exploit environmental correlations.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "core/features.hpp"
 #include "core/params.hpp"
 
 namespace dynriver::core {
@@ -33,6 +36,11 @@ enum class ScoreFusion : std::uint8_t {
 struct MultiStreamParams {
   PipelineParams base;
   ScoreFusion fusion = ScoreFusion::kMax;
+  /// Threads for per-channel anomaly scoring: 0 = the shared
+  /// common::ThreadPool (hardware concurrency), 1 = serial. Each channel's
+  /// scorer is an independent streaming automaton, so threaded and serial
+  /// runs are bit-identical.
+  std::size_t score_threads = 0;
 };
 
 /// One extracted multi-channel ensemble: identical boundaries per stream.
@@ -53,18 +61,35 @@ struct MultiExtractionResult {
 
 class MultiStreamExtractor {
  public:
-  explicit MultiStreamExtractor(MultiStreamParams params);
+  /// `engine` lets the extractor share one SpectralEngine with the rest of
+  /// the pipeline; nullptr builds a private engine from `params.base`.
+  explicit MultiStreamExtractor(
+      MultiStreamParams params,
+      std::shared_ptr<const SpectralEngine> engine = nullptr);
 
   /// Extract from `streams` (all the same length, sample-synchronized).
   /// A single stream reduces exactly to EnsembleExtractor's behaviour.
+  /// Per-channel scoring runs on params().score_threads threads.
   [[nodiscard]] MultiExtractionResult extract(
       std::span<const std::span<const float>> streams,
       bool keep_signals = false) const;
 
+  /// Spectral patterns per channel of one multi-ensemble, computed through
+  /// the shared SpectralEngine: result[s] holds channel s's patterns.
+  [[nodiscard]] std::vector<std::vector<std::vector<float>>> featurize(
+      const MultiEnsemble& ensemble) const;
+
   [[nodiscard]] const MultiStreamParams& params() const { return params_; }
+  [[nodiscard]] const std::shared_ptr<const SpectralEngine>& engine() const {
+    return features_.engine();
+  }
 
  private:
   MultiStreamParams params_;
+  FeatureExtractor features_;  ///< shares the engine; powers featurize()
+  /// Channel-scoring dispatch per score_threads; owns its dedicated pool
+  /// (if any) so extract() never pays thread spawn/join per call.
+  std::unique_ptr<common::TaskRunner> runner_;
 };
 
 /// Append context readings to a feature pattern. Context values are scaled

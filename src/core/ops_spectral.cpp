@@ -4,7 +4,6 @@
 
 #include "common/contracts.hpp"
 #include "core/ops_acoustic.hpp"
-#include "dsp/fft.hpp"
 #include "ts/paa.hpp"
 
 namespace dynriver::core {
@@ -75,17 +74,20 @@ void ResliceOp::flush(river::Emitter& out) { release_pending(out); }
 
 // -- welchwindow --------------------------------------------------------------
 
-WelchWindowOp::WelchWindowOp(dsp::WindowKind kind) : kind_(kind) {}
+WelchWindowOp::WelchWindowOp(dsp::WindowKind kind)
+    : engine_(std::make_shared<SpectralEngine>(kind, PipelineParams{}.dft_size)) {}
+
+WelchWindowOp::WelchWindowOp(std::shared_ptr<const SpectralEngine> engine)
+    : engine_(std::move(engine)) {
+  DR_EXPECTS(engine_ != nullptr);
+}
 
 void WelchWindowOp::process(Record rec, river::Emitter& out) {
   if (!is_audio(rec)) {
     out.emit(std::move(rec));
     return;
   }
-  auto samples = rec.floats();
-  auto [it, inserted] = window_cache_.try_emplace(samples.size());
-  if (inserted) it->second = dsp::make_window(kind_, samples.size());
-  dsp::apply_window(samples, it->second);
+  engine_->apply_window(rec.floats());
   out.emit(std::move(rec));
 }
 
@@ -109,8 +111,12 @@ void Float2CplxOp::process(Record rec, river::Emitter& out) {
 
 // -- dft ------------------------------------------------------------------------
 
-DftOp::DftOp(std::size_t dft_size) : dft_size_(dft_size) {
-  DR_EXPECTS(dft_size >= 2);
+DftOp::DftOp(std::size_t dft_size)
+    : engine_(std::make_shared<SpectralEngine>(dsp::WindowKind::kWelch, dft_size)) {}
+
+DftOp::DftOp(std::shared_ptr<const SpectralEngine> engine)
+    : engine_(std::move(engine)) {
+  DR_EXPECTS(engine_ != nullptr);
 }
 
 void DftOp::process(Record rec, river::Emitter& out) {
@@ -118,19 +124,8 @@ void DftOp::process(Record rec, river::Emitter& out) {
     out.emit(std::move(rec));
     return;
   }
-  const auto in = rec.cplx();
-  std::vector<dsp::Cplx> padded(dft_size_, dsp::Cplx(0, 0));
-  const std::size_t n = std::min(in.size(), dft_size_);
-  for (std::size_t i = 0; i < n; ++i) {
-    padded[i] = dsp::Cplx(in[i].real(), in[i].imag());
-  }
-  const auto spectrum = dsp::fft(padded);
-
-  river::CplxVec payload(dft_size_);
-  for (std::size_t i = 0; i < dft_size_; ++i) {
-    payload[i] = {static_cast<float>(spectrum[i].real()),
-                  static_cast<float>(spectrum[i].imag())};
-  }
+  river::CplxVec payload;
+  engine_->dft(rec.cplx(), payload);
   Record transformed =
       Record::data_complex(river::kSubtypeComplex, std::move(payload));
   transformed.scope_depth = rec.scope_depth;

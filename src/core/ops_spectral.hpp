@@ -8,10 +8,11 @@
 #pragma once
 
 #include <deque>
-#include <map>
+#include <memory>
 #include <optional>
 
 #include "core/params.hpp"
+#include "core/spectral_engine.hpp"
 #include "river/operator.hpp"
 
 namespace dynriver::core {
@@ -32,17 +33,19 @@ class ResliceOp final : public river::Operator {
   std::optional<river::Record> pending_;
 };
 
-/// welchwindow: applies a Welch (or configured) window to every audio record.
+/// welchwindow: applies a Welch (or configured) window to every audio record
+/// through the shared SpectralEngine's thread-local window tables.
 class WelchWindowOp final : public river::Operator {
  public:
   explicit WelchWindowOp(dsp::WindowKind kind = dsp::WindowKind::kWelch);
+  /// Share one engine across the pipeline's spectral operators.
+  explicit WelchWindowOp(std::shared_ptr<const SpectralEngine> engine);
 
   void process(river::Record rec, river::Emitter& out) override;
   [[nodiscard]] std::string_view name() const override { return "welchwindow"; }
 
  private:
-  dsp::WindowKind kind_;
-  std::map<std::size_t, std::vector<float>> window_cache_;  // by record length
+  std::shared_ptr<const SpectralEngine> engine_;
 };
 
 /// float2cplx: converts float audio records to the complex format the dft
@@ -55,16 +58,19 @@ class Float2CplxOp final : public river::Operator {
 
 /// dft: computes the discrete Fourier transform of each complex record,
 /// zero-padding (or truncating) to a fixed transform length so every
-/// spectrum has identical bin geometry.
+/// spectrum has identical bin geometry. Transforms run through the shared
+/// SpectralEngine (plan-cached FFTs, reusable scratch).
 class DftOp final : public river::Operator {
  public:
   explicit DftOp(std::size_t dft_size);
+  /// Share one engine across the pipeline's spectral operators.
+  explicit DftOp(std::shared_ptr<const SpectralEngine> engine);
 
   void process(river::Record rec, river::Emitter& out) override;
   [[nodiscard]] std::string_view name() const override { return "dft"; }
 
  private:
-  std::size_t dft_size_;
+  std::shared_ptr<const SpectralEngine> engine_;
 };
 
 /// cabs: complex absolute value of every element, producing float

@@ -1,0 +1,82 @@
+#include "core/spectral_engine.hpp"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "dsp/fft_plan.hpp"
+
+namespace dynriver::core {
+
+namespace {
+
+/// Thread-local window tables keyed by (kind, length). Shared across engine
+/// instances: a window table has no per-engine state.
+std::span<const float> cached_window(dsp::WindowKind kind, std::size_t n) {
+  thread_local std::map<std::pair<std::uint8_t, std::size_t>, std::vector<float>>
+      windows;
+  auto [it, inserted] =
+      windows.try_emplace({static_cast<std::uint8_t>(kind), n});
+  if (inserted) it->second = dsp::make_window(kind, n);
+  return it->second;
+}
+
+/// Thread-local transform scratch shared across engine instances.
+struct Scratch {
+  std::vector<float> padded;
+  std::vector<dsp::Cplx> cplx;
+};
+
+Scratch& local_scratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+SpectralEngine::SpectralEngine(dsp::WindowKind window, std::size_t dft_size)
+    : window_(window), dft_size_(dft_size) {
+  DR_EXPECTS(dft_size >= 2);
+}
+
+SpectralEngine::SpectralEngine(const PipelineParams& params)
+    : SpectralEngine(params.window, params.dft_size) {}
+
+void SpectralEngine::apply_window(std::span<float> record) const {
+  if (record.empty()) return;
+  dsp::apply_window(record, cached_window(window_, record.size()));
+}
+
+void SpectralEngine::windowed_magnitudes(std::span<const float> record,
+                                         std::vector<float>& out) const {
+  DR_EXPECTS(!record.empty());
+  DR_EXPECTS(record.size() <= dft_size_);
+
+  Scratch& scratch = local_scratch();
+  scratch.padded.assign(record.begin(), record.end());
+  apply_window(scratch.padded);
+  scratch.padded.resize(dft_size_, 0.0F);
+
+  out.resize(dft_size_);
+  dsp::local_plan_cache().get(dft_size_).magnitudes(scratch.padded, out);
+}
+
+void SpectralEngine::dft(std::span<const std::complex<float>> in,
+                         std::vector<std::complex<float>>& out) const {
+  Scratch& scratch = local_scratch();
+  scratch.cplx.assign(dft_size_, dsp::Cplx(0, 0));
+  const std::size_t n = std::min(in.size(), dft_size_);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.cplx[i] = dsp::Cplx(in[i].real(), in[i].imag());
+  }
+  dsp::local_plan_cache().get(dft_size_).forward(scratch.cplx);
+
+  out.resize(dft_size_);
+  for (std::size_t i = 0; i < dft_size_; ++i) {
+    out[i] = {static_cast<float>(scratch.cplx[i].real()),
+              static_cast<float>(scratch.cplx[i].imag())};
+  }
+}
+
+}  // namespace dynriver::core

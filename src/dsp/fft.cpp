@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/contracts.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace dynriver::dsp {
 
@@ -86,6 +87,22 @@ void fft_radix2(std::span<Cplx> data, bool inverse) {
 std::vector<Cplx> fft(std::span<const Cplx> input) {
   const std::size_t n = input.size();
   if (n == 0) return {};
+  std::vector<Cplx> out(n);
+  local_plan_cache().get(n).forward(input, out);
+  return out;
+}
+
+std::vector<Cplx> ifft(std::span<const Cplx> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  std::vector<Cplx> out(input.begin(), input.end());
+  local_plan_cache().get(n).inverse(out);
+  return out;
+}
+
+std::vector<Cplx> fft_unplanned(std::span<const Cplx> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
   if (is_power_of_two(n)) {
     std::vector<Cplx> data(input.begin(), input.end());
     fft_radix2(data, /*inverse=*/false);
@@ -94,16 +111,24 @@ std::vector<Cplx> fft(std::span<const Cplx> input) {
   return bluestein(input);
 }
 
-std::vector<Cplx> ifft(std::span<const Cplx> input) {
+std::vector<Cplx> ifft_unplanned(std::span<const Cplx> input) {
   const std::size_t n = input.size();
   if (n == 0) return {};
   // IFFT via conjugation: ifft(x) = conj(fft(conj(x))) / n.
   std::vector<Cplx> conj_in(n);
   for (std::size_t i = 0; i < n; ++i) conj_in[i] = std::conj(input[i]);
-  std::vector<Cplx> out = fft(conj_in);
+  std::vector<Cplx> out = fft_unplanned(conj_in);
   const double scale = 1.0 / static_cast<double>(n);
   for (auto& v : out) v = std::conj(v) * scale;
   return out;
+}
+
+std::vector<Cplx> fft_real_unplanned(std::span<const float> input) {
+  std::vector<Cplx> cplx_in(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    cplx_in[i] = Cplx(static_cast<double>(input[i]), 0.0);
+  }
+  return fft_unplanned(cplx_in);
 }
 
 std::vector<Cplx> dft_naive(std::span<const Cplx> input) {
@@ -123,19 +148,18 @@ std::vector<Cplx> dft_naive(std::span<const Cplx> input) {
 }
 
 std::vector<Cplx> fft_real(std::span<const float> input) {
-  std::vector<Cplx> cplx_in(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    cplx_in[i] = Cplx(static_cast<double>(input[i]), 0.0);
-  }
-  return fft(cplx_in);
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  std::vector<Cplx> out(n);
+  local_plan_cache().get(n).forward_real(input, out);
+  return out;
 }
 
 std::vector<float> magnitude_spectrum(std::span<const float> input) {
-  const auto spec = fft_real(input);
-  std::vector<float> mags(spec.size());
-  for (std::size_t i = 0; i < spec.size(); ++i) {
-    mags[i] = static_cast<float>(std::abs(spec[i]));
-  }
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  std::vector<float> mags(n);
+  local_plan_cache().get(n).magnitudes(input, mags);
   return mags;
 }
 

@@ -28,20 +28,30 @@ using Cplx = std::complex<double>;
 void fft_radix2(std::span<Cplx> data, bool inverse);
 
 /// FFT for arbitrary sizes: radix-2 when possible, Bluestein otherwise.
-/// Forward transform, no normalization.
+/// Forward transform, no normalization. Plan-cached: transforms of a size
+/// seen before on this thread reuse precomputed tables (see dsp/fft_plan.hpp).
 [[nodiscard]] std::vector<Cplx> fft(std::span<const Cplx> input);
 
-/// Inverse FFT for arbitrary sizes, normalized by 1/n.
+/// Inverse FFT for arbitrary sizes, normalized by 1/n. Plan-cached.
 [[nodiscard]] std::vector<Cplx> ifft(std::span<const Cplx> input);
 
 /// Reference naive DFT (O(n^2)); used by tests and the micro benches.
 [[nodiscard]] std::vector<Cplx> dft_naive(std::span<const Cplx> input);
 
 /// Forward DFT of a real signal; returns the full n-point complex spectrum.
+/// Plan-cached.
 [[nodiscard]] std::vector<Cplx> fft_real(std::span<const float> input);
 
-/// Magnitude spectrum |X[k]| of a real signal, k = 0 .. n-1.
+/// Magnitude spectrum |X[k]| of a real signal, k = 0 .. n-1. Plan-cached.
 [[nodiscard]] std::vector<float> magnitude_spectrum(std::span<const float> input);
+
+/// Legacy unplanned implementations: recompute twiddles/chirp and allocate
+/// scratch on every call. Kept as the reference baseline for the
+/// plan-equivalence property tests and the planned-vs-legacy micro benches;
+/// new code should use the plan-cached functions above or FftPlan directly.
+[[nodiscard]] std::vector<Cplx> fft_unplanned(std::span<const Cplx> input);
+[[nodiscard]] std::vector<Cplx> ifft_unplanned(std::span<const Cplx> input);
+[[nodiscard]] std::vector<Cplx> fft_real_unplanned(std::span<const float> input);
 
 /// Frequency (Hz) of bin k for an n-point transform at `sample_rate`.
 [[nodiscard]] double bin_frequency(std::size_t k, std::size_t n, double sample_rate);

@@ -1,0 +1,182 @@
+#include "dsp/fft_plan.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// Bit-reversal permutation table for a power-of-2 size `s`.
+std::vector<std::size_t> make_bitrev(std::size_t s) {
+  std::vector<std::size_t> table(s);
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < s; ++i) {
+    std::size_t bit = s >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    table[i] = j;
+  }
+  return table;
+}
+
+/// Forward twiddles laid out stage-contiguously: the stage with butterfly
+/// span `len` contributes len/2 sequential entries exp(-2*pi*i*k/len),
+/// k < len/2 (s-1 entries total). Sequential layout keeps the butterfly
+/// inner loop streaming through the table; a single strided s/2 table
+/// measured ~2x slower.
+std::vector<Cplx> make_twiddles(std::size_t s) {
+  std::vector<Cplx> table;
+  table.reserve(s > 0 ? s - 1 : 0);
+  for (std::size_t len = 2; len <= s; len <<= 1) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(k) / static_cast<double>(len);
+      table.emplace_back(std::cos(angle), std::sin(angle));
+    }
+  }
+  return table;
+}
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
+  DR_EXPECTS(n >= 1);
+
+  const std::size_t sub = pow2_ ? n_ : next_power_of_two(2 * n_ + 1);
+  bitrev_ = make_bitrev(sub);
+  twiddle_ = make_twiddles(sub);
+
+  if (!pow2_) {
+    m_ = sub;
+    // chirp[k] = exp(-i*pi*k^2/n); k^2 mod 2n keeps the argument small.
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      const auto k2 = static_cast<double>(
+          (static_cast<unsigned long long>(k) * k) % (2 * n_));
+      const double angle = kPi * k2 / static_cast<double>(n_);
+      chirp_[k] = Cplx(std::cos(angle), -std::sin(angle));
+    }
+
+    // The chirp filter b and its spectrum, computed once per plan: the
+    // legacy path redid this FFT on every call.
+    chirp_fft_.assign(m_, Cplx(0, 0));
+    chirp_fft_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      chirp_fft_[k] = std::conj(chirp_[k]);
+      chirp_fft_[m_ - k] = std::conj(chirp_[k]);
+    }
+    radix2_forward(chirp_fft_);
+
+    conv_.resize(m_);
+  }
+}
+
+void FftPlan::radix2_forward(std::span<Cplx> data) const {
+  const std::size_t s = data.size();
+  DR_ASSERT(s == bitrev_.size());
+  if (s <= 1) return;
+
+  // __restrict matters: without it the compiler must assume the twiddle
+  // loads alias the butterfly stores and reloads them every iteration,
+  // which measured ~3x slower than the legacy register-recurrence twiddles.
+  Cplx* __restrict d = data.data();
+  for (std::size_t i = 1; i < s; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(d[i], d[j]);
+  }
+
+  const Cplx* __restrict stage = twiddle_.data();
+  for (std::size_t len = 2; len <= s; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < s; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Cplx w = stage[k];
+        const Cplx u = d[i + k];
+        const Cplx v = d[i + k + half] * w;
+        d[i + k] = u + v;
+        d[i + k + half] = u - v;
+      }
+    }
+    stage += half;
+  }
+}
+
+void FftPlan::bluestein_forward(std::span<Cplx> data) {
+  // a[k] = x[k] * chirp[k], zero-padded to the convolution length.
+  for (std::size_t k = 0; k < n_; ++k) conv_[k] = data[k] * chirp_[k];
+  for (std::size_t k = n_; k < m_; ++k) conv_[k] = Cplx(0, 0);
+
+  radix2_forward(conv_);
+  for (std::size_t k = 0; k < m_; ++k) conv_[k] *= chirp_fft_[k];
+
+  // Unscaled inverse via conjugation: ifft(x) = conj(fft(conj(x))).
+  for (auto& v : conv_) v = std::conj(v);
+  radix2_forward(conv_);
+
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    data[k] = std::conj(conv_[k]) * scale * chirp_[k];
+  }
+}
+
+void FftPlan::forward(std::span<Cplx> data) {
+  DR_EXPECTS(data.size() == n_);
+  if (pow2_) {
+    radix2_forward(data);
+  } else {
+    bluestein_forward(data);
+  }
+}
+
+void FftPlan::inverse(std::span<Cplx> data) {
+  DR_EXPECTS(data.size() == n_);
+  for (auto& v : data) v = std::conj(v);
+  forward(data);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v = std::conj(v) * scale;
+}
+
+void FftPlan::forward(std::span<const Cplx> in, std::span<Cplx> out) {
+  DR_EXPECTS(in.size() == n_);
+  DR_EXPECTS(out.size() == n_);
+  std::copy(in.begin(), in.end(), out.begin());
+  forward(out);
+}
+
+void FftPlan::forward_real(std::span<const float> in, std::span<Cplx> out) {
+  DR_EXPECTS(in.size() == n_);
+  DR_EXPECTS(out.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = Cplx(static_cast<double>(in[i]), 0.0);
+  }
+  forward(out);
+}
+
+void FftPlan::magnitudes(std::span<const float> in, std::span<float> out) {
+  DR_EXPECTS(in.size() == n_);
+  DR_EXPECTS(out.size() == n_);
+  real_scratch_.resize(n_);
+  forward_real(in, real_scratch_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = static_cast<float>(std::abs(real_scratch_[i]));
+  }
+}
+
+FftPlan& PlanCache::get(std::size_t n) {
+  DR_EXPECTS(n >= 1);
+  auto it = plans_.find(n);
+  if (it == plans_.end()) {
+    it = plans_.emplace(n, std::make_unique<FftPlan>(n)).first;
+  }
+  return *it->second;
+}
+
+PlanCache& local_plan_cache() {
+  thread_local PlanCache cache;
+  return cache;
+}
+
+}  // namespace dynriver::dsp

@@ -1,0 +1,91 @@
+// Planned-execution FFTs.
+//
+// The free functions in dsp/fft.hpp recompute twiddle factors, bit-reversal
+// permutations, and (for non-power-of-2 sizes) the Bluestein chirp and its
+// spectrum on every call, and allocate fresh scratch each time. Archive-scale
+// extraction runs millions of same-size transforms (the pipeline's record
+// size is fixed at 900), so this module precomputes everything that depends
+// only on the transform size once, in an FftPlan, and reuses in/out scratch
+// across executions. A size-keyed PlanCache amortizes plan construction; a
+// thread-local cache instance backs the plan-cached free functions so every
+// existing call site benefits without code changes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace dynriver::dsp {
+
+/// Precomputed transform of one fixed size: bit-reversal table + twiddle
+/// factors for the radix-2 butterflies, plus the Bluestein chirp and the
+/// chirp filter's spectrum for non-power-of-2 sizes. Execution reuses the
+/// plan's internal scratch, so a plan is cheap to run but NOT thread-safe:
+/// use one plan (or one PlanCache) per thread; `local_plan_cache()` gives
+/// every thread its own.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// True when the size runs on the pure radix-2 path (no Bluestein).
+  [[nodiscard]] bool is_radix2() const { return pow2_; }
+
+  /// In-place forward DFT of `data` (size() elements, no normalization).
+  void forward(std::span<Cplx> data);
+  /// In-place inverse DFT of `data`, normalized by 1/n.
+  void inverse(std::span<Cplx> data);
+
+  /// Out-of-place forward DFT; `in` and `out` must both hold size() elements
+  /// and may not alias.
+  void forward(std::span<const Cplx> in, std::span<Cplx> out);
+  /// Forward DFT of a real signal into `out` (both size() elements).
+  void forward_real(std::span<const float> in, std::span<Cplx> out);
+  /// Magnitude spectrum |X[k]| of a real signal, k = 0 .. size()-1.
+  void magnitudes(std::span<const float> in, std::span<float> out);
+
+ private:
+  /// Table-driven iterative radix-2 butterflies over `data` (whose size is
+  /// n_ when pow2_, else the Bluestein convolution size m_).
+  void radix2_forward(std::span<Cplx> data) const;
+  void bluestein_forward(std::span<Cplx> data);
+
+  std::size_t n_;
+  bool pow2_;
+  std::vector<std::size_t> bitrev_;  ///< permutation for the radix-2 size
+  std::vector<Cplx> twiddle_;        ///< stage-contiguous butterfly twiddles
+
+  // Bluestein state (empty for power-of-2 sizes).
+  std::size_t m_ = 0;            ///< power-of-2 convolution length >= 2n+1
+  std::vector<Cplx> chirp_;      ///< exp(-i*pi*k^2/n), k < n
+  std::vector<Cplx> chirp_fft_;  ///< forward FFT of the chirp filter, size m
+  std::vector<Cplx> conv_;       ///< reusable convolution scratch, size m
+
+  std::vector<Cplx> real_scratch_;  ///< reusable buffer for real-input paths
+};
+
+/// Size-keyed cache of FftPlans. Not thread-safe; intended usage is one
+/// cache per thread (see local_plan_cache()) or one per single-threaded
+/// engine.
+class PlanCache {
+ public:
+  /// The plan for size `n` (n >= 1), built on first use.
+  [[nodiscard]] FftPlan& get(std::size_t n);
+
+  [[nodiscard]] std::size_t cached_plans() const { return plans_.size(); }
+  void clear() { plans_.clear(); }
+
+ private:
+  std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> plans_;
+};
+
+/// This thread's plan cache. Backs the plan-cached fft/ifft/fft_real free
+/// functions; safe to use from any thread because each thread sees its own
+/// instance.
+[[nodiscard]] PlanCache& local_plan_cache();
+
+}  // namespace dynriver::dsp

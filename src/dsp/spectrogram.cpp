@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
 
 namespace dynriver::dsp {
 
@@ -36,13 +37,18 @@ Spectrogram stft(std::span<const float> signal, const SpectrogramParams& params)
   const std::size_t num_frames = (signal.size() - params.frame_size) / params.hop + 1;
   spec.frames.reserve(num_frames);
 
+  // One plan and one frame/spectrum scratch shared by every frame: the
+  // windowed copy and the complex spectrum are overwritten in place instead
+  // of being reallocated per frame.
+  FftPlan& plan = local_plan_cache().get(params.frame_size);
   std::vector<float> frame(params.frame_size);
+  std::vector<Cplx> spectrum(params.frame_size);
   for (std::size_t f = 0; f < num_frames; ++f) {
     const std::size_t start = f * params.hop;
     std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
                 params.frame_size, frame.begin());
     apply_window(frame, window);
-    const auto spectrum = fft_real(frame);
+    plan.forward_real(frame, spectrum);
 
     std::vector<float> mags(num_bins);
     for (std::size_t k = 0; k < num_bins; ++k) {

@@ -1,0 +1,46 @@
+// Cached-corpus format for the benches (ROADMAP item).
+//
+// Synthesizing the station corpus dominates bench startup (tens of seconds
+// at paper scale), and every bench binary rebuilds the identical corpus.
+// This module serializes a BuildResult to a small versioned binary file
+// keyed by a fingerprint of the full BuildConfig (pipeline params, station
+// params, seed, scale, ...): the first bench run writes the file, later runs
+// reload it, and any config or seed change lands on a different fingerprint
+// (and is double-checked against the stored header), forcing a rebuild.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "eval/dataset.hpp"
+
+namespace dynriver::eval {
+
+/// Stable 64-bit fingerprint of every generation-relevant BuildConfig field
+/// (FNV-1a over the field bit patterns). Changing any parameter or the seed
+/// changes the fingerprint.
+[[nodiscard]] std::uint64_t corpus_fingerprint(const BuildConfig& config);
+
+/// Cache file name for `config` under `dir` (versioned, fingerprint-keyed).
+[[nodiscard]] std::filesystem::path corpus_cache_path(
+    const std::filesystem::path& dir, const BuildConfig& config);
+
+/// Serialize `result` for `config` to `path` (parent directories created).
+/// Returns false (leaving no partial file behind) on I/O failure.
+bool save_corpus(const std::filesystem::path& path, const BuildConfig& config,
+                 const BuildResult& result);
+
+/// Load a cached corpus. Returns nullopt when the file is missing, has the
+/// wrong magic/version, or was written for a different fingerprint.
+[[nodiscard]] std::optional<BuildResult> load_corpus(
+    const std::filesystem::path& path, const BuildConfig& config);
+
+/// build_corpus with a disk cache: reload when a valid cache file for this
+/// exact config exists in `dir`, otherwise build and write it. `cache_hit`
+/// (optional) reports which path was taken.
+[[nodiscard]] BuildResult load_or_build_corpus(const BuildConfig& config,
+                                               const std::filesystem::path& dir,
+                                               bool* cache_hit = nullptr);
+
+}  // namespace dynriver::eval

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <memory>
+
 #include "common/contracts.hpp"
 #include "common/stopwatch.hpp"
 #include "core/extractor.hpp"
-#include "core/features.hpp"
+#include "core/spectral_engine.hpp"
 #include "ts/paa.hpp"
 
 namespace dynriver::eval {
@@ -87,8 +89,10 @@ BuildResult build_corpus(const BuildConfig& config) {
   station_params.sample_rate = params.sample_rate;
   synth::SensorStation station(station_params, config.seed);
 
-  const core::EnsembleExtractor extractor(params);
-  const core::FeatureExtractor features(params);
+  // One SpectralEngine for the whole build: extraction and featurization
+  // share its plan-cached FFTs and window tables.
+  const auto engine = std::make_shared<const core::SpectralEngine>(params);
+  const core::EnsembleExtractor extractor(params, engine);
 
   for (std::size_t s = 0; s < synth::kNumSpecies; ++s) {
     auto& sp_stats = result.stats.species[s];
@@ -134,7 +138,7 @@ BuildResult build_corpus(const BuildConfig& config) {
 
         EnsembleData data;
         data.label = label;
-        data.patterns = features.patterns(ensemble.samples);
+        data.patterns = extractor.featurize(ensemble);
         if (data.patterns.empty()) {
           ++result.stats.rejected_ensembles;
           continue;

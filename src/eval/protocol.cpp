@@ -6,10 +6,19 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dynriver::eval {
 
 namespace {
+
+/// Per-fold outcome, accumulated serially in holdout order after the
+/// (possibly parallel) fold runs so results stay deterministic.
+struct FoldOutcome {
+  int predicted = -1;
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+};
 
 /// Flattened view: (ensemble index, pattern index) pairs in training order.
 struct Item {
@@ -64,6 +73,7 @@ ProtocolResult leave_one_out_ensemble(const Dataset& data,
                         .confusion = ConfusionMatrix(data.num_classes)};
   dynriver::Rng rng(options.seed);
   std::vector<double> rep_accuracy;
+  common::TaskRunner folds(options.threads);
 
   for (std::size_t rep = 0; rep < options.repeats; ++rep) {
     auto items = flatten(data);
@@ -76,11 +86,12 @@ ProtocolResult leave_one_out_ensemble(const Dataset& data,
       holdouts.resize(options.max_holdouts);
     }
 
-    std::size_t correct = 0;
-    for (const std::size_t held : holdouts) {
+    std::vector<FoldOutcome> outcomes(holdouts.size());
+    folds.run(holdouts.size(), [&](std::size_t f) {
+      const std::size_t held = holdouts[f];
       auto clf = make();
-      train_all(*clf, data, items, held, result.train_seconds_total);
-      ++result.trainings;
+      double train_seconds = 0.0;
+      train_all(*clf, data, items, held, train_seconds);
 
       dynriver::Stopwatch test_watch;
       const auto& ensemble = data.ensembles[held];
@@ -89,12 +100,19 @@ ProtocolResult leave_one_out_ensemble(const Dataset& data,
       for (const auto& pattern : ensemble.patterns) {
         votes.push_back(clf->classify(pattern));
       }
-      const int predicted = majority_vote(votes, data.num_classes);
-      result.test_seconds_total += test_watch.seconds();
+      outcomes[f] = {majority_vote(votes, data.num_classes), train_seconds,
+                     test_watch.seconds()};
+    });
 
+    std::size_t correct = 0;
+    for (std::size_t f = 0; f < holdouts.size(); ++f) {
+      const auto& ensemble = data.ensembles[holdouts[f]];
+      result.train_seconds_total += outcomes[f].train_seconds;
+      result.test_seconds_total += outcomes[f].test_seconds;
+      ++result.trainings;
       result.confusion.add(static_cast<std::size_t>(ensemble.label),
-                           static_cast<std::size_t>(predicted));
-      if (predicted == ensemble.label) ++correct;
+                           static_cast<std::size_t>(outcomes[f].predicted));
+      if (outcomes[f].predicted == ensemble.label) ++correct;
     }
     rep_accuracy.push_back(static_cast<double>(correct) /
                            static_cast<double>(holdouts.size()));
@@ -111,6 +129,7 @@ ProtocolResult leave_one_out_pattern(const Dataset& data,
                         .confusion = ConfusionMatrix(data.num_classes)};
   dynriver::Rng rng(options.seed);
   std::vector<double> rep_accuracy;
+  common::TaskRunner folds(options.threads);
 
   for (std::size_t rep = 0; rep < options.repeats; ++rep) {
     auto items = flatten(data);
@@ -123,8 +142,9 @@ ProtocolResult leave_one_out_pattern(const Dataset& data,
       holdout_pos.resize(options.max_holdouts);
     }
 
-    std::size_t correct = 0;
-    for (const std::size_t pos : holdout_pos) {
+    std::vector<FoldOutcome> outcomes(holdout_pos.size());
+    folds.run(holdout_pos.size(), [&](std::size_t f) {
+      const std::size_t pos = holdout_pos[f];
       auto clf = make();
       dynriver::Stopwatch train_watch;
       for (std::size_t i = 0; i < items.size(); ++i) {
@@ -132,15 +152,22 @@ ProtocolResult leave_one_out_pattern(const Dataset& data,
         const auto& e = data.ensembles[items[i].ensemble];
         clf->train(e.patterns[items[i].pattern], e.label);
       }
-      result.train_seconds_total += train_watch.seconds();
-      ++result.trainings;
+      const double train_seconds = train_watch.seconds();
 
       dynriver::Stopwatch test_watch;
       const auto& test_ensemble = data.ensembles[items[pos].ensemble];
-      const int predicted =
-          clf->classify(test_ensemble.patterns[items[pos].pattern]);
-      result.test_seconds_total += test_watch.seconds();
+      outcomes[f] = {clf->classify(test_ensemble.patterns[items[pos].pattern]),
+                     train_seconds, test_watch.seconds()};
+    });
 
+    std::size_t correct = 0;
+    for (std::size_t f = 0; f < holdout_pos.size(); ++f) {
+      const auto& test_ensemble = data.ensembles[items[holdout_pos[f]].ensemble];
+      result.train_seconds_total += outcomes[f].train_seconds;
+      result.test_seconds_total += outcomes[f].test_seconds;
+      ++result.trainings;
+
+      const int predicted = outcomes[f].predicted;
       const int actual = test_ensemble.label;
       if (predicted >= 0) {
         result.confusion.add(static_cast<std::size_t>(actual),

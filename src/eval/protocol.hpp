@@ -28,6 +28,13 @@ struct ProtocolOptions {
   std::size_t repeats = 20;       ///< paper: 20 (LOO) / 100 (resubstitution)
   std::uint64_t seed = 7;
   std::size_t max_holdouts = 0;   ///< 0 = full leave-one-out
+  /// Threads for the leave-one-out folds: 0 = the shared common::ThreadPool
+  /// (hardware concurrency), 1 = serial, >= 2 = a dedicated pool of that
+  /// size. Folds are independent (fresh classifier per fold, fixed training
+  /// order) and per-fold outcomes are accumulated serially in holdout
+  /// order, so threaded runs are bit-identical to serial ones. The
+  /// ClassifierFactory must be safe to call concurrently.
+  std::size_t threads = 1;
 };
 
 struct ProtocolResult {

@@ -1,12 +1,16 @@
 // Common utilities: contracts, running statistics, moving average, RNG.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 
 using dynriver::MovingAverage;
 using dynriver::Rng;
@@ -158,4 +162,75 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   EXPECT_GT(sink, 0.0);  // keep the loop observable
   EXPECT_GT(watch.seconds(), 0.0);
   EXPECT_GE(watch.millis(), watch.seconds() * 1000.0 * 0.99);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  dynriver::common::ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, RespectsBeginOffsetAndEmptyRange) {
+  dynriver::common::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for(3, 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 3 && i < 7) ? 1 : 0);
+  }
+  pool.parallel_for(5, 5, [&](std::size_t) { FAIL() << "empty range ran"; });
+}
+
+TEST(ThreadPool, DeterministicWhenResultsSlottedByIndex) {
+  // The determinism contract: bodies write disjoint per-index slots, the
+  // caller folds serially in index order afterwards. The folded result must
+  // not depend on thread count.
+  const auto run = [](std::size_t threads) {
+    dynriver::common::ThreadPool pool(threads);
+    std::vector<double> slots(500);
+    pool.parallel_for(0, slots.size(), [&](std::size_t i) {
+      slots[i] = std::sin(static_cast<double>(i)) * 1e-3;
+    });
+    double acc = 0.0;
+    for (const double v : slots) acc += v;  // fixed fold order
+    return acc;
+  };
+  const double serial = run(1);
+  const double threaded = run(8);
+  EXPECT_EQ(serial, threaded);  // bit-identical, not just approximately
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  dynriver::common::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SharedPoolIsSingletonAndUsable) {
+  auto& a = dynriver::common::ThreadPool::shared();
+  auto& b = dynriver::common::ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1U);
+  std::atomic<std::size_t> count{0};
+  a.parallel_for(0, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64U);
+}
+
+TEST(ThreadPool, SequentialCallsReuseWorkers) {
+  dynriver::common::ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000U);
 }

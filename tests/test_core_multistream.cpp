@@ -114,6 +114,59 @@ TEST(MultiStream, FusedScoresExposedWhenRequested) {
   EXPECT_EQ(result.fused_scores.size(), clip.clip.samples.size());
 }
 
+TEST(MultiStream, ThreadedScoringBitIdenticalToSerial) {
+  // The ThreadPool determinism criterion: identical ensembles and fused
+  // scores whether channels are scored serially or on the pool.
+  const auto clip = record_clip(96, {synth::SpeciesId::kMODO,
+                                     synth::SpeciesId::kAMGO});
+  std::vector<float> mic2(clip.clip.samples.size());
+  dynriver::Rng rng(7);
+  for (std::size_t i = 0; i < mic2.size(); ++i) {
+    mic2[i] = 0.7F * clip.clip.samples[i] +
+              static_cast<float>(rng.gaussian(0.0, 0.003));
+  }
+  const std::vector<std::span<const float>> streams = {clip.clip.samples, mic2};
+
+  for (const auto fusion : {core::ScoreFusion::kMax, core::ScoreFusion::kMean}) {
+    core::MultiStreamParams serial_params = default_multi();
+    serial_params.fusion = fusion;
+    serial_params.score_threads = 1;
+    core::MultiStreamParams threaded_params = serial_params;
+    threaded_params.score_threads = 4;
+
+    const auto serial =
+        core::MultiStreamExtractor(serial_params).extract(streams, true);
+    const auto threaded =
+        core::MultiStreamExtractor(threaded_params).extract(streams, true);
+
+    EXPECT_EQ(serial.fused_scores, threaded.fused_scores);
+    ASSERT_EQ(serial.ensembles.size(), threaded.ensembles.size());
+    for (std::size_t i = 0; i < serial.ensembles.size(); ++i) {
+      EXPECT_EQ(serial.ensembles[i].start_sample,
+                threaded.ensembles[i].start_sample);
+      EXPECT_EQ(serial.ensembles[i].length, threaded.ensembles[i].length);
+      EXPECT_EQ(serial.ensembles[i].channel_samples,
+                threaded.ensembles[i].channel_samples);
+    }
+  }
+}
+
+TEST(MultiStream, FeaturizeYieldsPatternsPerChannel) {
+  const auto clip = record_clip(97, {synth::SpeciesId::kBLJA});
+  const core::MultiStreamExtractor multi(default_multi());
+  const std::span<const float> stream(clip.clip.samples);
+  const auto result = multi.extract(std::vector{stream, stream});
+  ASSERT_FALSE(result.ensembles.empty());
+
+  const auto channel_patterns = multi.featurize(result.ensembles.front());
+  ASSERT_EQ(channel_patterns.size(), 2u);
+  ASSERT_FALSE(channel_patterns[0].empty());
+  // Identical channels produce identical patterns of the configured width.
+  EXPECT_EQ(channel_patterns[0], channel_patterns[1]);
+  EXPECT_EQ(channel_patterns[0][0].size(),
+            multi.params().base.features_per_pattern());
+}
+
 TEST(MultiStream, MismatchedLengthsRejected) {
   const std::vector<float> a(10000, 0.0F);
   const std::vector<float> b(9999, 0.0F);

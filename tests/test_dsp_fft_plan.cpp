@@ -1,0 +1,167 @@
+// Plan/legacy equivalence: the planned FFT (dsp/fft_plan.hpp) must match
+// the legacy unplanned implementations — and for small sizes the naive DFT —
+// across a size sweep of 1..257 plus primes and powers of two, forcing both
+// the radix-2 and Bluestein paths. Also covers plan reuse, in-place vs
+// out-of-place execution, the real-input paths, and PlanCache behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dsp/fft.hpp"
+#include "dsp/fft_plan.hpp"
+#include "test_support.hpp"
+
+namespace dsp = dynriver::dsp;
+using dynriver::testsupport::max_abs_error;
+using dynriver::testsupport::random_complex_signal;
+
+namespace {
+
+std::vector<float> random_real_signal(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(-1.0F, 1.0F);
+  std::vector<float> out(n);
+  for (auto& v : out) v = dist(gen);
+  return out;
+}
+
+double size_tol(std::size_t n) { return 1e-9 * static_cast<double>(n + 1); }
+
+}  // namespace
+
+// Every size from 1 to 257: covers all the tiny radix-2 sizes, every prime
+// below 257, and the densest region of Bluestein edge cases (2n+1 rounding).
+TEST(FftPlanSweep, MatchesUnplannedForAllSizes1To257) {
+  dsp::PlanCache cache;
+  for (std::size_t n = 1; n <= 257; ++n) {
+    const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 40000);
+    std::vector<dsp::Cplx> planned(n);
+    cache.get(n).forward(x, planned);
+    const auto legacy = dsp::fft_unplanned(x);
+    EXPECT_LT(max_abs_error(planned, legacy), size_tol(n)) << "n=" << n;
+  }
+}
+
+// Larger primes and powers of two, including the pipeline's 900 and the
+// Bluestein convolution boundary cases.
+class FftPlanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanSizes, ForwardMatchesUnplanned) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 50000);
+  std::vector<dsp::Cplx> planned(n);
+  dsp::FftPlan plan(n);
+  plan.forward(x, planned);
+  EXPECT_LT(max_abs_error(planned, dsp::fft_unplanned(x)), size_tol(n))
+      << "n=" << n;
+}
+
+TEST_P(FftPlanSizes, ForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  if (n > 1024) GTEST_SKIP() << "naive DFT too slow";
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 60000);
+  std::vector<dsp::Cplx> planned(n);
+  dsp::FftPlan plan(n);
+  plan.forward(x, planned);
+  EXPECT_LT(max_abs_error(planned, dsp::dft_naive(x)),
+            1e-7 * static_cast<double>(n))
+      << "n=" << n;
+}
+
+TEST_P(FftPlanSizes, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 70000);
+  dsp::FftPlan plan(n);
+  std::vector<dsp::Cplx> data(x.begin(), x.end());
+  plan.forward(data);
+  plan.inverse(data);
+  EXPECT_LT(max_abs_error(data, x), size_tol(n)) << "n=" << n;
+}
+
+TEST_P(FftPlanSizes, RepeatedExecutionIsStable) {
+  // The same plan re-run on the same input must give bit-identical output
+  // (reused scratch must not leak state between executions).
+  const std::size_t n = GetParam();
+  const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 80000);
+  dsp::FftPlan plan(n);
+  std::vector<dsp::Cplx> first(n);
+  std::vector<dsp::Cplx> second(n);
+  plan.forward(x, first);
+  // Perturb the scratch with a different transform in between.
+  const auto y = random_complex_signal(n, static_cast<unsigned>(n) + 90000);
+  std::vector<dsp::Cplx> other(n);
+  plan.forward(y, other);
+  plan.forward(x, second);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(first[i].real(), second[i].real()) << "n=" << n << " i=" << i;
+    EXPECT_EQ(first[i].imag(), second[i].imag()) << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlanSizes,
+                         ::testing::Values(263, 337, 521, 857, 900, 1021, 1024,
+                                           2048, 2053));
+
+TEST(FftPlanReal, RealPathsMatchLegacy) {
+  for (const std::size_t n : {128UL, 900UL, 257UL}) {
+    const auto x = random_real_signal(n, static_cast<unsigned>(n) + 100);
+    dsp::FftPlan plan(n);
+
+    std::vector<dsp::Cplx> spec(n);
+    plan.forward_real(x, spec);
+    EXPECT_LT(max_abs_error(spec, dsp::fft_real_unplanned(x)), size_tol(n))
+        << "n=" << n;
+
+    std::vector<float> mags(n);
+    plan.magnitudes(x, mags);
+    std::vector<float> expected(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      expected[k] = static_cast<float>(std::abs(spec[k]));
+    }
+    EXPECT_LT(max_abs_error(mags, expected), 1e-6) << "n=" << n;
+  }
+}
+
+TEST(FftPlanFreeFunctions, PlanCachedWrappersMatchUnplanned) {
+  // The public fft/ifft/fft_real now route through the thread-local plan
+  // cache; they must agree with the legacy implementations they replaced.
+  for (const std::size_t n : {64UL, 257UL, 900UL}) {
+    const auto x = random_complex_signal(n, static_cast<unsigned>(n) + 200);
+    EXPECT_LT(max_abs_error(dsp::fft(x), dsp::fft_unplanned(x)), size_tol(n));
+    EXPECT_LT(max_abs_error(dsp::ifft(x), dsp::ifft_unplanned(x)), size_tol(n));
+    const auto r = random_real_signal(n, static_cast<unsigned>(n) + 300);
+    EXPECT_LT(max_abs_error(dsp::fft_real(r), dsp::fft_real_unplanned(r)),
+              size_tol(n));
+  }
+}
+
+TEST(PlanCache, ReusesPlansPerSize) {
+  dsp::PlanCache cache;
+  EXPECT_EQ(cache.cached_plans(), 0U);
+  dsp::FftPlan& a = cache.get(900);
+  dsp::FftPlan& b = cache.get(900);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(cache.cached_plans(), 1U);
+  (void)cache.get(1024);
+  EXPECT_EQ(cache.cached_plans(), 2U);
+  cache.clear();
+  EXPECT_EQ(cache.cached_plans(), 0U);
+}
+
+TEST(PlanCache, PlanGeometry) {
+  dsp::PlanCache cache;
+  EXPECT_TRUE(cache.get(1024).is_radix2());
+  EXPECT_FALSE(cache.get(900).is_radix2());
+  EXPECT_EQ(cache.get(900).size(), 900U);
+}
+
+TEST(PlanCache, LocalCacheIsSticky) {
+  dsp::PlanCache& cache = dsp::local_plan_cache();
+  const std::size_t before = cache.cached_plans();
+  (void)dsp::fft(random_complex_signal(477, 1));
+  (void)dsp::fft(random_complex_signal(477, 2));
+  EXPECT_GE(cache.cached_plans(), before);  // 477 now cached (or was already)
+  dsp::FftPlan& p = cache.get(477);
+  EXPECT_EQ(&p, &cache.get(477));
+}

@@ -2,11 +2,17 @@
 // synthetic data set, and the corpus builder at reduced scale.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "eval/corpus_cache.hpp"
 #include "eval/dataset.hpp"
 #include "eval/metrics.hpp"
 #include "eval/protocol.hpp"
 #include "meso/baselines.hpp"
 #include "meso/classifier.hpp"
+#include "test_support.hpp"
 
 namespace eval = dynriver::eval;
 namespace meso = dynriver::meso;
@@ -216,4 +222,136 @@ TEST(CorpusBuilder, SmallScaleEndToEnd) {
     EXPECT_GE(e.label, 0);
     EXPECT_LT(e.label, static_cast<int>(synth::kNumSpecies));
   }
+}
+
+TEST(Protocols, ThreadedFoldsBitIdenticalToSerial) {
+  // The parallel leave-one-out path must reproduce the serial results
+  // exactly: same per-repetition accuracy, same confusion counts.
+  const auto data = toy_dataset(4, 8, 3);
+  eval::ProtocolOptions serial_opts;
+  serial_opts.repeats = 3;
+  serial_opts.max_holdouts = 12;
+  serial_opts.threads = 1;
+  eval::ProtocolOptions threaded_opts = serial_opts;
+  threaded_opts.threads = 4;
+  eval::ProtocolOptions shared_pool_opts = serial_opts;
+  shared_pool_opts.threads = 0;
+
+  const auto check = [&](auto&& protocol) {
+    const auto serial = protocol(data, meso_factory(), serial_opts);
+    const auto threaded = protocol(data, meso_factory(), threaded_opts);
+    const auto shared = protocol(data, meso_factory(), shared_pool_opts);
+    for (const auto* result : {&threaded, &shared}) {
+      EXPECT_EQ(serial.accuracy.mean, result->accuracy.mean);
+      EXPECT_EQ(serial.accuracy.stddev, result->accuracy.stddev);
+      EXPECT_EQ(serial.trainings, result->trainings);
+      ASSERT_EQ(serial.confusion.total(), result->confusion.total());
+      for (std::size_t r = 0; r < data.num_classes; ++r) {
+        for (std::size_t c = 0; c < data.num_classes; ++c) {
+          EXPECT_EQ(serial.confusion.count(r, c), result->confusion.count(r, c))
+              << "cell " << r << "," << c;
+        }
+      }
+    }
+  };
+  check([](const auto& d, const auto& f, const auto& o) {
+    return eval::leave_one_out_ensemble(d, f, o);
+  });
+  check([](const auto& d, const auto& f, const auto& o) {
+    return eval::leave_one_out_pattern(d, f, o);
+  });
+}
+
+TEST(CorpusCache, SaveLoadRoundTripsExactly) {
+  const dynriver::testsupport::ScopedTempDir tmp("corpus-cache");
+  eval::BuildConfig cfg;
+  cfg.corpus_scale = 0.05;
+  cfg.seed = 99;
+
+  bool first_hit = true;
+  const auto built = eval::load_or_build_corpus(cfg, tmp.path(), &first_hit);
+  EXPECT_FALSE(first_hit);
+  ASSERT_TRUE(std::filesystem::exists(eval::corpus_cache_path(tmp.path(), cfg)));
+
+  bool second_hit = false;
+  const auto loaded = eval::load_or_build_corpus(cfg, tmp.path(), &second_hit);
+  EXPECT_TRUE(second_hit);
+
+  // Datasets round-trip bit-exactly.
+  ASSERT_EQ(loaded.dataset.ensemble_count(), built.dataset.ensemble_count());
+  EXPECT_EQ(loaded.dataset.num_classes, built.dataset.num_classes);
+  for (std::size_t e = 0; e < built.dataset.ensembles.size(); ++e) {
+    const auto& a = built.dataset.ensembles[e];
+    const auto& b = loaded.dataset.ensembles[e];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.clip_id, b.clip_id);
+    EXPECT_EQ(a.start_sample, b.start_sample);
+    EXPECT_EQ(a.length, b.length);
+    EXPECT_EQ(a.patterns, b.patterns);
+  }
+  ASSERT_EQ(loaded.paa_dataset.ensemble_count(),
+            built.paa_dataset.ensemble_count());
+  EXPECT_EQ(loaded.paa_dataset.ensembles.back().patterns,
+            built.paa_dataset.ensembles.back().patterns);
+
+  // Stats round-trip too.
+  EXPECT_EQ(loaded.stats.clips, built.stats.clips);
+  EXPECT_EQ(loaded.stats.total_samples, built.stats.total_samples);
+  EXPECT_EQ(loaded.stats.retained_samples, built.stats.retained_samples);
+  EXPECT_EQ(loaded.stats.species[0].code, built.stats.species[0].code);
+  EXPECT_EQ(loaded.stats.species[0].patterns, built.stats.species[0].patterns);
+}
+
+TEST(CorpusCache, FingerprintInvalidatesOnConfigChange) {
+  eval::BuildConfig base;
+  base.corpus_scale = 0.05;
+  base.seed = 99;
+  const auto fp = eval::corpus_fingerprint(base);
+
+  eval::BuildConfig reseeded = base;
+  reseeded.seed = 100;
+  EXPECT_NE(eval::corpus_fingerprint(reseeded), fp);
+
+  eval::BuildConfig rescaled = base;
+  rescaled.corpus_scale = 0.06;
+  EXPECT_NE(eval::corpus_fingerprint(rescaled), fp);
+
+  eval::BuildConfig retuned = base;
+  retuned.params.trigger_sigma = 4.5;
+  EXPECT_NE(eval::corpus_fingerprint(retuned), fp);
+
+  eval::BuildConfig renoised = base;
+  renoised.station.noise.wind = 0.06;
+  EXPECT_NE(eval::corpus_fingerprint(renoised), fp);
+
+  // Same config, same fingerprint (stable across calls).
+  EXPECT_EQ(eval::corpus_fingerprint(base), fp);
+}
+
+TEST(CorpusCache, StaleFileForDifferentConfigMisses) {
+  const dynriver::testsupport::ScopedTempDir tmp("corpus-cache-stale");
+  eval::BuildConfig cfg;
+  cfg.corpus_scale = 0.05;
+  cfg.seed = 99;
+  const auto result = eval::build_corpus(cfg);
+  const auto path = eval::corpus_cache_path(tmp.path(), cfg);
+  ASSERT_TRUE(eval::save_corpus(path, cfg, result));
+
+  // A different seed must not load this file, even when pointed straight at
+  // it (header fingerprint check, not just the file name).
+  eval::BuildConfig other = cfg;
+  other.seed = 7;
+  EXPECT_FALSE(eval::load_corpus(path, other).has_value());
+  EXPECT_TRUE(eval::load_corpus(path, cfg).has_value());
+
+  // Truncated files are rejected, not crashed on.
+  const auto truncated = tmp.file("trunc.drc");
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(eval::load_corpus(truncated, cfg).has_value());
 }
