@@ -13,13 +13,16 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <span>
 
 #include "bench_util.hpp"
 #include "core/extractor.hpp"
 #include "core/features.hpp"
 #include "core/multistream.hpp"
+#include "core/spectral_engine.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/spectrogram.hpp"
 #include "meso/classifier.hpp"
 #include "river/channel.hpp"
@@ -123,6 +126,43 @@ void BM_FftPlanned_1024(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FftPlanned_1024);
+
+// Real-input fast path: packed half-size complex transform + Hermitian
+// unpack, vs the full complex transforms above.
+void BM_FftRealPlanned_900(benchmark::State& state) {
+  std::vector<float> signal(900, 0.25F);
+  std::vector<dsp::Cplx> out(900);
+  dsp::FftPlan& plan = dsp::local_plan_cache().get(900);
+  for (auto _ : state) {
+    plan.forward_real(signal, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftRealPlanned_900);
+
+void BM_FftRealPlanned_1024(benchmark::State& state) {
+  std::vector<float> signal(1024, 0.25F);
+  std::vector<dsp::Cplx> out(1024);
+  dsp::FftPlan& plan = dsp::local_plan_cache().get(1024);
+  for (auto _ : state) {
+    plan.forward_real(signal, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftRealPlanned_1024);
+
+// Batched windowed magnitudes (64 records of 900) through the engine.
+void BM_WindowedMagsBatch64(benchmark::State& state) {
+  const core::SpectralEngine engine(dynriver::dsp::WindowKind::kWelch, 900);
+  const auto records = random_signal(64 * 900, 29);
+  std::vector<float> out;
+  for (auto _ : state) {
+    engine.windowed_magnitudes_batch(records, 900, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WindowedMagsBatch64);
 
 void BM_DftNaive_900(benchmark::State& state) {
   std::vector<dsp::Cplx> data(900, {0.5, -0.25});
@@ -281,6 +321,7 @@ void run_json_sweep() {
   // (257), and a power of two (1024). The plan is fetched once per size
   // from the thread-local cache, like every production call site.
   double planned_900 = 0.0;
+  double planned_1024 = 0.0;
   double unplanned_900 = 0.0;
   for (const std::size_t n : {std::size_t{900}, std::size_t{257}, std::size_t{1024}}) {
     const auto input = random_cplx(n, static_cast<unsigned>(n));
@@ -298,6 +339,51 @@ void run_json_sweep() {
       planned_900 = planned;
       unplanned_900 = unplanned;
     }
+    if (n == 1024) planned_1024 = planned;
+  }
+
+  // Real-input fast path (packed half-size transform) vs the complex
+  // planned path at the pipeline sizes: fft_real_planned/fft_planned is the
+  // real-FFT speedup.
+  double real_900 = 0.0;
+  double real_1024 = 0.0;
+  for (const std::size_t n : {std::size_t{900}, std::size_t{1024}}) {
+    const auto signal = random_signal(n, static_cast<unsigned>(n) + 1);
+    std::vector<dsp::Cplx> spec(n);
+    std::vector<float> mags(n);
+    dsp::FftPlan& plan = dsp::local_plan_cache().get(n);
+    const double real_ns = record("fft_real_planned", n, [&] {
+      plan.forward_real(signal, spec);
+      benchmark::DoNotOptimize(spec);
+    });
+    record("magnitudes_planned", n, [&] {
+      plan.magnitudes(signal, mags);
+      benchmark::DoNotOptimize(mags);
+    });
+    (n == 900 ? real_900 : real_1024) = real_ns;
+  }
+
+  // Batched vs per-record windowed magnitudes through the engine (64
+  // record-size records, the FeatureExtractor hot loop). ns/op covers the
+  // whole 64-record batch.
+  {
+    constexpr std::size_t kRecords = 64;
+    constexpr std::size_t kRecordLen = 900;
+    const core::SpectralEngine engine(dsp::WindowKind::kWelch, kRecordLen);
+    const auto records = random_signal(kRecords * kRecordLen, 29);
+    std::vector<float> out;
+    record("windowed_mags_single64", kRecords * kRecordLen, [&] {
+      for (std::size_t r = 0; r < kRecords; ++r) {
+        engine.windowed_magnitudes(
+            std::span<const float>(records.data() + r * kRecordLen, kRecordLen),
+            out);
+        benchmark::DoNotOptimize(out);
+      }
+    });
+    record("windowed_mags_batch64", kRecords * kRecordLen, [&] {
+      engine.windowed_magnitudes_batch(records, kRecordLen, out);
+      benchmark::DoNotOptimize(out);
+    });
   }
 
   // Spectrogram of one second of audio through the shared plan + scratch.
@@ -350,6 +436,11 @@ void run_json_sweep() {
   if (planned_900 > 0.0) {
     std::printf("\n  planned-vs-legacy FFT speedup @900: %.2fx\n",
                 unplanned_900 / planned_900);
+  }
+  if (real_900 > 0.0 && real_1024 > 0.0) {
+    std::printf("  real-vs-complex FFT speedup: %.2fx @900, %.2fx @1024 (kernels: %s)\n",
+                planned_900 / real_900, planned_1024 / real_1024,
+                dsp::simd::backend());
   }
   if (json.write(json_path)) {
     std::printf("  wrote %s (%zu entries, git %s)\n\n", json_path.c_str(),

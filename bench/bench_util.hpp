@@ -168,9 +168,24 @@ class BenchJsonWriter {
 /// Time `fn` adaptively: batches double until the measured batch takes at
 /// least `min_ms` milliseconds. Returns ns/op and the rep count actually
 /// timed via `reps_out`.
+///
+/// Before any timing starts, fn runs in an untimed warm-up loop (at least
+/// two passes and at least min_ms/4 of wall time) so one-time costs —
+/// plan/table construction, first-touch page faults, CPU frequency ramp —
+/// never land in a timed batch. Without this, slow ops whose very first timed batch
+/// already exceeds min_ms reported construction + execution as steady
+/// state (the seed BENCH_micro.json showed fft_planned@900 at 150us
+/// against a 65us steady state for exactly this reason).
 template <typename Fn>
 double measure_ns_per_op(Fn&& fn, double min_ms, std::size_t* reps_out) {
-  fn();  // warmup (also builds any lazily cached plans)
+  {
+    dynriver::Stopwatch warm;
+    std::size_t passes = 0;
+    do {
+      fn();
+      ++passes;
+    } while (passes < 2 || warm.millis() < min_ms / 4.0);
+  }
   std::size_t reps = 1;
   for (;;) {
     dynriver::Stopwatch watch;

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_micro.json files and flag per-op regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+                             [--warn-only]
+
+Benchmarks are keyed by (op, size). An op regresses when its current
+ns_per_op exceeds baseline * (1 + threshold); it improves symmetrically.
+Exit status is 1 when any op regressed (0 with --warn-only, for noisy
+shared-runner environments where the report matters but hard-failing on a
+10% swing would be flaky).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dynriver-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    table = {}
+    for rec in doc.get("benchmarks", []):
+        table[(rec["op"], rec["size"])] = float(rec["ns_per_op"])
+    return doc.get("git", "unknown"), table
+
+
+def fmt_ns(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:10.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:10.2f} us"
+    return f"{ns:10.1f} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="relative slowdown that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = parser.parse_args()
+
+    base_git, base = load(args.baseline)
+    cur_git, cur = load(args.current)
+
+    print(f"baseline: {args.baseline} (git {base_git})")
+    print(f"current:  {args.current} (git {cur_git})")
+    print(f"{'op':<28} {'size':>8} {'baseline':>13} {'current':>13} "
+          f"{'ratio':>7}  verdict")
+    print("-" * 86)
+
+    regressions = []
+    for key in sorted(base.keys() | cur.keys()):
+        op, size = key
+        b = base.get(key)
+        c = cur.get(key)
+        if b is None or c is None:
+            status = "only in current" if b is None else "only in baseline"
+            missing = "--"
+            print(f"{op:<28} {size:>8} "
+                  f"{fmt_ns(b) if b is not None else missing:>13} "
+                  f"{fmt_ns(c) if c is not None else missing:>13} "
+                  f"{'':>7}  {status}")
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        if ratio > 1.0 + args.threshold:
+            verdict = f"REGRESSION (+{(ratio - 1) * 100:.1f}%)"
+            regressions.append((op, size, ratio))
+        elif ratio < 1.0 - args.threshold:
+            verdict = f"improved ({(1 - ratio) * 100:.1f}%)"
+        else:
+            verdict = "ok"
+        print(f"{op:<28} {size:>8} {fmt_ns(b):>13} {fmt_ns(c):>13} "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    print("-" * 86)
+    if regressions:
+        print(f"{len(regressions)} op(s) regressed beyond "
+              f"{args.threshold * 100:.0f}%:")
+        for op, size, ratio in regressions:
+            print(f"  {op}@{size}: {ratio:.2f}x slower")
+        return 0 if args.warn_only else 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,7 +73,9 @@ double MovingAverage::push(double x) {
   }
   buf_[head_] = x;
   sum_ += x;
-  head_ = (head_ + 1) % window_;
+  // Conditional wrap instead of % — this runs once per input sample in the
+  // anomaly scorer, where the integer division is measurable.
+  if (++head_ == window_) head_ = 0;
   return value();
 }
 

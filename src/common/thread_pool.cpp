@@ -2,14 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 
 namespace dynriver::common {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace {
+/// Lane count for `threads == 0`: the DR_THREADS environment override when
+/// set to a positive integer, else hardware concurrency. The override is the
+/// explicit knob for containers whose advertised core count is wrong for the
+/// workload (a 1-core CI box makes every threads=0 pool a no-op; shared
+/// hardware may want fewer lanes than cores).
+std::size_t default_thread_count() {
+  // Cap the override: a typo'd or overflowed value (strtol saturates at
+  // LONG_MAX on ERANGE) must not translate into thousands of spawned
+  // threads; 512 lanes is beyond any machine this targets.
+  constexpr long kMaxThreads = 512;
+  if (const char* env = std::getenv("DR_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(std::min(v, kMaxThreads));
+    }
   }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
   // The parallel_for caller is lane 0; spawn the rest as workers.
   const std::size_t workers = threads - 1;
   workers_.reserve(workers);

@@ -24,8 +24,11 @@ class ThreadPool {
  public:
   /// A pool with `threads` total lanes of concurrency, the calling thread
   /// of parallel_for being one of them (so threads-1 workers are spawned
-  /// and the machine is never oversubscribed). 0 picks
-  /// std::thread::hardware_concurrency(); 1 means fully serial.
+  /// and the machine is never oversubscribed). 0 picks the DR_THREADS
+  /// environment override when set to a positive integer, else
+  /// std::thread::hardware_concurrency() — so shared() and every other
+  /// threads=0 pool can be resized per run without code changes. 1 means
+  /// fully serial.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -42,9 +45,10 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
-  /// Process-wide shared pool (hardware-concurrency lanes), created on
-  /// first use. Intended for coarse task-level parallelism; bodies must not
-  /// block on this pool themselves.
+  /// Process-wide shared pool (DR_THREADS lanes when set, else hardware
+  /// concurrency; the override is read once, at first use). Intended for
+  /// coarse task-level parallelism; bodies must not block on this pool
+  /// themselves.
   [[nodiscard]] static ThreadPool& shared();
 
  private:

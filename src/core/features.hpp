@@ -27,7 +27,10 @@ class FeatureExtractor {
 
   /// Full pattern extraction for one ensemble: returns patterns of
   /// params().features_per_pattern() floats each. Ensembles too short to
-  /// fill one pattern yield an empty vector.
+  /// fill one pattern yield an empty vector. All full-size records
+  /// (originals and 50%-overlap reslices) run through one batched spectral
+  /// call (SpectralEngine::windowed_magnitudes_batch); only a trailing
+  /// partial record is transformed singly.
   [[nodiscard]] std::vector<std::vector<float>> patterns(
       std::span<const float> ensemble) const;
 
@@ -37,6 +40,9 @@ class FeatureExtractor {
   }
 
  private:
+  /// Cutout band + optional PAA of one dft_size magnitude row.
+  [[nodiscard]] std::vector<float> band_of(std::span<const float> mags) const;
+
   PipelineParams params_;
   std::shared_ptr<const SpectralEngine> engine_;
 };

@@ -44,6 +44,18 @@ class SpectralEngine {
   void windowed_magnitudes(std::span<const float> record,
                            std::vector<float>& out) const;
 
+  /// Batched windowed magnitude spectra: `records` is a row-major matrix of
+  /// same-length records (records.size() must be a multiple of `record_len`,
+  /// record_len <= dft_size()); writes count rows of dft_size() magnitudes
+  /// into `out`. Bit-identical to calling windowed_magnitudes per row — the
+  /// batch hoists the window table, FFT plan, and pad zeroing out of the
+  /// record loop and streams each row through one cache-hot padded buffer
+  /// (windowing fused with the copy), so per-record dispatch amortizes
+  /// across a clip.
+  void windowed_magnitudes_batch(std::span<const float> records,
+                                 std::size_t record_len,
+                                 std::vector<float>& out) const;
+
   /// Forward DFT of a float-complex payload, zero-padded (or truncated) to
   /// dft_size(); result narrowed back to float-complex in `out`.
   void dft(std::span<const std::complex<float>> in,

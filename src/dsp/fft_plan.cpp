@@ -1,9 +1,11 @@
 #include "dsp/fft_plan.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "common/contracts.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::dsp {
 
@@ -39,6 +41,13 @@ std::vector<Cplx> make_twiddles(std::size_t s) {
     }
   }
   return table;
+}
+
+/// Interleaved (re, im) view of a complex array for the SIMD kernels —
+/// sanctioned by the std::complex array-oriented access guarantee.
+double* as_doubles(Cplx* p) { return reinterpret_cast<double*>(p); }
+const double* as_doubles(const Cplx* p) {
+  return reinterpret_cast<const double*>(p);
 }
 }  // namespace
 
@@ -79,47 +88,73 @@ void FftPlan::radix2_forward(std::span<Cplx> data) const {
   DR_ASSERT(s == bitrev_.size());
   if (s <= 1) return;
 
-  // __restrict matters: without it the compiler must assume the twiddle
-  // loads alias the butterfly stores and reloads them every iteration,
-  // which measured ~3x slower than the legacy register-recurrence twiddles.
-  Cplx* __restrict d = data.data();
+  Cplx* d = data.data();
   for (std::size_t i = 1; i < s; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(d[i], d[j]);
   }
 
-  const Cplx* __restrict stage = twiddle_.data();
-  for (std::size_t len = 2; len <= s; len <<= 1) {
+  // Butterflies run on the SIMD kernels: a fused twiddle-free radix-4 first
+  // pass (stages len=2 and len=4 in one sweep over the data), then
+  // vectorized radix-2 stages streaming through the stage-contiguous
+  // twiddle table.
+  double* dd = as_doubles(d);
+  const double* tw = as_doubles(twiddle_.data());
+  std::size_t len = 2;
+  std::size_t stage = 0;  // complex twiddle entries consumed so far
+  if (s % 4 == 0) {
+    simd::radix4_first_pass(dd, s);
+    len = 8;
+    stage = 3;  // the skipped len=2 (1 entry) and len=4 (2 entries) stages
+  }
+  for (; len <= s; len <<= 1) {
     const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < s; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const Cplx w = stage[k];
-        const Cplx u = d[i + k];
-        const Cplx v = d[i + k + half] * w;
-        d[i + k] = u + v;
-        d[i + k + half] = u - v;
-      }
-    }
+    simd::radix2_stage(dd, tw + 2 * stage, s, half);
     stage += half;
   }
 }
 
 void FftPlan::bluestein_forward(std::span<Cplx> data) {
   // a[k] = x[k] * chirp[k], zero-padded to the convolution length.
-  for (std::size_t k = 0; k < n_; ++k) conv_[k] = data[k] * chirp_[k];
-  for (std::size_t k = n_; k < m_; ++k) conv_[k] = Cplx(0, 0);
+  simd::complex_multiply(as_doubles(conv_.data()), as_doubles(data.data()),
+                         as_doubles(chirp_.data()), n_);
+  std::fill(conv_.begin() + static_cast<std::ptrdiff_t>(n_), conv_.end(),
+            Cplx(0, 0));
 
   radix2_forward(conv_);
-  for (std::size_t k = 0; k < m_; ++k) conv_[k] *= chirp_fft_[k];
+  simd::complex_multiply(as_doubles(conv_.data()), as_doubles(conv_.data()),
+                         as_doubles(chirp_fft_.data()), m_);
 
   // Unscaled inverse via conjugation: ifft(x) = conj(fft(conj(x))).
-  for (auto& v : conv_) v = std::conj(v);
+  simd::conjugate(as_doubles(conv_.data()), m_);
   radix2_forward(conv_);
 
   const double scale = 1.0 / static_cast<double>(m_);
-  for (std::size_t k = 0; k < n_; ++k) {
-    data[k] = std::conj(conv_[k]) * scale * chirp_[k];
-  }
+  simd::conj_multiply_scale(as_doubles(data.data()), as_doubles(conv_.data()),
+                            as_doubles(chirp_.data()), scale, n_);
+}
+
+void FftPlan::bluestein_forward_real(const float* in, Cplx* out) {
+  // Chirp premultiply specialized for real input: no widening pass, two
+  // multiplies per element.
+  simd::complex_multiply_real(as_doubles(conv_.data()), in,
+                              as_doubles(chirp_.data()), n_);
+  std::fill(conv_.begin() + static_cast<std::ptrdiff_t>(n_), conv_.end(),
+            Cplx(0, 0));
+
+  radix2_forward(conv_);
+  simd::complex_multiply(as_doubles(conv_.data()), as_doubles(conv_.data()),
+                         as_doubles(chirp_fft_.data()), m_);
+  simd::conjugate(as_doubles(conv_.data()), m_);
+  radix2_forward(conv_);
+
+  // Real input => Hermitian output: postmultiply only the n/2+1 unique bins
+  // and mirror the rest by conjugate symmetry.
+  const double scale = 1.0 / static_cast<double>(m_);
+  const std::size_t h = n_ / 2;  // n_ is odd here
+  simd::conj_multiply_scale(as_doubles(out), as_doubles(conv_.data()),
+                            as_doubles(chirp_.data()), scale, h + 1);
+  for (std::size_t k = 1; k <= h; ++k) out[n_ - k] = std::conj(out[k]);
 }
 
 void FftPlan::forward(std::span<Cplx> data) {
@@ -133,7 +168,7 @@ void FftPlan::forward(std::span<Cplx> data) {
 
 void FftPlan::inverse(std::span<Cplx> data) {
   DR_EXPECTS(data.size() == n_);
-  for (auto& v : data) v = std::conj(v);
+  simd::conjugate(as_doubles(data.data()), n_);
   forward(data);
   const double scale = 1.0 / static_cast<double>(n_);
   for (auto& v : data) v = std::conj(v) * scale;
@@ -146,22 +181,94 @@ void FftPlan::forward(std::span<const Cplx> in, std::span<Cplx> out) {
   forward(out);
 }
 
+void FftPlan::ensure_real_state() {
+  if (n_ < 2 || n_ % 2 != 0 || half_plan_) return;
+  const std::size_t h = n_ / 2;
+  half_plan_ = std::make_unique<FftPlan>(h);
+  half_twiddle_.resize(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const double angle =
+        -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n_);
+    half_twiddle_[k] = Cplx(std::cos(angle), std::sin(angle));
+  }
+  packed_.resize(h);
+}
+
+void FftPlan::forward_real_one(const float* in, Cplx* out) {
+  if (n_ == 1) {
+    out[0] = Cplx(static_cast<double>(in[0]), 0.0);
+    return;
+  }
+  if (n_ % 2 != 0) {
+    bluestein_forward_real(in, out);
+    return;
+  }
+
+  // Packed half-size transform: z[k] = x[2k] + i*x[2k+1] is exactly the
+  // widened input reinterpreted as n/2 complex values. One h-point complex
+  // FFT replaces the n-point transform the old path ran.
+  const std::size_t h = n_ / 2;
+  simd::widen_f32(in, as_doubles(packed_.data()), n_);
+  half_plan_->forward(std::span<Cplx>(packed_));
+
+  // Hermitian unpack: split Z into the spectra of the even/odd subsequences
+  // (E[k] = (Z[k]+conj(Z[h-k]))/2, O[k] = (Z[k]-conj(Z[h-k]))/(2i)) and
+  // recombine X[k] = E[k] + W^k O[k], X[n-k] = conj(X[k]).
+  const Cplx z0 = packed_[0];
+  out[0] = Cplx(z0.real() + z0.imag(), 0.0);
+  out[h] = Cplx(z0.real() - z0.imag(), 0.0);
+  for (std::size_t k = 1; k < h; ++k) {
+    const Cplx zk = packed_[k];
+    const Cplx zc = std::conj(packed_[h - k]);
+    const Cplx even = 0.5 * (zk + zc);
+    const Cplx odd = (zk - zc) * Cplx(0.0, -0.5);
+    const Cplx x = even + half_twiddle_[k] * odd;
+    out[k] = x;
+    out[n_ - k] = std::conj(x);
+  }
+}
+
+void FftPlan::magnitudes_one(const float* in, float* out) {
+  real_scratch_.resize(n_);
+  forward_real_one(in, real_scratch_.data());
+  // Hermitian symmetry: sqrt only the unique bins, copy the mirror half.
+  const std::size_t unique = n_ / 2 + 1;
+  simd::magnitudes_f32(as_doubles(real_scratch_.data()), out,
+                       std::min(unique, n_));
+  for (std::size_t k = unique; k < n_; ++k) out[k] = out[n_ - k];
+}
+
 void FftPlan::forward_real(std::span<const float> in, std::span<Cplx> out) {
   DR_EXPECTS(in.size() == n_);
   DR_EXPECTS(out.size() == n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    out[i] = Cplx(static_cast<double>(in[i]), 0.0);
-  }
-  forward(out);
+  ensure_real_state();
+  forward_real_one(in.data(), out.data());
 }
 
 void FftPlan::magnitudes(std::span<const float> in, std::span<float> out) {
   DR_EXPECTS(in.size() == n_);
   DR_EXPECTS(out.size() == n_);
-  real_scratch_.resize(n_);
-  forward_real(in, real_scratch_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    out[i] = static_cast<float>(std::abs(real_scratch_[i]));
+  ensure_real_state();
+  magnitudes_one(in.data(), out.data());
+}
+
+void FftPlan::forward_real_batch(std::span<const float> in, std::size_t count,
+                                 std::span<Cplx> out) {
+  DR_EXPECTS(in.size() == count * n_);
+  DR_EXPECTS(out.size() == count * n_);
+  ensure_real_state();
+  for (std::size_t r = 0; r < count; ++r) {
+    forward_real_one(in.data() + r * n_, out.data() + r * n_);
+  }
+}
+
+void FftPlan::magnitudes_batch(std::span<const float> in, std::size_t count,
+                               std::span<float> out) {
+  DR_EXPECTS(in.size() == count * n_);
+  DR_EXPECTS(out.size() == count * n_);
+  ensure_real_state();
+  for (std::size_t r = 0; r < count; ++r) {
+    magnitudes_one(in.data() + r * n_, out.data() + r * n_);
   }
 }
 

@@ -9,6 +9,11 @@
 // across executions. A size-keyed PlanCache amortizes plan construction; a
 // thread-local cache instance backs the plan-cached free functions so every
 // existing call site benefits without code changes.
+// Execution runs on the SIMD kernel layer (dsp/simd.hpp): fused radix-4
+// first pass + vectorized radix-2 butterflies, vectorized Bluestein chirp
+// multiplies, and a packed real-input fast path that does an n/2-point
+// complex transform per real FFT. Batch entry points amortize dispatch and
+// scratch across whole record matrices.
 #pragma once
 
 #include <cstddef>
@@ -43,16 +48,44 @@ class FftPlan {
   /// Out-of-place forward DFT; `in` and `out` must both hold size() elements
   /// and may not alias.
   void forward(std::span<const Cplx> in, std::span<Cplx> out);
-  /// Forward DFT of a real signal into `out` (both size() elements).
+
+  /// Forward DFT of a real signal into `out` (both size() elements). Runs
+  /// the real-input fast path: even sizes pack the signal into an
+  /// n/2-point complex transform (Hermitian unpack afterwards, ~half the
+  /// work of the complex path); odd Bluestein sizes premultiply the chirp
+  /// directly against the real input and compute only the lower half
+  /// spectrum, mirroring the rest by conjugate symmetry.
   void forward_real(std::span<const float> in, std::span<Cplx> out);
-  /// Magnitude spectrum |X[k]| of a real signal, k = 0 .. size()-1.
+  /// Magnitude spectrum |X[k]| of a real signal, k = 0 .. size()-1. Only
+  /// the size()/2+1 unique Hermitian bins are computed; the mirror half is
+  /// copied.
   void magnitudes(std::span<const float> in, std::span<float> out);
 
+  /// Forward DFTs of `count` real records packed row-major in `in`
+  /// (count * size() floats); writes count * size() spectra. Bit-identical
+  /// to `count` forward_real calls — the batch exists to amortize dispatch,
+  /// plan lookups, and scratch reuse across a whole record matrix.
+  void forward_real_batch(std::span<const float> in, std::size_t count,
+                          std::span<Cplx> out);
+  /// Magnitude spectra of `count` packed real records (count * size() floats
+  /// in, count * size() magnitudes out). Bit-identical to `count`
+  /// magnitudes calls.
+  void magnitudes_batch(std::span<const float> in, std::size_t count,
+                        std::span<float> out);
+
  private:
-  /// Table-driven iterative radix-2 butterflies over `data` (whose size is
-  /// n_ when pow2_, else the Bluestein convolution size m_).
+  /// Table-driven iterative butterflies over `data` (whose size is n_ when
+  /// pow2_, else the Bluestein convolution size m_): bit-reversal, a fused
+  /// radix-4 first pass, then vectorized radix-2 stages.
   void radix2_forward(std::span<Cplx> data) const;
   void bluestein_forward(std::span<Cplx> data);
+  void bluestein_forward_real(const float* in, Cplx* out);
+
+  /// Build the real-input fast-path state (half-size sub-plan, unpack
+  /// twiddles) on first use; odd sizes need none.
+  void ensure_real_state();
+  void forward_real_one(const float* in, Cplx* out);
+  void magnitudes_one(const float* in, float* out);
 
   std::size_t n_;
   bool pow2_;
@@ -64,6 +97,12 @@ class FftPlan {
   std::vector<Cplx> chirp_;      ///< exp(-i*pi*k^2/n), k < n
   std::vector<Cplx> chirp_fft_;  ///< forward FFT of the chirp filter, size m
   std::vector<Cplx> conv_;       ///< reusable convolution scratch, size m
+
+  // Real-input fast-path state (built lazily by ensure_real_state; the
+  // sub-plan never builds its own, so the chain is one level deep).
+  std::unique_ptr<FftPlan> half_plan_;  ///< n/2-point sub-plan (even n)
+  std::vector<Cplx> half_twiddle_;      ///< exp(-2*pi*i*k/n), k < n/2
+  std::vector<Cplx> packed_;            ///< n/2 packed input scratch
 
   std::vector<Cplx> real_scratch_;  ///< reusable buffer for real-input paths
 };

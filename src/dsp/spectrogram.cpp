@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::dsp {
 
@@ -37,26 +38,38 @@ Spectrogram stft(std::span<const float> signal, const SpectrogramParams& params)
   const std::size_t num_frames = (signal.size() - params.frame_size) / params.hop + 1;
   spec.frames.reserve(num_frames);
 
-  // One plan and one frame/spectrum scratch shared by every frame: the
-  // windowed copy and the complex spectrum are overwritten in place instead
-  // of being reallocated per frame.
-  FftPlan& plan = local_plan_cache().get(params.frame_size);
-  std::vector<float> frame(params.frame_size);
-  std::vector<Cplx> spectrum(params.frame_size);
-  for (std::size_t f = 0; f < num_frames; ++f) {
-    const std::size_t start = f * params.hop;
-    std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
-                params.frame_size, frame.begin());
-    apply_window(frame, window);
-    plan.forward_real(frame, spectrum);
-
-    std::vector<float> mags(num_bins);
-    for (std::size_t k = 0; k < num_bins; ++k) {
-      double mag = std::abs(spectrum[k]);
-      if (params.log_magnitude) mag = 20.0 * std::log10(mag + 1e-12);
-      mags[k] = static_cast<float>(mag);
+  // Frames run through the plan's batch path in fixed-size chunks: one plan
+  // lookup for the whole signal, windowing fused with the frame copy, and
+  // per-chunk magnitude transforms instead of per-frame dispatch. The chunk
+  // is kept small so both its passes (window, transform) stay cache-hot.
+  constexpr std::size_t kChunkFrames = 8;
+  const std::size_t fs = params.frame_size;
+  const std::size_t chunk = std::min(kChunkFrames, num_frames);
+  FftPlan& plan = local_plan_cache().get(fs);
+  std::vector<float> frames_buf(chunk * fs);
+  std::vector<float> mags_buf(chunk * fs);
+  for (std::size_t f0 = 0; f0 < num_frames; f0 += chunk) {
+    const std::size_t c = std::min(chunk, num_frames - f0);
+    for (std::size_t j = 0; j < c; ++j) {
+      simd::multiply_f32(frames_buf.data() + j * fs,
+                         signal.data() + (f0 + j) * params.hop, window.data(),
+                         fs);
     }
-    spec.frames.push_back(std::move(mags));
+    plan.magnitudes_batch(std::span<const float>(frames_buf.data(), c * fs), c,
+                          std::span<float>(mags_buf.data(), c * fs));
+    for (std::size_t j = 0; j < c; ++j) {
+      const float* m = mags_buf.data() + j * fs;
+      std::vector<float> mags(num_bins);
+      if (params.log_magnitude) {
+        for (std::size_t k = 0; k < num_bins; ++k) {
+          mags[k] = static_cast<float>(
+              20.0 * std::log10(static_cast<double>(m[k]) + 1e-12));
+        }
+      } else {
+        std::copy_n(m, num_bins, mags.begin());
+      }
+      spec.frames.push_back(std::move(mags));
+    }
   }
   return spec;
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/contracts.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::dsp {
 
@@ -70,7 +71,7 @@ std::vector<float> make_window(WindowKind kind, std::size_t n) {
 
 void apply_window(std::span<float> data, std::span<const float> window) {
   DR_EXPECTS(data.size() == window.size());
-  for (std::size_t i = 0; i < data.size(); ++i) data[i] *= window[i];
+  simd::multiply_f32(data.data(), data.data(), window.data(), data.size());
 }
 
 void apply_window(std::span<float> data, WindowKind kind) {

@@ -13,6 +13,7 @@
 // window 2250 scores.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -38,7 +39,9 @@ struct AnomalyParams {
   void validate() const;
 };
 
-/// Streaming scorer: one call per sample, O(alphabet^level) per call.
+/// Streaming scorer: one call per sample, O(1) amortized per call — the
+/// lag/lead bitmap distance is maintained incrementally (see push_symbol_value)
+/// instead of being recomputed over all alphabet^level cells per symbol.
 class StreamingAnomalyScorer {
  public:
   explicit StreamingAnomalyScorer(const AnomalyParams& params);
@@ -60,6 +63,9 @@ class StreamingAnomalyScorer {
 
  private:
   void push_symbol_value(float value);
+  /// Shift cell's (lag count - lead count) by delta, keeping the integer
+  /// squared-difference sum exact.
+  void cell_delta(std::size_t cell, std::int64_t delta);
 
   AnomalyParams params_;
   std::vector<double> breakpoints_;
@@ -70,6 +76,11 @@ class StreamingAnomalyScorer {
   SaxBitmap lead_;
   MovingAverage ma_;
   std::size_t grams_per_window_;
+  // Incremental distance state: diff_[c] = lag count - lead count of cell c,
+  // sq_sum_ = sum of diff^2 — both exact integers, so the incremental score
+  // never drifts from a full recomputation no matter how long the stream.
+  std::vector<std::int64_t> diff_;
+  std::int64_t sq_sum_ = 0;
   double raw_score_ = 0.0;
   // Frame aggregation state (frame > 1).
   double frame_energy_ = 0.0;

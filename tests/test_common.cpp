@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
@@ -224,6 +225,29 @@ TEST(ThreadPool, SharedPoolIsSingletonAndUsable) {
   std::atomic<std::size_t> count{0};
   a.parallel_for(0, 64, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 64U);
+}
+
+TEST(ThreadPool, HonorsDrThreadsOverride) {
+  // threads=0 resolves through DR_THREADS (the knob shared() uses); explicit
+  // counts and malformed values are unaffected.
+  ASSERT_EQ(::setenv("DR_THREADS", "3", 1), 0);
+  {
+    dynriver::common::ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 3U);
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(0, 16, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 16U);
+  }
+  {
+    dynriver::common::ThreadPool pool(2);
+    EXPECT_EQ(pool.thread_count(), 2U);  // explicit count wins
+  }
+  ASSERT_EQ(::setenv("DR_THREADS", "not-a-number", 1), 0);
+  {
+    dynriver::common::ThreadPool pool(0);
+    EXPECT_GE(pool.thread_count(), 1U);  // falls back to hardware concurrency
+  }
+  ASSERT_EQ(::unsetenv("DR_THREADS"), 0);
 }
 
 TEST(ThreadPool, SequentialCallsReuseWorkers) {

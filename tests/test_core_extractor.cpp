@@ -207,6 +207,97 @@ TEST(FeatureExtractor, SpectrumPeaksInCorrectPaaBucket) {
   EXPECT_EQ(peak, 7);
 }
 
+TEST(SpectralEngineBatch, BatchBitIdenticalToSingle) {
+  const core::SpectralEngine engine(dynriver::dsp::WindowKind::kWelch, 900);
+  constexpr std::size_t kCount = 4;
+  // Full-size records, padded records, and a prime length.
+  for (const std::size_t record_len : {900UL, 450UL, 257UL}) {
+    std::vector<float> records(kCount * record_len);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records[i] = static_cast<float>(std::sin(0.37 * static_cast<double>(i)));
+    }
+
+    std::vector<float> batch;
+    engine.windowed_magnitudes_batch(records, record_len, batch);
+    ASSERT_EQ(batch.size(), kCount * engine.dft_size());
+
+    std::vector<float> single;
+    for (std::size_t r = 0; r < kCount; ++r) {
+      engine.windowed_magnitudes(
+          std::span<const float>(records.data() + r * record_len, record_len),
+          single);
+      ASSERT_EQ(single.size(), engine.dft_size());
+      for (std::size_t k = 0; k < single.size(); ++k) {
+        EXPECT_EQ(batch[r * engine.dft_size() + k], single[k])
+            << "len=" << record_len << " r=" << r << " k=" << k;
+      }
+    }
+  }
+}
+
+// patterns() now assembles all full records (originals + reslices) into one
+// batched spectral call; the result must match the per-record reference
+// exactly, including the trailing partial record.
+TEST(FeatureExtractor, PatternsMatchPerRecordReference) {
+  const auto params = default_params();
+  const core::FeatureExtractor fx(params);
+  // 10.5 records: exercises reslicing and a 450-sample trailing partial.
+  std::vector<float> ensemble(static_cast<std::size_t>(10.5 * 900.0));
+  for (std::size_t i = 0; i < ensemble.size(); ++i) {
+    ensemble[i] = static_cast<float>(std::sin(0.11 * static_cast<double>(i)) +
+                                     0.3 * std::sin(0.9 * static_cast<double>(i)));
+  }
+
+  // Reference: the pre-batching slicing, spelled out (chop, 50%-overlap
+  // reslice between equal-size neighbours, spectrum per record, merge).
+  std::vector<std::vector<float>> records;
+  for (std::size_t start = 0; start < ensemble.size();
+       start += params.record_size) {
+    const std::size_t len =
+        std::min(params.record_size, ensemble.size() - start);
+    records.emplace_back(ensemble.begin() + static_cast<std::ptrdiff_t>(start),
+                         ensemble.begin() +
+                             static_cast<std::ptrdiff_t>(start + len));
+  }
+  std::vector<std::vector<float>> sliced;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    sliced.push_back(records[i]);
+    if (params.reslice && i + 1 < records.size() &&
+        records[i].size() == records[i + 1].size() && records[i].size() >= 2) {
+      const std::size_t half = records[i].size() / 2;
+      std::vector<float> overlap(records[i].end() -
+                                     static_cast<std::ptrdiff_t>(half),
+                                 records[i].end());
+      overlap.insert(overlap.end(), records[i + 1].begin(),
+                     records[i + 1].begin() + static_cast<std::ptrdiff_t>(
+                                                  records[i].size() - half));
+      sliced.push_back(std::move(overlap));
+    }
+  }
+  std::vector<std::vector<float>> spectra;
+  for (const auto& rec : sliced) spectra.push_back(fx.record_spectrum(rec));
+  std::vector<std::vector<float>> expected;
+  for (std::size_t start = 0; start + params.pattern_merge <= spectra.size();
+       start += params.pattern_stride) {
+    std::vector<float> pattern;
+    for (std::size_t i = 0; i < params.pattern_merge; ++i) {
+      pattern.insert(pattern.end(), spectra[start + i].begin(),
+                     spectra[start + i].end());
+    }
+    expected.push_back(std::move(pattern));
+  }
+
+  const auto got = fx.patterns(ensemble);
+  ASSERT_EQ(got.size(), expected.size());
+  ASSERT_FALSE(got.empty());
+  for (std::size_t p = 0; p < got.size(); ++p) {
+    ASSERT_EQ(got[p].size(), expected[p].size());
+    for (std::size_t f = 0; f < got[p].size(); ++f) {
+      EXPECT_EQ(got[p][f], expected[p][f]) << "p=" << p << " f=" << f;
+    }
+  }
+}
+
 TEST(FeatureExtractor, PaaPatternIsReductionOfRawPattern) {
   auto raw_params = default_params();
   raw_params.use_paa = false;

@@ -123,6 +123,73 @@ TEST(FftPlanReal, RealPathsMatchLegacy) {
   }
 }
 
+// The packed half-size real path (even n), the real-specialized Bluestein
+// (odd n), and the trivial n=1 path must all agree with the legacy
+// widen-to-complex implementation across a dense small-size sweep plus the
+// pipeline/prime/power-of-two sizes.
+TEST(FftPlanReal, FastPathMatchesUnplannedSweep) {
+  dsp::PlanCache cache;
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 1; n <= 64; ++n) sizes.push_back(n);
+  for (const std::size_t n : {257UL, 450UL, 900UL, 901UL, 1024UL, 2048UL}) {
+    sizes.push_back(n);
+  }
+  for (const std::size_t n : sizes) {
+    const auto x = random_real_signal(n, static_cast<unsigned>(n) + 110000);
+    std::vector<dsp::Cplx> fast(n);
+    cache.get(n).forward_real(x, fast);
+    EXPECT_LT(max_abs_error(fast, dsp::fft_real_unplanned(x)), size_tol(n))
+        << "n=" << n;
+  }
+}
+
+// Real spectra are Hermitian; the fast path constructs the mirror half
+// explicitly, so the symmetry must hold exactly.
+TEST(FftPlanReal, FastPathOutputIsHermitian) {
+  for (const std::size_t n : {900UL, 901UL, 1024UL}) {
+    const auto x = random_real_signal(n, static_cast<unsigned>(n) + 120000);
+    dsp::FftPlan plan(n);
+    std::vector<dsp::Cplx> spec(n);
+    plan.forward_real(x, spec);
+    for (std::size_t k = 1; k < n - k; ++k) {
+      EXPECT_EQ(spec[n - k].real(), spec[k].real()) << "n=" << n << " k=" << k;
+      EXPECT_EQ(spec[n - k].imag(), -spec[k].imag()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+// The batch entry points must be bit-identical to per-record execution:
+// same plan, same scratch path, just amortized dispatch.
+TEST(FftPlanReal, BatchBitIdenticalToSingle) {
+  constexpr std::size_t kCount = 5;
+  for (const std::size_t n : {257UL, 900UL, 1024UL}) {
+    const auto records =
+        random_real_signal(kCount * n, static_cast<unsigned>(n) + 130000);
+    dsp::FftPlan plan(n);
+
+    std::vector<dsp::Cplx> batch_spec(kCount * n);
+    plan.forward_real_batch(records, kCount, batch_spec);
+    std::vector<float> batch_mags(kCount * n);
+    plan.magnitudes_batch(records, kCount, batch_mags);
+
+    for (std::size_t r = 0; r < kCount; ++r) {
+      const std::span<const float> rec(records.data() + r * n, n);
+      std::vector<dsp::Cplx> single(n);
+      plan.forward_real(rec, single);
+      std::vector<float> mags(n);
+      plan.magnitudes(rec, mags);
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_EQ(batch_spec[r * n + k].real(), single[k].real())
+            << "n=" << n << " r=" << r << " k=" << k;
+        EXPECT_EQ(batch_spec[r * n + k].imag(), single[k].imag())
+            << "n=" << n << " r=" << r << " k=" << k;
+        EXPECT_EQ(batch_mags[r * n + k], mags[k])
+            << "n=" << n << " r=" << r << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(FftPlanFreeFunctions, PlanCachedWrappersMatchUnplanned) {
   // The public fft/ifft/fft_real now route through the thread-local plan
   // cache; they must agree with the legacy implementations they replaced.

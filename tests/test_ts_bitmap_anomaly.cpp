@@ -164,6 +164,67 @@ TEST(StreamingAnomaly, ResetClearsState) {
   EXPECT_DOUBLE_EQ(scorer.raw_score(), 0.0);
 }
 
+TEST(StreamingAnomaly, IncrementalDistanceIdentityHoldsForEqualTotals) {
+  // The scorer's O(1) score update relies on this identity: with equal
+  // totals N, bitmap_distance(a, b) == sqrt(sum (count_a - count_b)^2) / N.
+  // Drive two bitmaps through a random add/remove churn that keeps totals
+  // equal (exactly the scorer's full-window regime) and compare both forms.
+  std::mt19937 gen(17);
+  ts::SaxBitmap a(4, 2);
+  ts::SaxBitmap b(4, 2);
+  std::uniform_int_distribution<std::size_t> cell(0, a.cells() - 1);
+  std::vector<std::size_t> in_a;
+  std::vector<std::size_t> in_b;
+  for (int i = 0; i < 64; ++i) {
+    in_a.push_back(cell(gen));
+    a.add_cell(in_a.back());
+    in_b.push_back(cell(gen));
+    b.add_cell(in_b.back());
+  }
+  for (int step = 0; step < 200; ++step) {
+    // Replace one random gram in each window, as the sliding windows do.
+    std::uniform_int_distribution<std::size_t> pick(0, in_a.size() - 1);
+    const std::size_t ia = pick(gen);
+    a.remove_cell(in_a[ia]);
+    in_a[ia] = cell(gen);
+    a.add_cell(in_a[ia]);
+    const std::size_t ib = pick(gen);
+    b.remove_cell(in_b[ib]);
+    in_b[ib] = cell(gen);
+    b.add_cell(in_b[ib]);
+
+    std::int64_t sq = 0;
+    for (std::size_t c = 0; c < a.cells(); ++c) {
+      const auto d = static_cast<std::int64_t>(a.counts()[c]) -
+                     static_cast<std::int64_t>(b.counts()[c]);
+      sq += d * d;
+    }
+    const double incremental =
+        std::sqrt(static_cast<double>(sq)) / static_cast<double>(a.total());
+    EXPECT_NEAR(incremental, ts::bitmap_distance(a, b), 1e-12)
+        << "step=" << step;
+  }
+}
+
+TEST(StreamingAnomaly, ScoreStaysWithinDistanceBounds) {
+  // Post-warmup the incremental raw score must stay inside bitmap-distance
+  // bounds [0, sqrt(2)] at every sample of a long stream (an accumulated
+  // integer-state bug would drift it outside).
+  ts::AnomalyParams params;
+  params.window = 30;
+  params.ma_window = 5;
+  ts::StreamingAnomalyScorer scorer(params);
+  const auto x = noise_with_tone(4000, 2000, 1000, 13);
+  bool saw_positive = false;
+  for (const float v : x) {
+    (void)scorer.push(v);
+    EXPECT_GE(scorer.raw_score(), 0.0);
+    EXPECT_LE(scorer.raw_score(), std::sqrt(2.0) + 1e-12);
+    saw_positive = saw_positive || scorer.raw_score() > 0.0;
+  }
+  EXPECT_TRUE(saw_positive);
+}
+
 TEST(StreamingAnomaly, DeterministicAcrossRuns) {
   ts::AnomalyParams params;
   const auto x = noise_with_tone(6000, 3000, 1500, 11);
