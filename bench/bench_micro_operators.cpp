@@ -20,6 +20,7 @@
 #include "core/features.hpp"
 #include "core/multistream.hpp"
 #include "core/spectral_engine.hpp"
+#include "core/stream_session.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fft_plan.hpp"
 #include "dsp/simd.hpp"
@@ -220,6 +221,33 @@ void BM_MultiStreamExtract2ch(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiStreamExtract2ch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+// Steady-state streaming ingest: one second of the cached clip pushed
+// through a warmed StreamSession in record-size chunks (taps off, ensembles
+// drained). Compare against BM_ExtractClip30s / 30 for the batch cost.
+void BM_StreamPushOneSecond(benchmark::State& state) {
+  const core::PipelineParams params;
+  core::StreamSession session{params};
+  const auto& clip = cached_clip().clip.samples;
+  const std::size_t second = static_cast<std::size_t>(params.sample_rate);
+  // Warm the scorer/trigger baselines so iterations measure steady state.
+  session.push(std::span<const float>(clip.data(), second));
+  (void)session.drain();
+
+  std::size_t pos = second;
+  for (auto _ : state) {
+    for (std::size_t off = 0; off < second; off += params.record_size) {
+      const std::size_t n = std::min(params.record_size, second - off);
+      session.push(std::span<const float>(clip.data() + pos + off, n));
+    }
+    benchmark::DoNotOptimize(session.drain());
+    pos += second;
+    if (pos + second > clip.size()) pos = 0;  // wrap over the 30 s clip
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(second));
+}
+BENCHMARK(BM_StreamPushOneSecond)->Unit(benchmark::kMillisecond);
+
 void BM_FeatureExtractOneSecond(benchmark::State& state) {
   core::PipelineParams pp;
   pp.use_paa = state.range(0) != 0;
@@ -412,6 +440,26 @@ void run_json_sweep() {
     record("extract_clip30s", clip.size(), [&] {
       auto result = extractor.extract(clip);
       benchmark::DoNotOptimize(result);
+    });
+
+    // Steady-state streaming push of one second in record-size chunks
+    // (bounded-memory session, taps off) — the live-ingest cost to hold
+    // against extract_clip30s / 30.
+    const core::PipelineParams params;
+    core::StreamSession session{params};
+    const std::size_t second = static_cast<std::size_t>(params.sample_rate);
+    session.push(std::span<const float>(clip.data(), second));  // warmup
+    auto drained = session.drain();
+    benchmark::DoNotOptimize(drained);
+    std::size_t pos = second;
+    record("stream_push_1s", second, [&] {
+      for (std::size_t off = 0; off < second; off += params.record_size) {
+        const std::size_t n = std::min(params.record_size, second - off);
+        session.push(std::span<const float>(clip.data() + pos + off, n));
+      }
+      benchmark::DoNotOptimize(session.drain());
+      pos += second;
+      if (pos + second > clip.size()) pos = 0;
     });
 
     const std::vector<std::span<const float>> streams = {clip,

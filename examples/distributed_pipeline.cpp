@@ -1,15 +1,22 @@
-// Distributed pipeline demo: the Figure 5 operators split into two segments
-// running on different "hosts" connected by a real TCP socket, with
+// Distributed pipeline demo: extraction split across "hosts" connected by a
+// real TCP socket, with
 //   1. live relocation of the extraction segment between virtual hosts, and
-//   2. an injected upstream failure showing BadCloseScope recovery.
+//   2. a station streaming audio records over TCP into a push-based
+//      StreamSession (RecordChannelSource -> session -> sink) that keeps
+//      extracting while the upstream is still sending — then dies mid-clip,
+//      showing the session finalize the open ensemble and the source report
+//      the abnormal close.
 //
 //   ./distributed_pipeline
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
 #include "core/birdsong.hpp"
 #include "core/ops_acoustic.hpp"
+#include "core/stream_session.hpp"
 #include "river/manager.hpp"
+#include "river/sample_io.hpp"
 #include "river/scope.hpp"
 #include "river/stream_io.hpp"
 #include "river/tcp.hpp"
@@ -90,8 +97,8 @@ int main() {
                 patterns.size(), tracker.any_open() ? "NO" : "yes");
   }
 
-  std::printf("Part 2: upstream dies mid-clip over TCP; BadCloseScope recovery\n");
-  std::printf("----------------------------------------------------------------\n");
+  std::printf("Part 2: live TCP ingest into a StreamSession; upstream dies mid-clip\n");
+  std::printf("--------------------------------------------------------------------\n");
   {
     river::TcpListener listener(0);
     const auto port = listener.port();
@@ -101,37 +108,52 @@ int main() {
       river::TcpRecordChannel ch(river::TcpStream::connect("127.0.0.1", port));
       synth::StationParams sp;
       synth::SensorStation station(sp, 77);
-      const auto clip = station.record_clip({synth::SpeciesId::kBLJA});
+      const auto clip = station.record_clip(
+          {synth::SpeciesId::kBLJA, synth::SpeciesId::kMODO});
       auto records = core::clip_to_records(clip.clip, 0, kParams.record_size);
-      const std::size_t sent_count = records.size() / 3;
+      const std::size_t sent_count = (records.size() * 2) / 3;
       for (std::size_t i = 0; i < sent_count; ++i) {
         ch.send(std::move(records[i]));
       }
       std::printf("upstream: sent %zu of %zu records, then crashing...\n",
                   sent_count, records.size());
+      // Let the receiver drain the socket before the abortive close — an
+      // immediate RST may discard kernel-queued records, which would make
+      // the "extracted live before the fault" part of the demo a coin flip.
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
       ch.disconnect();  // abortive close: no CloseScope, no EOS sentinel
     });
 
-    river::TcpRecordChannel incoming(listener.accept());
-    auto pipeline = core::make_full_pipeline(kParams);
-    river::VectorEmitter sink;
-    const auto result = river::stream_in(incoming, pipeline, sink);
+    // The downstream host pulls audio records off the socket and extracts
+    // as they arrive: ensembles close (and could be classified, archived,
+    // forwarded) while the upstream is still recording. Only the open
+    // ensemble and the merge gap are buffered — never the stream.
+    auto incoming = std::make_shared<river::TcpRecordChannel>(listener.accept());
+    river::RecordChannelSource source(incoming);
+    core::StreamSession session(kParams);
+    river::CollectingEnsembleSink sink;
+    const auto stats = core::run_stream(source, session, sink);
     dying_upstream.join();
 
-    river::ScopeTracker tracker;
-    for (const auto& rec : sink.records) tracker.observe(rec);
-
-    std::printf("downstream: received %zu records; clean close: %s\n",
-                result.records_in, result.clean ? "yes" : "NO");
+    std::printf("downstream: received %zu records (%zu samples); "
+                "clean close: %s\n",
+                source.records_in(), stats.samples_in,
+                source.clean() ? "yes" : "NO");
+    std::printf("downstream: %zu ensemble(s) extracted live "
+                "(tail finalized at the fault), peak session buffer "
+                "%zu samples\n",
+                sink.ensembles.size(), stats.peak_buffered_samples);
+    for (const auto& e : sink.ensembles) {
+      std::printf("  [%6.2f, %6.2f) s\n",
+                  static_cast<double>(e.start_sample) / kParams.sample_rate,
+                  static_cast<double>(e.end_sample()) / kParams.sample_rate);
+    }
     std::printf(
-        "downstream: synthesized %zu BadCloseScope record(s) to resynchronize\n",
-        result.bad_closes_emitted);
-    std::printf("downstream output scope-well-formed: %s\n",
-                tracker.any_open() ? "NO" : "yes");
-    std::printf(
-        "\nThe pipeline survives the fault: the next clip on a fresh\n"
-        "connection processes normally, which is Dynamic River's chief\n"
-        "advantage over SPEs without scoped streams (paper, Section 5).\n");
+        "\nThe pipeline survives the fault: the session's state machine\n"
+        "closed the open ensemble, the source reported the abnormal end,\n"
+        "and the next clip on a fresh connection processes normally --\n"
+        "Dynamic River's chief advantage over SPEs without scoped streams\n"
+        "(paper, Section 5).\n");
   }
   return 0;
 }

@@ -1,27 +1,36 @@
-// Ecosystem monitoring survey: multiple simulated sensor stations record
-// clips over a monitoring session; every clip flows through the extraction
-// pipeline; a MESO model identifies the singers; the program prints a
-// species activity report per station -- the paper's motivating application
-// ("automated species surveys using acoustics").
+// Ecosystem monitoring survey: multiple simulated sensor stations stream
+// their recordings through push-based extraction sessions; a MESO model
+// identifies the singers; the program prints a species activity report per
+// station -- the paper's motivating application ("automated species surveys
+// using acoustics").
+//
+// Each station's clips flow through synth::StationSource ->
+// core::StreamSession -> classification callback: one clip in memory at a
+// time, ensembles classified the moment they close — the shape of a
+// long-running field deployment rather than a batch job.
 //
 //   ./ecosystem_monitor [stations] [clips_per_station]
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <vector>
 
 #include "core/birdsong.hpp"
-#include "core/ops_acoustic.hpp"
+#include "core/stream_session.hpp"
 #include "eval/protocol.hpp"
 #include "meso/classifier.hpp"
+#include "river/sample_io.hpp"
 #include "synth/station.hpp"
+#include "synth/station_source.hpp"
 
 namespace core = dynriver::core;
+namespace river = dynriver::river;
 namespace synth = dynriver::synth;
 namespace meso = dynriver::meso;
 
 namespace {
 /// Train a reference MESO model from labelled reference recordings.
-meso::MesoClassifier train_reference_model(const core::PipelineParams& params,
+meso::MesoClassifier train_reference_model(core::StreamSession& session,
                                            int rounds) {
   synth::StationParams sp;
   sp.distractor_probability = 0.0;
@@ -30,8 +39,15 @@ meso::MesoClassifier train_reference_model(const core::PipelineParams& params,
   for (int round = 0; round < rounds; ++round) {
     for (std::size_t s = 0; s < synth::kNumSpecies; ++s) {
       const auto clip = reference.record_clip({static_cast<synth::SpeciesId>(s)});
-      for (const auto& pat : core::process_clip(clip.clip, 0, params)) {
-        classifier.train(pat.features, static_cast<meso::Label>(s));
+      session.reset();
+      river::BufferSource source(clip.clip.samples,
+                                 session.params().sample_rate);
+      river::CollectingEnsembleSink sink;
+      core::run_stream(source, session, sink);
+      for (const auto& ensemble : sink.ensembles) {
+        for (const auto& pattern : session.featurize(ensemble)) {
+          classifier.train(pattern, static_cast<meso::Label>(s));
+        }
       }
     }
   }
@@ -43,11 +59,12 @@ int main(int argc, char** argv) {
   const int num_stations = argc > 1 ? std::atoi(argv[1]) : 3;
   const int clips_per_station = argc > 2 ? std::atoi(argv[2]) : 4;
   const core::PipelineParams params;
+  core::StreamSession session(params);
 
   std::printf("Acoustic ecosystem monitor: %d stations x %d clips\n",
               num_stations, clips_per_station);
   std::printf("Training reference MESO model...\n");
-  const auto classifier = train_reference_model(params, 3);
+  const auto classifier = train_reference_model(session, 3);
   std::printf("  %zu patterns, %zu spheres\n\n", classifier.pattern_count(),
               classifier.sphere_count());
 
@@ -59,34 +76,39 @@ int main(int argc, char** argv) {
     synth::SensorStation station(sp, 10000 + static_cast<std::uint64_t>(st));
     dynriver::Rng fauna(20000 + static_cast<std::uint64_t>(st));
 
-    std::map<int, int> species_activity;   // predicted species -> detections
-    std::map<int, int> species_truth;      // planted species -> songs
+    std::map<int, int> species_activity;  // predicted species -> detections
+    std::map<int, int> species_truth;     // planted species -> songs
     for (int c = 0; c < clips_per_station; ++c) {
       // 1-3 singers per clip, biased per station.
-      std::vector<synth::SpeciesId> singers;
+      std::vector<synth::SpeciesId> clip_singers;
       const auto n_singers = fauna.uniform_int(1, 3);
       for (int s = 0; s < n_singers; ++s) {
         const auto id = static_cast<synth::SpeciesId>(
             static_cast<std::size_t>(st * 3 + fauna.uniform_int(0, 4)) %
             synth::kNumSpecies);
-        singers.push_back(id);
+        clip_singers.push_back(id);
         ++species_truth[static_cast<int>(id)];
       }
-      const auto clip = station.record_clip(singers);
-      const auto patterns = core::process_clip(clip.clip, clip.clip_id, params);
 
-      // Group votes per ensemble, count a detection per ensemble.
-      std::map<std::int64_t, std::vector<int>> votes;
-      for (const auto& pat : patterns) {
-        votes[pat.ensemble_id].push_back(classifier.classify(pat.features));
-      }
-      for (const auto& [ensemble, vs] : votes) {
-        const int predicted = dynriver::eval::majority_vote(vs, synth::kNumSpecies);
+      // The clip is synthesized lazily inside the source and streamed in
+      // record-size chunks; classification happens as ensembles close.
+      synth::StationSource source(station, clip_singers, 1);
+      session.reset();
+      river::CallbackEnsembleSink sink([&](river::Ensemble ensemble) {
+        // Group votes per ensemble; count a detection per ensemble.
+        std::vector<int> votes;
+        for (const auto& pattern : session.featurize(ensemble)) {
+          votes.push_back(classifier.classify(pattern));
+        }
+        if (votes.empty()) return;
+        const int predicted =
+            dynriver::eval::majority_vote(votes, synth::kNumSpecies);
         ++species_activity[predicted];
         ++total_detections;
         // Score against ground truth by checking the species was planted.
         if (species_truth.count(predicted) > 0) ++correct_detections;
-      }
+      });
+      core::run_stream(source, session, sink);
     }
 
     std::printf("Station %d activity report:\n", st + 1);

@@ -1,19 +1,23 @@
-// Quickstart: the paper's Figure 5 pipeline on a single clip.
+// Quickstart: the paper's extraction pipeline as a push-based stream.
 //
-// Builds the full operator chain (wav2rec .. rec2vect), runs one synthetic
-// 30-second clip through it, prints the extracted ensembles, and classifies
-// them with a MESO model trained on a handful of reference songs.
+// Trains a MESO model on reference songs, then streams a fresh 30-second
+// clip through a core::StreamSession in record-size chunks — ensembles pop
+// out the moment their trigger closes, are featurized through the session's
+// shared SpectralEngine, and classified by majority vote. The session holds
+// only the open ensemble and the merge gap: the same program shape ingests
+// a live station feed for days.
 //
 //   ./quickstart [seed]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <vector>
 
 #include "core/birdsong.hpp"
-#include "core/ops_acoustic.hpp"
+#include "core/stream_session.hpp"
 #include "eval/protocol.hpp"
 #include "meso/classifier.hpp"
+#include "river/sample_io.hpp"
 #include "synth/station.hpp"
 
 namespace core = dynriver::core;
@@ -29,7 +33,12 @@ int main(int argc, char** argv) {
   std::printf("Pipeline (paper Fig. 5):\n  %s\n\n",
               core::pipeline_diagram(params).c_str());
 
-  // 1. Train MESO on a few reference songs per species.
+  // One streaming session for the whole program; reset() between clips
+  // reuses the spectral engine, plans, and window tables.
+  core::StreamSession session(params);
+
+  // 1. Train MESO on a few reference songs per species, streamed through
+  // the same session the mystery clip will use.
   std::printf("Training MESO on reference songs ");
   synth::StationParams sp;
   sp.distractor_probability = 0.0;
@@ -37,10 +46,15 @@ int main(int argc, char** argv) {
   meso::MesoClassifier classifier;
   for (int round = 0; round < 4; ++round) {
     for (std::size_t s = 0; s < synth::kNumSpecies; ++s) {
-      const auto clip =
-          trainer.record_clip({static_cast<synth::SpeciesId>(s)});
-      for (const auto& pat : core::process_clip(clip.clip, 0, params)) {
-        classifier.train(pat.features, static_cast<meso::Label>(s));
+      const auto clip = trainer.record_clip({static_cast<synth::SpeciesId>(s)});
+      session.reset();
+      river::BufferSource source(clip.clip.samples, params.sample_rate);
+      river::CollectingEnsembleSink sink;
+      core::run_stream(source, session, sink);
+      for (const auto& ensemble : sink.ensembles) {
+        for (const auto& pattern : session.featurize(ensemble)) {
+          classifier.train(pattern, static_cast<meso::Label>(s));
+        }
       }
       std::printf(".");
       std::fflush(stdout);
@@ -59,39 +73,45 @@ int main(int argc, char** argv) {
               static_cast<double>(mystery.clip.samples.size()) * 2 / 1e6,
               mystery.truth.size());
 
-  // 3. Run it through the full pipeline and group patterns by ensemble.
-  const auto patterns = core::process_clip(mystery.clip, 1, params);
-  std::printf("Extraction produced %zu patterns.\n\n", patterns.size());
+  // 3. Stream it through the session; classify each ensemble as it closes.
+  session.reset();
+  river::BufferSource source(mystery.clip.samples, params.sample_rate);
 
-  std::map<std::int64_t, std::vector<int>> votes_by_ensemble;
-  std::map<std::int64_t, std::pair<double, double>> span_by_ensemble;
-  for (const auto& pat : patterns) {
-    votes_by_ensemble[pat.ensemble_id].push_back(
-        classifier.classify(pat.features));
-    span_by_ensemble[pat.ensemble_id] = {
-        static_cast<double>(pat.start_sample) / params.sample_rate,
-        static_cast<double>(pat.start_sample + pat.ensemble_samples) /
-            params.sample_rate};
-  }
-
-  // 4. Report: one vote per pattern, majority per ensemble. Confidence is
-  // the winning vote share -- noise-triggered ensembles (which the paper's
-  // human listener would reject) tend to have scattered votes.
   std::printf("%-10s %-18s %-7s %-6s %s\n", "ensemble", "time", "votes",
               "conf", "species");
-  for (const auto& [ensemble_id, votes] : votes_by_ensemble) {
+  std::size_t ensemble_id = 0;
+  std::size_t pattern_count = 0;
+  river::CallbackEnsembleSink sink([&](river::Ensemble ensemble) {
+    // One vote per pattern, majority per ensemble. Confidence is the
+    // winning vote share -- noise-triggered ensembles (which the paper's
+    // human listener would reject) tend to have scattered votes.
+    std::vector<int> votes;
+    for (const auto& pattern : session.featurize(ensemble)) {
+      votes.push_back(classifier.classify(pattern));
+    }
+    pattern_count += votes.size();
+    if (votes.empty()) return;  // too short to carry a pattern
     const int winner = dynriver::eval::majority_vote(votes, synth::kNumSpecies);
-    const auto [t0, t1] = span_by_ensemble[ensemble_id];
     const auto winner_votes = static_cast<std::size_t>(
         std::count(votes.begin(), votes.end(), winner));
-    std::printf("%-10lld [%6.2f, %6.2f)  %-7zu %3.0f%%   %s (%s)\n",
-                static_cast<long long>(ensemble_id), t0, t1, votes.size(),
+    std::printf("%-10zu [%6.2f, %6.2f)  %-7zu %3.0f%%   %s (%s)\n",
+                ensemble_id++,
+                static_cast<double>(ensemble.start_sample) / params.sample_rate,
+                static_cast<double>(ensemble.end_sample()) / params.sample_rate,
+                votes.size(),
                 100.0 * static_cast<double>(winner_votes) /
                     static_cast<double>(votes.size()),
                 synth::species(static_cast<std::size_t>(winner)).code.c_str(),
                 synth::species(static_cast<std::size_t>(winner))
                     .common_name.c_str());
-  }
+  });
+  const auto pump = core::run_stream(source, session, sink);
+  std::printf("\nExtraction produced %zu patterns from %zu samples; the "
+              "session never buffered more than %zu samples (%.1f%% of the "
+              "clip).\n",
+              pattern_count, pump.samples_in, pump.peak_buffered_samples,
+              100.0 * static_cast<double>(pump.peak_buffered_samples) /
+                  static_cast<double>(std::max<std::size_t>(1, pump.samples_in)));
 
   std::printf("\nGround truth:\n");
   for (const auto& t : mystery.truth) {

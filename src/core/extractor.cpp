@@ -1,8 +1,6 @@
 #include "core/extractor.hpp"
 
-#include "common/contracts.hpp"
-#include "core/ops_anomaly.hpp"
-#include "ts/anomaly.hpp"
+#include "core/stream_session.hpp"
 
 namespace dynriver::core {
 
@@ -31,53 +29,16 @@ std::vector<std::vector<float>> EnsembleExtractor::featurize(
 
 ExtractionResult EnsembleExtractor::extract(std::span<const float> samples,
                                             bool keep_signals) const {
+  StreamSession::Options options;
+  if (keep_signals) options.tap_capacity = SignalTap::kUnbounded;
+  StreamSession session(params_, std::move(options), features_.engine());
+
+  session.push(samples);
   ExtractionResult result;
+  result.ensembles = session.finish();
   if (keep_signals) {
-    result.scores.resize(samples.size());
-    result.trigger.resize(samples.size());
-  }
-
-  ts::StreamingAnomalyScorer scorer(params_.anomaly);
-  TriggerState trigger(params_.trigger_sigma, params_.trigger_min_baseline,
-                       params_.trigger_hold_samples);
-
-  // Pass 1: per-sample scoring and triggered intervals.
-  std::vector<std::pair<std::size_t, std::size_t>> runs;  // [start, end)
-  bool active = false;
-  std::size_t run_start = 0;
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const double score = scorer.push(samples[i]);
-    const bool trig = trigger.push(score);
-    if (keep_signals) {
-      result.scores[i] = static_cast<float>(score);
-      result.trigger[i] = trig ? 1 : 0;
-    }
-    if (trig && !active) {
-      active = true;
-      run_start = i;
-    } else if (!trig && active) {
-      active = false;
-      runs.emplace_back(run_start, i);
-    }
-  }
-  if (active) runs.emplace_back(run_start, samples.size());
-
-  // Pass 2: merge runs separated by gaps up to merge_gap_samples (matching
-  // the cutter's pending-ensemble semantics), then apply the length floor.
-  std::vector<std::pair<std::size_t, std::size_t>> merged;
-  for (const auto& run : runs) {
-    if (!merged.empty() &&
-        run.first - merged.back().second <= params_.merge_gap_samples) {
-      merged.back().second = run.second;
-    } else {
-      merged.push_back(run);
-    }
-  }
-  for (const auto& [lo, hi] : merged) {
-    if (hi - lo < params_.min_ensemble_samples) continue;
-    result.ensembles.push_back(Ensemble{
-        lo, std::vector<float>(samples.begin() + static_cast<std::ptrdiff_t>(lo),
-                               samples.begin() + static_cast<std::ptrdiff_t>(hi))});
+    result.scores = session.tap().scores();
+    result.trigger = session.tap().trigger();
   }
   return result;
 }

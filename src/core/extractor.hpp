@@ -1,9 +1,12 @@
 // Batch ensemble extraction facade.
 //
-// EnsembleExtractor applies the saxanomaly -> trigger -> cutter logic
-// directly to a sample buffer, without pipeline plumbing. It is semantically
-// identical to running the river operators (verified by integration tests)
-// and is convenient for analysis code, tests, and the figure benches.
+// EnsembleExtractor is a thin wrapper over core::StreamSession: extract()
+// opens a session with full-history signal taps, pushes the whole clip, and
+// finishes — so batch and chunked execution share one code path and are
+// bit-identical by construction. It is semantically identical to running
+// the river operators (verified by integration tests) and is convenient for
+// analysis code, tests, and the figure benches; long-running ingest should
+// use StreamSession directly (bounded memory, ensembles as they close).
 #pragma once
 
 #include <memory>
@@ -12,20 +15,14 @@
 
 #include "core/features.hpp"
 #include "core/params.hpp"
+#include "river/sample_io.hpp"
 
 namespace dynriver::core {
 
 /// One extracted ensemble: a contiguous stretch of the original signal where
-/// the trigger was active.
-struct Ensemble {
-  std::size_t start_sample = 0;
-  std::vector<float> samples;
-
-  [[nodiscard]] std::size_t end_sample() const {
-    return start_sample + samples.size();
-  }
-  [[nodiscard]] std::size_t length() const { return samples.size(); }
-};
+/// the trigger was active. Defined with the stream adapters (sinks persist
+/// and ship it); aliased here for the extraction-facing spelling.
+using Ensemble = river::Ensemble;
 
 struct ExtractionResult {
   std::vector<Ensemble> ensembles;

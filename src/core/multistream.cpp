@@ -5,7 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
-#include "core/ops_anomaly.hpp"
+#include "core/stream_session.hpp"
 #include "ts/anomaly.hpp"
 
 namespace dynriver::core {
@@ -23,57 +23,22 @@ MultiExtractionResult MultiStreamExtractor::extract(
   const std::size_t n = streams.front().size();
   for (const auto& s : streams) DR_EXPECTS(s.size() == n);
 
-  MultiExtractionResult result;
-  if (keep_signals) result.fused_scores.resize(n);
-
-  TriggerState trigger(params_.base.trigger_sigma,
-                       params_.base.trigger_min_baseline,
-                       params_.base.trigger_hold_samples);
-
-  // Per-sample fusion -> trigger -> run bookkeeping, shared by both scoring
-  // strategies below. Fusion always reads channels in fixed order, so the
-  // strategies are bit-identical.
-  std::vector<std::pair<std::size_t, std::size_t>> runs;
-  bool active = false;
-  std::size_t run_start = 0;
-  const auto consume = [&](std::size_t i, double fused) {
-    const bool trig = trigger.push(fused);
-    if (keep_signals) result.fused_scores[i] = static_cast<float>(fused);
-    if (trig && !active) {
-      active = true;
-      run_start = i;
-    } else if (!trig && active) {
-      active = false;
-      runs.emplace_back(run_start, i);
-    }
-  };
+  // Both strategies share the session's trigger + cutter automaton; fusion
+  // always reads channels in fixed order, so they are bit-identical.
+  StreamSession::Options options;
+  if (keep_signals) options.tap_capacity = SignalTap::kUnbounded;
+  MultiStreamSession session(params_, streams.size(), std::move(options),
+                             features_.engine());
 
   if (runner_->serial() || streams.size() == 1) {
     // Streaming fusion: one scorer per channel advanced in lockstep, O(1)
     // extra memory — archive-scale clips never materialize score buffers.
-    std::vector<ts::StreamingAnomalyScorer> scorers;
-    scorers.reserve(streams.size());
-    for (std::size_t s = 0; s < streams.size(); ++s) {
-      scorers.emplace_back(params_.base.anomaly);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      double fused = 0.0;
-      if (params_.fusion == ScoreFusion::kMax) {
-        for (std::size_t s = 0; s < streams.size(); ++s) {
-          fused = std::max(fused, scorers[s].push(streams[s][i]));
-        }
-      } else {
-        for (std::size_t s = 0; s < streams.size(); ++s) {
-          fused += scorers[s].push(streams[s][i]);
-        }
-        fused /= static_cast<double>(streams.size());
-      }
-      consume(i, fused);
-    }
+    session.push(streams);
   } else {
     // Parallel scoring: each channel's scorer is an independent streaming
     // automaton, so channels run concurrently into disjoint per-channel
-    // slots (O(channels * n) doubles), then fusion reads them serially.
+    // slots (O(channels * n) doubles); the session then fuses the score
+    // series and drives its trigger + cutter in one pass.
     std::vector<std::vector<double>> scores(streams.size());
     runner_->run(streams.size(), [&](std::size_t s) {
       ts::StreamingAnomalyScorer scorer(params_.base.anomaly);
@@ -82,46 +47,15 @@ MultiExtractionResult MultiStreamExtractor::extract(
       const auto stream = streams[s];
       for (std::size_t i = 0; i < n; ++i) out[i] = scorer.push(stream[i]);
     });
-    for (std::size_t i = 0; i < n; ++i) {
-      double fused = 0.0;
-      if (params_.fusion == ScoreFusion::kMax) {
-        for (std::size_t s = 0; s < streams.size(); ++s) {
-          fused = std::max(fused, scores[s][i]);
-        }
-      } else {
-        for (std::size_t s = 0; s < streams.size(); ++s) {
-          fused += scores[s][i];
-        }
-        fused /= static_cast<double>(streams.size());
-      }
-      consume(i, fused);
-    }
+    std::vector<std::span<const double>> score_spans;
+    score_spans.reserve(scores.size());
+    for (const auto& s : scores) score_spans.emplace_back(s);
+    session.push_scored(score_spans, streams);
   }
-  if (active) runs.emplace_back(run_start, n);
 
-  // Pass 2: merge gaps, apply the length floor, cut every channel.
-  std::vector<std::pair<std::size_t, std::size_t>> merged;
-  for (const auto& run : runs) {
-    if (!merged.empty() &&
-        run.first - merged.back().second <= params_.base.merge_gap_samples) {
-      merged.back().second = run.second;
-    } else {
-      merged.push_back(run);
-    }
-  }
-  for (const auto& [lo, hi] : merged) {
-    if (hi - lo < params_.base.min_ensemble_samples) continue;
-    MultiEnsemble ensemble;
-    ensemble.start_sample = lo;
-    ensemble.length = hi - lo;
-    ensemble.channel_samples.reserve(streams.size());
-    for (const auto& stream : streams) {
-      ensemble.channel_samples.emplace_back(
-          stream.begin() + static_cast<std::ptrdiff_t>(lo),
-          stream.begin() + static_cast<std::ptrdiff_t>(hi));
-    }
-    result.ensembles.push_back(std::move(ensemble));
-  }
+  MultiExtractionResult result;
+  result.ensembles = session.finish();
+  if (keep_signals) result.fused_scores = session.tap().scores();
   return result;
 }
 

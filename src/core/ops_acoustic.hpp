@@ -9,14 +9,17 @@
 
 namespace dynriver::core {
 
-/// Attribute keys used throughout the acoustic pipeline.
-inline constexpr const char* kAttrSampleRate = "sample_rate";
-inline constexpr const char* kAttrClipId = "clip_id";
-inline constexpr const char* kAttrStation = "station";
-inline constexpr const char* kAttrSpecies = "species";          // ground truth
-inline constexpr const char* kAttrEnsembleId = "ensemble_id";
-inline constexpr const char* kAttrStartSample = "start_sample";
-inline constexpr const char* kAttrNumSamples = "num_samples";
+/// Attribute keys used throughout the acoustic pipeline. The definitions
+/// live in river/record.hpp (stream-model vocabulary, shared with the
+/// river sample-source/ensemble-sink adapters); these names keep every
+/// existing core:: spelling working.
+using river::kAttrSampleRate;
+using river::kAttrClipId;
+using river::kAttrStation;
+using river::kAttrSpecies;
+using river::kAttrEnsembleId;
+using river::kAttrStartSample;
+using river::kAttrNumSamples;
 
 /// Split a decoded clip into a scoped record stream:
 ///   OpenScope(clip, attrs: sample_rate, clip_id, extra...) , Data(audio)*,

@@ -1,0 +1,373 @@
+#include "core/stream_session.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::core {
+
+// ---------------------------------------------------------------------------
+// SignalTap
+// ---------------------------------------------------------------------------
+
+void SignalTap::reset() {
+  total_ = 0;
+  head_ = 0;
+  scores_.clear();
+  trigger_.clear();
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> unroll_ring(const std::vector<T>& ring, std::size_t head) {
+  std::vector<T> out;
+  out.reserve(ring.size());
+  out.insert(out.end(), ring.begin() + static_cast<std::ptrdiff_t>(head),
+             ring.end());
+  out.insert(out.end(), ring.begin(),
+             ring.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> SignalTap::scores() const {
+  return unroll_ring(scores_, head_);
+}
+
+std::vector<std::uint8_t> SignalTap::trigger() const {
+  return unroll_ring(trigger_, head_);
+}
+
+// ---------------------------------------------------------------------------
+// StreamCutter
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+StreamCutter::StreamCutter(std::size_t channels, std::size_t merge_gap_samples,
+                           std::size_t min_ensemble_samples)
+    : channels_(channels),
+      merge_gap_(merge_gap_samples),
+      min_len_(min_ensemble_samples),
+      bufs_(channels),
+      gaps_(channels) {
+  DR_EXPECTS(channels >= 1);
+}
+
+void StreamCutter::step_triggered(std::size_t i, const float* frame) {
+  if (pending_) {
+    // Trigger re-fired within the merge gap (an eager finalize would have
+    // run otherwise): absorb the buffered gap and continue the ensemble.
+    for (std::size_t c = 0; c < channels_; ++c) {
+      bufs_[c].insert(bufs_[c].end(), gaps_[c].begin(), gaps_[c].end());
+      gaps_[c].clear();
+    }
+    pending_ = false;
+    cutting_ = true;
+  } else if (!cutting_) {
+    cutting_ = true;
+    start_ = i;
+  }
+  for (std::size_t c = 0; c < channels_; ++c) bufs_[c].push_back(frame[c]);
+}
+
+void StreamCutter::finish() {
+  if (cutting_) {
+    cutting_ = false;
+    pending_ = true;
+  }
+  if (pending_) finalize();
+}
+
+void StreamCutter::finalize() {
+  pending_ = false;
+  // Gap samples never belong to an ensemble — they are only absorbed when
+  // the trigger re-fires inside the merge window.
+  for (auto& gap : gaps_) gap.clear();
+  if (bufs_[0].size() >= min_len_) {
+    Cut cut;
+    cut.start_sample = start_;
+    cut.channels = std::move(bufs_);
+    bufs_.assign(channels_, {});
+    ready_.push_back(std::move(cut));
+  } else {
+    for (auto& buf : bufs_) buf.clear();
+  }
+}
+
+std::optional<StreamCutter::Cut> StreamCutter::pop() {
+  if (ready_.empty()) return std::nullopt;
+  Cut cut = std::move(ready_.front());
+  ready_.pop_front();
+  return cut;
+}
+
+std::size_t StreamCutter::buffered_samples() const {
+  std::size_t acc = bufs_[0].size() + gaps_[0].size();
+  for (const auto& cut : ready_) acc += cut.channels[0].size();
+  return acc;
+}
+
+void StreamCutter::reset() {
+  pos_ = 0;
+  cutting_ = false;
+  pending_ = false;
+  start_ = 0;
+  for (auto& buf : bufs_) buf.clear();
+  for (auto& gap : gaps_) gap.clear();
+  ready_.clear();
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// StreamSession
+// ---------------------------------------------------------------------------
+
+StreamSession::StreamSession(PipelineParams params, Options options,
+                             std::shared_ptr<const SpectralEngine> engine)
+    : params_(params),
+      options_(std::move(options)),
+      features_(params, std::move(engine)),
+      scorer_(params.anomaly),
+      trigger_(params.trigger_sigma, params.trigger_min_baseline,
+               params.trigger_hold_samples),
+      cutter_(1, params.merge_gap_samples, params.min_ensemble_samples),
+      tap_(options_.tap_capacity) {
+  params_.validate();
+}
+
+std::size_t StreamSession::push(std::span<const float> samples) {
+  const bool tapped = tap_.enabled();
+  const bool observed = static_cast<bool>(options_.on_signal);
+  for (const float x : samples) {
+    const double score = scorer_.push(x);
+    const bool trig = trigger_.push(score);
+    if (tapped) tap_.push(static_cast<float>(score), trig);
+    if (observed) options_.on_signal(consumed_, static_cast<float>(score), trig);
+    cutter_.step(trig, &x);
+    ++consumed_;
+  }
+  return cutter_.ready();
+}
+
+std::vector<river::Ensemble> StreamSession::drain() {
+  std::vector<river::Ensemble> out;
+  while (auto cut = cutter_.pop()) {
+    out.push_back(river::Ensemble{cut->start_sample,
+                                  std::move(cut->channels.front())});
+  }
+  return out;
+}
+
+std::vector<river::Ensemble> StreamSession::finish() {
+  cutter_.finish();
+  return drain();
+}
+
+void StreamSession::reset() {
+  scorer_.reset();
+  trigger_.reset();
+  cutter_.reset();
+  tap_.reset();
+  consumed_ = 0;
+}
+
+std::vector<std::vector<float>> StreamSession::featurize(
+    const river::Ensemble& ensemble) const {
+  return features_.patterns(ensemble.samples);
+}
+
+// ---------------------------------------------------------------------------
+// MultiStreamSession
+// ---------------------------------------------------------------------------
+
+MultiStreamSession::MultiStreamSession(
+    MultiStreamParams params, std::size_t channels,
+    StreamSession::Options options, std::shared_ptr<const SpectralEngine> engine)
+    : params_(std::move(params)),
+      options_(std::move(options)),
+      features_(params_.base, std::move(engine)),
+      trigger_(params_.base.trigger_sigma, params_.base.trigger_min_baseline,
+               params_.base.trigger_hold_samples),
+      cutter_(channels, params_.base.merge_gap_samples,
+              params_.base.min_ensemble_samples),
+      tap_(options_.tap_capacity),
+      frame_(channels, 0.0F) {
+  DR_EXPECTS(channels >= 1);
+  params_.base.validate();
+  scorers_.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    scorers_.emplace_back(params_.base.anomaly);
+  }
+}
+
+void MultiStreamSession::step(double fused, const float* frame) {
+  const bool trig = trigger_.push(fused);
+  if (tap_.enabled()) tap_.push(static_cast<float>(fused), trig);
+  if (options_.on_signal) {
+    options_.on_signal(consumed_, static_cast<float>(fused), trig);
+  }
+  cutter_.step(trig, frame);
+  ++consumed_;
+}
+
+std::size_t MultiStreamSession::push(
+    std::span<const std::span<const float>> chunks) {
+  DR_EXPECTS(chunks.size() == channels());
+  const std::size_t n = chunks.empty() ? 0 : chunks.front().size();
+  for (const auto& chunk : chunks) DR_EXPECTS(chunk.size() == n);
+
+  // Hot loop: hoist the span-of-spans indirection, channel count, and
+  // observer flags — the per-sample work must stay scorer-bound, not
+  // bookkeeping-bound. The untapped, unobserved configuration (production
+  // ingest, the bench) runs scorer + trigger + two cutter branches.
+  const std::size_t ch = channels();
+  channel_data_.resize(ch);
+  for (std::size_t c = 0; c < ch; ++c) channel_data_[c] = chunks[c].data();
+  const float* const* data = channel_data_.data();
+  ts::StreamingAnomalyScorer* scorers = scorers_.data();
+  float* frame = frame_.data();
+  const bool slow_path = tap_.enabled() || options_.on_signal != nullptr;
+  const bool fuse_max = params_.fusion == ScoreFusion::kMax;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Fusion reads channels in fixed order, matching the pre-scored path.
+    double fused = 0.0;
+    if (fuse_max) {
+      for (std::size_t c = 0; c < ch; ++c) {
+        fused = std::max(fused, scorers[c].push(data[c][i]));
+      }
+    } else {
+      for (std::size_t c = 0; c < ch; ++c) {
+        fused += scorers[c].push(data[c][i]);
+      }
+      fused /= static_cast<double>(ch);
+    }
+    for (std::size_t c = 0; c < ch; ++c) frame[c] = data[c][i];
+    if (slow_path) {
+      step(fused, frame);
+    } else {
+      cutter_.step(trigger_.push(fused), frame);
+      ++consumed_;
+    }
+  }
+  return cutter_.ready();
+}
+
+std::size_t MultiStreamSession::push_scored(
+    std::span<const std::span<const double>> channel_scores,
+    std::span<const std::span<const float>> chunks) {
+  DR_EXPECTS(chunks.size() == channels());
+  DR_EXPECTS(channel_scores.size() == channels());
+  const std::size_t n = chunks.empty() ? 0 : chunks.front().size();
+  for (const auto& chunk : chunks) DR_EXPECTS(chunk.size() == n);
+  for (const auto& scores : channel_scores) DR_EXPECTS(scores.size() == n);
+
+  const std::size_t ch = channels();
+  channel_data_.resize(ch);
+  score_data_.resize(ch);
+  for (std::size_t c = 0; c < ch; ++c) {
+    channel_data_[c] = chunks[c].data();
+    score_data_[c] = channel_scores[c].data();
+  }
+  const float* const* data = channel_data_.data();
+  const double* const* scores = score_data_.data();
+  float* frame = frame_.data();
+  const bool slow_path = tap_.enabled() || options_.on_signal != nullptr;
+  const bool fuse_max = params_.fusion == ScoreFusion::kMax;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // The same fixed-order fusion as push(), over pre-computed scores.
+    double fused = 0.0;
+    if (fuse_max) {
+      for (std::size_t c = 0; c < ch; ++c) {
+        fused = std::max(fused, scores[c][i]);
+      }
+    } else {
+      for (std::size_t c = 0; c < ch; ++c) fused += scores[c][i];
+      fused /= static_cast<double>(ch);
+    }
+    for (std::size_t c = 0; c < ch; ++c) frame[c] = data[c][i];
+    if (slow_path) {
+      step(fused, frame);
+    } else {
+      cutter_.step(trigger_.push(fused), frame);
+      ++consumed_;
+    }
+  }
+  return cutter_.ready();
+}
+
+std::vector<MultiEnsemble> MultiStreamSession::drain() {
+  std::vector<MultiEnsemble> out;
+  while (auto cut = cutter_.pop()) {
+    MultiEnsemble ensemble;
+    ensemble.start_sample = cut->start_sample;
+    ensemble.length = cut->channels.front().size();
+    ensemble.channel_samples = std::move(cut->channels);
+    out.push_back(std::move(ensemble));
+  }
+  return out;
+}
+
+std::vector<MultiEnsemble> MultiStreamSession::finish() {
+  cutter_.finish();
+  return drain();
+}
+
+void MultiStreamSession::reset() {
+  for (auto& scorer : scorers_) scorer.reset();
+  trigger_.reset();
+  cutter_.reset();
+  tap_.reset();
+  consumed_ = 0;
+}
+
+std::vector<std::vector<std::vector<float>>> MultiStreamSession::featurize(
+    const MultiEnsemble& ensemble) const {
+  std::vector<std::vector<std::vector<float>>> out;
+  out.reserve(ensemble.channel_samples.size());
+  for (const auto& channel : ensemble.channel_samples) {
+    out.push_back(features_.patterns(channel));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// run_stream
+// ---------------------------------------------------------------------------
+
+StreamPumpStats run_stream(river::SampleSource& source, StreamSession& session,
+                           river::EnsembleSink& sink,
+                           std::size_t chunk_samples) {
+  if (chunk_samples == 0) chunk_samples = session.params().record_size;
+  DR_EXPECTS(chunk_samples >= 1);
+
+  StreamPumpStats stats;
+  std::vector<float> chunk(chunk_samples);
+  const auto deliver = [&](std::vector<river::Ensemble> ensembles) {
+    for (auto& e : ensembles) {
+      ++stats.ensembles_out;
+      sink.accept(std::move(e));
+    }
+  };
+
+  for (;;) {
+    const std::size_t n = source.read(chunk);
+    if (n == 0) break;
+    stats.samples_in += n;
+    if (session.push(std::span<const float>(chunk.data(), n)) > 0) {
+      deliver(session.drain());
+    }
+    stats.peak_buffered_samples =
+        std::max(stats.peak_buffered_samples, session.buffered_samples());
+  }
+  deliver(session.finish());
+  sink.finish();
+  return stats;
+}
+
+}  // namespace dynriver::core

@@ -1,0 +1,279 @@
+// Push-based streaming extraction sessions.
+//
+// StreamSession runs the znorm/SAX/bitmap/trigger/cutter automaton
+// incrementally: push() accepts any chunking of the signal — whole clip,
+// record-size blocks, single samples — and completed ensembles become
+// available the moment their trigger closes (plus the merge-gap lookahead).
+// Memory is bounded by O(anomaly window + open ensemble + merge gap), never
+// O(stream), so days of audio stream through a fixed footprint.
+//
+// Contract: for every chunking, the ensembles, scores, and trigger series
+// are bit-identical to the batch facade — EnsembleExtractor::extract is
+// itself a thin wrapper over a session (tests/test_core_stream.cpp sweeps
+// chunk sizes including 1). MultiStreamSession is the multi-channel
+// counterpart behind MultiStreamExtractor.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/multistream.hpp"
+#include "core/ops_anomaly.hpp"
+#include "core/params.hpp"
+#include "river/sample_io.hpp"
+#include "ts/anomaly.hpp"
+
+namespace dynriver::core {
+
+/// Bounded history of the per-sample score + trigger signals (Fig. 6 taps).
+/// A flat-vector ring: long-running sessions retain the most recent
+/// `capacity` samples instead of growing a per-sample vector for the
+/// stream's lifetime; kUnbounded opts into full history (plain appends, the
+/// batch facade's keep_signals).
+class SignalTap {
+ public:
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit SignalTap(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void push(float score, bool trig) {
+    ++total_;
+    if (capacity_ == 0) return;
+    if (scores_.size() < capacity_) {  // filling (or unbounded: always)
+      scores_.push_back(score);
+      trigger_.push_back(trig ? 1 : 0);
+      return;
+    }
+    scores_[head_] = score;  // full ring: overwrite the oldest
+    trigger_[head_] = trig ? 1 : 0;
+    if (++head_ == capacity_) head_ = 0;
+  }
+  void reset();
+
+  [[nodiscard]] bool enabled() const { return capacity_ != 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Absolute sample index of the oldest retained entry.
+  [[nodiscard]] std::size_t first_index() const { return total_ - scores_.size(); }
+  /// Total samples ever observed (== the session's consumed count).
+  [[nodiscard]] std::size_t end_index() const { return total_; }
+  [[nodiscard]] std::size_t size() const { return scores_.size(); }
+
+  /// Copies of the retained window, oldest first.
+  [[nodiscard]] std::vector<float> scores() const;
+  [[nodiscard]] std::vector<std::uint8_t> trigger() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::size_t head_ = 0;  ///< oldest entry once the ring is full
+  std::vector<float> scores_;
+  std::vector<std::uint8_t> trigger_;
+};
+
+namespace detail {
+
+/// The trigger-run -> gap-merge -> length-floor automaton over C
+/// synchronized channels, buffering only the open ensemble and the merge
+/// gap. Shared by StreamSession (C = 1) and MultiStreamSession.
+class StreamCutter {
+ public:
+  StreamCutter(std::size_t channels, std::size_t merge_gap_samples,
+               std::size_t min_ensemble_samples);
+
+  /// Feed one frame: the trigger value plus one sample per channel
+  /// (`frame[c]`, c < channels). Header-inline so the per-sample fast path
+  /// (background sample, nothing open: two branches) fuses into the
+  /// sessions' scoring loops; the triggered/pending paths are outlined.
+  void step(bool trig, const float* frame) {
+    const std::size_t i = pos_++;
+    if (trig) {
+      step_triggered(i, frame);
+      return;
+    }
+    if (cutting_) {
+      cutting_ = false;
+      pending_ = true;
+    }
+    if (pending_) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        gaps_[c].push_back(frame[c]);
+      }
+      // Gap too wide to merge: the ensemble's fate is decided now, so it
+      // emits immediately instead of waiting for end of stream.
+      if (gaps_[0].size() > merge_gap_) finalize();
+    }
+  }
+
+  /// End of stream: close the open run, decide the pending ensemble.
+  void finish();
+  void reset();
+
+  struct Cut {
+    std::size_t start_sample = 0;
+    std::vector<std::vector<float>> channels;  ///< equal-length cuts
+  };
+  /// Oldest completed ensemble, if any.
+  [[nodiscard]] std::optional<Cut> pop();
+  [[nodiscard]] std::size_t ready() const { return ready_.size(); }
+
+  /// Per-channel samples currently buffered (open ensemble + merge gap +
+  /// undrained cuts) — the quantity the bounded-memory soak test pins down.
+  [[nodiscard]] std::size_t buffered_samples() const;
+
+ private:
+  void step_triggered(std::size_t i, const float* frame);
+  void finalize();
+
+  std::size_t channels_;
+  std::size_t merge_gap_;
+  std::size_t min_len_;
+  std::size_t pos_ = 0;  ///< absolute index of the next frame
+  bool cutting_ = false;
+  bool pending_ = false;
+  std::size_t start_ = 0;
+  std::vector<std::vector<float>> bufs_;  ///< open ensemble, per channel
+  std::vector<std::vector<float>> gaps_;  ///< merge-gap lookahead, per channel
+  std::deque<Cut> ready_;
+};
+
+}  // namespace detail
+
+/// Observation knobs shared by the streaming sessions.
+struct SessionOptions {
+  /// Ring capacity (in samples) of the score/trigger tap; 0 disables the
+  /// tap, SignalTap::kUnbounded keeps full history (batch keep_signals).
+  std::size_t tap_capacity = 0;
+  /// Optional per-sample observer (absolute index, smoothed score,
+  /// trigger) — a zero-memory alternative to the tap for live telemetry.
+  std::function<void(std::size_t, float, bool)> on_signal;
+};
+
+/// Single-signal streaming extraction session.
+class StreamSession {
+ public:
+  using Options = SessionOptions;
+
+  /// `engine` lets the session share one SpectralEngine with other spectral
+  /// consumers; nullptr builds a private engine from `params`.
+  explicit StreamSession(PipelineParams params, Options options = {},
+                         std::shared_ptr<const SpectralEngine> engine = nullptr);
+
+  /// Push the next chunk of the stream (any size, including 1 sample).
+  /// Returns the number of completed ensembles now waiting in drain().
+  std::size_t push(std::span<const float> samples);
+
+  /// Move out the completed ensembles, oldest first.
+  [[nodiscard]] std::vector<river::Ensemble> drain();
+
+  /// End of stream: closes the open run, decides the pending ensemble, and
+  /// returns every remaining ensemble (earlier undrained ones included).
+  [[nodiscard]] std::vector<river::Ensemble> finish();
+
+  /// Restart for a new stream: extraction state, taps, and counters clear;
+  /// the engine, plans, and window tables are reused.
+  void reset();
+
+  /// Spectral patterns of one extracted ensemble through the shared engine.
+  [[nodiscard]] std::vector<std::vector<float>> featurize(
+      const river::Ensemble& ensemble) const;
+
+  [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+  /// Samples currently buffered inside the session (open ensemble + merge
+  /// gap + undrained ensembles). Bounded for any stream length.
+  [[nodiscard]] std::size_t buffered_samples() const {
+    return cutter_.buffered_samples();
+  }
+  [[nodiscard]] const SignalTap& tap() const { return tap_; }
+  [[nodiscard]] const PipelineParams& params() const { return params_; }
+  [[nodiscard]] const std::shared_ptr<const SpectralEngine>& engine() const {
+    return features_.engine();
+  }
+
+ private:
+  PipelineParams params_;
+  Options options_;
+  FeatureExtractor features_;  ///< shares the engine; powers featurize()
+  ts::StreamingAnomalyScorer scorer_;
+  TriggerState trigger_;
+  detail::StreamCutter cutter_;
+  SignalTap tap_;
+  std::size_t consumed_ = 0;
+};
+
+/// Multi-channel counterpart: one scorer per synchronized stream, fused
+/// score (max/mean in fixed channel order), one shared trigger and cutter —
+/// identical boundaries across channels (see core/multistream.hpp).
+class MultiStreamSession {
+ public:
+  explicit MultiStreamSession(
+      MultiStreamParams params, std::size_t channels,
+      StreamSession::Options options = {},
+      std::shared_ptr<const SpectralEngine> engine = nullptr);
+
+  /// Push the next chunk of every channel (chunks.size() == channels(),
+  /// all the same length). Returns completed ensembles waiting in drain().
+  std::size_t push(std::span<const std::span<const float>> chunks);
+
+  /// Pre-scored variant: the caller already ran each channel's anomaly
+  /// scorer (e.g. on a thread pool); the session fuses the per-channel
+  /// smoothed scores in fixed channel order and runs trigger + cutter.
+  /// Bit-identical to push() for the same signals.
+  std::size_t push_scored(std::span<const std::span<const double>> channel_scores,
+                          std::span<const std::span<const float>> chunks);
+
+  [[nodiscard]] std::vector<MultiEnsemble> drain();
+  [[nodiscard]] std::vector<MultiEnsemble> finish();
+  void reset();
+
+  /// Per-channel spectral patterns of one multi-ensemble.
+  [[nodiscard]] std::vector<std::vector<std::vector<float>>> featurize(
+      const MultiEnsemble& ensemble) const;
+
+  [[nodiscard]] std::size_t channels() const { return scorers_.size(); }
+  [[nodiscard]] std::size_t samples_consumed() const { return consumed_; }
+  [[nodiscard]] std::size_t buffered_samples() const {
+    return cutter_.buffered_samples();
+  }
+  [[nodiscard]] const SignalTap& tap() const { return tap_; }
+  [[nodiscard]] const MultiStreamParams& params() const { return params_; }
+  [[nodiscard]] const std::shared_ptr<const SpectralEngine>& engine() const {
+    return features_.engine();
+  }
+
+ private:
+  void step(double fused, const float* frame);
+
+  MultiStreamParams params_;
+  StreamSession::Options options_;
+  FeatureExtractor features_;
+  std::vector<ts::StreamingAnomalyScorer> scorers_;
+  TriggerState trigger_;
+  detail::StreamCutter cutter_;
+  SignalTap tap_;
+  std::size_t consumed_ = 0;
+  std::vector<float> frame_;  ///< one sample per channel, gather scratch
+  std::vector<const float*> channel_data_;   ///< hoisted chunk pointers
+  std::vector<const double*> score_data_;    ///< hoisted score pointers
+};
+
+/// Pump a source through a session into a sink in `chunk_samples` blocks
+/// (0 = params().record_size). Completed ensembles are delivered after each
+/// chunk; finish() is forwarded at end of source.
+struct StreamPumpStats {
+  std::size_t samples_in = 0;
+  std::size_t ensembles_out = 0;
+  /// Largest session buffer observed between chunks (bounded-memory audit).
+  std::size_t peak_buffered_samples = 0;
+};
+StreamPumpStats run_stream(river::SampleSource& source, StreamSession& session,
+                           river::EnsembleSink& sink,
+                           std::size_t chunk_samples = 0);
+
+}  // namespace dynriver::core

@@ -143,6 +143,97 @@ WavClip read_wav(const std::filesystem::path& path) {
   return decode_wav(bytes);
 }
 
+WavStreamReader::WavStreamReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw WavError("cannot open for reading: " + path.string());
+
+  const auto read_bytes = [&](void* dst, std::size_t n) {
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!in_) throw WavError("truncated WAV header: " + path.string());
+  };
+  const auto read_u32 = [&] {
+    std::uint32_t v = 0;
+    read_bytes(&v, sizeof(v));
+    return v;
+  };
+  const auto read_u16 = [&] {
+    std::uint16_t v = 0;
+    read_bytes(&v, sizeof(v));
+    return v;
+  };
+
+  char tag[4];
+  read_bytes(tag, 4);
+  if (std::memcmp(tag, "RIFF", 4) != 0) throw WavError("missing WAV chunk tag: RIFF");
+  (void)read_u32();  // riff size (trusted from data chunk)
+  read_bytes(tag, 4);
+  if (std::memcmp(tag, "WAVE", 4) != 0) throw WavError("missing WAV chunk tag: WAVE");
+
+  // Walk chunks until "data"; tolerate extension chunks like decode_wav.
+  bool have_fmt = false;
+  for (;;) {
+    // End of file between chunks: same diagnostic as decode_wav (a read
+    // mid-chunk still reports a truncated header).
+    if (in_.peek() == std::char_traits<char>::eof()) {
+      throw WavError("WAV file has no data chunk");
+    }
+    read_bytes(tag, 4);
+    const std::uint32_t chunk_size = read_u32();
+    if (std::memcmp(tag, "fmt ", 4) == 0) {
+      if (chunk_size < 16) throw WavError("short WAV fmt chunk");
+      const auto format = read_u16();
+      if (format != 1) throw WavError("only PCM WAV is supported");
+      channels_ = read_u16();
+      if (channels_ == 0) throw WavError("WAV with zero channels");
+      sample_rate_ = read_u32();
+      (void)read_u32();  // byte rate
+      (void)read_u16();  // block align
+      const auto bits = read_u16();
+      if (bits != 16) throw WavError("only 16-bit PCM is supported");
+      in_.seekg(static_cast<std::streamoff>(chunk_size - 16 + (chunk_size & 1U)),
+                std::ios::cur);
+      have_fmt = true;
+    } else if (std::memcmp(tag, "data", 4) == 0) {
+      if (!have_fmt) throw WavError("WAV data chunk before fmt chunk");
+      total_frames_ = chunk_size / (sizeof(std::int16_t) * channels_);
+      return;  // positioned at the first sample
+    } else {
+      in_.seekg(static_cast<std::streamoff>(chunk_size + (chunk_size & 1U)),
+                std::ios::cur);
+      if (!in_) throw WavError("WAV file has no data chunk");
+    }
+  }
+}
+
+std::size_t WavStreamReader::read_mono(std::span<float> out) {
+  const std::size_t want =
+      std::min(out.size(), total_frames_ - frames_read_);
+  if (want == 0) return 0;
+
+  scratch_.resize(want * channels_);
+  in_.read(reinterpret_cast<char*>(scratch_.data()),
+           static_cast<std::streamsize>(scratch_.size() * sizeof(std::int16_t)));
+  if (!in_) throw WavError("truncated WAV data");
+
+  if (channels_ == 1) {
+    for (std::size_t i = 0; i < want; ++i) {
+      out[i] = static_cast<float>(scratch_[i]) / 32768.0F;
+    }
+  } else {
+    // Decode then average, in the exact order to_mono uses, so streaming
+    // reads are bit-identical to read_wav + to_mono.
+    for (std::size_t f = 0; f < want; ++f) {
+      float acc = 0.0F;
+      for (std::uint16_t c = 0; c < channels_; ++c) {
+        acc += static_cast<float>(scratch_[f * channels_ + c]) / 32768.0F;
+      }
+      out[f] = acc / static_cast<float>(channels_);
+    }
+  }
+  frames_read_ += want;
+  return want;
+}
+
 std::vector<float> to_mono(const WavClip& clip) {
   if (clip.channels <= 1) return clip.samples;
   const std::size_t frames = clip.samples.size() / clip.channels;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -42,5 +43,33 @@ void write_wav(const std::filesystem::path& path, const WavClip& clip);
 
 /// Downmix interleaved multi-channel audio to mono by averaging.
 [[nodiscard]] std::vector<float> to_mono(const WavClip& clip);
+
+/// Incremental WAV file reader: parses the header on construction, then
+/// decodes PCM16 frames chunk by chunk, so arbitrarily long recordings
+/// stream with O(chunk) memory instead of read_wav's O(file). Decoded
+/// values are bit-identical to read_wav + to_mono.
+class WavStreamReader {
+ public:
+  explicit WavStreamReader(const std::filesystem::path& path);
+
+  /// Fill `out` with the next mono samples (multi-channel frames are
+  /// averaged exactly like to_mono). Returns the number of samples
+  /// produced; 0 at end of the data chunk.
+  [[nodiscard]] std::size_t read_mono(std::span<float> out);
+
+  [[nodiscard]] std::uint32_t sample_rate() const { return sample_rate_; }
+  [[nodiscard]] std::uint16_t channels() const { return channels_; }
+  /// Mono samples (frames) in the data chunk.
+  [[nodiscard]] std::size_t total_frames() const { return total_frames_; }
+  [[nodiscard]] std::size_t frames_read() const { return frames_read_; }
+
+ private:
+  std::ifstream in_;
+  std::uint32_t sample_rate_ = 0;
+  std::uint16_t channels_ = 1;
+  std::size_t total_frames_ = 0;
+  std::size_t frames_read_ = 0;
+  std::vector<std::int16_t> scratch_;  ///< one chunk of interleaved PCM16
+};
 
 }  // namespace dynriver::dsp

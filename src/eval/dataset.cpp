@@ -7,8 +7,9 @@
 
 #include "common/contracts.hpp"
 #include "common/stopwatch.hpp"
-#include "core/extractor.hpp"
 #include "core/spectral_engine.hpp"
+#include "core/stream_session.hpp"
+#include "river/sample_io.hpp"
 #include "ts/paa.hpp"
 
 namespace dynriver::eval {
@@ -90,9 +91,11 @@ BuildResult build_corpus(const BuildConfig& config) {
   synth::SensorStation station(station_params, config.seed);
 
   // One SpectralEngine for the whole build: extraction and featurization
-  // share its plan-cached FFTs and window tables.
+  // share its plan-cached FFTs and window tables. Clips stream through one
+  // StreamSession in record_size chunks — the same code path (and bit-
+  // identical output) as live station ingest.
   const auto engine = std::make_shared<const core::SpectralEngine>(params);
-  const core::EnsembleExtractor extractor(params, engine);
+  core::StreamSession session(params, {}, engine);
 
   for (std::size_t s = 0; s < synth::kNumSpecies; ++s) {
     auto& sp_stats = result.stats.species[s];
@@ -113,13 +116,18 @@ BuildResult build_corpus(const BuildConfig& config) {
       ++result.stats.clips;
       result.stats.total_samples += clip.clip.samples.size();
 
-      const auto extraction = extractor.extract(clip.clip.samples);
-      result.stats.extracted_ensembles += extraction.ensembles.size();
-      result.stats.retained_samples += extraction.retained_samples();
+      session.reset();
+      river::BufferSource source(clip.clip.samples, params.sample_rate);
+      river::CollectingEnsembleSink sink;
+      core::run_stream(source, session, sink, params.record_size);
+      result.stats.extracted_ensembles += sink.ensembles.size();
+      for (const auto& ensemble : sink.ensembles) {
+        result.stats.retained_samples += ensemble.length();
+      }
 
       // Ground-truth validation: the stand-in for the paper's human listener.
       std::vector<bool> truth_hit(clip.truth.size(), false);
-      for (const auto& ensemble : extraction.ensembles) {
+      for (const auto& ensemble : sink.ensembles) {
         int label = -1;
         for (std::size_t t = 0; t < clip.truth.size(); ++t) {
           if (synth::intervals_overlap(
@@ -138,7 +146,7 @@ BuildResult build_corpus(const BuildConfig& config) {
 
         EnsembleData data;
         data.label = label;
-        data.patterns = extractor.featurize(ensemble);
+        data.patterns = session.featurize(ensemble);
         if (data.patterns.empty()) {
           ++result.stats.rejected_ensembles;
           continue;

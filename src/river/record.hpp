@@ -60,6 +60,16 @@ inline constexpr std::uint32_t kScopeClip = 1;      ///< one acoustic clip
 inline constexpr std::uint32_t kScopeEnsemble = 2;  ///< one extracted ensemble
 inline constexpr std::uint32_t kUserScopeTypeBase = 1000;
 
+// Well-known attribute keys of the acoustic pipeline (stamped on clip and
+// ensemble OpenScope records by operators, sources, and sinks).
+inline constexpr const char* kAttrSampleRate = "sample_rate";
+inline constexpr const char* kAttrClipId = "clip_id";
+inline constexpr const char* kAttrStation = "station";
+inline constexpr const char* kAttrSpecies = "species";  // ground truth
+inline constexpr const char* kAttrEnsembleId = "ensemble_id";
+inline constexpr const char* kAttrStartSample = "start_sample";
+inline constexpr const char* kAttrNumSamples = "num_samples";
+
 /// Attribute values attached to records (context information; e.g. the
 /// sampling rate of an acoustic clip on its OpenScope record).
 using AttrValue = std::variant<std::int64_t, double, std::string>;

@@ -1,0 +1,110 @@
+#include "river/sample_io.hpp"
+
+#include <algorithm>
+
+#include "river/wire.hpp"
+
+namespace dynriver::river {
+
+std::size_t BufferSource::read(std::span<float> out) {
+  const std::size_t n = std::min(out.size(), samples_.size() - pos_);
+  std::copy_n(samples_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+              out.begin());
+  pos_ += n;
+  return n;
+}
+
+std::size_t RecordSampleSource::read(std::span<float> out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    if (pending_pos_ < pending_.size()) {
+      const std::size_t n =
+          std::min(out.size() - filled, pending_.size() - pending_pos_);
+      std::copy_n(pending_.begin() + static_cast<std::ptrdiff_t>(pending_pos_),
+                  n, out.begin() + static_cast<std::ptrdiff_t>(filled));
+      pending_pos_ += n;
+      filled += n;
+      continue;
+    }
+    if (done_) break;
+
+    Record rec;
+    switch (next_record(rec)) {
+      case Next::kEnd:
+        done_ = true;
+        continue;
+      case Next::kLost:
+        done_ = true;
+        lost_ = true;
+        continue;
+      case Next::kRecord:
+        break;
+    }
+    ++records_in_;
+    if (rec.type == RecordType::kOpenScope && rec.scope_type == kScopeClip) {
+      rate_ = rec.attr_double(kAttrSampleRate, rate_);
+    } else if (rec.type == RecordType::kData && rec.subtype == subtype_ &&
+               rec.is_float()) {
+      pending_ = std::move(std::get<FloatVec>(rec.payload));
+      pending_pos_ = 0;
+    }
+  }
+  return filled;
+}
+
+RecordSampleSource::Next RecordChannelSource::next_record(Record& rec) {
+  switch (channel_->recv(rec)) {
+    case RecvStatus::kRecord:
+      return Next::kRecord;
+    case RecvStatus::kClosed:
+      return Next::kEnd;
+    case RecvStatus::kDisconnected:
+    case RecvStatus::kTimeout:
+      return Next::kLost;
+  }
+  return Next::kLost;
+}
+
+RecordSampleSource::Next RecordLogSource::next_record(Record& rec) {
+  try {
+    return reader_.next(rec) ? Next::kRecord : Next::kEnd;
+  } catch (const WireError&) {
+    return Next::kLost;  // torn tail of a log a station died while writing
+  }
+}
+
+std::vector<Record> ensemble_to_records(const Ensemble& ensemble,
+                                        std::uint64_t ensemble_id,
+                                        double sample_rate) {
+  std::vector<Record> records;
+  records.reserve(3);
+
+  Record open = Record::open_scope(kScopeEnsemble, 0);
+  open.set_attr(kAttrEnsembleId, static_cast<std::int64_t>(ensemble_id));
+  open.set_attr(kAttrStartSample,
+                static_cast<std::int64_t>(ensemble.start_sample));
+  open.set_attr(kAttrNumSamples, static_cast<std::int64_t>(ensemble.length()));
+  if (sample_rate > 0.0) open.set_attr(kAttrSampleRate, sample_rate);
+  records.push_back(std::move(open));
+
+  records.push_back(Record::data(kSubtypeAudio, ensemble.samples));
+  records.push_back(Record::close_scope(kScopeEnsemble, 0));
+  return records;
+}
+
+void RecordLogEnsembleSink::accept(Ensemble ensemble) {
+  for (const auto& rec :
+       ensemble_to_records(ensemble, next_id_, sample_rate_)) {
+    writer_.write(rec);
+  }
+  ++next_id_;
+}
+
+void ChannelEnsembleSink::accept(Ensemble ensemble) {
+  for (auto& rec : ensemble_to_records(ensemble, next_id_, sample_rate_)) {
+    if (!channel_->send(std::move(rec))) ++dropped_;
+  }
+  ++next_id_;
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,37 @@
+#include "synth/station_source.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynriver::synth {
+
+StationSource::StationSource(SensorStation& station,
+                             std::vector<SpeciesId> singers, std::size_t clips)
+    : station_(station), singers_(std::move(singers)), clips_left_(clips) {}
+
+std::size_t StationSource::read(std::span<float> out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    if (pos_ == current_.size()) {
+      if (clips_left_ == 0) break;
+      stream_offset_ += current_.size();
+      ClipRecording rec = station_.record_clip(singers_);
+      current_ = std::move(rec.clip.samples);
+      pos_ = 0;
+      for (const auto& t : rec.truth) {
+        truth_.push_back(PlantedVocalization{
+            t.species, t.start_sample + stream_offset_, t.length});
+      }
+      --clips_left_;
+      ++clips_done_;
+    }
+    const std::size_t n = std::min(out.size() - filled, current_.size() - pos_);
+    std::copy_n(current_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                out.begin() + static_cast<std::ptrdiff_t>(filled));
+    pos_ += n;
+    filled += n;
+  }
+  return filled;
+}
+
+}  // namespace dynriver::synth

@@ -1,0 +1,47 @@
+// A sensor station as a streaming sample source.
+//
+// StationSource renders clips lazily — one ClipRecording in memory at a
+// time — and serves them as one continuous sample stream through the
+// river::SampleSource interface, so a StreamSession can ingest hours of
+// simulated field audio with bounded memory. Ground truth is re-based onto
+// global stream offsets for end-to-end validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "river/sample_io.hpp"
+#include "synth/station.hpp"
+
+namespace dynriver::synth {
+
+class StationSource final : public river::SampleSource {
+ public:
+  /// Streams `clips` recordings from `station` (borrowed; must outlive the
+  /// source), each planted with `singers`.
+  StationSource(SensorStation& station, std::vector<SpeciesId> singers,
+                std::size_t clips);
+
+  [[nodiscard]] std::size_t read(std::span<float> out) override;
+  [[nodiscard]] double sample_rate() const override {
+    return station_.params().sample_rate;
+  }
+
+  [[nodiscard]] std::size_t clips_streamed() const { return clips_done_; }
+  /// Planted vocalizations seen so far, at global stream offsets.
+  [[nodiscard]] const std::vector<PlantedVocalization>& truth() const {
+    return truth_;
+  }
+
+ private:
+  SensorStation& station_;
+  std::vector<SpeciesId> singers_;
+  std::size_t clips_left_;
+  std::size_t clips_done_ = 0;
+  std::uint64_t stream_offset_ = 0;  ///< global sample index of current clip
+  std::vector<float> current_;       ///< the one clip being streamed
+  std::size_t pos_ = 0;
+  std::vector<PlantedVocalization> truth_;
+};
+
+}  // namespace dynriver::synth

@@ -2,10 +2,16 @@
 //
 // Subcommands:
 //   synth    render a synthetic field clip to WAV (with a truth sidecar)
-//   extract  cut ensembles out of a WAV clip (each ensemble to its own WAV)
+//   extract  cut ensembles out of a WAV recording (each to its own WAV)
 //   scores   dump per-sample anomaly score + trigger as CSV
 //   topo     print the Figure 5 operator topology for the current params
 //   species  list the Table 1 species catalog
+//
+// extract and scores run the push-based StreamSession over a WavFileSource:
+// the recording streams through in record-size chunks with bounded memory
+// (never loaded whole), and each ensemble is written the moment its trigger
+// closes — the same code path, bit-identical, for a 30-second clip or a
+// season-long archive file.
 //
 // Examples:
 //   dynriver synth --species NOCA,RWBL --seed 7 --out clip.wav
@@ -17,12 +23,14 @@
 #include <vector>
 
 #include "core/birdsong.hpp"
-#include "core/extractor.hpp"
+#include "core/stream_session.hpp"
 #include "dsp/wav.hpp"
+#include "river/sample_io.hpp"
 #include "synth/station.hpp"
 
 namespace core = dynriver::core;
 namespace dsp = dynriver::dsp;
+namespace river = dynriver::river;
 namespace synth = dynriver::synth;
 
 namespace {
@@ -118,46 +126,57 @@ int cmd_extract(int argc, char** argv) {
   const std::string in = argv[0];
   const auto prefix = arg_value(argc, argv, "--out-prefix", "ensemble_");
 
-  const auto clip = dsp::read_wav(in);
+  river::WavFileSource source(in);
   core::PipelineParams params;
-  params.sample_rate = clip.sample_rate;
-  const core::EnsembleExtractor extractor(params);
-  const auto mono = dsp::to_mono(clip);
-  const auto result = extractor.extract(mono);
+  params.sample_rate = source.sample_rate();
+  core::StreamSession session(params);
 
-  std::printf("%zu ensemble(s); kept %.1f%% of %zu samples\n",
-              result.ensembles.size(),
-              100.0 * static_cast<double>(result.retained_samples()) /
-                  static_cast<double>(std::max<std::size_t>(1, mono.size())),
-              mono.size());
-  for (std::size_t i = 0; i < result.ensembles.size(); ++i) {
-    const auto& e = result.ensembles[i];
+  // Each ensemble lands on disk the moment its trigger closes; only the
+  // open ensemble and the merge gap are ever held in memory.
+  std::size_t count = 0;
+  std::size_t retained = 0;
+  river::CallbackEnsembleSink sink([&](river::Ensemble e) {
     dsp::WavClip cut;
-    cut.sample_rate = clip.sample_rate;
-    cut.samples = e.samples;
-    const auto path = prefix + std::to_string(i) + ".wav";
+    cut.sample_rate = static_cast<std::uint32_t>(params.sample_rate);
+    cut.samples = std::move(e.samples);
+    const auto path = prefix + std::to_string(count) + ".wav";
     dsp::write_wav(path, cut);
     std::printf("  %s  [%zu, %zu) %.2f s\n", path.c_str(), e.start_sample,
-                e.end_sample(),
-                static_cast<double>(e.length()) / clip.sample_rate);
-  }
+                e.start_sample + cut.samples.size(),
+                static_cast<double>(cut.samples.size()) / params.sample_rate);
+    ++count;
+    retained += cut.samples.size();
+  });
+
+  const auto stats = core::run_stream(source, session, sink);
+  std::printf("%zu ensemble(s); kept %.1f%% of %zu samples "
+              "(peak session buffer: %zu samples)\n",
+              count,
+              100.0 * static_cast<double>(retained) /
+                  static_cast<double>(std::max<std::size_t>(1, stats.samples_in)),
+              stats.samples_in, stats.peak_buffered_samples);
   return 0;
 }
 
 int cmd_scores(int argc, char** argv) {
   if (argc < 1) return usage();
-  const auto clip = dsp::read_wav(argv[0]);
+  river::WavFileSource source(argv[0]);
   core::PipelineParams params;
-  params.sample_rate = clip.sample_rate;
-  const core::EnsembleExtractor extractor(params);
-  const auto mono = dsp::to_mono(clip);
-  const auto result = extractor.extract(mono, /*keep_signals=*/true);
+  params.sample_rate = source.sample_rate();
 
+  // The per-sample observer prints as the stream flows — no score history
+  // accumulates, so this works on recordings of any length.
   std::printf("sample,score,trigger\n");
-  for (std::size_t i = 0; i < result.scores.size(); i += 24) {
-    std::printf("%zu,%.6f,%d\n", i, result.scores[i],
-                static_cast<int>(result.trigger[i]));
-  }
+  core::SessionOptions options;
+  options.on_signal = [](std::size_t i, float score, bool trig) {
+    if (i % 24 == 0) {
+      std::printf("%zu,%.6f,%d\n", i, static_cast<double>(score),
+                  trig ? 1 : 0);
+    }
+  };
+  core::StreamSession session(params, std::move(options));
+  river::NullEnsembleSink discard;
+  core::run_stream(source, session, discard);
   return 0;
 }
 

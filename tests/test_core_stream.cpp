@@ -1,0 +1,404 @@
+// StreamSession / MultiStreamSession: the streaming extraction contract.
+//
+// The load-bearing property: for EVERY chunking of the input — including
+// 1-sample pushes — the session's ensembles, scores, and trigger series are
+// byte-identical to EnsembleExtractor::extract (which is itself a wrapper
+// over a session, so this also pins batch == streaming). Plus: bounded
+// buffering, eager emission, ring taps, reset, and the multi-channel
+// counterpart against MultiStreamExtractor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "core/multistream.hpp"
+#include "core/stream_session.hpp"
+#include "river/sample_io.hpp"
+#include "test_support.hpp"
+
+namespace core = dynriver::core;
+namespace river = dynriver::river;
+namespace synth = dynriver::synth;
+namespace testsupport = dynriver::testsupport;
+
+namespace {
+
+/// Parameters scaled down so short synthetic signals exercise every state
+/// transition (trigger, hold, merge, floor) quickly.
+core::PipelineParams small_params() {
+  core::PipelineParams params;
+  params.anomaly = {.window = 50, .alphabet = 6, .level = 2,
+                    .ma_window = 400, .frame = 8};
+  params.trigger_min_baseline = 1500;
+  params.trigger_hold_samples = 300;
+  params.min_ensemble_samples = 600;
+  params.merge_gap_samples = 2000;
+  return params;
+}
+
+std::vector<float> random_signal_with_events(std::size_t n, unsigned seed) {
+  // Noise with two burst events (and whatever else the trigger finds).
+  auto xs = testsupport::noise_with_bursts(n, n / 4, n / 8, seed);
+  const auto second = testsupport::noise_with_bursts(n, (3 * n) / 5, n / 10,
+                                                     seed + 1);
+  for (std::size_t i = (3 * n) / 5; i < std::min(n, (3 * n) / 5 + n / 10); ++i) {
+    xs[i] += second[i] * 0.5F;
+  }
+  return xs;
+}
+
+/// Stream `xs` through a fresh session in `chunk`-sized pushes (0 = whole
+/// clip), draining after every push, and return everything extract returns.
+core::ExtractionResult stream_in_chunks(const core::PipelineParams& params,
+                                        std::span<const float> xs,
+                                        std::size_t chunk) {
+  core::SessionOptions options;
+  options.tap_capacity = core::SignalTap::kUnbounded;
+  core::StreamSession session(params, std::move(options));
+
+  core::ExtractionResult result;
+  std::size_t pos = 0;
+  while (pos < xs.size()) {
+    const std::size_t n = chunk == 0 ? xs.size() : std::min(chunk, xs.size() - pos);
+    session.push(xs.subspan(pos, n));
+    for (auto& e : session.drain()) result.ensembles.push_back(std::move(e));
+    pos += n;
+  }
+  for (auto& e : session.finish()) result.ensembles.push_back(std::move(e));
+  result.scores = session.tap().scores();
+  result.trigger = session.tap().trigger();
+  return result;
+}
+
+void expect_identical(const core::ExtractionResult& got,
+                      const core::ExtractionResult& want, std::size_t chunk) {
+  ASSERT_EQ(got.ensembles.size(), want.ensembles.size()) << "chunk=" << chunk;
+  for (std::size_t i = 0; i < got.ensembles.size(); ++i) {
+    EXPECT_EQ(got.ensembles[i].start_sample, want.ensembles[i].start_sample)
+        << "chunk=" << chunk << " ensemble=" << i;
+    // Byte-identical samples: the cuts are copies of the same input.
+    ASSERT_EQ(got.ensembles[i].samples, want.ensembles[i].samples)
+        << "chunk=" << chunk << " ensemble=" << i;
+  }
+  // Byte-identical score + trigger series (float equality, no tolerance).
+  ASSERT_EQ(got.scores, want.scores) << "chunk=" << chunk;
+  ASSERT_EQ(got.trigger, want.trigger) << "chunk=" << chunk;
+}
+
+}  // namespace
+
+TEST(StreamSession, ChunkSweepBitIdenticalToBatchExtract) {
+  const auto params = small_params();
+  const core::EnsembleExtractor extractor(params);
+
+  for (const unsigned seed : {11U, 29U, 47U}) {
+    const auto xs = random_signal_with_events(60000, seed);
+    const auto want = extractor.extract(xs, /*keep_signals=*/true);
+    ASSERT_FALSE(want.ensembles.empty()) << "seed=" << seed
+        << " (signal must exercise the cutter)";
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{256}, std::size_t{900},
+                                    std::size_t{0} /* whole clip */}) {
+      expect_identical(stream_in_chunks(params, xs, chunk), want, chunk);
+    }
+  }
+}
+
+TEST(StreamSession, ChunkSweepOnStationClip) {
+  // The paper's configuration on a real synthesized field clip.
+  const auto clip = testsupport::record_station_clip(
+      11, {synth::SpeciesId::kNOCA, synth::SpeciesId::kRWBL});
+  const core::PipelineParams params;
+  const core::EnsembleExtractor extractor(params);
+  const auto want = extractor.extract(clip.clip.samples, /*keep_signals=*/true);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  for (const std::size_t chunk :
+       {std::size_t{256}, std::size_t{900}, std::size_t{0}}) {
+    expect_identical(stream_in_chunks(params, clip.clip.samples, chunk), want,
+                     chunk);
+  }
+}
+
+TEST(StreamSession, EnsemblesEmitEagerly) {
+  // Every ensemble whose merge gap has elapsed is available BEFORE finish().
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(60000, 11);
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+  ASSERT_GE(want.ensembles.size(), 2U);
+
+  core::StreamSession session(params);
+  session.push(xs);
+  const auto before_finish = session.drain();
+  // All but possibly the last (still inside merge-gap lookahead) are out.
+  EXPECT_GE(before_finish.size() + 1, want.ensembles.size());
+  EXPECT_FALSE(before_finish.empty());
+
+  // And the first ensemble is available as soon as its gap elapses, not at
+  // end of signal: push exactly up to first end + gap + 1, then check.
+  core::StreamSession early(params);
+  const std::size_t horizon = want.ensembles.front().end_sample() +
+                              params.merge_gap_samples + 1;
+  ASSERT_LT(horizon, xs.size());
+  early.push(std::span<const float>(xs.data(), horizon));
+  const auto first = early.drain();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().start_sample, want.ensembles.front().start_sample);
+  EXPECT_EQ(first.front().samples, want.ensembles.front().samples);
+}
+
+TEST(StreamSession, BufferingIsBoundedByEnsembleAndGap) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(120000, 5);
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+
+  std::size_t longest = params.min_ensemble_samples;
+  for (const auto& e : want.ensembles) longest = std::max(longest, e.length());
+
+  constexpr std::size_t kChunk = 256;
+  core::StreamSession session(params);
+  const std::span<const float> span(xs);
+  std::size_t peak = 0;
+  std::size_t pos = 0;
+  while (pos < xs.size()) {
+    const std::size_t n = std::min(kChunk, xs.size() - pos);
+    session.push(span.subspan(pos, n));
+    (void)session.drain();
+    peak = std::max(peak, session.buffered_samples());
+    pos += n;
+  }
+  (void)session.finish();
+
+  // Open ensemble + merge-gap lookahead + one chunk of slack (a completed
+  // cut rests in the ready queue until the post-push drain), never O(stream).
+  EXPECT_LE(peak, longest + params.merge_gap_samples + 2 * kChunk +
+                      params.min_ensemble_samples);
+  EXPECT_LT(peak, xs.size() / 4);
+  EXPECT_EQ(session.buffered_samples(), 0U);  // drained after finish
+}
+
+TEST(StreamSession, RingTapKeepsRecentWindow) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(30000, 3);
+  const auto want = core::EnsembleExtractor(params).extract(xs, true);
+
+  constexpr std::size_t kCapacity = 1024;
+  core::SessionOptions options;
+  options.tap_capacity = kCapacity;
+  core::StreamSession session(params, std::move(options));
+  session.push(xs);
+  (void)session.finish();
+
+  const auto& tap = session.tap();
+  EXPECT_EQ(tap.end_index(), xs.size());
+  EXPECT_EQ(tap.size(), kCapacity);
+  EXPECT_EQ(tap.first_index(), xs.size() - kCapacity);
+
+  const auto scores = tap.scores();
+  const auto trigger = tap.trigger();
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(scores[i], want.scores[tap.first_index() + i]) << i;
+    EXPECT_EQ(trigger[i], want.trigger[tap.first_index() + i]) << i;
+  }
+}
+
+TEST(StreamSession, DisabledTapBuffersNothing) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(30000, 3);
+  core::StreamSession session(params);  // tap_capacity = 0
+  session.push(xs);
+  (void)session.finish();
+  EXPECT_FALSE(session.tap().enabled());
+  EXPECT_EQ(session.tap().size(), 0U);
+  EXPECT_EQ(session.tap().end_index(), 0U);  // nothing even counted
+}
+
+TEST(StreamSession, OnSignalObserverSeesBatchSeries) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(20000, 9);
+  const auto want = core::EnsembleExtractor(params).extract(xs, true);
+
+  std::vector<float> scores;
+  std::vector<std::uint8_t> trigger;
+  std::size_t next_index = 0;
+  core::SessionOptions options;
+  options.on_signal = [&](std::size_t i, float score, bool trig) {
+    EXPECT_EQ(i, next_index++);
+    scores.push_back(score);
+    trigger.push_back(trig ? 1 : 0);
+  };
+  core::StreamSession session(params, std::move(options));
+  for (std::size_t pos = 0; pos < xs.size(); pos += 333) {
+    session.push(std::span<const float>(xs).subspan(
+        pos, std::min<std::size_t>(333, xs.size() - pos)));
+  }
+  (void)session.finish();
+  EXPECT_EQ(scores, want.scores);
+  EXPECT_EQ(trigger, want.trigger);
+}
+
+TEST(StreamSession, ResetStartsAFreshStream) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(40000, 21);
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+
+  core::StreamSession session(params);
+  // Pollute with an unrelated stream, then reset.
+  session.push(random_signal_with_events(12345, 99));
+  session.reset();
+  EXPECT_EQ(session.samples_consumed(), 0U);
+
+  session.push(xs);
+  const auto ensembles = session.finish();
+  ASSERT_EQ(ensembles.size(), want.ensembles.size());
+  for (std::size_t i = 0; i < ensembles.size(); ++i) {
+    EXPECT_EQ(ensembles[i].start_sample, want.ensembles[i].start_sample);
+    EXPECT_EQ(ensembles[i].samples, want.ensembles[i].samples);
+  }
+}
+
+TEST(StreamSession, FinishCutsTheOpenTailRun) {
+  // A burst that runs to the very end of the stream: the run is still open
+  // at finish(), which must close it exactly like the batch path.
+  const auto params = small_params();
+  auto xs = random_signal_with_events(40000, 13);
+  const auto tail = testsupport::noise_with_bursts(40000, 32000, 8000, 17);
+  for (std::size_t i = 32000; i < 40000; ++i) xs[i] += tail[i];
+
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+  ASSERT_FALSE(want.ensembles.empty());
+  ASSERT_GT(want.ensembles.back().end_sample(), 39000U)
+      << "tail burst must keep the trigger active near the end";
+
+  expect_identical(stream_in_chunks(params, xs, 256),
+                   core::EnsembleExtractor(params).extract(xs, true), 256);
+}
+
+TEST(StreamSession, FeaturizeMatchesExtractorFeaturize) {
+  const auto clip = testsupport::record_station_clip(
+      7, {synth::SpeciesId::kBCCH});
+  const core::PipelineParams params;
+  const core::EnsembleExtractor extractor(params);
+  const auto want = extractor.extract(clip.clip.samples);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  core::StreamSession session(params);
+  session.push(clip.clip.samples);
+  const auto ensembles = session.finish();
+  ASSERT_EQ(ensembles.size(), want.ensembles.size());
+  for (std::size_t i = 0; i < ensembles.size(); ++i) {
+    EXPECT_EQ(session.featurize(ensembles[i]),
+              extractor.featurize(want.ensembles[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiStreamSession
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<float> perturbed_channel(const std::vector<float>& base,
+                                     unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> noise(0.0F, 0.002F);
+  std::vector<float> out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out[i] = 0.9F * base[i] + noise(gen);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(MultiStreamSession, ChunkSweepBitIdenticalToMultiExtractor) {
+  core::MultiStreamParams mp;
+  mp.base = small_params();
+  mp.score_threads = 1;
+  const core::MultiStreamExtractor extractor(mp);
+
+  const auto a = random_signal_with_events(60000, 31);
+  const auto b = perturbed_channel(a, 32);
+  const std::vector<std::span<const float>> streams = {a, b};
+  const auto want = extractor.extract(streams, /*keep_signals=*/true);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{256}, std::size_t{900}, std::size_t{0}}) {
+    core::SessionOptions options;
+    options.tap_capacity = core::SignalTap::kUnbounded;
+    core::MultiStreamSession session(mp, streams.size(), std::move(options));
+
+    std::vector<core::MultiEnsemble> got;
+    std::size_t pos = 0;
+    while (pos < a.size()) {
+      const std::size_t n = chunk == 0 ? a.size() : std::min(chunk, a.size() - pos);
+      const std::vector<std::span<const float>> chunks = {
+          std::span<const float>(a).subspan(pos, n),
+          std::span<const float>(b).subspan(pos, n)};
+      session.push(chunks);
+      for (auto& e : session.drain()) got.push_back(std::move(e));
+      pos += n;
+    }
+    for (auto& e : session.finish()) got.push_back(std::move(e));
+
+    ASSERT_EQ(got.size(), want.ensembles.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].start_sample, want.ensembles[i].start_sample);
+      EXPECT_EQ(got[i].length, want.ensembles[i].length);
+      ASSERT_EQ(got[i].channel_samples, want.ensembles[i].channel_samples);
+    }
+    ASSERT_EQ(session.tap().scores(), want.fused_scores) << "chunk=" << chunk;
+  }
+}
+
+TEST(MultiStreamSession, ThreadedExtractorStillBitIdentical) {
+  // The extractor's pre-scored path drives the session via push_scored; it
+  // must agree with the serial (lockstep push) path exactly.
+  core::MultiStreamParams serial;
+  serial.base = small_params();
+  serial.score_threads = 1;
+  core::MultiStreamParams threaded = serial;
+  threaded.score_threads = 2;
+
+  const auto a = random_signal_with_events(60000, 41);
+  const auto b = perturbed_channel(a, 42);
+  const std::vector<std::span<const float>> streams = {a, b};
+
+  const auto s = core::MultiStreamExtractor(serial).extract(streams, true);
+  const auto t = core::MultiStreamExtractor(threaded).extract(streams, true);
+  ASSERT_EQ(s.ensembles.size(), t.ensembles.size());
+  for (std::size_t i = 0; i < s.ensembles.size(); ++i) {
+    EXPECT_EQ(s.ensembles[i].start_sample, t.ensembles[i].start_sample);
+    ASSERT_EQ(s.ensembles[i].channel_samples, t.ensembles[i].channel_samples);
+  }
+  ASSERT_EQ(s.fused_scores, t.fused_scores);
+}
+
+// ---------------------------------------------------------------------------
+// run_stream pump
+// ---------------------------------------------------------------------------
+
+TEST(RunStream, PumpsSourceToSinkWithStats) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(60000, 11);
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+
+  core::StreamSession session(params);
+  river::BufferSource source(xs, params.sample_rate);
+  river::CollectingEnsembleSink sink;
+  const auto stats = core::run_stream(source, session, sink, 512);
+
+  EXPECT_EQ(stats.samples_in, xs.size());
+  EXPECT_EQ(stats.ensembles_out, want.ensembles.size());
+  EXPECT_GT(stats.peak_buffered_samples, 0U);
+  EXPECT_LT(stats.peak_buffered_samples, xs.size());
+  ASSERT_EQ(sink.ensembles.size(), want.ensembles.size());
+  for (std::size_t i = 0; i < sink.ensembles.size(); ++i) {
+    EXPECT_EQ(sink.ensembles[i].start_sample, want.ensembles[i].start_sample);
+    EXPECT_EQ(sink.ensembles[i].samples, want.ensembles[i].samples);
+  }
+}

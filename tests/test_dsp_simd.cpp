@@ -5,6 +5,12 @@
 // pointer). The references here are written out longhand on purpose — they
 // are the definition the kernels are held to, independent of which backend
 // the build selected.
+//
+// Width coverage: offsets run 0..7 elements and the size sweep includes
+// 511/513/1023/2048/4093/4096 so every tail shape of 128-, 256-, AND
+// 512-bit lanes is hit — under -march=x86-64-v4 the compiler may widen or
+// re-vectorize these loops with zmm registers and masked tails (CI carries
+// a v4 compile job; run the suite on AVX-512 hardware to execute them).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -20,12 +26,16 @@ using Cplx = std::complex<double>;
 
 namespace {
 
-constexpr std::size_t kMaxOffset = 3;  ///< element offsets to unalign by
+constexpr std::size_t kMaxOffset = 7;  ///< element offsets to unalign by
+                                       ///< (covers 512-bit lane misalignment)
 
 std::vector<std::size_t> sweep_sizes() {
   std::vector<std::size_t> sizes;
   for (std::size_t n = 1; n <= 257; ++n) sizes.push_back(n);
-  for (const std::size_t n : {263UL, 512UL, 521UL, 1021UL, 1024UL}) {
+  // Primes and powers of two around every vector-width boundary, including
+  // the 8-double / 16-float shapes an AVX-512 build would use.
+  for (const std::size_t n : {263UL, 511UL, 512UL, 513UL, 521UL, 1021UL,
+                              1023UL, 1024UL, 2048UL, 4093UL, 4096UL}) {
     sizes.push_back(n);
   }
   return sizes;
@@ -235,9 +245,11 @@ void reference_stage(std::vector<double>& d, const std::vector<double>& tw,
 }  // namespace
 
 TEST(SimdKernels, Radix2StageMatchesScalarReference) {
-  // half values cover the vector path (>= 2), its odd tail (3, 5), and the
-  // scalar half=1 stage; blocks give s a multiple of the butterfly span.
-  for (const std::size_t half : {1UL, 2UL, 3UL, 4UL, 5UL, 8UL, 16UL}) {
+  // half values cover the vector path (>= 2), its odd tail (3, 5), the
+  // scalar half=1 stage, and widths past one 512-bit register (32, 64);
+  // blocks give s a multiple of the butterfly span.
+  for (const std::size_t half : {1UL, 2UL, 3UL, 4UL, 5UL, 8UL, 16UL, 32UL,
+                                 64UL}) {
     for (const std::size_t blocks : {1UL, 2UL, 3UL}) {
       const std::size_t s = blocks * 2 * half;
       const auto tw =
@@ -256,7 +268,7 @@ TEST(SimdKernels, Radix2StageMatchesScalarReference) {
 }
 
 TEST(SimdKernels, Radix4FirstPassMatchesTwoRadix2Stages) {
-  for (const std::size_t s : {4UL, 8UL, 16UL, 64UL, 256UL, 1024UL}) {
+  for (const std::size_t s : {4UL, 8UL, 16UL, 64UL, 256UL, 1024UL, 4096UL}) {
     const auto orig = random_doubles(2 * s, static_cast<unsigned>(s) + 200);
 
     std::vector<double> got(orig);

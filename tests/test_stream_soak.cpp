@@ -1,0 +1,114 @@
+// Tier-2 soak: a ~10-minute synthesized station stream pushed through one
+// StreamSession, asserting the bounded-memory contract at two levels:
+//
+//   1. exactly, at the data-structure level: the session never buffers more
+//      than (longest ensemble + merge gap + chunk slack) samples, and
+//   2. at the process level: peak RSS (VmHWM) grows far less than the
+//      stream size — streaming 12.96M samples (51.8 MB as floats) must not
+//      retain O(stream) memory.
+//
+// CI runs this suite under ASan+UBSan; tests/CMakeLists.txt pins the ASan
+// quarantine small so freed clip buffers do not inflate VmHWM.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/stream_session.hpp"
+#include "river/sample_io.hpp"
+#include "synth/station.hpp"
+#include "synth/station_source.hpp"
+
+namespace core = dynriver::core;
+namespace river = dynriver::river;
+namespace synth = dynriver::synth;
+
+namespace {
+
+/// Peak resident set (VmHWM) in bytes; 0 when /proc is unavailable.
+std::size_t peak_rss_bytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+TEST(StreamSoak, TenMinuteStationStreamStaysBounded) {
+  const core::PipelineParams params;  // the paper's configuration
+  // 20 x 30 s = 10 minutes by default; DR_SOAK_CLIPS scales the run.
+  const std::size_t clips = env_size("DR_SOAK_CLIPS", 20);
+  const auto clip_samples = static_cast<std::size_t>(
+      synth::StationParams{}.clip_seconds * params.sample_rate);
+
+  const std::size_t rss_before = peak_rss_bytes();
+
+  synth::SensorStation station(synth::StationParams{}, 424242);
+  synth::StationSource source(
+      station, {synth::SpeciesId::kNOCA, synth::SpeciesId::kWBNU}, clips);
+
+  core::StreamSession session(params);  // taps off: zero per-sample history
+  std::size_t ensembles = 0;
+  std::size_t retained = 0;
+  std::size_t longest = 0;
+  river::CallbackEnsembleSink sink([&](river::Ensemble e) {
+    ++ensembles;
+    retained += e.length();
+    longest = std::max(longest, e.length());
+  });
+  const auto stats = core::run_stream(source, session, sink);
+
+  // The whole stream went through...
+  EXPECT_EQ(stats.samples_in, clips * clip_samples);
+  EXPECT_EQ(source.clips_streamed(), clips);
+  // ...found the planted songs (2 per clip; some may merge or be missed)...
+  EXPECT_GE(ensembles, clips);
+  // ...and kept roughly the paper's ~20%, so most of the stream was let go.
+  EXPECT_LT(retained, stats.samples_in / 2);
+
+  // (1) Exact bound: open ensemble + merge-gap lookahead + chunk slack.
+  const std::size_t bound =
+      longest + params.merge_gap_samples + 2 * params.record_size +
+      params.min_ensemble_samples;
+  EXPECT_LE(stats.peak_buffered_samples, bound)
+      << "session buffered more than one ensemble + gap";
+  EXPECT_LT(stats.peak_buffered_samples, clip_samples)
+      << "session buffered a whole clip's worth of samples";
+
+  // (2) Process-level bound: far below the 4 * samples_in bytes a buffered
+  // stream would need. The margin absorbs allocator/sanitizer overhead and
+  // the one clip StationSource holds while streaming it.
+  const std::size_t rss_after = peak_rss_bytes();
+  if (rss_before > 0 && rss_after > 0) {
+    const std::size_t stream_bytes = stats.samples_in * sizeof(float);
+    const std::size_t growth = rss_after - rss_before;
+    EXPECT_LT(growth, (stream_bytes * 3) / 4)
+        << "peak RSS grew by " << growth / (1024 * 1024)
+        << " MB while streaming " << stream_bytes / (1024 * 1024) << " MB";
+  }
+
+  std::printf("soak: %zu clips, %zu samples, %zu ensembles (%.1f%% retained), "
+              "peak session buffer %zu samples, peak RSS growth %.1f MB\n",
+              clips, stats.samples_in, ensembles,
+              100.0 * static_cast<double>(retained) /
+                  static_cast<double>(stats.samples_in),
+              stats.peak_buffered_samples,
+              static_cast<double>(rss_after - rss_before) / (1024.0 * 1024.0));
+}
