@@ -19,6 +19,7 @@
 #include "core/extractor.hpp"
 #include "core/features.hpp"
 #include "core/multistream.hpp"
+#include "core/session_scheduler.hpp"
 #include "core/spectral_engine.hpp"
 #include "core/stream_session.hpp"
 #include "dsp/fft.hpp"
@@ -478,6 +479,46 @@ void run_json_sweep() {
     record("multistream2_threaded", 2 * clip.size(), [&] {
       auto result = threaded.extract(streams);
       benchmark::DoNotOptimize(result);
+    });
+  }
+
+  // Host-scale multiplexing: 16 stations x 1 s of audio through one
+  // SessionScheduler (bounded queues, block policy, deficit round-robin,
+  // 2 worker lanes, shared SpectralEngine). ns/op covers scheduler
+  // construction + the full 16-station drain — the per-host ingest cost to
+  // hold against 16 x stream_push_1s of raw session time.
+  {
+    constexpr std::size_t kStations = 16;
+    const core::PipelineParams params;
+    const std::size_t second = static_cast<std::size_t>(params.sample_rate);
+    std::vector<std::vector<float>> signals;
+    signals.reserve(kStations);
+    for (std::size_t s = 0; s < kStations; ++s) {
+      signals.push_back(random_signal(second, 4000 + static_cast<unsigned>(s)));
+    }
+    const auto engine = std::make_shared<const core::SpectralEngine>(params);
+    record("sched_16stations_1s", kStations * second, [&] {
+      core::SchedulerOptions options;
+      options.threads = 2;  // fixed: comparable across differently-sized hosts
+      core::SessionScheduler scheduler(std::move(options));
+      for (std::size_t s = 0; s < kStations; ++s) {
+        core::StationConfig config;
+        config.params = params;
+        config.queue_capacity_samples = 8 * params.record_size;
+        config.engine = engine;
+        // snprintf, not string concatenation: GCC 12's -Wrestrict trips a
+        // known false positive on small-string operator+ at -O3.
+        char name[16];
+        std::snprintf(name, sizeof name, "s%zu", s);
+        scheduler.add_station(
+            name,
+            std::make_shared<river::BufferSource>(signals[s],
+                                                  params.sample_rate),
+            std::make_shared<river::NullEnsembleSink>(), config);
+      }
+      scheduler.run();
+      auto stats = scheduler.stats();
+      benchmark::DoNotOptimize(stats);
     });
   }
 

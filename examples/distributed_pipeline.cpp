@@ -1,19 +1,27 @@
 // Distributed pipeline demo: extraction split across "hosts" connected by a
 // real TCP socket, with
-//   1. live relocation of the extraction segment between virtual hosts, and
+//   1. live relocation of the extraction segment between virtual hosts,
 //   2. a station streaming audio records over TCP into a push-based
 //      StreamSession (RecordChannelSource -> session -> sink) that keeps
 //      extracting while the upstream is still sending — then dies mid-clip,
 //      showing the session finalize the open ensemble and the source report
-//      the abnormal close.
+//      the abnormal close, and
+//   3. the sensor-network ingest shape: several stations stream over TCP at
+//      once into ONE analysis host, which multiplexes all of their sessions
+//      through a single SessionScheduler — per-station bounded ingest
+//      queues, deficit-round-robin fairness, and one of the upstreams dying
+//      mid-clip without disturbing the others.
 //
 //   ./distributed_pipeline
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "core/birdsong.hpp"
 #include "core/ops_acoustic.hpp"
+#include "core/session_scheduler.hpp"
 #include "core/stream_session.hpp"
 #include "river/manager.hpp"
 #include "river/sample_io.hpp"
@@ -153,7 +161,89 @@ int main() {
         "closed the open ensemble, the source reported the abnormal end,\n"
         "and the next clip on a fresh connection processes normally --\n"
         "Dynamic River's chief advantage over SPEs without scoped streams\n"
-        "(paper, Section 5).\n");
+        "(paper, Section 5).\n\n");
+  }
+
+  std::printf("Part 3: many stations over TCP, one SessionScheduler host\n");
+  std::printf("---------------------------------------------------------\n");
+  {
+    constexpr std::size_t kUpstreams = 3;
+    river::TcpListener listener(0);
+    const auto port = listener.port();
+    std::printf("analysis host listening on 127.0.0.1:%u\n", port);
+
+    // Three field stations stream one clip each, concurrently. Station 1
+    // dies mid-clip; the other streams must be unaffected.
+    std::vector<std::thread> upstreams;
+    for (std::size_t s = 0; s < kUpstreams; ++s) {
+      upstreams.emplace_back([port, s] {
+        river::TcpRecordChannel ch(river::TcpStream::connect("127.0.0.1", port));
+        synth::SensorStation station(synth::StationParams{},
+                                     900 + static_cast<std::uint64_t>(s));
+        const auto clip = station.record_clip(
+            {static_cast<synth::SpeciesId>(s % synth::kNumSpecies),
+             static_cast<synth::SpeciesId>((s + 2) % synth::kNumSpecies)});
+        auto records =
+            core::clip_to_records(clip.clip, static_cast<std::uint64_t>(s),
+                                  kParams.record_size);
+        const std::size_t send = s == 1 ? (records.size() * 2) / 3
+                                        : records.size();
+        for (std::size_t i = 0; i < send; ++i) ch.send(std::move(records[i]));
+        if (s == 1) {
+          std::printf("upstream %zu: crashing after %zu of %zu records\n", s,
+                      send, records.size());
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+          ch.disconnect();  // abortive: no CloseScope, no EOS sentinel
+        } else {
+          ch.close();  // clean end of stream
+        }
+      });
+    }
+
+    // One scheduler multiplexes every connection: each station gets its own
+    // bounded ingest queue (TCP backpressure when it fills) and its own
+    // session; worker lanes serve them with deficit round-robin.
+    core::SchedulerOptions options;
+    options.threads = 2;
+    core::SessionScheduler scheduler(std::move(options));
+    std::vector<std::shared_ptr<river::RecordChannelSource>> sources;
+    std::vector<std::shared_ptr<river::CollectingEnsembleSink>> sinks;
+    for (std::size_t s = 0; s < kUpstreams; ++s) {
+      auto incoming =
+          std::make_shared<river::TcpRecordChannel>(listener.accept());
+      sources.push_back(std::make_shared<river::RecordChannelSource>(incoming));
+      sinks.push_back(std::make_shared<river::CollectingEnsembleSink>());
+      core::StationConfig config;
+      config.params = kParams;
+      config.policy = core::BackpressurePolicy::kBlock;
+      config.queue_capacity_samples = 16 * kParams.record_size;
+      scheduler.add_station("tcp-station-" + std::to_string(s), sources[s],
+                            sinks[s], config);
+    }
+    scheduler.run();
+    for (auto& t : upstreams) t.join();
+
+    const auto stats = scheduler.stats();
+    for (std::size_t s = 0; s < kUpstreams; ++s) {
+      std::printf("%s: %zu records (%zu samples), clean close: %-3s "
+                  "%zu ensemble(s)",
+                  stats.stations[s].name.c_str(), sources[s]->records_in(),
+                  stats.stations[s].samples_consumed,
+                  sources[s]->clean() ? "yes," : "NO,",
+                  stats.stations[s].ensembles_out);
+      for (const auto& e : sinks[s]->ensembles) {
+        std::printf("  [%.1f, %.1f)s",
+                    static_cast<double>(e.start_sample) / kParams.sample_rate,
+                    static_cast<double>(e.end_sample()) / kParams.sample_rate);
+      }
+      std::printf("\n");
+    }
+    std::printf(
+        "\nOne host, %zu live TCP streams, %zu scheduling rounds: the dead\n"
+        "upstream's session finalized its open ensemble at the fault while\n"
+        "the surviving stations streamed on undisturbed -- the many-\n"
+        "stations-per-host ingest shape of a sensor network deployment.\n",
+        kUpstreams, stats.rounds);
   }
   return 0;
 }

@@ -6,13 +6,6 @@
 
 namespace dynriver {
 
-void RunningStats::add(double x) {
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-}
-
 void RunningStats::reset() {
   count_ = 0;
   mean_ = 0.0;
@@ -63,25 +56,6 @@ double stddev_of(std::span<const float> xs) { return stddev_impl(xs); }
 MovingAverage::MovingAverage(std::size_t window) : window_(window) {
   DR_EXPECTS(window >= 1);
   buf_.assign(window_, 0.0);
-}
-
-double MovingAverage::push(double x) {
-  if (size_ == window_) {
-    sum_ -= buf_[head_];
-  } else {
-    ++size_;
-  }
-  buf_[head_] = x;
-  sum_ += x;
-  // Conditional wrap instead of % — this runs once per input sample in the
-  // anomaly scorer, where the integer division is measurable.
-  if (++head_ == window_) head_ = 0;
-  return value();
-}
-
-double MovingAverage::value() const {
-  if (size_ == 0) return 0.0;
-  return sum_ / static_cast<double>(size_);
 }
 
 void MovingAverage::reset() {

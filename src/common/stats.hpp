@@ -15,7 +15,14 @@ namespace dynriver {
 /// experiment repetitions).
 class RunningStats {
  public:
-  void add(double x);
+  /// Header-inline: this runs once per untriggered sample inside the
+  /// adaptive trigger's hot loop (see core::TriggerState::push).
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   /// Remove-free reset.
   void reset();
@@ -53,10 +60,27 @@ class MovingAverage {
  public:
   explicit MovingAverage(std::size_t window);
 
-  /// Push a value and return the current windowed mean.
-  double push(double x);
+  /// Push a value and return the current windowed mean. Header-inline: the
+  /// anomaly scorer calls this once per input sample, and the outlined call
+  /// was a measurable slice of per-sample extraction cost.
+  double push(double x) {
+    if (size_ == window_) {
+      sum_ -= buf_[head_];
+    } else {
+      ++size_;
+    }
+    buf_[head_] = x;
+    sum_ += x;
+    // Conditional wrap instead of % — the integer division is measurable at
+    // one call per sample.
+    if (++head_ == window_) head_ = 0;
+    return value();
+  }
 
-  [[nodiscard]] double value() const;
+  [[nodiscard]] double value() const {
+    if (size_ == 0) return 0.0;
+    return sum_ / static_cast<double>(size_);
+  }
   [[nodiscard]] std::size_t window() const { return window_; }
   [[nodiscard]] std::size_t size() const { return size_; }
   void reset();

@@ -33,6 +33,10 @@ MultiExtractionResult MultiStreamExtractor::extract(
   if (runner_->serial() || streams.size() == 1) {
     // Streaming fusion: one scorer per channel advanced in lockstep, O(1)
     // extra memory — archive-scale clips never materialize score buffers.
+    // The per-sample hot calls (scorer fast path, moving average, trigger,
+    // cutter) are all header-inline, so this loop fuses into straight-line
+    // arithmetic — a batch-scored side buffer measured *slower* (the extra
+    // store/load round-trip per score outweighed any locality win).
     session.push(streams);
   } else {
     // Parallel scoring: each channel's scorer is an independent streaming

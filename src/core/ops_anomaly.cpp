@@ -45,45 +45,20 @@ TriggerState::TriggerState(double sigma_threshold, std::size_t min_baseline,
   DR_EXPECTS(sigma_threshold > 0.0);
 }
 
-double TriggerState::threshold() const {
-  return baseline_.mean() + sigma_threshold_ * baseline_.stddev();
-}
-
-bool TriggerState::push(double score) {
-  // The anomaly scorer emits exact zeros until its windows warm up; feeding
-  // them into the baseline would zero sigma0 and make the first real score
-  // fire the trigger spuriously.
-  if (!seen_nonzero_) {
-    if (score == 0.0) return false;
-    seen_nonzero_ = true;
-  }
-
-  const bool above =
-      baseline_.count() >= min_baseline_ && score > threshold();
-  if (above) {
-    active_ = true;
-    below_count_ = 0;
-    return true;
-  }
-  if (active_ && below_count_ < hold_samples_) {
-    // Hold: bridge brief lulls without updating the baseline.
-    ++below_count_;
-    return true;
-  }
-  // Untriggered scores feed the incremental mu0/sigma0 estimate; scores seen
-  // while triggered are deliberately excluded so events do not poison the
-  // baseline.
-  active_ = false;
-  below_count_ = 0;
-  baseline_.add(score);
-  return false;
-}
-
 void TriggerState::reset() {
   baseline_.reset();
   active_ = false;
   seen_nonzero_ = false;
   below_count_ = 0;
+}
+
+void TriggerState::set_thresholding(double sigma_threshold,
+                                    std::size_t min_baseline,
+                                    std::size_t hold_samples) {
+  DR_EXPECTS(sigma_threshold > 0.0);
+  sigma_threshold_ = sigma_threshold;
+  min_baseline_ = min_baseline;
+  hold_samples_ = hold_samples;
 }
 
 TriggerOp::TriggerOp(double sigma_threshold, std::size_t min_baseline,
@@ -113,7 +88,9 @@ void TriggerOp::process(Record rec, river::Emitter& out) {
   out.emit(std::move(trig_rec));
 }
 
-CutterOp::CutterOp(const PipelineParams& params) : params_(params) {
+CutterOp::CutterOp(const PipelineParams& params)
+    : params_(params),
+      cutter_(1, params.merge_gap_samples, params.min_ensemble_samples) {
   params_.validate();
 }
 
@@ -124,11 +101,9 @@ void CutterOp::process(Record rec, river::Emitter& out) {
         in_clip_ = true;
         clip_attrs_ = rec.attrs;
         clip_depth_ = rec.scope_depth;
-        clip_sample_cursor_ = 0;
         audio_fifo_.clear();
         trigger_fifo_.clear();
-        cutting_ = false;
-        ensemble_buf_.clear();
+        cutter_.reset();  // clips are cut independently; frame index = 0
       }
       out.emit(std::move(rec));
       return;
@@ -137,9 +112,10 @@ void CutterOp::process(Record rec, river::Emitter& out) {
     case RecordType::kBadCloseScope:
       if (in_clip_ && rec.scope_type == river::kScopeClip) {
         pump(out);
-        if (!ensemble_buf_.empty()) {
-          end_ensemble(out, rec.type == RecordType::kBadCloseScope);
-        }
+        // Ensembles whose merge gap elapsed inside the clip are good; the
+        // one decided only because the clip ended inherits the close kind.
+        cutter_.finish();
+        emit_ready(out, rec.type == RecordType::kBadCloseScope);
         in_clip_ = false;
       }
       out.emit(std::move(rec));
@@ -167,71 +143,40 @@ void CutterOp::process(Record rec, river::Emitter& out) {
 }
 
 void CutterOp::pump(river::Emitter& out) {
+  // Pair the FIFOs sample-by-sample into the shared automaton; every
+  // decision (merge, suppress, eager finalize) happens inside StreamCutter.
   const std::size_t n = std::min(audio_fifo_.size(), trigger_fifo_.size());
   for (std::size_t i = 0; i < n; ++i) {
-    const bool trig = trigger_fifo_[i] >= 0.5F;
-    const bool pending = !cutting_ && !ensemble_buf_.empty();
-    if (trig) {
-      if (pending) {
-        // Re-fire within the merge gap: absorb the gap, continue the
-        // pending ensemble.
-        ensemble_buf_.insert(ensemble_buf_.end(), gap_buf_.begin(),
-                             gap_buf_.end());
-        gap_buf_.clear();
-        cutting_ = true;
-      } else if (!cutting_) {
-        begin_ensemble(clip_sample_cursor_ + i);
-      }
-      ensemble_buf_.push_back(audio_fifo_[i]);
-    } else {
-      if (cutting_) {
-        cutting_ = false;  // ensemble becomes pending
-        gap_buf_.clear();
-      }
-      if (!ensemble_buf_.empty()) {
-        gap_buf_.push_back(audio_fifo_[i]);
-        if (gap_buf_.size() > params_.merge_gap_samples) {
-          end_ensemble(out, /*bad=*/false);
-        }
-      }
-    }
+    cutter_.step(trigger_fifo_[i] >= 0.5F, &audio_fifo_[i]);
   }
-  audio_fifo_.erase(audio_fifo_.begin(), audio_fifo_.begin() + static_cast<std::ptrdiff_t>(n));
+  audio_fifo_.erase(audio_fifo_.begin(),
+                    audio_fifo_.begin() + static_cast<std::ptrdiff_t>(n));
   trigger_fifo_.erase(trigger_fifo_.begin(),
                       trigger_fifo_.begin() + static_cast<std::ptrdiff_t>(n));
-  clip_sample_cursor_ += n;
+  emit_ready(out, /*bad=*/false);
 }
 
-void CutterOp::begin_ensemble(std::size_t start_sample) {
-  cutting_ = true;
-  ensemble_start_ = start_sample;
-  ensemble_buf_.clear();
-  gap_buf_.clear();
+void CutterOp::emit_ready(river::Emitter& out, bool bad) {
+  while (auto cut = cutter_.pop()) emit_cut(out, std::move(*cut), bad);
 }
 
-void CutterOp::end_ensemble(river::Emitter& out, bool bad) {
-  cutting_ = false;
-  gap_buf_.clear();
-  if (ensemble_buf_.size() < params_.min_ensemble_samples) {
-    ensemble_buf_.clear();
-    return;  // too short to carry a pattern; suppress
-  }
-
+void CutterOp::emit_cut(river::Emitter& out, detail::StreamCutter::Cut cut,
+                        bool bad) {
+  const std::vector<float>& samples = cut.channels.front();
   const std::uint32_t open_depth = clip_depth_ + 1;
   Record open = Record::open_scope(river::kScopeEnsemble, open_depth);
   open.attrs = clip_attrs_;  // clip context travels with each ensemble
   open.set_attr(kAttrEnsembleId, static_cast<std::int64_t>(next_ensemble_id_++));
-  open.set_attr(kAttrStartSample, static_cast<std::int64_t>(ensemble_start_));
-  open.set_attr(kAttrNumSamples, static_cast<std::int64_t>(ensemble_buf_.size()));
+  open.set_attr(kAttrStartSample, static_cast<std::int64_t>(cut.start_sample));
+  open.set_attr(kAttrNumSamples, static_cast<std::int64_t>(samples.size()));
   out.emit(std::move(open));
 
-  for (std::size_t start = 0; start < ensemble_buf_.size();
+  for (std::size_t start = 0; start < samples.size();
        start += params_.record_size) {
-    const std::size_t len =
-        std::min(params_.record_size, ensemble_buf_.size() - start);
+    const std::size_t len = std::min(params_.record_size, samples.size() - start);
     river::FloatVec payload(
-        ensemble_buf_.begin() + static_cast<std::ptrdiff_t>(start),
-        ensemble_buf_.begin() + static_cast<std::ptrdiff_t>(start + len));
+        samples.begin() + static_cast<std::ptrdiff_t>(start),
+        samples.begin() + static_cast<std::ptrdiff_t>(start + len));
     Record rec = Record::data(river::kSubtypeAudio, std::move(payload));
     rec.scope_depth = open_depth + 1;
     out.emit(std::move(rec));
@@ -239,7 +184,6 @@ void CutterOp::end_ensemble(river::Emitter& out, bool bad) {
 
   out.emit(bad ? Record::bad_close_scope(river::kScopeEnsemble, open_depth)
                : Record::close_scope(river::kScopeEnsemble, open_depth));
-  ensemble_buf_.clear();
   ++ensembles_;
 }
 
@@ -248,7 +192,8 @@ void CutterOp::flush(river::Emitter& out) {
   // accumulated ensemble is closed as bad if long enough.
   if (in_clip_) {
     pump(out);
-    if (!ensemble_buf_.empty()) end_ensemble(out, /*bad=*/true);
+    cutter_.finish();
+    emit_ready(out, /*bad=*/true);
     in_clip_ = false;
   }
 }

@@ -14,6 +14,7 @@
 
 #include "common/stats.hpp"
 #include "core/params.hpp"
+#include "core/stream_cutter.hpp"
 #include "river/operator.hpp"
 #include "ts/anomaly.hpp"
 
@@ -49,13 +50,53 @@ class TriggerState {
                std::size_t hold_samples = 0);
 
   /// Feed one (smoothed) anomaly score; returns the trigger value (0 or 1).
-  [[nodiscard]] bool push(double score);
+  /// Header-inline: one call per sample in every session/operator scoring
+  /// loop — outlined, the call plus the baseline update were a measurable
+  /// slice of per-sample extraction cost.
+  [[nodiscard]] bool push(double score) {
+    // The anomaly scorer emits exact zeros until its windows warm up;
+    // feeding them into the baseline would zero sigma0 and make the first
+    // real score fire the trigger spuriously.
+    if (!seen_nonzero_) {
+      if (score == 0.0) return false;
+      seen_nonzero_ = true;
+    }
+
+    const bool above =
+        baseline_.count() >= min_baseline_ && score > threshold();
+    if (above) {
+      active_ = true;
+      below_count_ = 0;
+      return true;
+    }
+    if (active_ && below_count_ < hold_samples_) {
+      // Hold: bridge brief lulls without updating the baseline.
+      ++below_count_;
+      return true;
+    }
+    // Untriggered scores feed the incremental mu0/sigma0 estimate; scores
+    // seen while triggered are deliberately excluded so events do not
+    // poison the baseline.
+    active_ = false;
+    below_count_ = 0;
+    baseline_.add(score);
+    return false;
+  }
 
   [[nodiscard]] double mu0() const { return baseline_.mean(); }
   [[nodiscard]] double sigma0() const { return baseline_.stddev(); }
-  [[nodiscard]] double threshold() const;
+  [[nodiscard]] double threshold() const {
+    return baseline_.mean() + sigma_threshold_ * baseline_.stddev();
+  }
   [[nodiscard]] bool active() const { return active_; }
   void reset();
+
+  /// Re-tune the decision thresholds while keeping the accumulated
+  /// mu0/sigma0 baseline (live session re-parameterization). Callers should
+  /// be between trigger runs (active() false) so no run straddles the
+  /// old and new rules; StreamSession::reconfigure guarantees that.
+  void set_thresholding(double sigma_threshold, std::size_t min_baseline,
+                        std::size_t hold_samples);
 
  private:
   double sigma_threshold_;
@@ -89,6 +130,12 @@ class TriggerOp final : public river::Operator {
 /// (sample rate, clip id, ground-truth labels) are copied onto each ensemble
 /// OpenScope together with its start sample and length; ensembles shorter
 /// than `min_ensemble_samples` are suppressed.
+///
+/// The pending/merge-gap/length-floor decisions are NOT implemented here:
+/// the operator delegates to detail::StreamCutter — the same automaton
+/// behind StreamSession — and only handles record pairing, clip scopes, and
+/// ensemble serialization. The operator pipeline and the sessions therefore
+/// cannot diverge (bit-identity is pinned by tests/test_core_ops.cpp).
 class CutterOp final : public river::Operator {
  public:
   explicit CutterOp(const PipelineParams& params);
@@ -102,26 +149,20 @@ class CutterOp final : public river::Operator {
 
  private:
   void pump(river::Emitter& out);
-  void begin_ensemble(std::size_t start_sample);
-  void end_ensemble(river::Emitter& out, bool bad);
+  void emit_ready(river::Emitter& out, bool bad);
+  void emit_cut(river::Emitter& out, detail::StreamCutter::Cut cut, bool bad);
 
   PipelineParams params_;
   // Clip context.
   river::AttrMap clip_attrs_;
   std::uint32_t clip_depth_ = 0;
-  std::size_t clip_sample_cursor_ = 0;
   bool in_clip_ = false;
   // Paired FIFOs (samples).
   std::vector<float> audio_fifo_;
   std::vector<float> trigger_fifo_;
-  // Current/pending ensemble. While `cutting_`, samples append to
-  // ensemble_buf_. After the trigger releases the ensemble stays *pending*:
-  // if the trigger re-fires within merge_gap_samples, the buffered gap is
-  // absorbed and the same ensemble continues; otherwise it is finalized.
-  bool cutting_ = false;
-  std::size_t ensemble_start_ = 0;
-  std::vector<float> ensemble_buf_;
-  std::vector<float> gap_buf_;
+  /// The shared trigger-run -> gap-merge -> length-floor automaton
+  /// (reset per clip; its frame index is the clip sample cursor).
+  detail::StreamCutter cutter_;
   std::size_t ensembles_ = 0;
   std::uint64_t next_ensemble_id_ = 0;
 };

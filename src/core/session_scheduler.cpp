@@ -1,0 +1,363 @@
+#include "core/session_scheduler.hpp"
+
+#include <chrono>
+
+#include "common/contracts.hpp"
+
+namespace dynriver::core {
+
+// ---------------------------------------------------------------------------
+// SchedulerStats
+// ---------------------------------------------------------------------------
+
+std::size_t SchedulerStats::total_queued_samples() const {
+  std::size_t acc = 0;
+  for (const auto& s : stations) acc += s.queued_samples;
+  return acc;
+}
+
+std::size_t SchedulerStats::total_buffered_samples() const {
+  std::size_t acc = 0;
+  for (const auto& s : stations) {
+    acc += s.queued_samples + s.session_buffered_samples;
+  }
+  return acc;
+}
+
+std::size_t SchedulerStats::total_samples_dropped() const {
+  std::size_t acc = 0;
+  for (const auto& s : stations) acc += s.samples_dropped;
+  return acc;
+}
+
+std::size_t SchedulerStats::total_ensembles_out() const {
+  std::size_t acc = 0;
+  for (const auto& s : stations) acc += s.ensembles_out;
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// SessionScheduler::Station
+// ---------------------------------------------------------------------------
+
+struct SessionScheduler::Station {
+  std::string name;
+  StationConfig config;          ///< immutable after add_station
+  std::size_t chunk_samples = 0; ///< resolved read/eviction granularity
+  std::unique_ptr<StreamSession> session;
+  std::shared_ptr<river::SampleSource> source;  ///< null for push-fed
+  std::shared_ptr<river::EnsembleSink> sink;
+
+  mutable std::mutex mu;          ///< guards queue + flags + counters
+  std::condition_variable room;   ///< kBlock producers wait for queue room
+  std::deque<std::vector<float>> queue;
+  std::size_t queued_samples = 0;
+  bool closed = false;            ///< no more input will arrive
+  bool session_finished = false;  ///< finish() delivered (claimed by worker)
+  bool finished = false;          ///< sink finished too; never runnable again
+  std::optional<PipelineParams> pending_params;  ///< live reconfigure hand-off
+
+  /// Deficit round-robin credit; touched only by the one worker processing
+  /// this station in a round (rounds never overlap per station).
+  std::size_t deficit = 0;
+
+  // Counters (guarded by mu). samples_consumed is advanced in the same
+  // critical section that dequeues a chunk (the identity `in == consumed +
+  // dropped + queued` is exact for every stats() reader at every instant);
+  // session_buffered is a cached copy of session state published after each
+  // processing pass — stats() never touches the session from a foreign
+  // thread.
+  std::size_t samples_in = 0;
+  std::size_t samples_dropped = 0;
+  std::size_t samples_consumed = 0;
+  std::size_t ensembles_out = 0;
+  std::size_t session_buffered = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SessionScheduler
+// ---------------------------------------------------------------------------
+
+SessionScheduler::SessionScheduler(SchedulerOptions options)
+    : options_(std::move(options)),
+      runner_(std::make_unique<common::TaskRunner>(options_.threads)) {
+  DR_EXPECTS(options_.quantum_samples >= 1);
+}
+
+SessionScheduler::~SessionScheduler() {
+  // Normal runs join in run(); this path only fires when run() unwound on
+  // an exception with readers still alive (possibly blocked on queue room).
+  shutdown_.store(true, std::memory_order_relaxed);
+  for (auto& st : stations_) st->room.notify_all();
+  for (auto& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t SessionScheduler::add_station_impl(
+    std::string name, std::shared_ptr<river::SampleSource> source,
+    std::shared_ptr<river::EnsembleSink> sink, StationConfig config) {
+  DR_EXPECTS(!running_);
+  DR_EXPECTS(sink != nullptr);
+  config.params.validate();
+  auto st = std::make_unique<Station>();
+  st->chunk_samples = config.read_chunk_samples != 0 ? config.read_chunk_samples
+                                                     : config.params.record_size;
+  DR_EXPECTS(st->chunk_samples >= 1);
+  DR_EXPECTS(st->chunk_samples <= config.queue_capacity_samples);
+  st->name = std::move(name);
+  st->session = std::make_unique<StreamSession>(
+      config.params, config.session_options, config.engine);
+  st->source = std::move(source);
+  st->sink = std::move(sink);
+  st->config = std::move(config);
+  stations_.push_back(std::move(st));
+  return stations_.size() - 1;
+}
+
+std::size_t SessionScheduler::add_station(
+    std::string name, std::shared_ptr<river::SampleSource> source,
+    std::shared_ptr<river::EnsembleSink> sink, StationConfig config) {
+  DR_EXPECTS(source != nullptr);
+  return add_station_impl(std::move(name), std::move(source), std::move(sink),
+                          std::move(config));
+}
+
+std::size_t SessionScheduler::add_station(
+    std::string name, std::shared_ptr<river::EnsembleSink> sink,
+    StationConfig config) {
+  return add_station_impl(std::move(name), nullptr, std::move(sink),
+                          std::move(config));
+}
+
+void SessionScheduler::notify_work() {
+  {
+    std::lock_guard<std::mutex> lk(work_mu_);
+    ++work_epoch_;
+  }
+  work_cv_.notify_all();
+}
+
+std::size_t SessionScheduler::enqueue(Station& st,
+                                      std::span<const float> samples) {
+  if (samples.empty()) return 0;
+  // A chunk must individually fit: the queue bound is hard, never "capacity
+  // plus one oversized chunk".
+  DR_EXPECTS(samples.size() <= st.config.queue_capacity_samples);
+  std::size_t dropped = 0;
+  {
+    std::unique_lock<std::mutex> lk(st.mu);
+    DR_EXPECTS(!st.closed);
+    if (st.config.policy == BackpressurePolicy::kBlock) {
+      st.room.wait(lk, [&] {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               st.queued_samples + samples.size() <=
+                   st.config.queue_capacity_samples;
+      });
+      if (shutdown_.load(std::memory_order_relaxed)) return 0;
+    } else {
+      // kDropOldest: evict whole chunks, oldest first, until this one fits.
+      // Every evicted sample is accounted — pushed == consumed + dropped +
+      // still-queued holds exactly at all times.
+      while (st.queued_samples + samples.size() >
+             st.config.queue_capacity_samples) {
+        dropped += st.queue.front().size();
+        st.queued_samples -= st.queue.front().size();
+        st.queue.pop_front();
+      }
+    }
+    st.queue.emplace_back(samples.begin(), samples.end());
+    st.queued_samples += samples.size();
+    st.samples_in += samples.size();
+    st.samples_dropped += dropped;
+  }
+  notify_work();
+  return dropped;
+}
+
+std::size_t SessionScheduler::push(std::size_t station,
+                                   std::span<const float> samples) {
+  return enqueue(*stations_.at(station), samples);
+}
+
+void SessionScheduler::close_internal(Station& st) {
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    st.closed = true;
+  }
+  st.room.notify_all();
+  notify_work();
+}
+
+void SessionScheduler::close_station(std::size_t station) {
+  close_internal(*stations_.at(station));
+}
+
+void SessionScheduler::reconfigure(std::size_t station,
+                                   const PipelineParams& params) {
+  Station& st = *stations_.at(station);
+  params.validate();
+  // Validated against the construction-time params: the scoring/spectral
+  // fields are invariant for the session's lifetime, so they are the stable
+  // reference no matter how many reconfigures already landed.
+  DR_EXPECTS(reconfigure_compatible(params, st.config.params));
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    st.pending_params = params;
+  }
+  notify_work();
+}
+
+void SessionScheduler::deliver(Station& st,
+                               std::vector<river::Ensemble> ensembles) {
+  if (ensembles.empty()) return;
+  const std::size_t count = ensembles.size();
+  for (auto& e : ensembles) st.sink->accept(std::move(e));
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.ensembles_out += count;
+}
+
+void SessionScheduler::process_station(Station& st) {
+  st.deficit += options_.quantum_samples;
+  bool drained = false;
+  for (;;) {
+    std::vector<float> chunk;
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      if (st.queue.empty()) {
+        drained = true;
+        break;
+      }
+      if (st.queue.front().size() > st.deficit) break;  // credit exhausted
+      chunk = std::move(st.queue.front());
+      st.queue.pop_front();
+      st.queued_samples -= chunk.size();
+      // Counted as consumed in the same critical section that dequeues it,
+      // so `pushed == consumed + dropped + queued` holds exactly for every
+      // stats() reader at every instant — the chunk is unconditionally fed
+      // to the session before this worker touches the station again.
+      st.samples_consumed += chunk.size();
+      if (st.pending_params) {
+        // Hand the live re-parameterization to the session before the next
+        // chunk; the session defers to the ensemble boundary internally.
+        st.session->reconfigure(*st.pending_params);
+        st.pending_params.reset();
+      }
+    }
+    st.room.notify_all();  // queue room freed for a blocked producer
+    st.deficit -= chunk.size();
+    if (st.session->push(chunk) > 0) deliver(st, st.session->drain());
+  }
+  // Classic DRR: an emptied queue forfeits leftover credit, so an idle
+  // station cannot bank quanta and later monopolize a round.
+  if (drained) st.deficit = 0;
+
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    close_now = st.closed && st.queue.empty() && !st.session_finished;
+    if (close_now) st.session_finished = true;
+  }
+  if (close_now) {
+    deliver(st, st.session->finish());
+    st.sink->finish();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    st.session_buffered = st.session->buffered_samples();
+    if (close_now) st.finished = true;
+  }
+}
+
+bool SessionScheduler::process_available() {
+  runnable_.clear();
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    Station& st = *stations_[i];
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (st.finished) continue;
+    if (!st.queue.empty() || st.closed) runnable_.push_back(i);
+  }
+  if (!runnable_.empty()) {
+    runner_->run(runnable_.size(), [this](std::size_t k) {
+      process_station(*stations_[runnable_[k]]);
+    });
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.on_round) options_.on_round(stats());
+  }
+  for (const auto& st : stations_) {
+    std::lock_guard<std::mutex> lk(st->mu);
+    if (!st->finished) return true;
+  }
+  return false;
+}
+
+void SessionScheduler::reader_loop(Station& st) {
+  std::vector<float> buf(st.chunk_samples);
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    const std::size_t n = st.source->read(buf);
+    if (n == 0) break;
+    enqueue(st, std::span<const float>(buf.data(), n));
+  }
+  close_internal(st);
+}
+
+void SessionScheduler::run() {
+  DR_EXPECTS(!running_);
+  running_ = true;
+  readers_.reserve(stations_.size());
+  for (auto& st : stations_) {
+    if (st->source != nullptr) {
+      readers_.emplace_back([this, s = st.get()] { reader_loop(*s); });
+    }
+  }
+  for (;;) {
+    std::uint64_t epoch_before = 0;
+    {
+      std::lock_guard<std::mutex> lk(work_mu_);
+      epoch_before = work_epoch_;
+    }
+    if (!process_available()) break;
+    // Nothing was runnable this pass: sleep until a producer enqueues,
+    // closes, or reconfigures (epoch bump, read before the pass so no
+    // wakeup is lost), with a timeout safety net.
+    if (runnable_.empty()) {
+      std::unique_lock<std::mutex> lk(work_mu_);
+      work_cv_.wait_for(lk, std::chrono::milliseconds(50),
+                        [&] { return work_epoch_ != epoch_before; });
+    }
+  }
+  for (auto& t : readers_) t.join();
+  readers_.clear();
+}
+
+SchedulerStats SessionScheduler::stats() const {
+  SchedulerStats out;
+  out.rounds = rounds_.load(std::memory_order_relaxed);
+  out.stations.reserve(stations_.size());
+  for (const auto& stp : stations_) {
+    const Station& st = *stp;
+    std::lock_guard<std::mutex> lk(st.mu);
+    StationStats s;
+    s.name = st.name;
+    s.samples_in = st.samples_in;
+    s.samples_dropped = st.samples_dropped;
+    s.samples_consumed = st.samples_consumed;
+    s.ensembles_out = st.ensembles_out;
+    s.queued_samples = st.queued_samples;
+    s.session_buffered_samples = st.session_buffered;
+    s.finished = st.finished;
+    out.stations.push_back(std::move(s));
+  }
+  return out;
+}
+
+const std::string& SessionScheduler::station_name(std::size_t station) const {
+  return stations_.at(station)->name;
+}
+
+const StreamSession& SessionScheduler::session(std::size_t station) const {
+  return *stations_.at(station)->session;
+}
+
+}  // namespace dynriver::core

@@ -41,88 +41,6 @@ std::vector<std::uint8_t> SignalTap::trigger() const {
 }
 
 // ---------------------------------------------------------------------------
-// StreamCutter
-// ---------------------------------------------------------------------------
-
-namespace detail {
-
-StreamCutter::StreamCutter(std::size_t channels, std::size_t merge_gap_samples,
-                           std::size_t min_ensemble_samples)
-    : channels_(channels),
-      merge_gap_(merge_gap_samples),
-      min_len_(min_ensemble_samples),
-      bufs_(channels),
-      gaps_(channels) {
-  DR_EXPECTS(channels >= 1);
-}
-
-void StreamCutter::step_triggered(std::size_t i, const float* frame) {
-  if (pending_) {
-    // Trigger re-fired within the merge gap (an eager finalize would have
-    // run otherwise): absorb the buffered gap and continue the ensemble.
-    for (std::size_t c = 0; c < channels_; ++c) {
-      bufs_[c].insert(bufs_[c].end(), gaps_[c].begin(), gaps_[c].end());
-      gaps_[c].clear();
-    }
-    pending_ = false;
-    cutting_ = true;
-  } else if (!cutting_) {
-    cutting_ = true;
-    start_ = i;
-  }
-  for (std::size_t c = 0; c < channels_; ++c) bufs_[c].push_back(frame[c]);
-}
-
-void StreamCutter::finish() {
-  if (cutting_) {
-    cutting_ = false;
-    pending_ = true;
-  }
-  if (pending_) finalize();
-}
-
-void StreamCutter::finalize() {
-  pending_ = false;
-  // Gap samples never belong to an ensemble — they are only absorbed when
-  // the trigger re-fires inside the merge window.
-  for (auto& gap : gaps_) gap.clear();
-  if (bufs_[0].size() >= min_len_) {
-    Cut cut;
-    cut.start_sample = start_;
-    cut.channels = std::move(bufs_);
-    bufs_.assign(channels_, {});
-    ready_.push_back(std::move(cut));
-  } else {
-    for (auto& buf : bufs_) buf.clear();
-  }
-}
-
-std::optional<StreamCutter::Cut> StreamCutter::pop() {
-  if (ready_.empty()) return std::nullopt;
-  Cut cut = std::move(ready_.front());
-  ready_.pop_front();
-  return cut;
-}
-
-std::size_t StreamCutter::buffered_samples() const {
-  std::size_t acc = bufs_[0].size() + gaps_[0].size();
-  for (const auto& cut : ready_) acc += cut.channels[0].size();
-  return acc;
-}
-
-void StreamCutter::reset() {
-  pos_ = 0;
-  cutting_ = false;
-  pending_ = false;
-  start_ = 0;
-  for (auto& buf : bufs_) buf.clear();
-  for (auto& gap : gaps_) gap.clear();
-  ready_.clear();
-}
-
-}  // namespace detail
-
-// ---------------------------------------------------------------------------
 // StreamSession
 // ---------------------------------------------------------------------------
 
@@ -140,9 +58,44 @@ StreamSession::StreamSession(PipelineParams params, Options options,
 }
 
 std::size_t StreamSession::push(std::span<const float> samples) {
+  if (pending_params_) return push_reconfiguring(samples);
+  const bool tapped = tap_.enabled();
+  const bool observed = static_cast<bool>(options_.on_signal);
+  // The scoring loop accumulates runs of equal trigger value and hands each
+  // run to the cutter in one bulk call: trigger runs are thousands of
+  // samples long, so the cutter's per-sample bookkeeping vanishes from the
+  // hot loop and ensemble/gap buffers grow by range inserts.
+  const float* data = samples.data();
+  const std::size_t n = samples.size();
+  bool run_trig = false;
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double score = scorer_.push(data[i]);
+    const bool trig = trigger_.push(score);
+    if (tapped) tap_.push(static_cast<float>(score), trig);
+    if (observed) {
+      options_.on_signal(consumed_ + i, static_cast<float>(score), trig);
+    }
+    if (trig != run_trig) {
+      cutter_.step_run(run_trig, &data, run_start, i - run_start);
+      run_trig = trig;
+      run_start = i;
+    }
+  }
+  if (n > 0) cutter_.step_run(run_trig, &data, run_start, n - run_start);
+  consumed_ += n;
+  return cutter_.ready();
+}
+
+// Slow-path twin of push(): scans for the first safe boundary sample by
+// sample, applies the pending parameters there, and continues. Kept out of
+// push() so a session that is not mid-reconfigure pays zero extra branches
+// per sample.
+std::size_t StreamSession::push_reconfiguring(std::span<const float> samples) {
   const bool tapped = tap_.enabled();
   const bool observed = static_cast<bool>(options_.on_signal);
   for (const float x : samples) {
+    if (pending_params_ && cutter_.idle()) apply_reconfigure();
     const double score = scorer_.push(x);
     const bool trig = trigger_.push(score);
     if (tapped) tap_.push(static_cast<float>(score), trig);
@@ -151,6 +104,36 @@ std::size_t StreamSession::push(std::span<const float> samples) {
     ++consumed_;
   }
   return cutter_.ready();
+}
+
+bool reconfigure_compatible(const PipelineParams& a, const PipelineParams& b) {
+  return a.sample_rate == b.sample_rate && a.record_size == b.record_size &&
+         a.anomaly == b.anomaly && a.reslice == b.reslice &&
+         a.window == b.window && a.dft_size == b.dft_size &&
+         a.cutout_lo_hz == b.cutout_lo_hz && a.cutout_hi_hz == b.cutout_hi_hz &&
+         a.use_paa == b.use_paa && a.paa_factor == b.paa_factor &&
+         a.pattern_merge == b.pattern_merge &&
+         a.pattern_stride == b.pattern_stride;
+}
+
+void StreamSession::reconfigure(const PipelineParams& params) {
+  params.validate();
+  DR_EXPECTS(reconfigure_compatible(params, params_));
+  pending_params_ = params;
+  // Between ensembles the new rules can start this very instant; otherwise
+  // the in-flight ensemble finishes under the old rules first.
+  if (cutter_.idle()) apply_reconfigure();
+}
+
+void StreamSession::apply_reconfigure() {
+  const PipelineParams& p = *pending_params_;
+  // The trigger keeps its baseline statistics (mu0/sigma0 survive the
+  // re-tune); only the decision thresholds change.
+  trigger_.set_thresholding(p.trigger_sigma, p.trigger_min_baseline,
+                            p.trigger_hold_samples);
+  cutter_.set_bounds(p.merge_gap_samples, p.min_ensemble_samples);
+  params_ = p;
+  pending_params_.reset();
 }
 
 std::vector<river::Ensemble> StreamSession::drain() {
@@ -164,6 +147,9 @@ std::vector<river::Ensemble> StreamSession::drain() {
 
 std::vector<river::Ensemble> StreamSession::finish() {
   cutter_.finish();
+  // End of stream decides the in-flight ensemble under the old rules; a
+  // still-pending reconfigure lands now that the automaton is idle.
+  if (pending_params_) apply_reconfigure();
   return drain();
 }
 
@@ -173,6 +159,7 @@ void StreamSession::reset() {
   cutter_.reset();
   tap_.reset();
   consumed_ = 0;
+  if (pending_params_) apply_reconfigure();
 }
 
 std::vector<std::vector<float>> StreamSession::featurize(
@@ -194,24 +181,13 @@ MultiStreamSession::MultiStreamSession(
                params_.base.trigger_hold_samples),
       cutter_(channels, params_.base.merge_gap_samples,
               params_.base.min_ensemble_samples),
-      tap_(options_.tap_capacity),
-      frame_(channels, 0.0F) {
+      tap_(options_.tap_capacity) {
   DR_EXPECTS(channels >= 1);
   params_.base.validate();
   scorers_.reserve(channels);
   for (std::size_t c = 0; c < channels; ++c) {
     scorers_.emplace_back(params_.base.anomaly);
   }
-}
-
-void MultiStreamSession::step(double fused, const float* frame) {
-  const bool trig = trigger_.push(fused);
-  if (tap_.enabled()) tap_.push(static_cast<float>(fused), trig);
-  if (options_.on_signal) {
-    options_.on_signal(consumed_, static_cast<float>(fused), trig);
-  }
-  cutter_.step(trig, frame);
-  ++consumed_;
 }
 
 std::size_t MultiStreamSession::push(
@@ -222,17 +198,19 @@ std::size_t MultiStreamSession::push(
 
   // Hot loop: hoist the span-of-spans indirection, channel count, and
   // observer flags — the per-sample work must stay scorer-bound, not
-  // bookkeeping-bound. The untapped, unobserved configuration (production
-  // ingest, the bench) runs scorer + trigger + two cutter branches.
+  // bookkeeping-bound. Like StreamSession::push, the cutter is fed whole
+  // trigger runs in bulk, so the per-sample frame gather and cutter
+  // branches are gone from the loop entirely.
   const std::size_t ch = channels();
   channel_data_.resize(ch);
   for (std::size_t c = 0; c < ch; ++c) channel_data_[c] = chunks[c].data();
   const float* const* data = channel_data_.data();
   ts::StreamingAnomalyScorer* scorers = scorers_.data();
-  float* frame = frame_.data();
   const bool slow_path = tap_.enabled() || options_.on_signal != nullptr;
   const bool fuse_max = params_.fusion == ScoreFusion::kMax;
 
+  bool run_trig = false;
+  std::size_t run_start = 0;
   for (std::size_t i = 0; i < n; ++i) {
     // Fusion reads channels in fixed order, matching the pre-scored path.
     double fused = 0.0;
@@ -246,14 +224,21 @@ std::size_t MultiStreamSession::push(
       }
       fused /= static_cast<double>(ch);
     }
-    for (std::size_t c = 0; c < ch; ++c) frame[c] = data[c][i];
+    const bool trig = trigger_.push(fused);
     if (slow_path) {
-      step(fused, frame);
-    } else {
-      cutter_.step(trigger_.push(fused), frame);
-      ++consumed_;
+      if (tap_.enabled()) tap_.push(static_cast<float>(fused), trig);
+      if (options_.on_signal) {
+        options_.on_signal(consumed_ + i, static_cast<float>(fused), trig);
+      }
+    }
+    if (trig != run_trig) {
+      cutter_.step_run(run_trig, data, run_start, i - run_start);
+      run_trig = trig;
+      run_start = i;
     }
   }
+  if (n > 0) cutter_.step_run(run_trig, data, run_start, n - run_start);
+  consumed_ += n;
   return cutter_.ready();
 }
 
@@ -275,10 +260,11 @@ std::size_t MultiStreamSession::push_scored(
   }
   const float* const* data = channel_data_.data();
   const double* const* scores = score_data_.data();
-  float* frame = frame_.data();
   const bool slow_path = tap_.enabled() || options_.on_signal != nullptr;
   const bool fuse_max = params_.fusion == ScoreFusion::kMax;
 
+  bool run_trig = false;
+  std::size_t run_start = 0;
   for (std::size_t i = 0; i < n; ++i) {
     // The same fixed-order fusion as push(), over pre-computed scores.
     double fused = 0.0;
@@ -290,14 +276,21 @@ std::size_t MultiStreamSession::push_scored(
       for (std::size_t c = 0; c < ch; ++c) fused += scores[c][i];
       fused /= static_cast<double>(ch);
     }
-    for (std::size_t c = 0; c < ch; ++c) frame[c] = data[c][i];
+    const bool trig = trigger_.push(fused);
     if (slow_path) {
-      step(fused, frame);
-    } else {
-      cutter_.step(trigger_.push(fused), frame);
-      ++consumed_;
+      if (tap_.enabled()) tap_.push(static_cast<float>(fused), trig);
+      if (options_.on_signal) {
+        options_.on_signal(consumed_ + i, static_cast<float>(fused), trig);
+      }
+    }
+    if (trig != run_trig) {
+      cutter_.step_run(run_trig, data, run_start, i - run_start);
+      run_trig = trig;
+      run_start = i;
     }
   }
+  if (n > 0) cutter_.step_run(run_trig, data, run_start, n - run_start);
+  consumed_ += n;
   return cutter_.ready();
 }
 

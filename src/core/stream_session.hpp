@@ -14,7 +14,6 @@
 // counterpart behind MultiStreamExtractor.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -26,6 +25,7 @@
 #include "core/multistream.hpp"
 #include "core/ops_anomaly.hpp"
 #include "core/params.hpp"
+#include "core/stream_cutter.hpp"
 #include "river/sample_io.hpp"
 #include "ts/anomaly.hpp"
 
@@ -77,73 +77,13 @@ class SignalTap {
   std::vector<std::uint8_t> trigger_;
 };
 
-namespace detail {
-
-/// The trigger-run -> gap-merge -> length-floor automaton over C
-/// synchronized channels, buffering only the open ensemble and the merge
-/// gap. Shared by StreamSession (C = 1) and MultiStreamSession.
-class StreamCutter {
- public:
-  StreamCutter(std::size_t channels, std::size_t merge_gap_samples,
-               std::size_t min_ensemble_samples);
-
-  /// Feed one frame: the trigger value plus one sample per channel
-  /// (`frame[c]`, c < channels). Header-inline so the per-sample fast path
-  /// (background sample, nothing open: two branches) fuses into the
-  /// sessions' scoring loops; the triggered/pending paths are outlined.
-  void step(bool trig, const float* frame) {
-    const std::size_t i = pos_++;
-    if (trig) {
-      step_triggered(i, frame);
-      return;
-    }
-    if (cutting_) {
-      cutting_ = false;
-      pending_ = true;
-    }
-    if (pending_) {
-      for (std::size_t c = 0; c < channels_; ++c) {
-        gaps_[c].push_back(frame[c]);
-      }
-      // Gap too wide to merge: the ensemble's fate is decided now, so it
-      // emits immediately instead of waiting for end of stream.
-      if (gaps_[0].size() > merge_gap_) finalize();
-    }
-  }
-
-  /// End of stream: close the open run, decide the pending ensemble.
-  void finish();
-  void reset();
-
-  struct Cut {
-    std::size_t start_sample = 0;
-    std::vector<std::vector<float>> channels;  ///< equal-length cuts
-  };
-  /// Oldest completed ensemble, if any.
-  [[nodiscard]] std::optional<Cut> pop();
-  [[nodiscard]] std::size_t ready() const { return ready_.size(); }
-
-  /// Per-channel samples currently buffered (open ensemble + merge gap +
-  /// undrained cuts) — the quantity the bounded-memory soak test pins down.
-  [[nodiscard]] std::size_t buffered_samples() const;
-
- private:
-  void step_triggered(std::size_t i, const float* frame);
-  void finalize();
-
-  std::size_t channels_;
-  std::size_t merge_gap_;
-  std::size_t min_len_;
-  std::size_t pos_ = 0;  ///< absolute index of the next frame
-  bool cutting_ = false;
-  bool pending_ = false;
-  std::size_t start_ = 0;
-  std::vector<std::vector<float>> bufs_;  ///< open ensemble, per channel
-  std::vector<std::vector<float>> gaps_;  ///< merge-gap lookahead, per channel
-  std::deque<Cut> ready_;
-};
-
-}  // namespace detail
+/// True when `a` and `b` differ only in the trigger/cutter decision
+/// parameters (sigma, baseline, hold, merge gap, length floor) — the
+/// precondition of StreamSession::reconfigure. Everything upstream of the
+/// trigger (scoring) and downstream of the cutter (spectral featurization)
+/// is immutable for the life of a session.
+[[nodiscard]] bool reconfigure_compatible(const PipelineParams& a,
+                                          const PipelineParams& b);
 
 /// Observation knobs shared by the streaming sessions.
 struct SessionOptions {
@@ -180,6 +120,25 @@ class StreamSession {
   /// the engine, plans, and window tables are reused.
   void reset();
 
+  /// Live re-parameterization: adopt new trigger / merge-gap / length-floor
+  /// parameters without restarting the stream. The scorer and spectral
+  /// configuration (sample rate, anomaly params, DFT/pattern settings) must
+  /// be unchanged — swapping those would discard the warmed automata.
+  ///
+  /// The new parameters take effect at the next safe automaton boundary:
+  /// immediately when the cutter is idle (no open or pending ensemble),
+  /// otherwise at the first sample after the in-flight ensemble's fate is
+  /// decided — the open ensemble is neither lost nor re-judged under the new
+  /// rules. From that boundary on, behaviour is bit-identical to a session
+  /// that had been constructed with the new parameters and fed the same
+  /// stream (tests/test_core_stream.cpp pins this).
+  void reconfigure(const PipelineParams& params);
+
+  /// True while a reconfigure() is waiting for the ensemble boundary.
+  [[nodiscard]] bool reconfigure_pending() const {
+    return pending_params_.has_value();
+  }
+
   /// Spectral patterns of one extracted ensemble through the shared engine.
   [[nodiscard]] std::vector<std::vector<float>> featurize(
       const river::Ensemble& ensemble) const;
@@ -197,6 +156,9 @@ class StreamSession {
   }
 
  private:
+  std::size_t push_reconfiguring(std::span<const float> samples);
+  void apply_reconfigure();
+
   PipelineParams params_;
   Options options_;
   FeatureExtractor features_;  ///< shares the engine; powers featurize()
@@ -205,6 +167,8 @@ class StreamSession {
   detail::StreamCutter cutter_;
   SignalTap tap_;
   std::size_t consumed_ = 0;
+  /// Parameters adopted at the next ensemble boundary (live reconfigure).
+  std::optional<PipelineParams> pending_params_;
 };
 
 /// Multi-channel counterpart: one scorer per synchronized stream, fused
@@ -248,8 +212,6 @@ class MultiStreamSession {
   }
 
  private:
-  void step(double fused, const float* frame);
-
   MultiStreamParams params_;
   StreamSession::Options options_;
   FeatureExtractor features_;
@@ -258,7 +220,6 @@ class MultiStreamSession {
   detail::StreamCutter cutter_;
   SignalTap tap_;
   std::size_t consumed_ = 0;
-  std::vector<float> frame_;  ///< one sample per channel, gather scratch
   std::vector<const float*> channel_data_;   ///< hoisted chunk pointers
   std::vector<const double*> score_data_;    ///< hoisted score pointers
 };

@@ -4,6 +4,7 @@
 //   synth    render a synthetic field clip to WAV (with a truth sidecar)
 //   extract  cut ensembles out of a WAV recording (each to its own WAV)
 //   scores   dump per-sample anomaly score + trigger as CSV
+//   serve    multiplex many simulated stations through one SessionScheduler
 //   topo     print the Figure 5 operator topology for the current params
 //   species  list the Table 1 species catalog
 //
@@ -11,22 +12,30 @@
 // the recording streams through in record-size chunks with bounded memory
 // (never loaded whole), and each ensemble is written the moment its trigger
 // closes — the same code path, bit-identical, for a 30-second clip or a
-// season-long archive file.
+// season-long archive file. serve is the host-scale shape: N stations'
+// sessions driven fairly from one scheduler with per-station backpressure.
 //
 // Examples:
 //   dynriver synth --species NOCA,RWBL --seed 7 --out clip.wav
 //   dynriver extract clip.wav --out-prefix ensemble_
 //   dynriver scores clip.wav > scores.csv
+//   dynriver serve --stations 8 --clips 2 --policy drop --retune-sigma 6
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/birdsong.hpp"
+#include "core/session_scheduler.hpp"
 #include "core/stream_session.hpp"
 #include "dsp/wav.hpp"
 #include "river/sample_io.hpp"
 #include "synth/station.hpp"
+#include "synth/station_source.hpp"
 
 namespace core = dynriver::core;
 namespace dsp = dynriver::dsp;
@@ -41,6 +50,8 @@ int usage() {
                "  synth   --species A,B,... [--seed N] [--out clip.wav]\n"
                "  extract <clip.wav> [--out-prefix p_]\n"
                "  scores  <clip.wav>\n"
+               "  serve   [--stations N] [--clips M] [--policy block|drop]\n"
+               "          [--queue SAMPLES] [--threads T] [--retune-sigma S]\n"
                "  topo\n"
                "  species\n");
   return 2;
@@ -180,6 +191,129 @@ int cmd_scores(int argc, char** argv) {
   return 0;
 }
 
+// serve: N simulated stations stream concurrently into one
+// SessionScheduler — the paper's sensor-network shape on one analysis host.
+// Each station's reader thread pulls lazily-rendered clips through a
+// synth::StationSource into a bounded ingest queue (block = lossless
+// backpressure, drop = evict-oldest with exact loss accounting); worker
+// lanes drive the sessions with deficit round-robin; ensembles print the
+// moment they close. --retune-sigma demonstrates live re-parameterization:
+// once the survey is warmed up, every running session adopts the new
+// trigger threshold at its next ensemble boundary, mid-stream.
+int cmd_serve(int argc, char** argv) {
+  const int stations = std::atoi(arg_value(argc, argv, "--stations", "4").c_str());
+  const int clips = std::atoi(arg_value(argc, argv, "--clips", "2").c_str());
+  const auto policy_name = arg_value(argc, argv, "--policy", "block");
+  const long long queue_arg =
+      std::atoll(arg_value(argc, argv, "--queue", "65536").c_str());
+  const long long threads_arg =
+      std::atoll(arg_value(argc, argv, "--threads", "0").c_str());
+  const double retune_sigma =
+      std::atof(arg_value(argc, argv, "--retune-sigma", "0").c_str());
+
+  const core::PipelineParams params;
+  // Validate here, not via the library's contract checks: a bad flag should
+  // print usage, not abort. The queue must hold at least one read chunk
+  // (= record_size).
+  if (stations < 1 || clips < 1 ||
+      (policy_name != "block" && policy_name != "drop") ||
+      queue_arg < static_cast<long long>(params.record_size) ||
+      threads_arg < 0) {
+    return usage();
+  }
+  const auto queue = static_cast<std::size_t>(queue_arg);
+  const auto threads = static_cast<std::size_t>(threads_arg);
+  core::SchedulerOptions options;
+  options.threads = threads;
+  core::SessionScheduler scheduler(std::move(options));
+
+  // One lazily-rendering source per station; clip in memory at a time.
+  std::vector<std::unique_ptr<synth::SensorStation>> field;
+  std::vector<std::shared_ptr<river::CallbackEnsembleSink>> sinks;
+  std::atomic<std::size_t> total_ensembles{0};
+  const auto engine = std::make_shared<const core::SpectralEngine>(params);
+  for (int st = 0; st < stations; ++st) {
+    field.push_back(std::make_unique<synth::SensorStation>(
+        synth::StationParams{}, 5000 + static_cast<std::uint64_t>(st)));
+    std::vector<synth::SpeciesId> singers = {
+        static_cast<synth::SpeciesId>(static_cast<std::size_t>(st) %
+                                      synth::kNumSpecies),
+        static_cast<synth::SpeciesId>(static_cast<std::size_t>(st + 3) %
+                                      synth::kNumSpecies)};
+    auto source = std::make_shared<synth::StationSource>(
+        *field.back(), std::move(singers), static_cast<std::size_t>(clips));
+
+    const std::string name = "station-" + std::to_string(st);
+    auto sink = std::make_shared<river::CallbackEnsembleSink>(
+        [name, &params, &total_ensembles](river::Ensemble e) {
+          ++total_ensembles;
+          std::printf("  %-10s ensemble [%7.2f, %7.2f) s  (%zu samples)\n",
+                      name.c_str(),
+                      static_cast<double>(e.start_sample) / params.sample_rate,
+                      static_cast<double>(e.end_sample()) / params.sample_rate,
+                      e.length());
+        });
+    sinks.push_back(sink);
+
+    core::StationConfig config;
+    config.params = params;
+    config.policy = policy_name == "drop" ? core::BackpressurePolicy::kDropOldest
+                                          : core::BackpressurePolicy::kBlock;
+    config.queue_capacity_samples = queue;
+    config.engine = engine;  // one FFT-plan/window cache for the whole host
+    scheduler.add_station(name, source, sink, config);
+  }
+
+  std::printf("serving %d stations x %d clips (%s policy, %zu-sample queues)\n",
+              stations, clips, policy_name.c_str(), queue);
+
+  // Live re-parameterization: as soon as half the stations have produced an
+  // ensemble, hand every running session a new trigger threshold. It lands
+  // at each session's next ensemble boundary — no restart, nothing lost.
+  std::thread retuner;
+  if (retune_sigma > 0.0) {
+    retuner = std::thread([&] {
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto snapshot = scheduler.stats();
+        std::size_t emitted = 0;
+        std::size_t finished = 0;
+        for (const auto& s : snapshot.stations) {
+          if (s.ensembles_out > 0) ++emitted;
+          if (s.finished) ++finished;
+        }
+        if (finished == snapshot.stations.size()) return;  // too late
+        if (emitted * 2 >= snapshot.stations.size()) break;
+      }
+      core::PipelineParams retuned = params;
+      retuned.trigger_sigma = retune_sigma;
+      for (std::size_t st = 0; st < scheduler.station_count(); ++st) {
+        scheduler.reconfigure(st, retuned);
+      }
+      std::printf("  >> retuned all live sessions to %.1f-sigma triggers "
+                  "(applied at each ensemble boundary)\n", retune_sigma);
+    });
+  }
+
+  scheduler.run();
+  if (retuner.joinable()) retuner.join();
+
+  const auto stats = scheduler.stats();
+  std::printf("\n%-10s %12s %10s %10s %9s\n", "station", "samples", "dropped",
+              "ensembles", "drop%");
+  for (const auto& s : stats.stations) {
+    std::printf("%-10s %12zu %10zu %10zu %8.2f%%\n", s.name.c_str(),
+                s.samples_in, s.samples_dropped, s.ensembles_out,
+                100.0 * static_cast<double>(s.samples_dropped) /
+                    static_cast<double>(s.samples_in > 0 ? s.samples_in : 1));
+  }
+  std::printf("%zu scheduling rounds, %zu ensembles total, %zu samples "
+              "dropped across the host\n",
+              stats.rounds, total_ensembles.load(),
+              stats.total_samples_dropped());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,5 +324,6 @@ int main(int argc, char** argv) {
   if (cmd == "synth") return cmd_synth(argc - 2, argv + 2);
   if (cmd == "extract") return cmd_extract(argc - 2, argv + 2);
   if (cmd == "scores") return cmd_scores(argc - 2, argv + 2);
+  if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
   return usage();
 }

@@ -37,24 +37,6 @@ bool StreamingAnomalyScorer::warmed_up() const {
   return lag_.total() == grams_per_window_ && lead_.total() == grams_per_window_;
 }
 
-double StreamingAnomalyScorer::push(float sample) {
-  if (params_.frame == 1) {
-    // Classic SAX texture: symbolize the raw sample value.
-    push_symbol_value(sample);
-  } else {
-    // Energy mode: one symbol per frame, encoding log-RMS energy.
-    frame_energy_ += static_cast<double>(sample) * sample;
-    if (++frame_fill_ == params_.frame) {
-      const double rms =
-          std::sqrt(frame_energy_ / static_cast<double>(params_.frame));
-      push_symbol_value(static_cast<float>(std::log(rms + 1e-8)));
-      frame_energy_ = 0.0;
-      frame_fill_ = 0;
-    }
-  }
-  return ma_.push(raw_score_);
-}
-
 void StreamingAnomalyScorer::push_symbol_value(float value) {
   const float z = znorm_.push(value);
   const Symbol sym = discretize_value(static_cast<double>(z), breakpoints_);

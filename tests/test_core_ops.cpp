@@ -5,8 +5,10 @@
 
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "core/birdsong.hpp"
+#include "core/stream_session.hpp"
 #include "core/extractor.hpp"
 #include "core/features.hpp"
 #include "core/ops_acoustic.hpp"
@@ -328,6 +330,114 @@ TEST(FullPipeline, EnsembleAttrsCarryProvenance) {
     EXPECT_GE(p.ensemble_id, 0);
     EXPECT_GT(p.ensemble_samples, 0);
     EXPECT_EQ(p.features.size(), params.features_per_pattern());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One true cutter automaton: operator pipeline == StreamSession, exactly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reconstruct the ensembles from a cutter-stage record stream.
+std::vector<river::Ensemble> ensembles_from_records(
+    const std::vector<Record>& records) {
+  std::vector<river::Ensemble> out;
+  bool in_ensemble = false;
+  river::Ensemble current;
+  for (const auto& rec : records) {
+    if (rec.type == RecordType::kOpenScope &&
+        rec.scope_type == river::kScopeEnsemble) {
+      in_ensemble = true;
+      current.start_sample = static_cast<std::size_t>(
+          rec.attr_int(core::kAttrStartSample, -1));
+      current.samples.clear();
+    } else if ((rec.type == RecordType::kCloseScope ||
+                rec.type == RecordType::kBadCloseScope) &&
+               rec.scope_type == river::kScopeEnsemble) {
+      in_ensemble = false;
+      out.push_back(std::move(current));
+      current = {};
+    } else if (in_ensemble && rec.type == RecordType::kData &&
+               rec.subtype == river::kSubtypeAudio && rec.is_float()) {
+      const auto f = rec.floats();
+      current.samples.insert(current.samples.end(), f.begin(), f.end());
+    }
+  }
+  return out;
+}
+
+/// Run saxanomaly -> trigger -> cutter over `xs` recordized at
+/// `record_size`, and compare the resulting ensembles bit-identically
+/// against a StreamSession fed the same signal.
+void expect_operator_matches_session(const core::PipelineParams& params,
+                                     std::span<const float> xs,
+                                     std::size_t record_size) {
+  dsp::WavClip clip;
+  clip.sample_rate = static_cast<std::uint32_t>(params.sample_rate);
+  clip.samples.assign(xs.begin(), xs.end());
+  auto pipeline = core::make_extraction_pipeline(params);
+  const auto records = river::run_pipeline(
+      pipeline, core::clip_to_records(clip, 0, record_size));
+  const auto got = ensembles_from_records(records);
+
+  core::StreamSession session(params);
+  session.push(xs);
+  const auto want = session.finish();
+
+  ASSERT_EQ(got.size(), want.size()) << "record_size=" << record_size;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].start_sample, want[i].start_sample)
+        << "record_size=" << record_size << " ensemble=" << i;
+    ASSERT_EQ(got[i].samples, want[i].samples)
+        << "record_size=" << record_size << " ensemble=" << i;
+  }
+}
+
+core::PipelineParams small_cutter_params() {
+  core::PipelineParams params;
+  params.anomaly = {.window = 50, .alphabet = 6, .level = 2,
+                    .ma_window = 400, .frame = 8};
+  params.trigger_min_baseline = 1500;
+  params.trigger_hold_samples = 300;
+  params.min_ensemble_samples = 600;
+  params.merge_gap_samples = 2000;
+  return params;
+}
+
+}  // namespace
+
+TEST(CutterOp, BitIdenticalToStreamSessionOnStationClips) {
+  // CutterOp delegates to detail::StreamCutter — the same automaton behind
+  // the sessions — so the operator path must agree with StreamSession
+  // sample-for-sample on real field clips, for every recordization.
+  const auto params = test_params();
+  for (const std::uint64_t seed : {11ULL, 29ULL}) {
+    const auto clip = dynriver::testsupport::record_station_clip(
+        seed, {synth::SpeciesId::kNOCA, synth::SpeciesId::kRWBL});
+    core::StreamSession probe(params);
+    probe.push(clip.clip.samples);
+    ASSERT_FALSE(probe.finish().empty()) << "seed=" << seed;
+    for (const std::size_t record_size : {std::size_t{256}, std::size_t{900},
+                                          std::size_t{4096}}) {
+      expect_operator_matches_session(params, clip.clip.samples, record_size);
+    }
+  }
+}
+
+TEST(CutterOp, BitIdenticalToStreamSessionUnderEveryRecordization) {
+  // Down-scaled parameters + synthetic events: sweep record sizes down to
+  // single-sample records, where every pending/merge/floor transition is
+  // crossed one FIFO element at a time.
+  const auto params = small_cutter_params();
+  for (const unsigned seed : {5U, 13U}) {
+    const auto xs = dynriver::testsupport::noise_with_bursts(
+        30000, 30000 / 4, 30000 / 6, seed);
+    for (const std::size_t record_size :
+         {std::size_t{1}, std::size_t{7}, std::size_t{250}, std::size_t{900},
+          std::size_t{30000}}) {
+      expect_operator_matches_session(params, xs, record_size);
+    }
   }
 }
 

@@ -1,0 +1,256 @@
+// SessionScheduler: host-scale multiplexing of many stations' streaming
+// sessions. The load-bearing properties:
+//
+//   1. Routing a station's stream through the scheduler changes nothing:
+//      each sink receives exactly the ensembles EnsembleExtractor::extract
+//      produces for that station's signal, bit-identically, regardless of
+//      worker count or how stations interleave.
+//   2. The ingest queue bound is hard, and drop-oldest loss accounting is
+//      exact: pushed == consumed + dropped + queued at every instant.
+//   3. Live reconfigure through the scheduler equals reconfiguring a
+//      hand-pumped session at the same stream position.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "core/session_scheduler.hpp"
+#include "core/stream_session.hpp"
+#include "river/sample_io.hpp"
+#include "test_support.hpp"
+
+namespace core = dynriver::core;
+namespace river = dynriver::river;
+namespace testsupport = dynriver::testsupport;
+
+namespace {
+
+/// Parameters scaled down so short synthetic signals exercise every state
+/// transition (trigger, hold, merge, floor) quickly.
+core::PipelineParams small_params() {
+  core::PipelineParams params;
+  params.anomaly = {.window = 50, .alphabet = 6, .level = 2,
+                    .ma_window = 400, .frame = 8};
+  params.trigger_min_baseline = 1500;
+  params.trigger_hold_samples = 300;
+  params.min_ensemble_samples = 600;
+  params.merge_gap_samples = 2000;
+  return params;
+}
+
+std::vector<float> random_signal_with_events(std::size_t n, unsigned seed) {
+  auto xs = testsupport::noise_with_bursts(n, n / 4, n / 8, seed);
+  const auto second = testsupport::noise_with_bursts(n, (3 * n) / 5, n / 10,
+                                                     seed + 1);
+  for (std::size_t i = (3 * n) / 5; i < std::min(n, (3 * n) / 5 + n / 10); ++i) {
+    xs[i] += second[i] * 0.5F;
+  }
+  return xs;
+}
+
+void expect_same_ensembles(const std::vector<river::Ensemble>& got,
+                           const std::vector<river::Ensemble>& want,
+                           const std::string& station) {
+  ASSERT_EQ(got.size(), want.size()) << station;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].start_sample, want[i].start_sample)
+        << station << " ensemble " << i;
+    ASSERT_EQ(got[i].samples, want[i].samples) << station << " ensemble " << i;
+  }
+}
+
+}  // namespace
+
+TEST(SessionScheduler, MultiStationBitIdenticalToDirectExtraction) {
+  const auto params = small_params();
+  const core::EnsembleExtractor extractor(params);
+
+  constexpr std::size_t kStations = 5;
+  std::vector<std::vector<float>> signals;
+  std::vector<std::vector<river::Ensemble>> want;
+  for (std::size_t s = 0; s < kStations; ++s) {
+    signals.push_back(random_signal_with_events(60000, 100 + unsigned(s)));
+    want.push_back(extractor.extract(signals.back()).ensembles);
+  }
+  ASSERT_TRUE(std::any_of(want.begin(), want.end(),
+                          [](const auto& w) { return !w.empty(); }));
+
+  core::SchedulerOptions options;
+  options.threads = 2;  // exercise the pool; per-station order is FIFO anyway
+  options.quantum_samples = 1024;
+  core::SessionScheduler scheduler(options);
+
+  std::vector<std::shared_ptr<river::CollectingEnsembleSink>> sinks;
+  for (std::size_t s = 0; s < kStations; ++s) {
+    core::StationConfig config;
+    config.params = params;
+    config.queue_capacity_samples = 4096;
+    config.read_chunk_samples = 512;
+    auto sink = std::make_shared<river::CollectingEnsembleSink>();
+    sinks.push_back(sink);
+    scheduler.add_station(
+        "st" + std::to_string(s),
+        std::make_shared<river::BufferSource>(signals[s], params.sample_rate),
+        sink, config);
+  }
+  ASSERT_EQ(scheduler.station_count(), kStations);
+  scheduler.run();
+
+  const auto stats = scheduler.stats();
+  for (std::size_t s = 0; s < kStations; ++s) {
+    expect_same_ensembles(sinks[s]->ensembles, want[s], stats.stations[s].name);
+    EXPECT_TRUE(stats.stations[s].finished);
+    EXPECT_EQ(stats.stations[s].samples_in, signals[s].size());
+    EXPECT_EQ(stats.stations[s].samples_consumed, signals[s].size());
+    EXPECT_EQ(stats.stations[s].samples_dropped, 0U);
+    EXPECT_EQ(stats.stations[s].queued_samples, 0U);
+    EXPECT_EQ(stats.stations[s].ensembles_out, want[s].size());
+  }
+  EXPECT_EQ(stats.total_samples_dropped(), 0U);
+  EXPECT_GT(stats.rounds, 0U);
+}
+
+TEST(SessionScheduler, DropOldestAccountingIsExact) {
+  const auto params = small_params();
+  constexpr std::size_t kChunk = 600;
+  constexpr std::size_t kCapacityChunks = 4;
+  constexpr std::size_t kPushed = 10;
+
+  core::SchedulerOptions options;
+  options.threads = 1;  // deterministic manual drive
+  core::SessionScheduler scheduler(options);
+
+  core::StationConfig config;
+  config.params = params;
+  config.policy = core::BackpressurePolicy::kDropOldest;
+  config.queue_capacity_samples = kCapacityChunks * kChunk;
+  auto sink = std::make_shared<river::CollectingEnsembleSink>();
+  const auto id = scheduler.add_station("lossy", sink, config);
+
+  // No processing between pushes: chunks 0..5 must be evicted, 6..9 kept.
+  const auto xs = random_signal_with_events(kPushed * kChunk, 7);
+  std::size_t dropped = 0;
+  for (std::size_t c = 0; c < kPushed; ++c) {
+    dropped += scheduler.push(
+        id, std::span<const float>(xs.data() + c * kChunk, kChunk));
+  }
+  EXPECT_EQ(dropped, (kPushed - kCapacityChunks) * kChunk);
+
+  auto stats = scheduler.stats();
+  EXPECT_EQ(stats.stations[0].samples_in, kPushed * kChunk);
+  EXPECT_EQ(stats.stations[0].samples_dropped, dropped);
+  EXPECT_EQ(stats.stations[0].queued_samples, kCapacityChunks * kChunk);
+  // pushed == consumed + dropped + queued, exactly.
+  EXPECT_EQ(stats.stations[0].samples_in,
+            stats.stations[0].samples_consumed +
+                stats.stations[0].samples_dropped +
+                stats.stations[0].queued_samples);
+
+  scheduler.close_station(id);
+  while (scheduler.process_available()) {
+  }
+  stats = scheduler.stats();
+  EXPECT_TRUE(stats.stations[0].finished);
+  EXPECT_EQ(stats.stations[0].queued_samples, 0U);
+  EXPECT_EQ(stats.stations[0].samples_consumed, kCapacityChunks * kChunk);
+  // The session saw exactly the surviving suffix, in order.
+  EXPECT_EQ(scheduler.session(id).samples_consumed(), kCapacityChunks * kChunk);
+}
+
+TEST(SessionScheduler, BlockPolicyIsLosslessAndBoundsTheQueue) {
+  const auto params = small_params();
+  constexpr std::size_t kChunk = 512;
+  constexpr std::size_t kCapacity = 2048;
+
+  core::SchedulerOptions options;
+  options.threads = 1;
+  options.quantum_samples = 700;
+  options.on_round = [&](const core::SchedulerStats& snapshot) {
+    for (const auto& st : snapshot.stations) {
+      EXPECT_LE(st.queued_samples, kCapacity);
+      EXPECT_EQ(st.samples_dropped, 0U);
+    }
+  };
+  core::SessionScheduler scheduler(std::move(options));
+
+  core::StationConfig config;
+  config.params = params;
+  config.policy = core::BackpressurePolicy::kBlock;
+  config.queue_capacity_samples = kCapacity;
+  auto sink = std::make_shared<river::CollectingEnsembleSink>();
+  const auto id = scheduler.add_station("lossless", sink, config);
+
+  const auto xs = random_signal_with_events(60000, 21);
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+
+  // The pusher blocks whenever the queue is full; the main thread drains.
+  std::thread pusher([&] {
+    for (std::size_t pos = 0; pos < xs.size(); pos += kChunk) {
+      const std::size_t n = std::min(kChunk, xs.size() - pos);
+      const std::size_t d =
+          scheduler.push(id, std::span<const float>(xs.data() + pos, n));
+      EXPECT_EQ(d, 0U);
+    }
+    scheduler.close_station(id);
+  });
+  while (scheduler.process_available()) {
+    std::this_thread::yield();
+  }
+  pusher.join();
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.stations[0].samples_in, xs.size());
+  EXPECT_EQ(stats.stations[0].samples_consumed, xs.size());
+  EXPECT_EQ(stats.stations[0].samples_dropped, 0U);
+  expect_same_ensembles(sink->ensembles, want.ensembles, "lossless");
+}
+
+TEST(SessionScheduler, ReconfigureMatchesHandPumpedSession) {
+  const auto p1 = small_params();
+  auto p2 = p1;
+  p2.merge_gap_samples = 900;
+  p2.min_ensemble_samples = 800;
+  p2.trigger_hold_samples = 500;
+  ASSERT_TRUE(core::reconfigure_compatible(p1, p2));
+
+  const auto xs = random_signal_with_events(60000, 33);
+  constexpr std::size_t kSplit = 20000;  // reconfigure lands mid-stream
+  constexpr std::size_t kChunk = 500;
+
+  // Reference: a hand-pumped session reconfigured at the same position.
+  core::StreamSession reference(p1);
+  std::vector<river::Ensemble> want;
+  for (std::size_t pos = 0; pos < xs.size(); pos += kChunk) {
+    if (pos == kSplit) reference.reconfigure(p2);
+    reference.push(std::span<const float>(xs.data() + pos,
+                                          std::min(kChunk, xs.size() - pos)));
+    for (auto& e : reference.drain()) want.push_back(std::move(e));
+  }
+  for (auto& e : reference.finish()) want.push_back(std::move(e));
+
+  core::SchedulerOptions options;
+  options.threads = 1;
+  core::SessionScheduler scheduler(options);
+  core::StationConfig config;
+  config.params = p1;
+  config.queue_capacity_samples = 4 * kChunk;
+  auto sink = std::make_shared<river::CollectingEnsembleSink>();
+  const auto id = scheduler.add_station("tuned", sink, config);
+
+  // Drain after every push so the reconfigure lands at exactly kSplit.
+  for (std::size_t pos = 0; pos < xs.size(); pos += kChunk) {
+    if (pos == kSplit) scheduler.reconfigure(id, p2);
+    scheduler.push(id, std::span<const float>(xs.data() + pos,
+                                              std::min(kChunk, xs.size() - pos)));
+    (void)scheduler.process_available();
+  }
+  scheduler.close_station(id);
+  while (scheduler.process_available()) {
+  }
+
+  EXPECT_EQ(scheduler.session(id).params().merge_gap_samples,
+            p2.merge_gap_samples);
+  expect_same_ensembles(sink->ensembles, want, "tuned");
+}

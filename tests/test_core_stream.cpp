@@ -296,6 +296,118 @@ TEST(StreamSession, FeaturizeMatchesExtractorFeaturize) {
 }
 
 // ---------------------------------------------------------------------------
+// Live reconfiguration
+// ---------------------------------------------------------------------------
+
+TEST(StreamSession, ReconfigureToSameParamsIsIdentity) {
+  // Re-applying the current parameters at arbitrary mid-stream points —
+  // including mid-ensemble, where application defers to the boundary —
+  // must change nothing at all.
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(60000, 11);
+  const auto want =
+      core::EnsembleExtractor(params).extract(xs, /*keep_signals=*/true);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  core::SessionOptions options;
+  options.tap_capacity = core::SignalTap::kUnbounded;
+  core::StreamSession session(params, std::move(options));
+  core::ExtractionResult got;
+  constexpr std::size_t kChunk = 700;
+  std::size_t pushes = 0;
+  for (std::size_t pos = 0; pos < xs.size(); pos += kChunk) {
+    if (++pushes % 5 == 0) session.reconfigure(params);
+    session.push(std::span<const float>(xs).subspan(
+        pos, std::min(kChunk, xs.size() - pos)));
+    for (auto& e : session.drain()) got.ensembles.push_back(std::move(e));
+  }
+  for (auto& e : session.finish()) got.ensembles.push_back(std::move(e));
+  got.scores = session.tap().scores();
+  got.trigger = session.tap().trigger();
+  expect_identical(got, want, kChunk);
+}
+
+TEST(StreamSession, ReconfigureAtQuietBoundaryEqualsRestartWithNewParams) {
+  // The headline equivalence: reconfiguring at an ensemble boundary is the
+  // same as having restarted with the new parameters at that point. With a
+  // trigger-quiet prefix (identical scorer + baseline state under either
+  // parameter set), that reduces to: session(P1) + reconfigure(P2) after
+  // the prefix == session(P2) from the start — bit-identically.
+  const auto p1 = small_params();
+  auto p2 = p1;
+  p2.merge_gap_samples = 1000;
+  p2.min_ensemble_samples = 900;
+  p2.trigger_hold_samples = 500;
+  ASSERT_TRUE(core::reconfigure_compatible(p1, p2));
+
+  const std::size_t kPrefix = 20000;
+  auto xs = testsupport::noise_with_bursts(80000, 0, 0, 51);  // pure noise...
+  const auto events = random_signal_with_events(60000, 52);   // ...then events
+  for (std::size_t i = 0; i < events.size(); ++i) xs[kPrefix + i] = events[i];
+
+  // Reference: fresh session under P2 for the whole stream.
+  core::SessionOptions tap_all;
+  tap_all.tap_capacity = core::SignalTap::kUnbounded;
+  core::StreamSession restart(p2, tap_all);
+  restart.push(xs);
+  const auto want = restart.finish();
+  ASSERT_FALSE(want.empty());
+  // Premise: the prefix never triggers (so P1 vs P2 cannot diverge there).
+  const auto trigger = restart.tap().trigger();
+  for (std::size_t i = 0; i < kPrefix; ++i) {
+    ASSERT_EQ(trigger[i], 0) << "prefix must stay quiet at " << i;
+  }
+
+  core::StreamSession session(p1);
+  session.push(std::span<const float>(xs.data(), kPrefix));
+  session.reconfigure(p2);
+  // The automaton is between ensembles: the new rules land immediately.
+  EXPECT_FALSE(session.reconfigure_pending());
+  EXPECT_EQ(session.params().merge_gap_samples, p2.merge_gap_samples);
+  session.push(std::span<const float>(xs.data() + kPrefix,
+                                      xs.size() - kPrefix));
+  const auto got = session.finish();
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].start_sample, want[i].start_sample) << i;
+    ASSERT_EQ(got[i].samples, want[i].samples) << i;
+  }
+}
+
+TEST(StreamSession, ReconfigureMidEnsembleDefersUntilBoundary) {
+  // A reconfigure issued while an ensemble is open must not lose or
+  // re-judge it: the in-flight ensemble completes under the old rules, and
+  // the new rules only govern what follows.
+  const auto p1 = small_params();
+  const auto xs = random_signal_with_events(60000, 11);
+  const auto want = core::EnsembleExtractor(p1).extract(xs);
+  ASSERT_GE(want.ensembles.size(), 2U);
+
+  auto p2 = p1;
+  p2.min_ensemble_samples = 50000;  // suppress everything after the boundary
+  p2.merge_gap_samples = 500;
+  for (const auto& e : want.ensembles) ASSERT_LT(e.length(), 50000U);
+
+  const auto& first = want.ensembles.front();
+  const std::size_t mid = first.start_sample + first.length() / 2;
+  core::StreamSession session(p1);
+  session.push(std::span<const float>(xs.data(), mid));
+  session.reconfigure(p2);
+  EXPECT_TRUE(session.reconfigure_pending());  // ensemble open: deferred
+  EXPECT_EQ(session.params().min_ensemble_samples, p1.min_ensemble_samples);
+  session.push(std::span<const float>(xs.data() + mid, xs.size() - mid));
+  const auto got = session.finish();
+  EXPECT_FALSE(session.reconfigure_pending());
+  EXPECT_EQ(session.params().min_ensemble_samples, p2.min_ensemble_samples);
+
+  // The open ensemble survived, bit-identically; the new floor ate the rest.
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_EQ(got.front().start_sample, first.start_sample);
+  ASSERT_EQ(got.front().samples, first.samples);
+}
+
+// ---------------------------------------------------------------------------
 // MultiStreamSession
 // ---------------------------------------------------------------------------
 
