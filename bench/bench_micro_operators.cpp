@@ -12,6 +12,8 @@
 // skip the google-benchmark section and only produce the JSON.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include <random>
 #include <span>
 
@@ -28,6 +30,8 @@
 #include "dsp/spectrogram.hpp"
 #include "meso/classifier.hpp"
 #include "river/channel.hpp"
+#include "river/sample_io.hpp"
+#include "river/segment_store.hpp"
 #include "river/wire.hpp"
 #include "synth/station.hpp"
 #include "ts/anomaly.hpp"
@@ -522,9 +526,50 @@ void run_json_sweep() {
     });
   }
 
+  // Archive replay: 2 minutes of audio (4 x 30 s clip) archived once into a
+  // rotating segment store outside the timed region, then re-extracted per
+  // op through SegmentStoreSource + StreamSession — the month-equivalent
+  // backfill path, normalized per replayed batch. ns/op / samples against
+  // stream_push_1s / sample_rate is the replay-vs-live-push speed ratio.
+  double replay_ns = 0.0;
+  std::size_t replay_samples = 0;
+  {
+    const auto& clip = cached_clip().clip.samples;
+    const core::PipelineParams params;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dynriver_bench_store";
+    std::filesystem::remove_all(dir);
+    {
+      river::SegmentStoreOptions options;
+      options.max_segment_bytes = 4ull << 20;
+      river::SegmentedRecordLog log(dir, options);
+      river::AudioSegmentArchiver archiver(log, params.sample_rate,
+                                           params.record_size);
+      for (int rep = 0; rep < 4; ++rep) archiver.push(clip);
+      archiver.finish();
+      log.close();
+      replay_samples = archiver.samples_archived();
+    }
+    replay_ns = record("replay_month_eq", replay_samples, [&] {
+      river::SegmentStoreSource source(dir);
+      core::StreamSession session(params);
+      river::NullEnsembleSink sink;
+      auto stats = core::run_stream(source, session, sink);
+      benchmark::DoNotOptimize(stats);
+    });
+    std::filesystem::remove_all(dir);
+  }
+
   if (planned_900 > 0.0) {
     std::printf("\n  planned-vs-legacy FFT speedup @900: %.2fx\n",
                 unplanned_900 / planned_900);
+  }
+  if (replay_ns > 0.0 && replay_samples > 0) {
+    const core::PipelineParams params;
+    const double replay_rate =
+        static_cast<double>(replay_samples) / (replay_ns * 1e-9);
+    std::printf("  archive replay: %.1fM samples/s (%.0fx live push rate)\n",
+                replay_rate / 1e6, replay_rate / params.sample_rate);
   }
   if (real_900 > 0.0 && real_1024 > 0.0) {
     std::printf("  real-vs-complex FFT speedup: %.2fx @900, %.2fx @1024 (kernels: %s)\n",

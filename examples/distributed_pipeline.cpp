@@ -10,12 +10,19 @@
 //      once into ONE analysis host, which multiplexes all of their sessions
 //      through a single SessionScheduler — per-station bounded ingest
 //      queues, deficit-round-robin fairness, and one of the upstreams dying
-//      mid-clip without disturbing the others.
+//      mid-clip without disturbing the others, and
+//   4. the archive shape: the same audio teed into a rotating segment store
+//      while it is extracted live, then backfill-replayed through the
+//      scheduler — same sessions, bit-identical ensembles, batch speed.
 //
 //   ./distributed_pipeline
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <limits>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -26,6 +33,7 @@
 #include "river/manager.hpp"
 #include "river/sample_io.hpp"
 #include "river/scope.hpp"
+#include "river/segment_store.hpp"
 #include "river/stream_io.hpp"
 #include "river/tcp.hpp"
 #include "synth/station.hpp"
@@ -242,8 +250,85 @@ int main() {
         "\nOne host, %zu live TCP streams, %zu scheduling rounds: the dead\n"
         "upstream's session finalized its open ensemble at the fault while\n"
         "the surviving stations streamed on undisturbed -- the many-\n"
-        "stations-per-host ingest shape of a sensor network deployment.\n",
+        "stations-per-host ingest shape of a sensor network deployment.\n\n",
         kUpstreams, stats.rounds);
+  }
+
+  std::printf("Part 4: segment-store archive + backfill replay through the scheduler\n");
+  std::printf("---------------------------------------------------------------------\n");
+  {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dynriver_demo_store";
+    std::filesystem::remove_all(dir);
+
+    synth::SensorStation station(synth::StationParams{}, 4242);
+    const auto clip = station.record_clip(
+        {synth::SpeciesId::kNOCA, synth::SpeciesId::kRWBL});
+
+    // Live extraction, with the same stream teed into a rotating segment
+    // store: each sealed segment carries a sparse time index, CRC32C
+    // checksums, and a manifest entry, so any time range is replayable.
+    river::CollectingEnsembleSink live_sink;
+    {
+      river::SegmentStoreOptions sopt;
+      sopt.max_segment_bytes = 1 << 20;
+      river::SegmentedRecordLog log(dir, sopt);
+      river::AudioSegmentArchiver archiver(log, kParams.sample_rate);
+      core::StreamSession session(kParams);
+      const auto& xs = clip.clip.samples;
+      for (std::size_t pos = 0; pos < xs.size(); pos += kParams.record_size) {
+        const std::size_t n =
+            std::min(kParams.record_size, xs.size() - pos);
+        const std::span<const float> chunk(xs.data() + pos, n);
+        archiver.push(chunk);  // to the archive...
+        session.push(chunk);   // ...and through live extraction
+        for (auto& e : session.drain()) live_sink.accept(std::move(e));
+      }
+      archiver.finish();
+      for (auto& e : session.finish()) live_sink.accept(std::move(e));
+      log.close();
+      std::printf("archived %.1f s into %zu sealed segment(s); "
+                  "%zu ensemble(s) extracted live\n",
+                  static_cast<double>(archiver.samples_archived()) /
+                      kParams.sample_rate,
+                  log.segments().size(), live_sink.ensembles.size());
+    }
+
+    // Backfill: replay the whole archive through the SAME scheduler shape
+    // that serves live stations in Part 3. The replay source seeks the
+    // manifest, streams only overlapping segments, and the session emits
+    // bit-identical ensembles at batch speed.
+    core::SessionScheduler scheduler;
+    auto replay_sink = std::make_shared<river::CollectingEnsembleSink>();
+    core::StationConfig config;
+    config.params = kParams;
+    core::add_replay_station(scheduler, "backfill", dir, 0.0,
+                             std::numeric_limits<double>::infinity(),
+                             replay_sink, config);
+    const auto t_begin = std::chrono::steady_clock::now();
+    scheduler.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_begin)
+                            .count();
+
+    bool identical = replay_sink->ensembles.size() == live_sink.ensembles.size();
+    for (std::size_t i = 0; identical && i < live_sink.ensembles.size(); ++i) {
+      identical =
+          replay_sink->ensembles[i].start_sample ==
+              live_sink.ensembles[i].start_sample &&
+          replay_sink->ensembles[i].samples == live_sink.ensembles[i].samples;
+    }
+    const double replayed = static_cast<double>(
+        scheduler.stats().stations[0].samples_consumed) / kParams.sample_rate;
+    std::printf("backfill replay: %zu ensemble(s) from %.1f s of archive in "
+                "%.2f s (%.0fx live), bit-identical to live: %s\n",
+                replay_sink->ensembles.size(), replayed, wall,
+                wall > 0.0 ? replayed / wall : 0.0, identical ? "yes" : "NO");
+    std::printf(
+        "\nThe archive is the third ingest path -- live push, TCP records,\n"
+        "and now time-range replay from sealed segments -- all feeding the\n"
+        "same extraction sessions with the same results.\n");
+    std::filesystem::remove_all(dir);
   }
   return 0;
 }

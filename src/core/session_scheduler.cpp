@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/contracts.hpp"
+#include "river/segment_store.hpp"
 
 namespace dynriver::core {
 
@@ -358,6 +359,16 @@ const std::string& SessionScheduler::station_name(std::size_t station) const {
 
 const StreamSession& SessionScheduler::session(std::size_t station) const {
   return *stations_.at(station)->session;
+}
+
+std::size_t add_replay_station(SessionScheduler& scheduler, std::string name,
+                               const std::filesystem::path& store_dir,
+                               double t0, double t1,
+                               std::shared_ptr<river::EnsembleSink> sink,
+                               StationConfig config) {
+  auto source = std::make_shared<river::SegmentStoreSource>(store_dir, t0, t1);
+  return scheduler.add_station(std::move(name), std::move(source),
+                               std::move(sink), std::move(config));
 }
 
 }  // namespace dynriver::core

@@ -33,6 +33,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -203,5 +204,18 @@ class SessionScheduler {
   std::uint64_t work_epoch_ = 0;
   std::vector<std::thread> readers_;
 };
+
+/// Archive backfill wiring: add a station whose source replays stream times
+/// [t0, t1) of the segment store at `store_dir` (see river/segment_store.hpp)
+/// through the scheduler — a month of archive re-extracts at batch speed
+/// through the same sessions that serve live traffic. The archived records
+/// carry their sample rate; `config.params` still fixes the session's
+/// spectral configuration, so it must match the archived stream. Returns the
+/// station id.
+std::size_t add_replay_station(SessionScheduler& scheduler, std::string name,
+                               const std::filesystem::path& store_dir,
+                               double t0, double t1,
+                               std::shared_ptr<river::EnsembleSink> sink,
+                               StationConfig config = {});
 
 }  // namespace dynriver::core

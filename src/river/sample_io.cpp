@@ -45,6 +45,10 @@ std::size_t RecordSampleSource::read(std::span<float> out) {
       rate_ = rec.attr_double(kAttrSampleRate, rate_);
     } else if (rec.type == RecordType::kData && rec.subtype == subtype_ &&
                rec.is_float()) {
+      // Self-describing data records (e.g. from AudioSegmentArchiver) carry
+      // the rate too, so a replay that seeks past the opening clip scope
+      // still learns it.
+      if (rate_ == 0.0) rate_ = rec.attr_double(kAttrSampleRate, 0.0);
       pending_ = std::move(std::get<FloatVec>(rec.payload));
       pending_pos_ = 0;
     }
@@ -67,9 +71,12 @@ RecordSampleSource::Next RecordChannelSource::next_record(Record& rec) {
 
 RecordSampleSource::Next RecordLogSource::next_record(Record& rec) {
   try {
-    return reader_.next(rec) ? Next::kRecord : Next::kEnd;
+    if (reader_.next(rec)) return Next::kRecord;
+    // A torn tail (station died mid-frame) ends the complete prefix but is
+    // not a clean close.
+    return reader_.torn() ? Next::kLost : Next::kEnd;
   } catch (const WireError&) {
-    return Next::kLost;  // torn tail of a log a station died while writing
+    return Next::kLost;  // structural corruption mid-log
   }
 }
 
@@ -97,6 +104,10 @@ void RecordLogEnsembleSink::accept(Ensemble ensemble) {
        ensemble_to_records(ensemble, next_id_, sample_rate_)) {
     writer_.write(rec);
   }
+  // An ensemble boundary is the natural durability point: a process dying
+  // between ensembles loses nothing, and one dying mid-ensemble loses only
+  // the torn frame kRecover already drops.
+  writer_.sync();
   ++next_id_;
 }
 

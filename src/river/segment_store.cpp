@@ -1,0 +1,1088 @@
+#include "river/segment_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "common/contracts.hpp"
+#include "river/wire.hpp"
+
+namespace dynriver::river {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- CRC-32C ------------------------------------------------------------------
+
+std::uint32_t crc32c_table_entry(std::uint32_t i) {
+  std::uint32_t c = i;
+  for (int k = 0; k < 8; ++k) {
+    c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
+  }
+  return c;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) t[i] = crc32c_table_entry(i);
+    return t;
+  }();
+  return table;
+}
+
+// -- fixed-layout encoding helpers -------------------------------------------
+
+template <typename T>
+void put_raw(std::uint8_t* dst, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(dst, &value, sizeof(T));
+}
+
+template <typename T>
+T get_raw(const std::uint8_t* src) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+
+std::string segment_name(std::uint64_t index) {
+  std::array<char, 32> buf;
+  std::snprintf(buf.data(), buf.size(), "seg-%06" PRIu64 ".drs", index);
+  return buf.data();
+}
+
+bool parse_segment_name(const std::string& name, std::uint64_t& index) {
+  constexpr std::string_view kPrefix = "seg-";
+  constexpr std::string_view kSuffix = ".drs";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+    return false;
+  }
+  index = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    index = index * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+std::array<std::uint8_t, kSegmentHeaderBytes> segment_header_bytes() {
+  std::array<std::uint8_t, kSegmentHeaderBytes> h{};
+  put_raw<std::uint32_t>(h.data(), kSegmentMagic);
+  put_raw<std::uint16_t>(h.data() + 4, kSegmentVersion);
+  put_raw<std::uint16_t>(h.data() + 6, 0);  // flags
+  return h;
+}
+
+/// Fixed-offset view of the 52-byte footer (see segment_store.hpp layout).
+struct SegmentFooter {
+  std::uint64_t frames = 0;
+  std::uint64_t payload_end = 0;
+  std::uint32_t index_count = 0;
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  std::uint32_t payload_crc = 0;
+  std::uint32_t footer_crc = 0;
+};
+
+constexpr std::size_t kFooterCrcOffset = 44;
+constexpr std::size_t kIndexEntryBytes = 16;
+
+void encode_footer_prefix(std::uint8_t* dst, const SegmentFooter& f) {
+  put_raw<std::uint64_t>(dst + 0, f.frames);
+  put_raw<std::uint64_t>(dst + 8, f.payload_end);
+  put_raw<std::uint32_t>(dst + 16, f.index_count);
+  put_raw<std::uint16_t>(dst + 20, f.version);
+  put_raw<std::uint16_t>(dst + 22, f.flags);
+  put_raw<double>(dst + 24, f.t_min);
+  put_raw<double>(dst + 32, f.t_max);
+  put_raw<std::uint32_t>(dst + 40, f.payload_crc);
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool read_exact(std::ifstream& in, std::uint8_t* dst, std::size_t n) {
+  in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(in.gcount()) == n;
+}
+
+/// Parse and sanity-check the footer of a sealed segment file. Returns false
+/// (with `error` filled) for anything that is not a well-formed sealed
+/// segment — including a torn active segment, which has no footer.
+bool load_segment_footer(const fs::path& path, SegmentFooter& out,
+                         std::string* error) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return set_error(error, "cannot stat " + path.string());
+  if (size < kSegmentHeaderBytes + kSegmentFooterBytes) {
+    return set_error(error, path.string() + ": too small for a sealed segment");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error(error, "cannot open " + path.string());
+  std::array<std::uint8_t, kSegmentHeaderBytes> header;
+  if (!read_exact(in, header.data(), header.size())) {
+    return set_error(error, path.string() + ": short header read");
+  }
+  if (get_raw<std::uint32_t>(header.data()) != kSegmentMagic ||
+      get_raw<std::uint16_t>(header.data() + 4) != kSegmentVersion) {
+    return set_error(error, path.string() + ": bad segment header");
+  }
+  in.seekg(static_cast<std::streamoff>(size - kSegmentFooterBytes));
+  std::array<std::uint8_t, kSegmentFooterBytes> raw;
+  if (!read_exact(in, raw.data(), raw.size())) {
+    return set_error(error, path.string() + ": short footer read");
+  }
+  if (get_raw<std::uint32_t>(raw.data() + 48) != kSegmentFooterMagic) {
+    return set_error(error, path.string() + ": no footer magic (unsealed?)");
+  }
+  SegmentFooter f;
+  f.frames = get_raw<std::uint64_t>(raw.data() + 0);
+  f.payload_end = get_raw<std::uint64_t>(raw.data() + 8);
+  f.index_count = get_raw<std::uint32_t>(raw.data() + 16);
+  f.version = get_raw<std::uint16_t>(raw.data() + 20);
+  f.flags = get_raw<std::uint16_t>(raw.data() + 22);
+  f.t_min = get_raw<double>(raw.data() + 24);
+  f.t_max = get_raw<double>(raw.data() + 32);
+  f.payload_crc = get_raw<std::uint32_t>(raw.data() + 40);
+  f.footer_crc = get_raw<std::uint32_t>(raw.data() + kFooterCrcOffset);
+  if (f.version != kSegmentVersion) {
+    return set_error(error, path.string() + ": unsupported segment version");
+  }
+  if (f.payload_end < kSegmentHeaderBytes ||
+      f.payload_end + std::uint64_t{f.index_count} * kIndexEntryBytes +
+              kSegmentFooterBytes !=
+          size) {
+    return set_error(error, path.string() + ": footer geometry mismatch");
+  }
+  out = f;
+  return true;
+}
+
+/// Load (and CRC-check) the sparse index region of a sealed segment.
+bool load_segment_index(const fs::path& path, const SegmentFooter& footer,
+                        std::vector<std::pair<double, std::uint64_t>>& out,
+                        std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error(error, "cannot open " + path.string());
+  in.seekg(static_cast<std::streamoff>(footer.payload_end));
+  const std::size_t index_bytes =
+      std::size_t{footer.index_count} * kIndexEntryBytes;
+  std::vector<std::uint8_t> tail(index_bytes + kSegmentFooterBytes);
+  if (!read_exact(in, tail.data(), tail.size())) {
+    return set_error(error, path.string() + ": short index read");
+  }
+  const std::uint32_t crc = crc32c(tail.data(), index_bytes + kFooterCrcOffset);
+  if (crc != footer.footer_crc) {
+    return set_error(error, path.string() + ": footer checksum mismatch");
+  }
+  out.clear();
+  out.reserve(footer.index_count);
+  for (std::size_t i = 0; i < footer.index_count; ++i) {
+    const std::uint8_t* e = tail.data() + i * kIndexEntryBytes;
+    out.emplace_back(get_raw<double>(e), get_raw<std::uint64_t>(e + 8));
+  }
+  return true;
+}
+
+void fsync_directory(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best-effort: rename durability on metadata journals
+    ::close(fd);
+  }
+}
+
+void fsync_file(std::FILE* f, const std::string& what) {
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    throw std::runtime_error("segment store sync failed: " + what + ": " +
+                             std::strerror(errno));
+  }
+}
+
+constexpr std::string_view kManifestHeader = "dynriver-segment-store v1";
+
+}  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t len,
+                     std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto& table = crc32c_table();
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse MANIFEST; absent file yields an empty store. Throws on damage —
+/// recovery must never guess at the sealed list.
+void read_manifest(const fs::path& dir, std::vector<SegmentInfo>& sealed,
+                   std::uint64_t& next_index) {
+  sealed.clear();
+  next_index = 0;
+  const auto path = dir / "MANIFEST";
+  std::ifstream in(path);
+  if (!in) return;  // fresh store
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    throw std::runtime_error("bad segment store manifest: " + path.string());
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("next ", 0) == 0) {
+      next_index = std::strtoull(line.c_str() + 5, nullptr, 10);
+      continue;
+    }
+    if (line.rfind("seg ", 0) == 0) {
+      std::array<char, 64> name{};
+      unsigned long long frames = 0;
+      unsigned long long bytes = 0;
+      double t_min = 0.0;
+      double t_max = 0.0;
+      unsigned crc = 0;
+      if (std::sscanf(line.c_str(), "seg %63s %llu %llu %la %la %x",
+                      name.data(), &frames, &bytes, &t_min, &t_max,
+                      &crc) != 6) {
+        throw std::runtime_error("bad manifest line in " + path.string() +
+                                 ": " + line);
+      }
+      SegmentInfo info;
+      info.name = name.data();
+      info.frames = frames;
+      info.bytes = bytes;
+      info.t_min = t_min;
+      info.t_max = t_max;
+      info.payload_crc = static_cast<std::uint32_t>(crc);
+      info.sealed = true;
+      sealed.push_back(std::move(info));
+      continue;
+    }
+    throw std::runtime_error("bad manifest line in " + path.string() + ": " +
+                             line);
+  }
+}
+
+}  // namespace
+
+void SegmentedRecordLog::write_manifest() const {
+  const auto tmp = dir_ / "MANIFEST.tmp";
+  const auto final_path = dir_ / "MANIFEST";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write manifest: " + tmp.string());
+  }
+  std::string text(kManifestHeader);
+  text += "\nnext " + std::to_string(next_index_) + "\n";
+  for (const auto& s : sealed_) {
+    std::array<char, 192> line;
+    std::snprintf(line.data(), line.size(),
+                  "seg %s %" PRIu64 " %" PRIu64 " %a %a %x\n", s.name.c_str(),
+                  s.frames, s.bytes, s.t_min, s.t_max, s.payload_crc);
+    text += line.data();
+  }
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  bool synced = true;
+  if (wrote && options_.sync_on_seal) {
+    synced = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  }
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    throw std::runtime_error("manifest write failed: " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);  // atomic publish
+  if (ec) {
+    throw std::runtime_error("manifest rename failed: " + final_path.string() +
+                             ": " + ec.message());
+  }
+  if (options_.sync_on_seal) fsync_directory(dir_);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedRecordLog
+// ---------------------------------------------------------------------------
+
+SegmentedRecordLog::SegmentedRecordLog(const std::filesystem::path& dir,
+                                       SegmentStoreOptions options)
+    : dir_(dir), options_(options) {
+  DR_EXPECTS(options_.max_segment_bytes > 0);
+  DR_EXPECTS(options_.index_every_bytes > 0);
+  fs::create_directories(dir_);
+  recover();
+}
+
+SegmentedRecordLog::~SegmentedRecordLog() {
+  try {
+    close();
+  } catch (...) {
+    // Best-effort teardown; use close() directly for the durability
+    // guarantee.
+  }
+}
+
+void SegmentedRecordLog::recover() {
+  read_manifest(dir_, sealed_, next_index_);
+
+  // Roll an interrupted compaction forward: the manifest is the journal —
+  // if it references a segment whose file only exists under its temp name,
+  // the crash hit between the manifest publish and the rename.
+  for (const auto& s : sealed_) {
+    const auto path = dir_ / s.name;
+    if (fs::exists(path)) continue;
+    const auto tmp = fs::path(path.string() + ".tmp");
+    if (fs::exists(tmp)) {
+      fs::rename(tmp, path);
+      continue;
+    }
+    throw std::runtime_error("segment store is missing sealed segment: " +
+                             path.string());
+  }
+
+  // Inventory everything else on disk.
+  std::map<std::uint64_t, fs::path> orphans;
+  std::vector<fs::path> temps;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    if (name == "MANIFEST") continue;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      temps.push_back(entry.path());
+      continue;
+    }
+    std::uint64_t index = 0;
+    if (!parse_segment_name(name, index)) continue;
+    const bool in_manifest =
+        std::any_of(sealed_.begin(), sealed_.end(),
+                    [&](const SegmentInfo& s) { return s.name == name; });
+    if (!in_manifest) orphans.emplace(index, entry.path());
+  }
+  for (const auto& tmp : temps) fs::remove(tmp);  // aborted work, pre-publish
+
+  bool manifest_dirty = false;
+  for (const auto& [index, path] : orphans) {
+    if (index < next_index_) {
+      // Known and since removed (retired or compacted away); the crash hit
+      // between the manifest publish and the file delete.
+      fs::remove(path);
+      continue;
+    }
+    SegmentFooter footer;
+    std::string err;
+    if (load_segment_footer(path, footer, &err)) {
+      std::vector<std::pair<double, std::uint64_t>> index_entries;
+      if (!load_segment_index(path, footer, index_entries, &err)) {
+        throw std::runtime_error("segment store recovery: " + err);
+      }
+      // Sealed but unpublished: the crash hit between the footer write and
+      // the manifest publish. Adopt it.
+      SegmentInfo info;
+      info.name = path.filename().string();
+      info.frames = footer.frames;
+      info.bytes = footer.payload_end - kSegmentHeaderBytes;
+      info.t_min = footer.t_min;
+      info.t_max = footer.t_max;
+      info.payload_crc = footer.payload_crc;
+      info.sealed = true;
+      sealed_.push_back(std::move(info));
+      next_index_ = index + 1;
+      manifest_dirty = true;
+      continue;
+    }
+    // The torn active segment of the previous writer: keep its valid prefix
+    // (streamed, bounded memory), seal what survived, drop the rest.
+    std::ifstream in(path, std::ios::binary);
+    std::error_code ec;
+    const std::uint64_t size = fs::file_size(path, ec);
+    std::array<std::uint8_t, kSegmentHeaderBytes> header;
+    const bool header_ok =
+        !ec && in && size >= kSegmentHeaderBytes &&
+        read_exact(in, header.data(), header.size()) &&
+        get_raw<std::uint32_t>(header.data()) == kSegmentMagic &&
+        get_raw<std::uint16_t>(header.data() + 4) == kSegmentVersion;
+    ActiveSegment scan;
+    scan.index = index;
+    std::uint64_t pos = kSegmentHeaderBytes;
+    std::uint64_t valid = kSegmentHeaderBytes;
+    if (header_ok) {
+      std::vector<std::uint8_t> frame;
+      std::array<std::uint8_t, kEnvelopeHeaderBytes> env;
+      double prev_t = -std::numeric_limits<double>::infinity();
+      while (pos + kEnvelopeHeaderBytes <= size) {
+        if (!read_exact(in, env.data(), env.size())) break;
+        const auto len = get_raw<std::uint32_t>(env.data());
+        const auto t = get_raw<double>(env.data() + 4);
+        if (len == 0 || len > kMaxSegmentFrameBytes ||
+            pos + kEnvelopeHeaderBytes + len > size || std::isnan(t) ||
+            t < prev_t) {
+          break;
+        }
+        frame.resize(len);
+        if (!read_exact(in, frame.data(), len)) break;
+        try {
+          std::size_t consumed = 0;
+          (void)decode_record(frame.data(), len, consumed);
+          if (consumed != len) break;
+        } catch (const WireError&) {
+          break;
+        }
+        if (scan.frames == 0 ||
+            scan.payload_bytes - scan.last_index_bytes >=
+                options_.index_every_bytes) {
+          scan.index_entries.emplace_back(t, pos);
+          scan.last_index_bytes = scan.payload_bytes;
+        }
+        scan.crc = crc32c(env.data(), env.size(), scan.crc);
+        scan.crc = crc32c(frame.data(), len, scan.crc);
+        if (scan.frames == 0) scan.t_min = t;
+        scan.t_max = t;
+        prev_t = t;
+        ++scan.frames;
+        pos += kEnvelopeHeaderBytes + len;
+        scan.payload_bytes += kEnvelopeHeaderBytes + len;
+        valid = pos;
+      }
+    }
+    in.close();
+    if (scan.frames == 0) {
+      fs::remove(path);
+      next_index_ = std::max(next_index_, index);
+      continue;
+    }
+    if (valid < size) fs::resize_file(path, valid);
+    scan.file = std::fopen(path.c_str(), "ab");
+    if (scan.file == nullptr) {
+      throw std::runtime_error("segment store recovery: cannot reopen " +
+                               path.string());
+    }
+    recovered_ += scan.frames;
+    active_ = std::move(scan);
+    next_index_ = index;
+    seal_active();  // publishes the manifest
+    manifest_dirty = false;
+  }
+
+  for (const auto& s : sealed_) last_t_ = std::max(last_t_, s.t_max);
+  if (manifest_dirty) write_manifest();
+}
+
+void SegmentedRecordLog::open_active() {
+  ActiveSegment fresh;
+  fresh.index = next_index_;
+  const auto path = dir_ / segment_name(fresh.index);
+  fresh.file = std::fopen(path.c_str(), "wb");
+  if (fresh.file == nullptr) {
+    throw std::runtime_error("cannot open segment: " + path.string());
+  }
+  const auto header = segment_header_bytes();
+  if (std::fwrite(header.data(), 1, header.size(), fresh.file) !=
+      header.size()) {
+    std::fclose(fresh.file);
+    throw std::runtime_error("segment header write failed: " + path.string());
+  }
+  active_ = std::move(fresh);
+}
+
+void SegmentedRecordLog::append(const Record& rec, double t) {
+  DR_EXPECTS(!closed_);
+  DR_EXPECTS(std::isfinite(t));
+  DR_EXPECTS(t >= last_t_ || !std::isfinite(last_t_));
+
+  if (active_.file != nullptr && active_.frames > 0 &&
+      (active_.payload_bytes >= options_.max_segment_bytes ||
+       (options_.max_segment_seconds > 0.0 &&
+        t - active_.t_min >= options_.max_segment_seconds))) {
+    seal_active();
+  }
+  if (active_.file == nullptr) open_active();
+
+  const auto frame = encode_record(rec);
+  DR_EXPECTS(frame.size() <= kMaxSegmentFrameBytes);
+  std::array<std::uint8_t, kEnvelopeHeaderBytes> env;
+  put_raw<std::uint32_t>(env.data(), static_cast<std::uint32_t>(frame.size()));
+  put_raw<double>(env.data() + 4, t);
+
+  if (active_.frames == 0 ||
+      active_.payload_bytes - active_.last_index_bytes >=
+          options_.index_every_bytes) {
+    active_.index_entries.emplace_back(
+        t, kSegmentHeaderBytes + active_.payload_bytes);
+    active_.last_index_bytes = active_.payload_bytes;
+  }
+
+  if (std::fwrite(env.data(), 1, env.size(), active_.file) != env.size() ||
+      std::fwrite(frame.data(), 1, frame.size(), active_.file) !=
+          frame.size()) {
+    throw std::runtime_error("segment append failed in " + dir_.string());
+  }
+  active_.crc = crc32c(env.data(), env.size(), active_.crc);
+  active_.crc = crc32c(frame.data(), frame.size(), active_.crc);
+  if (active_.frames == 0) active_.t_min = t;
+  active_.t_max = t;
+  active_.payload_bytes += env.size() + frame.size();
+  ++active_.frames;
+  last_t_ = t;
+  ++written_;
+}
+
+void SegmentedRecordLog::sync() {
+  if (active_.file == nullptr) return;
+  fsync_file(active_.file, segment_name(active_.index));
+}
+
+void SegmentedRecordLog::seal_active() {
+  if (active_.file == nullptr) return;
+  const auto name = segment_name(active_.index);
+  const auto path = dir_ / name;
+  if (active_.frames == 0) {
+    std::fclose(active_.file);
+    active_ = ActiveSegment{};
+    fs::remove(path);
+    return;
+  }
+
+  // Tail = sparse index then footer; footer_crc covers both up to itself.
+  std::vector<std::uint8_t> tail(
+      active_.index_entries.size() * kIndexEntryBytes + kSegmentFooterBytes);
+  std::uint8_t* p = tail.data();
+  for (const auto& [t, offset] : active_.index_entries) {
+    put_raw<double>(p, t);
+    put_raw<std::uint64_t>(p + 8, offset);
+    p += kIndexEntryBytes;
+  }
+  SegmentFooter footer;
+  footer.frames = active_.frames;
+  footer.payload_end = kSegmentHeaderBytes + active_.payload_bytes;
+  footer.index_count = static_cast<std::uint32_t>(active_.index_entries.size());
+  footer.version = kSegmentVersion;
+  footer.flags = 0;
+  footer.t_min = active_.t_min;
+  footer.t_max = active_.t_max;
+  footer.payload_crc = active_.crc;
+  encode_footer_prefix(p, footer);
+  const std::uint32_t footer_crc =
+      crc32c(tail.data(), tail.size() - kSegmentFooterBytes + kFooterCrcOffset);
+  put_raw<std::uint32_t>(p + kFooterCrcOffset, footer_crc);
+  put_raw<std::uint32_t>(p + kFooterCrcOffset + 4, kSegmentFooterMagic);
+
+  const bool wrote =
+      std::fwrite(tail.data(), 1, tail.size(), active_.file) == tail.size();
+  if (wrote && options_.sync_on_seal) fsync_file(active_.file, name);
+  const bool closed = std::fclose(active_.file) == 0;
+  if (!wrote || !closed) {
+    active_ = ActiveSegment{};
+    throw std::runtime_error("segment seal failed: " + path.string());
+  }
+
+  SegmentInfo info;
+  info.name = name;
+  info.frames = active_.frames;
+  info.bytes = active_.payload_bytes;
+  info.t_min = active_.t_min;
+  info.t_max = active_.t_max;
+  info.payload_crc = active_.crc;
+  info.sealed = true;
+  sealed_.push_back(std::move(info));
+  next_index_ = active_.index + 1;
+  active_ = ActiveSegment{};
+  write_manifest();
+}
+
+void SegmentedRecordLog::close() {
+  if (closed_) return;
+  seal_active();
+  closed_ = true;
+}
+
+std::size_t SegmentedRecordLog::retire_before(double t) {
+  std::vector<std::string> victims;
+  std::erase_if(sealed_, [&](const SegmentInfo& s) {
+    if (s.t_max < t) {
+      victims.push_back(s.name);
+      return true;
+    }
+    return false;
+  });
+  if (victims.empty()) return 0;
+  // Publish first, delete second: a crash in between leaves orphans with
+  // indexes below `next`, which recovery deletes.
+  write_manifest();
+  for (const auto& name : victims) fs::remove(dir_ / name);
+  return victims.size();
+}
+
+std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes) {
+  std::size_t removed = 0;
+  std::size_t run_begin = 0;
+  while (run_begin < sealed_.size()) {
+    // Find a maximal run of adjacent small segments.
+    std::size_t run_end = run_begin;
+    while (run_end < sealed_.size() && sealed_[run_end].bytes < min_bytes) {
+      ++run_end;
+    }
+    if (run_end - run_begin < 2) {
+      run_begin = run_end + 1;
+      continue;
+    }
+
+    const auto merged_index = next_index_;
+    const auto merged_name = segment_name(merged_index);
+    const auto tmp = fs::path((dir_ / merged_name).string() + ".tmp");
+    std::FILE* out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+      throw std::runtime_error("compaction: cannot open " + tmp.string());
+    }
+    const auto header = segment_header_bytes();
+    if (std::fwrite(header.data(), 1, header.size(), out) != header.size()) {
+      std::fclose(out);
+      throw std::runtime_error("compaction: header write failed: " +
+                               tmp.string());
+    }
+
+    // Merge by raw envelope copy: frames are never re-encoded, only the
+    // index/footer are rebuilt over the concatenation.
+    ActiveSegment merged;
+    merged.index = merged_index;
+    std::vector<std::uint8_t> frame;
+    std::array<std::uint8_t, kEnvelopeHeaderBytes> env;
+    for (std::size_t i = run_begin; i < run_end; ++i) {
+      const auto path = dir_ / sealed_[i].name;
+      SegmentFooter footer;
+      std::string err;
+      if (!load_segment_footer(path, footer, &err)) {
+        std::fclose(out);
+        throw std::runtime_error("compaction: " + err);
+      }
+      std::ifstream in(path, std::ios::binary);
+      in.seekg(static_cast<std::streamoff>(kSegmentHeaderBytes));
+      std::uint64_t pos = kSegmentHeaderBytes;
+      while (pos < footer.payload_end) {
+        if (!read_exact(in, env.data(), env.size())) break;
+        const auto len = get_raw<std::uint32_t>(env.data());
+        const auto t = get_raw<double>(env.data() + 4);
+        if (len == 0 || len > kMaxSegmentFrameBytes ||
+            pos + kEnvelopeHeaderBytes + len > footer.payload_end) {
+          std::fclose(out);
+          throw std::runtime_error("compaction: corrupt envelope in " +
+                                   path.string());
+        }
+        frame.resize(len);
+        if (!read_exact(in, frame.data(), len)) {
+          std::fclose(out);
+          throw std::runtime_error("compaction: short read in " +
+                                   path.string());
+        }
+        if (merged.frames == 0 ||
+            merged.payload_bytes - merged.last_index_bytes >=
+                options_.index_every_bytes) {
+          merged.index_entries.emplace_back(
+              t, kSegmentHeaderBytes + merged.payload_bytes);
+          merged.last_index_bytes = merged.payload_bytes;
+        }
+        if (std::fwrite(env.data(), 1, env.size(), out) != env.size() ||
+            std::fwrite(frame.data(), 1, len, out) != len) {
+          std::fclose(out);
+          throw std::runtime_error("compaction: write failed: " +
+                                   tmp.string());
+        }
+        merged.crc = crc32c(env.data(), env.size(), merged.crc);
+        merged.crc = crc32c(frame.data(), len, merged.crc);
+        if (merged.frames == 0) merged.t_min = t;
+        merged.t_max = t;
+        ++merged.frames;
+        pos += kEnvelopeHeaderBytes + len;
+        merged.payload_bytes += kEnvelopeHeaderBytes + len;
+      }
+    }
+
+    // Seal the temp file, then journal the swap in the manifest BEFORE the
+    // rename: recovery rolls the rename forward (manifest names a file that
+    // only exists as .tmp) and deletes the replaced segments (indexes below
+    // `next`).
+    {
+      std::vector<std::uint8_t> tail(
+          merged.index_entries.size() * kIndexEntryBytes + kSegmentFooterBytes);
+      std::uint8_t* p = tail.data();
+      for (const auto& [t, offset] : merged.index_entries) {
+        put_raw<double>(p, t);
+        put_raw<std::uint64_t>(p + 8, offset);
+        p += kIndexEntryBytes;
+      }
+      SegmentFooter footer;
+      footer.frames = merged.frames;
+      footer.payload_end = kSegmentHeaderBytes + merged.payload_bytes;
+      footer.index_count =
+          static_cast<std::uint32_t>(merged.index_entries.size());
+      footer.version = kSegmentVersion;
+      footer.flags = 0;
+      footer.t_min = merged.t_min;
+      footer.t_max = merged.t_max;
+      footer.payload_crc = merged.crc;
+      encode_footer_prefix(p, footer);
+      const std::uint32_t footer_crc = crc32c(
+          tail.data(), tail.size() - kSegmentFooterBytes + kFooterCrcOffset);
+      put_raw<std::uint32_t>(p + kFooterCrcOffset, footer_crc);
+      put_raw<std::uint32_t>(p + kFooterCrcOffset + 4, kSegmentFooterMagic);
+      const bool wrote =
+          std::fwrite(tail.data(), 1, tail.size(), out) == tail.size();
+      if (wrote && options_.sync_on_seal) fsync_file(out, merged_name);
+      const bool closed = std::fclose(out) == 0;
+      if (!wrote || !closed) {
+        throw std::runtime_error("compaction: seal failed: " + tmp.string());
+      }
+    }
+    SegmentInfo merged_info;
+    merged_info.name = merged_name;
+    merged_info.frames = merged.frames;
+    merged_info.bytes = merged.payload_bytes;
+    merged_info.t_min = merged.t_min;
+    merged_info.t_max = merged.t_max;
+    merged_info.payload_crc = merged.crc;
+    merged_info.sealed = true;
+    std::vector<std::string> replaced;
+    for (std::size_t i = run_begin; i < run_end; ++i) {
+      replaced.push_back(sealed_[i].name);
+    }
+
+    sealed_.erase(sealed_.begin() + static_cast<std::ptrdiff_t>(run_begin),
+                  sealed_.begin() + static_cast<std::ptrdiff_t>(run_end));
+    sealed_.insert(sealed_.begin() + static_cast<std::ptrdiff_t>(run_begin),
+                   merged_info);
+    next_index_ = merged_index + 1;
+    write_manifest();
+    fs::rename(tmp, dir_ / merged_name);
+    if (options_.sync_on_seal) fsync_directory(dir_);
+    for (const auto& name : replaced) fs::remove(dir_ / name);
+
+    removed += replaced.size() - 1;
+    run_begin += 1;  // continue after the merged entry
+  }
+  return removed;
+}
+
+std::vector<SegmentInfo> SegmentedRecordLog::segments() const {
+  auto out = sealed_;
+  if (active_.file != nullptr) {
+    SegmentInfo info;
+    info.name = segment_name(active_.index);
+    info.frames = active_.frames;
+    info.bytes = active_.payload_bytes;
+    info.t_min = active_.t_min;
+    info.t_max = active_.t_max;
+    info.payload_crc = active_.crc;
+    info.sealed = false;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStoreReader
+// ---------------------------------------------------------------------------
+
+SegmentStoreReader::SegmentStoreReader(const std::filesystem::path& dir)
+    : dir_(dir) {
+  std::uint64_t next_index = 0;
+  read_manifest(dir_, sealed_, next_index);
+  // The writer's active segment, if one is growing right now.
+  const auto active = segment_name(next_index);
+  if (fs::exists(dir_ / active)) active_name_ = active;
+}
+
+std::vector<SegmentInfo> SegmentStoreReader::segments() const {
+  auto out = sealed_;
+  if (!active_name_.empty()) {
+    std::error_code ec;
+    const auto size = fs::file_size(dir_ / active_name_, ec);
+    SegmentInfo info;
+    info.name = active_name_;
+    info.bytes =
+        (!ec && size > kSegmentHeaderBytes) ? size - kSegmentHeaderBytes : 0;
+    info.sealed = false;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool SegmentStoreReader::verify(std::string* error) const {
+  for (const auto& s : sealed_) {
+    const auto path = dir_ / s.name;
+    SegmentFooter footer;
+    if (!load_segment_footer(path, footer, error)) return false;
+    if (footer.frames != s.frames || footer.payload_crc != s.payload_crc ||
+        footer.payload_end - kSegmentHeaderBytes != s.bytes) {
+      return set_error(error, path.string() + ": footer disagrees with manifest");
+    }
+    std::vector<std::pair<double, std::uint64_t>> index;
+    if (!load_segment_index(path, footer, index, error)) return false;
+    for (const auto& [t, offset] : index) {
+      if (offset < kSegmentHeaderBytes || offset >= footer.payload_end ||
+          std::isnan(t)) {
+        return set_error(error, path.string() + ": index entry out of bounds");
+      }
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return set_error(error, "cannot open " + path.string());
+    in.seekg(static_cast<std::streamoff>(kSegmentHeaderBytes));
+    std::uint32_t crc = 0;
+    std::uint64_t left = footer.payload_end - kSegmentHeaderBytes;
+    std::array<std::uint8_t, 64 * 1024> chunk;
+    while (left > 0) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(left, chunk.size()));
+      if (!read_exact(in, chunk.data(), n)) {
+        return set_error(error, path.string() + ": short payload read");
+      }
+      crc = crc32c(chunk.data(), n, crc);
+      left -= n;
+    }
+    if (crc != footer.payload_crc) {
+      return set_error(error, path.string() + ": payload checksum mismatch");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+SegmentStoreReader::Cursor SegmentStoreReader::seek(double t0, double t1) {
+  return Cursor(this, t0, t1);
+}
+
+bool SegmentStoreReader::Cursor::open_next_segment() {
+  if (!positioned_) {
+    positioned_ = true;
+    // O(log n): first sealed segment whose span can reach t0.
+    const auto it = std::lower_bound(
+        store_->sealed_.begin(), store_->sealed_.end(), t0_,
+        [](const SegmentInfo& s, double t) { return s.t_max < t; });
+    seg_i_ = static_cast<std::size_t>(it - store_->sealed_.begin());
+  }
+  while (seg_i_ < store_->sealed_.size()) {
+    const SegmentInfo& s = store_->sealed_[seg_i_];
+    if (s.t_min >= t1_) return false;  // time is monotone: nothing later fits
+    auto path = store_->dir_ / s.name;
+    if (!fs::exists(path)) {
+      // An in-flight compaction may not have renamed the file yet; the
+      // manifest is the truth, so read it under its temp name.
+      const auto tmp = fs::path(path.string() + ".tmp");
+      if (fs::exists(tmp)) path = tmp;
+    }
+    SegmentFooter footer;
+    std::string err;
+    if (!load_segment_footer(path, footer, &err)) {
+      throw WireError("segment store: " + err);
+    }
+    file_.open(path, std::ios::binary);
+    if (!file_) throw WireError("segment store: cannot open " + path.string());
+    ++store_->opened_;
+    ++seg_i_;
+    in_active_ = false;
+    pos_ = kSegmentHeaderBytes;
+    end_ = footer.payload_end;
+    if (s.t_min < t0_ && footer.index_count > 0) {
+      // Sparse-index probe: start the scan at the last entry at or before
+      // t0 instead of the head of the segment.
+      std::vector<std::pair<double, std::uint64_t>> index;
+      if (!load_segment_index(path, footer, index, &err)) {
+        throw WireError("segment store: " + err);
+      }
+      auto it = std::upper_bound(
+          index.begin(), index.end(), t0_,
+          [](double t, const std::pair<double, std::uint64_t>& e) {
+            return t < e.first;
+          });
+      if (it != index.begin()) pos_ = (*std::prev(it)).second;
+    }
+    file_.seekg(static_cast<std::streamoff>(pos_));
+    return true;
+  }
+  if (tried_active_ || store_->active_name_.empty()) return false;
+  tried_active_ = true;
+  const auto path = store_->dir_ / store_->active_name_;
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size <= kSegmentHeaderBytes) return false;
+  file_.open(path, std::ios::binary);
+  if (!file_) return false;  // writer may have just sealed+rotated it
+  ++store_->opened_;
+  std::array<std::uint8_t, kSegmentHeaderBytes> header;
+  if (!read_exact(file_, header.data(), header.size()) ||
+      get_raw<std::uint32_t>(header.data()) != kSegmentMagic) {
+    // Header bytes still in the writer's buffer: nothing readable yet.
+    file_.close();
+    torn_ = true;
+    lost_bytes_ = size;
+    return false;
+  }
+  in_active_ = true;
+  pos_ = kSegmentHeaderBytes;
+  end_ = size;  // bounded snapshot of the tail
+  return true;
+}
+
+bool SegmentStoreReader::Cursor::next(Record& out) {
+  if (done_) return false;
+  std::array<std::uint8_t, kEnvelopeHeaderBytes> env;
+  for (;;) {
+    if (!file_.is_open()) {
+      if (!open_next_segment()) {
+        done_ = true;
+        return false;
+      }
+    }
+    if (pos_ + kEnvelopeHeaderBytes > end_) {
+      if (in_active_ && pos_ < end_) {
+        torn_ = true;
+        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+        done_ = true;
+        return false;
+      }
+      file_.close();
+      continue;
+    }
+    if (!read_exact(file_, env.data(), env.size())) {
+      if (in_active_) {
+        torn_ = true;
+        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+        done_ = true;
+        return false;
+      }
+      throw WireError("segment store: short envelope read");
+    }
+    const auto len = get_raw<std::uint32_t>(env.data());
+    const auto t = get_raw<double>(env.data() + 4);
+    if (len == 0 || len > kMaxSegmentFrameBytes ||
+        pos_ + kEnvelopeHeaderBytes + len > end_) {
+      if (in_active_) {
+        // Mid-envelope snapshot of the writer (or its in-flight tail after a
+        // concurrent seal): everything from here on is not yet readable.
+        torn_ = true;
+        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+        done_ = true;
+        return false;
+      }
+      throw WireError("segment store: corrupt envelope");
+    }
+    ++scanned_;
+    if (t >= t1_) {  // time is monotone: the range is exhausted
+      done_ = true;
+      return false;
+    }
+    if (t < t0_) {  // skip without decoding
+      pos_ += kEnvelopeHeaderBytes + len;
+      file_.seekg(static_cast<std::streamoff>(pos_));
+      continue;
+    }
+    frame_buf_.resize(len);
+    if (!read_exact(file_, frame_buf_.data(), len)) {
+      if (in_active_) {
+        torn_ = true;
+        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+        done_ = true;
+        return false;
+      }
+      throw WireError("segment store: short frame read");
+    }
+    try {
+      std::size_t consumed = 0;
+      out = decode_record(frame_buf_.data(), len, consumed);
+      if (consumed != len) throw WireError("trailing bytes in envelope");
+    } catch (const WireError&) {
+      if (in_active_) {
+        torn_ = true;
+        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+        done_ = true;
+        return false;
+      }
+      throw;
+    }
+    pos_ += kEnvelopeHeaderBytes + len;
+    time_ = t;
+    return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStoreSource
+// ---------------------------------------------------------------------------
+
+SegmentStoreSource::SegmentStoreSource(const std::filesystem::path& dir,
+                                       double t0, double t1,
+                                       std::uint32_t subtype)
+    : RecordSampleSource(subtype),
+      reader_(std::make_unique<SegmentStoreReader>(dir)),
+      cursor_(reader_->seek(t0, t1)) {}
+
+RecordSampleSource::Next SegmentStoreSource::next_record(Record& rec) {
+  try {
+    if (cursor_.next(rec)) return Next::kRecord;
+    return cursor_.torn() ? Next::kLost : Next::kEnd;
+  } catch (const WireError&) {
+    return Next::kLost;  // damaged sealed segment; verify() pinpoints it
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AudioSegmentArchiver
+// ---------------------------------------------------------------------------
+
+AudioSegmentArchiver::AudioSegmentArchiver(SegmentedRecordLog& log,
+                                           double sample_rate,
+                                           std::size_t record_samples)
+    : log_(log), rate_(sample_rate), record_samples_(record_samples) {
+  DR_EXPECTS(sample_rate > 0.0);
+  DR_EXPECTS(record_samples > 0);
+  pending_.reserve(record_samples_);
+}
+
+void AudioSegmentArchiver::push(std::span<const float> samples) {
+  std::size_t pos = 0;
+  while (pos < samples.size()) {
+    const std::size_t n = std::min(samples.size() - pos,
+                                   record_samples_ - pending_.size());
+    pending_.insert(pending_.end(),
+                    samples.begin() + static_cast<std::ptrdiff_t>(pos),
+                    samples.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    if (pending_.size() == record_samples_) flush_record();
+  }
+}
+
+void AudioSegmentArchiver::finish() {
+  if (!pending_.empty()) flush_record();
+}
+
+void AudioSegmentArchiver::flush_record() {
+  const std::size_t n = pending_.size();
+  Record rec = Record::data(kSubtypeAudio, std::move(pending_));
+  rec.sequence = next_sequence_++;
+  rec.set_attr(kAttrSampleRate, rate_);
+  rec.set_attr(kAttrStartSample, static_cast<std::int64_t>(start_sample_));
+  log_.append(rec, static_cast<double>(start_sample_) / rate_);
+  start_sample_ += n;
+  archived_ += n;
+  pending_ = FloatVec{};
+  pending_.reserve(record_samples_);
+}
+
+}  // namespace dynriver::river

@@ -1,0 +1,282 @@
+// Archive-scale segment store for record streams.
+//
+// The flat RecordLog is right for one clip or one session's readout; an
+// archive of months of hydrophone audio needs structure. SegmentedRecordLog
+// rotates a record stream (each record stamped with a stream time) into
+// immutable *sealed* segments plus one append-only *active* segment:
+//
+//   store directory
+//   ├── MANIFEST            atomic snapshot of the sealed segment list
+//   ├── seg-000000.drs      sealed: payload + sparse time index + footer
+//   ├── seg-000001.drs      sealed
+//   └── seg-000002.drs      active: payload only, growing
+//
+// Segment file layout (all integers little-endian):
+//   header   magic 'DRSG' u32 | version u16 | flags u16            (8 bytes)
+//   payload  N x envelope: len u32 | t f64 | wire frame (len bytes)
+//   -- sealing appends --
+//   index    M x entry: t f64 | file offset u64  (sparse, ~1/64 KiB)
+//   footer   frames u64 | payload_end u64 | index_count u32 |
+//            version u16 | flags u16 | t_min f64 | t_max f64 |
+//            payload_crc u32 | footer_crc u32 | magic 'DRSF' u32   (52 bytes)
+//
+// payload_crc is CRC32C over the whole envelope region; footer_crc covers
+// the index region plus the footer up to itself, so every byte after the
+// 8-byte header is checksummed. Readers locate the footer at EOF - 52.
+//
+// Guarantees:
+//   - seek(t0, t1) is O(log segments) manifest search + one index probe +
+//     a bounded scan; only segments overlapping [t0, t1) are ever opened.
+//   - Readers are safe concurrently with the writer: they see the sealed
+//     list through the atomically-renamed MANIFEST plus a bounded snapshot
+//     of the active tail (complete frames only; in-flight bytes surface as
+//     a torn tail, exactly like a flat log mid-write).
+//   - Crash recovery on reopen adopts any sealed-but-unmanifested segment,
+//     rolls forward an interrupted compaction, truncates the active
+//     segment to its valid prefix and seals what survived — all with
+//     bounded memory.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "river/record.hpp"
+#include "river/sample_io.hpp"
+
+namespace dynriver::river {
+
+/// CRC-32C (Castagnoli polynomial, reflected — the storage-grade CRC with
+/// better burst detection than IEEE 802.3). Chainable via `seed`.
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data, std::size_t len,
+                                   std::uint32_t seed = 0);
+
+inline constexpr std::uint32_t kSegmentMagic = 0x44525347;        // "DRSG"
+inline constexpr std::uint32_t kSegmentFooterMagic = 0x44525346;  // "DRSF"
+inline constexpr std::uint16_t kSegmentVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 8;
+inline constexpr std::size_t kSegmentFooterBytes = 52;
+inline constexpr std::size_t kEnvelopeHeaderBytes = 12;  // len u32 + t f64
+/// Upper bound on one wire frame inside a segment; a larger length field in
+/// an envelope header is treated as corruption, bounding recovery memory.
+inline constexpr std::uint32_t kMaxSegmentFrameBytes = 1u << 30;
+
+struct SegmentStoreOptions {
+  /// Seal the active segment once its payload reaches this size.
+  std::uint64_t max_segment_bytes = 8ull << 20;
+  /// Also seal once the active segment spans this much stream time
+  /// (0 disables time-based rotation).
+  double max_segment_seconds = 0.0;
+  /// Sparse index granularity: one entry per this many payload bytes.
+  std::uint64_t index_every_bytes = 64ull << 10;
+  /// fsync each segment on seal and the manifest on every rewrite.
+  bool sync_on_seal = true;
+};
+
+/// One segment as listed by the manifest (sealed) or observed live (active).
+struct SegmentInfo {
+  std::string name;            ///< file name within the store directory
+  std::uint64_t frames = 0;    ///< record count (sealed only)
+  std::uint64_t bytes = 0;     ///< payload bytes (header excluded)
+  double t_min = 0.0;          ///< stream time of the first record
+  double t_max = 0.0;          ///< stream time of the last record
+  std::uint32_t payload_crc = 0;
+  bool sealed = false;
+};
+
+/// Rotating writer: appends time-stamped records, seals segments by
+/// size/time, maintains the manifest, recovers from crashes on reopen.
+/// Stream time must be non-decreasing across appends.
+class SegmentedRecordLog {
+ public:
+  explicit SegmentedRecordLog(const std::filesystem::path& dir,
+                              SegmentStoreOptions options = {});
+  ~SegmentedRecordLog();
+  SegmentedRecordLog(const SegmentedRecordLog&) = delete;
+  SegmentedRecordLog& operator=(const SegmentedRecordLog&) = delete;
+
+  /// Append one record at stream time `t` (seconds, non-decreasing).
+  void append(const Record& rec, double t);
+
+  /// Flush + fsync the active segment: everything appended so far survives
+  /// process death (readers may then tail it torn-free).
+  void sync();
+
+  /// Seal the active segment now (no-op when it is empty): write its index
+  /// and footer, fsync, and publish it in the manifest.
+  void seal_active();
+
+  /// Seal and stop. Throws if buffered bytes could not be made durable.
+  /// The destructor closes best-effort instead.
+  void close();
+
+  /// Retention: drop sealed segments whose whole span ends before `t`.
+  /// Returns the number of segments removed.
+  std::size_t retire_before(double t);
+
+  /// Compaction: merge adjacent runs of sealed segments smaller than
+  /// `min_bytes` into single segments (raw envelope copy — frames are not
+  /// re-encoded). Returns the net number of segments eliminated.
+  std::size_t compact(std::uint64_t min_bytes);
+
+  [[nodiscard]] std::size_t records_written() const { return written_; }
+  /// Complete frames preserved from a torn active segment on reopen.
+  [[nodiscard]] std::size_t recovered_records() const { return recovered_; }
+  /// Sealed segments (manifest order) plus the active one, if any.
+  [[nodiscard]] std::vector<SegmentInfo> segments() const;
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  struct ActiveSegment {
+    std::FILE* file = nullptr;
+    std::uint64_t index = 0;  ///< numeric suffix of the file name
+    std::uint64_t frames = 0;
+    std::uint64_t payload_bytes = 0;
+    double t_min = 0.0;
+    double t_max = 0.0;
+    std::uint32_t crc = 0;
+    std::uint64_t last_index_bytes = 0;
+    std::vector<std::pair<double, std::uint64_t>> index_entries;
+  };
+
+  void open_active();
+  void write_manifest() const;
+  void recover();
+
+  std::filesystem::path dir_;
+  SegmentStoreOptions options_;
+  std::vector<SegmentInfo> sealed_;
+  ActiveSegment active_;
+  std::uint64_t next_index_ = 0;
+  double last_t_ = -std::numeric_limits<double>::infinity();
+  std::size_t written_ = 0;
+  std::size_t recovered_ = 0;
+  bool closed_ = false;
+};
+
+/// Read-only snapshot view of a store, safe concurrently with a writer.
+class SegmentStoreReader {
+ public:
+  explicit SegmentStoreReader(const std::filesystem::path& dir);
+
+  /// Sealed segments (manifest order), plus the active segment if present
+  /// on disk (bytes = current size, frames unknown until sealed).
+  [[nodiscard]] std::vector<SegmentInfo> segments() const;
+
+  /// Files opened by cursors of this reader so far — pinned by tests to
+  /// prove seek() touches only segments overlapping the requested range.
+  [[nodiscard]] std::size_t segments_opened() const { return opened_; }
+
+  /// Full integrity check of every sealed segment (header, footer, index
+  /// bounds, payload CRC32C), streamed in bounded chunks. Returns false and
+  /// fills `error` on the first mismatch.
+  [[nodiscard]] bool verify(std::string* error = nullptr) const;
+
+  /// Streaming cursor over one seek() range.
+  class Cursor {
+   public:
+    /// Next record with stream time in [t0, t1); false at end of range.
+    /// A torn active tail ends the cursor cleanly with torn() set; sealed
+    /// segment damage throws WireError (verify() pinpoints it).
+    [[nodiscard]] bool next(Record& out);
+
+    /// Stream time of the record last returned by next().
+    [[nodiscard]] double time() const { return time_; }
+    [[nodiscard]] bool torn() const { return torn_; }
+    [[nodiscard]] std::size_t lost_bytes() const { return lost_bytes_; }
+    /// Envelopes visited, including index-to-t0 skips — pinned by tests to
+    /// prove the scan after an index probe is bounded.
+    [[nodiscard]] std::size_t frames_scanned() const { return scanned_; }
+
+   private:
+    friend class SegmentStoreReader;
+    Cursor(SegmentStoreReader* store, double t0, double t1)
+        : store_(store), t0_(t0), t1_(t1) {}
+    bool open_next_segment();
+
+    SegmentStoreReader* store_;
+    double t0_;
+    double t1_;
+    bool positioned_ = false;
+    std::vector<std::uint8_t> frame_buf_;
+    std::size_t seg_i_ = 0;       ///< next sealed segment to consider
+    bool tried_active_ = false;
+    bool in_active_ = false;
+    bool done_ = false;
+    bool torn_ = false;
+    std::ifstream file_;
+    std::uint64_t pos_ = 0;
+    std::uint64_t end_ = 0;       ///< payload end of the current segment
+    double time_ = 0.0;
+    std::size_t lost_bytes_ = 0;
+    std::size_t scanned_ = 0;
+  };
+
+  /// Cursor over records with stream time in [t0, t1). O(log n) over the
+  /// manifest, one sparse-index probe in the first overlapping segment,
+  /// then a bounded forward scan. The cursor must not outlive the reader.
+  [[nodiscard]] Cursor seek(double t0,
+                            double t1 = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::vector<SegmentInfo> sealed_;
+  std::string active_name_;  ///< empty when no active segment exists
+  std::size_t opened_ = 0;
+};
+
+/// Replays a time range of a segment store as a sample stream: drop it into
+/// run_stream / SessionScheduler and a month of archive re-extracts through
+/// the same sessions that serve live traffic.
+class SegmentStoreSource final : public RecordSampleSource {
+ public:
+  explicit SegmentStoreSource(
+      const std::filesystem::path& dir, double t0 = 0.0,
+      double t1 = std::numeric_limits<double>::infinity(),
+      std::uint32_t subtype = kSubtypeAudio);
+
+  [[nodiscard]] const SegmentStoreReader& reader() const { return *reader_; }
+
+ private:
+  [[nodiscard]] Next next_record(Record& rec) override;
+
+  std::unique_ptr<SegmentStoreReader> reader_;
+  SegmentStoreReader::Cursor cursor_;
+};
+
+/// Streams raw audio into a SegmentedRecordLog as self-describing records:
+/// each Data record carries sample-rate and start-sample attributes and is
+/// stamped with stream time start_sample / rate, so any time range replays
+/// standalone. Chunking into `record_samples`-sized records is a storage
+/// detail — extraction is bit-identical for any chunking.
+class AudioSegmentArchiver {
+ public:
+  AudioSegmentArchiver(SegmentedRecordLog& log, double sample_rate,
+                       std::size_t record_samples = 900);
+
+  void push(std::span<const float> samples);
+  /// Flush a partial trailing record. Does not close the log.
+  void finish();
+
+  [[nodiscard]] std::size_t samples_archived() const { return archived_; }
+
+ private:
+  void flush_record();
+
+  SegmentedRecordLog& log_;
+  double rate_;
+  std::size_t record_samples_;
+  FloatVec pending_;
+  std::uint64_t start_sample_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t archived_ = 0;
+};
+
+}  // namespace dynriver::river

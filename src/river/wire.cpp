@@ -44,7 +44,7 @@ class Reader {
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > len_) throw WireError("truncated record frame");
+    if (pos_ + n > len_) throw WireTruncated("truncated record frame");
   }
 
   const std::uint8_t* data_;
@@ -168,7 +168,7 @@ Record decode_record(const std::uint8_t* data, std::size_t len,
   // an attempted multi-gigabyte allocation.
   for (std::uint32_t i = 0; i < nattr; ++i) {
     const auto key_len = r.get<std::uint16_t>();
-    if (key_len > r.remaining()) throw WireError("truncated attribute key");
+    if (key_len > r.remaining()) throw WireTruncated("truncated attribute key");
     std::string key(key_len, '\0');
     r.read_bytes(reinterpret_cast<std::uint8_t*>(key.data()), key_len);
     const auto tag = r.get<std::uint8_t>();
@@ -181,7 +181,7 @@ Record decode_record(const std::uint8_t* data, std::size_t len,
         break;
       case kAttrTagString: {
         const auto slen = r.get<std::uint32_t>();
-        if (slen > r.remaining()) throw WireError("truncated attribute value");
+        if (slen > r.remaining()) throw WireTruncated("truncated attribute value");
         std::string s(slen, '\0');
         r.read_bytes(reinterpret_cast<std::uint8_t*>(s.data()), slen);
         rec.attrs.emplace(std::move(key), std::move(s));
@@ -195,7 +195,7 @@ Record decode_record(const std::uint8_t* data, std::size_t len,
   static constexpr std::size_t kElemSize[] = {0, 1, sizeof(float),
                                               2 * sizeof(float)};
   if (pay_tag != 0 && paylen > r.remaining() / kElemSize[pay_tag]) {
-    throw WireError("truncated record frame");
+    throw WireTruncated("truncated record frame");
   }
 
   switch (pay_tag) {
@@ -257,13 +257,10 @@ bool WireDecoder::next(Record& out) {
     out = decode_record(buf_.data() + pos_, buf_.size() - pos_, consumed);
     pos_ += consumed;
     return true;
-  } catch (const WireError& err) {
-    // Distinguish "need more bytes" from genuine corruption: truncation is
-    // recoverable by feeding more data, everything else is fatal.
-    if (std::string_view(err.what()).find("truncated") != std::string_view::npos) {
-      return false;
-    }
-    throw;
+  } catch (const WireTruncated&) {
+    // "Need more bytes" is recoverable by feeding more data; any other
+    // WireError is genuine corruption and propagates.
+    return false;
   }
 }
 

@@ -37,6 +37,15 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// The subset of WireError meaning "the buffer ends before the frame does":
+/// recoverable by feeding more bytes (a fragment mid-flight) or by treating
+/// the spot as a torn tail (a writer died mid-frame). Everything thrown as a
+/// plain WireError is structural corruption and is never recoverable.
+class WireTruncated : public WireError {
+ public:
+  explicit WireTruncated(const std::string& what) : WireError(what) {}
+};
+
 inline constexpr std::uint32_t kWireMagic = 0x44524956;  // "DRIV"
 inline constexpr std::uint16_t kWireVersion = 1;
 

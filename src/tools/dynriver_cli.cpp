@@ -5,6 +5,8 @@
 //   extract  cut ensembles out of a WAV recording (each to its own WAV)
 //   scores   dump per-sample anomaly score + trigger as CSV
 //   serve    multiplex many simulated stations through one SessionScheduler
+//   archive  append a WAV recording to a rotating segment store
+//   replay   re-extract a time range of a segment store through the scheduler
 //   topo     print the Figure 5 operator topology for the current params
 //   species  list the Table 1 species catalog
 //
@@ -20,11 +22,15 @@
 //   dynriver extract clip.wav --out-prefix ensemble_
 //   dynriver scores clip.wav > scores.csv
 //   dynriver serve --stations 8 --clips 2 --policy drop --retune-sigma 6
+//   dynriver archive clip.wav --store ./archive --segment-kb 4096
+//   dynriver replay --store ./archive --from 10 --to 40
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +40,7 @@
 #include "core/stream_session.hpp"
 #include "dsp/wav.hpp"
 #include "river/sample_io.hpp"
+#include "river/segment_store.hpp"
 #include "synth/station.hpp"
 #include "synth/station_source.hpp"
 
@@ -52,6 +59,9 @@ int usage() {
                "  scores  <clip.wav>\n"
                "  serve   [--stations N] [--clips M] [--policy block|drop]\n"
                "          [--queue SAMPLES] [--threads T] [--retune-sigma S]\n"
+               "  archive <clip.wav> --store DIR [--segment-kb N]\n"
+               "          [--segment-seconds S]\n"
+               "  replay  --store DIR [--from T] [--to T]\n"
                "  topo\n"
                "  species\n");
   return 2;
@@ -314,6 +324,113 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// archive: stream a WAV recording into a rotating segment store. The clip is
+// never loaded whole — it flows through the AudioSegmentArchiver in
+// record-size chunks, rotating into sealed (checksummed, indexed) segments
+// as it grows. Repeated invocations against the same store append after the
+// existing archive; any time range replays later via `replay`.
+int cmd_archive(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string in = argv[0];
+  const auto store = arg_value(argc, argv, "--store", "");
+  const long long segment_kb =
+      std::atoll(arg_value(argc, argv, "--segment-kb", "8192").c_str());
+  const double segment_seconds =
+      std::atof(arg_value(argc, argv, "--segment-seconds", "0").c_str());
+  if (store.empty() || segment_kb < 1 || segment_seconds < 0.0) return usage();
+
+  river::WavFileSource source(in);
+  river::SegmentStoreOptions options;
+  options.max_segment_bytes = static_cast<std::uint64_t>(segment_kb) << 10;
+  options.max_segment_seconds = segment_seconds;
+  river::SegmentedRecordLog log(store, options);
+  if (log.recovered_records() > 0) {
+    std::printf("recovered %zu record(s) from a torn segment\n",
+                log.recovered_records());
+  }
+
+  river::AudioSegmentArchiver archiver(log, source.sample_rate());
+  std::vector<float> chunk(core::PipelineParams{}.record_size);
+  for (;;) {
+    const std::size_t n = source.read(chunk);
+    if (n == 0) break;
+    archiver.push(std::span<const float>(chunk.data(), n));
+  }
+  archiver.finish();
+  log.close();
+
+  std::uint64_t bytes = 0;
+  const auto segments = log.segments();
+  for (const auto& s : segments) bytes += s.bytes;
+  std::printf("archived %zu samples (%.1f s) into %s\n",
+              archiver.samples_archived(),
+              static_cast<double>(archiver.samples_archived()) /
+                  source.sample_rate(),
+              store.c_str());
+  std::printf("store now holds %zu sealed segment(s), %.1f MB, spanning "
+              "[%.2f, %.2f] s\n",
+              segments.size(),
+              static_cast<double>(bytes) / (1024.0 * 1024.0),
+              segments.empty() ? 0.0 : segments.front().t_min,
+              segments.empty() ? 0.0 : segments.back().t_max);
+  return 0;
+}
+
+// replay: re-extract a stream-time range of the archive through the same
+// SessionScheduler that serves live stations — the backfill path. Prints
+// each ensemble as it closes plus the replay-vs-live speed ratio (live = one
+// second of audio per second of wall clock).
+int cmd_replay(int argc, char** argv) {
+  const auto store = arg_value(argc, argv, "--store", "");
+  const double from = std::atof(arg_value(argc, argv, "--from", "0").c_str());
+  const auto to_arg = arg_value(argc, argv, "--to", "");
+  const double to = to_arg.empty() ? std::numeric_limits<double>::infinity()
+                                   : std::atof(to_arg.c_str());
+  if (store.empty() || from < 0.0 || to <= from) return usage();
+
+  // The archived records carry their sample rate; the session params must
+  // match the archived stream's configuration.
+  river::SegmentStoreReader probe(store);
+  const auto segments = probe.segments();
+  if (segments.empty()) {
+    std::fprintf(stderr, "empty segment store: %s\n", store.c_str());
+    return 1;
+  }
+
+  core::PipelineParams params;
+  core::SessionScheduler scheduler;
+  std::size_t count = 0;
+  auto sink = std::make_shared<river::CallbackEnsembleSink>(
+      [&](river::Ensemble e) {
+        ++count;
+        std::printf("  ensemble [%8.2f, %8.2f) s  (%zu samples)\n",
+                    static_cast<double>(e.start_sample) / params.sample_rate,
+                    static_cast<double>(e.end_sample()) / params.sample_rate,
+                    e.length());
+      });
+  core::StationConfig config;
+  config.params = params;
+  const auto id =
+      core::add_replay_station(scheduler, "replay", store, from, to, sink,
+                               config);
+
+  const auto t_begin = std::chrono::steady_clock::now();
+  scheduler.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+
+  const auto stats = scheduler.stats();
+  const double replayed_seconds =
+      static_cast<double>(stats.stations[id].samples_consumed) /
+      params.sample_rate;
+  std::printf("%zu ensemble(s) from %.1f s of archive in %.2f s wall "
+              "(%.0fx live rate)\n",
+              count, replayed_seconds, wall,
+              wall > 0.0 ? replayed_seconds / wall : 0.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -325,5 +442,7 @@ int main(int argc, char** argv) {
   if (cmd == "extract") return cmd_extract(argc - 2, argv + 2);
   if (cmd == "scores") return cmd_scores(argc - 2, argv + 2);
   if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+  if (cmd == "archive") return cmd_archive(argc - 2, argv + 2);
+  if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
   return usage();
 }

@@ -148,6 +148,45 @@ TEST_F(SampleIoFileTest, RecordLogSinkThenSourceRoundTrips) {
   EXPECT_EQ(source.records_in(), 6U);  // 2 x (open + data + close)
 }
 
+TEST_F(SampleIoFileTest, RecordLogSourceReportsTornTailAsLostNotError) {
+  // A station that died mid-frame leaves a torn tail; the source must
+  // deliver every complete ensemble and flag the end as unclean — without
+  // throwing (that regression lived in RecordLogReader::next).
+  const auto path = temp_file("torn.rlog");
+  {
+    river::RecordLogEnsembleSink sink(path, 21600.0);
+    sink.accept(river::Ensemble{100, ramp(500)});
+    sink.accept(river::Ensemble{9000, ramp(300)});
+    sink.finish();
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);
+
+  river::RecordLogSource source(path);
+  const auto got = drain(source, 256);
+  EXPECT_EQ(got.size(), 500u + 300u);  // the data frames all precede the cut
+  EXPECT_FALSE(source.clean());
+  EXPECT_TRUE(source.exhausted());
+}
+
+TEST_F(SampleIoFileTest, RecordSampleSourceLearnsRateFromDataAttrs) {
+  // Self-describing data records (segment-store replay seeking past the
+  // clip scope) still teach the source its rate.
+  const auto path = temp_file("selfdesc.drl");
+  {
+    river::RecordLogWriter writer(path);
+    auto rec = Record::data(river::kSubtypeAudio, ramp(64));
+    rec.set_attr(river::kAttrSampleRate, 12345.0);
+    writer.write(rec);
+    writer.close();
+  }
+  river::RecordLogSource source(path);
+  EXPECT_EQ(source.sample_rate(), 0.0);
+  EXPECT_EQ(drain(source, 64), ramp(64));
+  EXPECT_EQ(source.sample_rate(), 12345.0);
+  EXPECT_TRUE(source.clean());
+}
+
 TEST(RecordChannelSource, StreamsAudioAndReportsCleanClose) {
   auto channel = std::make_shared<river::InProcessChannel>(64);
   const auto xs = ramp(2000);

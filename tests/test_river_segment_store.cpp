@@ -1,0 +1,650 @@
+// Segment store (river/segment_store.hpp): rotation, sealing, manifest,
+// O(log n) seek with sparse-index probes, CRC32C damage detection,
+// crash recovery, retention, compaction — and replay bit-identity: the
+// same ensembles whether extraction runs live, from a flat record log, or
+// from a segment store (standalone or through the SessionScheduler).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "core/session_scheduler.hpp"
+#include "core/stream_session.hpp"
+#include "river/record.hpp"
+#include "river/record_log.hpp"
+#include "river/sample_io.hpp"
+#include "river/segment_store.hpp"
+#include "river/wire.hpp"
+#include "test_support.hpp"
+
+namespace core = dynriver::core;
+namespace river = dynriver::river;
+namespace testsupport = dynriver::testsupport;
+namespace fs = std::filesystem;
+using river::Record;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<float> ramp(std::size_t n) {
+  std::vector<float> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<float>(i) * 0.001F;
+  return xs;
+}
+
+/// A data record with `n` floats stamped so tests can identify it later.
+Record audio_record(std::uint64_t seq, std::size_t n) {
+  Record rec = Record::data(river::kSubtypeAudio,
+                            river::FloatVec(n, static_cast<float>(seq)));
+  rec.sequence = seq;
+  return rec;
+}
+
+/// Drain one cursor, returning every record (and checking time monotonicity).
+std::vector<Record> drain_cursor(river::SegmentStoreReader::Cursor& cursor) {
+  std::vector<Record> out;
+  Record rec;
+  double prev = -kInf;
+  while (cursor.next(rec)) {
+    EXPECT_GE(cursor.time(), prev);
+    prev = cursor.time();
+    out.push_back(rec);
+  }
+  return out;
+}
+
+/// Drain a sample source in `chunk`-sized reads.
+std::vector<float> drain(river::SampleSource& source, std::size_t chunk) {
+  std::vector<float> out;
+  std::vector<float> buf(chunk);
+  for (;;) {
+    const std::size_t n = source.read(buf);
+    if (n == 0) break;
+    out.insert(out.end(), buf.begin(),
+               buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+/// Parameters scaled down so short synthetic signals trigger extraction.
+core::PipelineParams small_params() {
+  core::PipelineParams params;
+  params.anomaly = {.window = 50, .alphabet = 6, .level = 2,
+                    .ma_window = 400, .frame = 8};
+  params.trigger_min_baseline = 1500;
+  params.trigger_hold_samples = 300;
+  params.min_ensemble_samples = 600;
+  params.merge_gap_samples = 2000;
+  return params;
+}
+
+std::vector<float> random_signal_with_events(std::size_t n, unsigned seed) {
+  auto xs = testsupport::noise_with_bursts(n, n / 4, n / 8, seed);
+  const auto second =
+      testsupport::noise_with_bursts(n, (3 * n) / 5, n / 10, seed + 1);
+  for (std::size_t i = (3 * n) / 5; i < std::min(n, (3 * n) / 5 + n / 10);
+       ++i) {
+    xs[i] += second[i] * 0.5F;
+  }
+  return xs;
+}
+
+void expect_same_ensembles(const std::vector<river::Ensemble>& got,
+                           const std::vector<river::Ensemble>& want,
+                           const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].start_sample, want[i].start_sample)
+        << label << " ensemble=" << i;
+    ASSERT_EQ(got[i].samples, want[i].samples) << label << " ensemble=" << i;
+  }
+}
+
+class SegmentStoreTest : public testsupport::TempDirTest {
+ protected:
+  [[nodiscard]] fs::path store_dir() const { return temp_file("store"); }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer basics: round trip, rotation, live tail visibility
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentStoreTest, RoundTripsRecordsWithTimesAcrossReopen) {
+  const auto dir = store_dir();
+  std::vector<Record> written;
+  {
+    river::SegmentedRecordLog log(dir);
+    Record open = Record::open_scope(river::kScopeClip, 0);
+    open.set_attr(river::kAttrSampleRate, 21600.0);
+    log.append(open, 0.0);
+    written.push_back(open);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const Record rec = audio_record(i, 30 + static_cast<std::size_t>(i));
+      log.append(rec, 0.1 * static_cast<double>(i));
+      written.push_back(rec);
+    }
+    const Record close = Record::close_scope(river::kScopeClip, 0);
+    log.append(close, 2.0);
+    written.push_back(close);
+    EXPECT_EQ(log.records_written(), written.size());
+    log.close();
+  }
+
+  river::SegmentStoreReader reader(dir);
+  ASSERT_EQ(reader.segments().size(), 1U);
+  EXPECT_TRUE(reader.segments()[0].sealed);
+  EXPECT_EQ(reader.segments()[0].frames, written.size());
+  EXPECT_EQ(reader.segments()[0].t_min, 0.0);
+  EXPECT_EQ(reader.segments()[0].t_max, 2.0);
+  EXPECT_TRUE(reader.verify());
+
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), written.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], written[i]) << "record " << i;
+  }
+  EXPECT_FALSE(cursor.torn());
+}
+
+TEST_F(SegmentStoreTest, RotatesBySizeIntoOrderedNonOverlappingSegments) {
+  const auto dir = store_dir();
+  river::SegmentStoreOptions options;
+  options.max_segment_bytes = 4 << 10;  // tiny: force many rotations
+  const std::uint64_t kRecords = 200;
+  {
+    river::SegmentedRecordLog log(dir, options);
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      log.append(audio_record(i, 64), 0.01 * static_cast<double>(i));
+    }
+    log.close();
+  }
+
+  river::SegmentStoreReader reader(dir);
+  const auto segments = reader.segments();
+  ASSERT_GT(segments.size(), 3U) << "rotation must have happened";
+  std::uint64_t frames = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_TRUE(segments[i].sealed);
+    EXPECT_LE(segments[i].t_min, segments[i].t_max);
+    if (i > 0) {
+      EXPECT_GE(segments[i].t_min, segments[i - 1].t_max)
+          << "spans must be ordered and non-overlapping";
+    }
+    frames += segments[i].frames;
+  }
+  EXPECT_EQ(frames, kRecords);
+  EXPECT_TRUE(reader.verify());
+
+  auto cursor = reader.seek(0.0);
+  EXPECT_EQ(drain_cursor(cursor).size(), kRecords);
+}
+
+TEST_F(SegmentStoreTest, RotatesByTime) {
+  const auto dir = store_dir();
+  river::SegmentStoreOptions options;
+  options.max_segment_seconds = 1.0;
+  river::SegmentedRecordLog log(dir, options);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    log.append(audio_record(i, 8), 0.1 * static_cast<double>(i));  // 4 s total
+  }
+  log.close();
+
+  const auto segments = log.segments();
+  ASSERT_EQ(segments.size(), 4U);
+  for (const auto& s : segments) {
+    EXPECT_LT(s.t_max - s.t_min, 1.0);
+  }
+}
+
+TEST_F(SegmentStoreTest, ReaderSeesSealedSegmentsPlusSyncedActiveTail) {
+  // Concurrent-reader contract, single-threaded: a reader opened while the
+  // writer is live sees every sealed segment plus the synced prefix of the
+  // active one — and a clean (not torn) end at the sync boundary.
+  const auto dir = store_dir();
+  river::SegmentedRecordLog log(dir);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    log.append(audio_record(i, 32), static_cast<double>(i));
+  }
+  log.seal_active();
+  for (std::uint64_t i = 10; i < 15; ++i) {
+    log.append(audio_record(i, 32), static_cast<double>(i));
+  }
+  log.sync();  // makes the 5 active-tail records visible on disk
+
+  {
+    river::SegmentStoreReader reader(dir);
+    auto cursor = reader.seek(0.0);
+    const auto got = drain_cursor(cursor);
+    EXPECT_EQ(got.size(), 15U);
+    EXPECT_FALSE(cursor.torn()) << "sync boundary is a clean end";
+  }
+
+  // More appends buffered in the writer (no sync): a fresh reader still
+  // ends cleanly at the last complete on-disk frame.
+  for (std::uint64_t i = 15; i < 18; ++i) {
+    log.append(audio_record(i, 32), static_cast<double>(i));
+  }
+  {
+    river::SegmentStoreReader reader(dir);
+    auto cursor = reader.seek(0.0);
+    const auto got = drain_cursor(cursor);
+    EXPECT_GE(got.size(), 15U);
+    EXPECT_LE(got.size(), 18U);
+  }
+  log.close();
+}
+
+// ---------------------------------------------------------------------------
+// Seek: only overlapping segments, bounded scans
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentStoreTest, SeekTouchesOnlyOverlappingSegments) {
+  const auto dir = store_dir();
+  {
+    river::SegmentedRecordLog log(dir);
+    // 8 sealed segments, one per second: segment k spans [k, k + 0.9].
+    for (std::uint64_t sec = 0; sec < 8; ++sec) {
+      for (std::uint64_t i = 0; i < 10; ++i) {
+        log.append(audio_record(sec * 10 + i, 16),
+                   static_cast<double>(sec) + 0.1 * static_cast<double>(i));
+      }
+      log.seal_active();
+    }
+    log.close();
+  }
+
+  river::SegmentStoreReader reader(dir);
+  ASSERT_EQ(reader.segments().size(), 8U);
+
+  auto cursor = reader.seek(3.05, 5.5);
+  const auto got = drain_cursor(cursor);
+  // Records in [3.05, 5.5): 3.1..3.9 (9), 4.0..4.9 (10), 5.0..5.4 (5).
+  EXPECT_EQ(got.size(), 9U + 10U + 5U);
+  // Only segments 3, 4, 5 overlap the range; 0-2 and 6-7 must not be opened.
+  EXPECT_EQ(reader.segments_opened(), 3U);
+
+  // An empty range past the archive opens nothing.
+  auto beyond = reader.seek(100.0, 200.0);
+  Record rec;
+  EXPECT_FALSE(beyond.next(rec));
+  EXPECT_EQ(reader.segments_opened(), 3U);
+}
+
+TEST_F(SegmentStoreTest, SparseIndexBoundsTheScanWithinASegment) {
+  const auto dir = store_dir();
+  river::SegmentStoreOptions options;
+  options.index_every_bytes = 2 << 10;  // dense index: entry every ~4 records
+  const std::uint64_t kRecords = 500;   // one big segment, ~230 KiB payload
+  {
+    river::SegmentedRecordLog log(dir, options);
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      log.append(audio_record(i, 100), 0.01 * static_cast<double>(i));
+    }
+    log.close();
+  }
+
+  river::SegmentStoreReader reader(dir);
+  ASSERT_EQ(reader.segments().size(), 1U);
+
+  // Ten records from deep inside the segment: the index probe must land the
+  // scan near t0, not at the head of the segment.
+  auto cursor = reader.seek(4.0, 4.1);
+  const auto got = drain_cursor(cursor);
+  EXPECT_EQ(got.size(), 10U);
+  // Bounded overshoot: range frames + one index granule (~4 records) + 1.
+  EXPECT_LE(cursor.frames_scanned(), got.size() + 8U)
+      << "scan must start at the index probe, not the segment head";
+}
+
+// ---------------------------------------------------------------------------
+// Damage detection and crash recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentStoreTest, SingleBitFlipAnywhereInASealedSegmentIsDetected) {
+  const auto dir = store_dir();
+  {
+    river::SegmentedRecordLog log(dir);
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      log.append(audio_record(i, 24), 0.1 * static_cast<double>(i));
+    }
+    log.close();
+  }
+  river::SegmentStoreReader reader(dir);
+  ASSERT_TRUE(reader.verify());
+  const auto path = dir / reader.segments()[0].name;
+
+  std::vector<char> pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(pristine.size(), river::kSegmentHeaderBytes +
+                                 river::kSegmentFooterBytes);
+
+  for (std::size_t at = 0; at < pristine.size(); ++at) {
+    if (at == 6 || at == 7) continue;  // header flags: reserved, unchecked
+    auto damaged = pristine;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+    }
+    std::string error;
+    EXPECT_FALSE(reader.verify(&error)) << "flip at byte " << at;
+    EXPECT_FALSE(error.empty()) << "flip at byte " << at;
+  }
+
+  {  // restore and confirm the sweep left the file intact
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
+  }
+  EXPECT_TRUE(reader.verify());
+}
+
+TEST_F(SegmentStoreTest, DamagedSealedSegmentSurfacesAsLostNotCrash) {
+  const auto dir = store_dir();
+  {
+    river::SegmentedRecordLog log(dir);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    archiver.push(ramp(1000));
+    archiver.finish();
+    log.close();
+  }
+  river::SegmentStoreReader probe(dir);
+  const auto path = dir / probe.segments()[0].name;
+  {  // corrupt one payload byte mid-segment
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(512);
+    const char x = 0x5A;
+    f.write(&x, 1);
+  }
+
+  river::SegmentStoreSource source(dir);
+  (void)drain(source, 256);
+  EXPECT_FALSE(source.clean());
+  EXPECT_TRUE(source.exhausted());
+}
+
+TEST_F(SegmentStoreTest, TornActiveSegmentRecoversValidPrefixAndContinues) {
+  const auto dir = store_dir();
+  // Fabricate the aftermath of a crash mid-append: an unsealed active
+  // segment holding 3 complete envelopes and a torn fourth. (The writer
+  // cannot produce this in-process — its destructor always seals — so the
+  // file is built from the format constants.)
+  fs::create_directories(dir);
+  std::vector<Record> survivors;
+  {
+    std::ofstream out(dir / "seg-000000.drs", std::ios::binary);
+    std::uint8_t header[river::kSegmentHeaderBytes] = {};
+    std::memcpy(header, &river::kSegmentMagic, 4);
+    std::memcpy(header + 4, &river::kSegmentVersion, 2);
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const Record rec = audio_record(i, 40);
+      survivors.push_back(rec);
+      const auto frame = river::encode_record(rec);
+      const auto len = static_cast<std::uint32_t>(frame.size());
+      const double t = static_cast<double>(i);
+      out.write(reinterpret_cast<const char*>(&len), 4);
+      out.write(reinterpret_cast<const char*>(&t), 8);
+      out.write(reinterpret_cast<const char*>(frame.data()),
+                static_cast<std::streamsize>(frame.size()));
+    }
+    // Torn tail: an envelope header promising 200 bytes, then only garbage.
+    const std::uint32_t len = 200;
+    const double t = 3.0;
+    out.write(reinterpret_cast<const char*>(&len), 4);
+    out.write(reinterpret_cast<const char*>(&t), 8);
+    const std::vector<char> garbage(17, '\x42');
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+
+  river::SegmentedRecordLog log(dir);
+  EXPECT_EQ(log.recovered_records(), 3U);
+  ASSERT_EQ(log.segments().size(), 1U);
+  EXPECT_TRUE(log.segments()[0].sealed) << "recovery seals the valid prefix";
+
+  // The store keeps working: appends land in a new segment after the
+  // recovered one, and everything reads back.
+  log.append(audio_record(100, 40), 10.0);
+  log.close();
+
+  river::SegmentStoreReader reader(dir);
+  EXPECT_TRUE(reader.verify());
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), 4U);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(got[i], survivors[i]) << "recovered record " << i;
+  }
+  EXPECT_EQ(got[3].sequence, 100U);
+}
+
+TEST_F(SegmentStoreTest, AdoptsSealedButUnmanifestedSegmentOnReopen) {
+  // Crash window between footer write and manifest publish: on reopen the
+  // orphan (index >= manifest next) is adopted, not deleted.
+  const auto dir = store_dir();
+  {
+    river::SegmentedRecordLog log(dir);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      log.append(audio_record(i, 16), static_cast<double>(i));
+    }
+    log.close();
+  }
+  // Rewind the manifest to the fresh-store state, stranding seg-000000.
+  {
+    std::ofstream out(dir / "MANIFEST", std::ios::trunc);
+    out << "dynriver-segment-store v1\nnext 0\n";
+  }
+
+  river::SegmentedRecordLog log(dir);
+  ASSERT_EQ(log.segments().size(), 1U);
+  EXPECT_EQ(log.segments()[0].frames, 6U);
+  log.close();
+
+  river::SegmentStoreReader reader(dir);
+  EXPECT_TRUE(reader.verify());
+  auto cursor = reader.seek(0.0);
+  EXPECT_EQ(drain_cursor(cursor).size(), 6U);
+}
+
+// ---------------------------------------------------------------------------
+// Retention and compaction
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentStoreTest, RetireBeforeDropsWholeSegmentsAndTheirFiles) {
+  const auto dir = store_dir();
+  river::SegmentedRecordLog log(dir);
+  for (std::uint64_t sec = 0; sec < 4; ++sec) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      log.append(audio_record(sec * 5 + i, 16),
+                 static_cast<double>(sec) + 0.1 * static_cast<double>(i));
+    }
+    log.seal_active();
+  }
+  const auto names_before = log.segments();
+  ASSERT_EQ(names_before.size(), 4U);
+
+  EXPECT_EQ(log.retire_before(2.0), 2U);  // segments [0,0.4] and [1,1.4]
+  EXPECT_EQ(log.retire_before(2.0), 0U);  // idempotent
+  ASSERT_EQ(log.segments().size(), 2U);
+  EXPECT_FALSE(fs::exists(dir / names_before[0].name));
+  EXPECT_FALSE(fs::exists(dir / names_before[1].name));
+  log.close();
+
+  river::SegmentStoreReader reader(dir);
+  EXPECT_TRUE(reader.verify());
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), 10U);
+  EXPECT_EQ(got.front().sequence, 10U) << "retired records must be gone";
+}
+
+TEST_F(SegmentStoreTest, CompactionMergesSmallSegmentsWithIdenticalReadback) {
+  const auto dir = store_dir();
+  river::SegmentedRecordLog log(dir);
+  for (std::uint64_t sec = 0; sec < 6; ++sec) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      log.append(audio_record(sec * 8 + i, 32),
+                 static_cast<double>(sec) + 0.1 * static_cast<double>(i));
+    }
+    log.seal_active();
+  }
+  std::vector<Record> want;
+  {
+    river::SegmentStoreReader before(dir);
+    auto cursor = before.seek(0.0);
+    want = drain_cursor(cursor);
+  }
+  ASSERT_EQ(want.size(), 48U);
+
+  // Every segment is tiny: the whole run merges into one.
+  EXPECT_EQ(log.compact(1 << 20), 5U);
+  ASSERT_EQ(log.segments().size(), 1U);
+  EXPECT_EQ(log.segments()[0].frames, 48U);
+  EXPECT_EQ(log.compact(1 << 20), 0U) << "a lone segment never re-compacts";
+  log.close();
+
+  river::SegmentStoreReader reader(dir);
+  EXPECT_TRUE(reader.verify());
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "record " << i;
+  }
+  // The replaced segment files are gone; exactly MANIFEST + 1 segment left.
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir)) ++files;
+  EXPECT_EQ(files, 2U);
+}
+
+// ---------------------------------------------------------------------------
+// Replay: sample windows and bit-identity with live extraction
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentStoreTest, SubrangeReplayYieldsExactSampleWindow) {
+  const auto dir = store_dir();
+  const auto xs = ramp(3000);
+  {
+    river::SegmentedRecordLog log(dir);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    archiver.push(xs);
+    archiver.finish();
+    EXPECT_EQ(archiver.samples_archived(), xs.size());
+    log.close();
+  }
+
+  // [0.5 s, 1.5 s) at 1 kHz in 100-sample records: exactly samples
+  // [500, 1500), because record starts fall on range boundaries.
+  river::SegmentStoreSource source(dir, 0.5, 1.5);
+  const auto got = drain(source, 256);
+  const std::vector<float> want(xs.begin() + 500, xs.begin() + 1500);
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(source.clean());
+  EXPECT_EQ(source.sample_rate(), 1000.0);  // learned from record attrs
+}
+
+TEST_F(SegmentStoreTest, ReplayIsBitIdenticalToFlatLogAndLiveExtraction) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(60000, 11);
+  const double rate = 21600.0;
+
+  // Live extraction is the reference.
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  // Flat-log replay: self-describing data records in a RecordLog.
+  const auto flat_path = temp_file("flat.drl");
+  {
+    river::RecordLogWriter writer(flat_path);
+    for (std::size_t pos = 0; pos < xs.size(); pos += 900) {
+      const std::size_t n = std::min<std::size_t>(900, xs.size() - pos);
+      Record rec = Record::data(
+          river::kSubtypeAudio,
+          river::FloatVec(xs.begin() + static_cast<std::ptrdiff_t>(pos),
+                          xs.begin() + static_cast<std::ptrdiff_t>(pos + n)));
+      rec.set_attr(river::kAttrSampleRate, rate);
+      writer.write(rec);
+    }
+    writer.close();
+  }
+
+  // Segment-store replay, with rotation forced mid-stream.
+  const auto dir = store_dir();
+  {
+    river::SegmentStoreOptions options;
+    options.max_segment_bytes = 64 << 10;
+    river::SegmentedRecordLog log(dir, options);
+    river::AudioSegmentArchiver archiver(log, rate, 900);
+    for (std::size_t pos = 0; pos < xs.size(); pos += 3333) {
+      const std::size_t n = std::min<std::size_t>(3333, xs.size() - pos);
+      archiver.push(std::span<const float>(xs).subspan(pos, n));
+    }
+    archiver.finish();
+    log.close();
+    ASSERT_GT(log.segments().size(), 1U) << "rotation must be exercised";
+  }
+
+  const auto replay = [&](river::SampleSource& source) {
+    core::StreamSession session(params);
+    river::CollectingEnsembleSink sink;
+    core::run_stream(source, session, sink);
+    return std::move(sink.ensembles);
+  };
+
+  river::RecordLogSource flat(flat_path);
+  expect_same_ensembles(replay(flat), want.ensembles, "flat log");
+  ASSERT_TRUE(flat.clean());
+
+  river::SegmentStoreSource segmented(dir);
+  expect_same_ensembles(replay(segmented), want.ensembles, "segment store");
+  ASSERT_TRUE(segmented.clean());
+}
+
+TEST_F(SegmentStoreTest, SchedulerReplayStationMatchesLiveExtraction) {
+  const auto params = small_params();
+  const auto xs = random_signal_with_events(60000, 29);
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  const auto dir = store_dir();
+  {
+    river::SegmentStoreOptions options;
+    options.max_segment_bytes = 64 << 10;
+    river::SegmentedRecordLog log(dir, options);
+    river::AudioSegmentArchiver archiver(log, 21600.0, 900);
+    archiver.push(xs);
+    archiver.finish();
+    log.close();
+  }
+
+  core::SessionScheduler scheduler;
+  auto sink = std::make_shared<river::CollectingEnsembleSink>();
+  core::StationConfig config;
+  config.params = params;
+  const auto id = core::add_replay_station(scheduler, "backfill", dir, 0.0,
+                                           kInf, sink, config);
+  EXPECT_EQ(scheduler.station_name(id), "backfill");
+  scheduler.run();
+
+  expect_same_ensembles(sink->ensembles, want.ensembles, "scheduler replay");
+  const auto stats = scheduler.stats();
+  ASSERT_EQ(stats.stations.size(), 1U);
+  EXPECT_TRUE(stats.stations[0].finished);
+  EXPECT_EQ(stats.stations[0].samples_dropped, 0U);
+}
