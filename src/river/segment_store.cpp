@@ -587,7 +587,19 @@ void SegmentedRecordLog::seal_active() {
 
   const bool wrote =
       std::fwrite(tail.data(), 1, tail.size(), active_.file) == tail.size();
-  if (wrote && options_.sync_on_seal) fsync_file(active_.file, name);
+  if (wrote && options_.sync_on_seal) {
+    try {
+      fsync_file(active_.file, name);
+    } catch (...) {
+      // Never leave a half-sealed segment as the active one: a retry (or
+      // the destructor's close()) would append a second tail to the same
+      // file. Drop it; recovery adopts the file on reopen — as a sealed
+      // segment if the tail reached disk, else by valid-prefix truncation.
+      std::fclose(active_.file);
+      active_ = ActiveSegment{};
+      throw;
+    }
+  }
   const bool closed = std::fclose(active_.file) == 0;
   if (!wrote || !closed) {
     active_ = ActiveSegment{};
@@ -632,6 +644,10 @@ std::size_t SegmentedRecordLog::retire_before(double t) {
 }
 
 std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes) {
+  // Rotate first: the merged segment takes the next free index, and while a
+  // segment is active that index is the active file's — merging into it
+  // would rename over the live file under the writer.
+  seal_active();
   std::size_t removed = 0;
   std::size_t run_begin = 0;
   while (run_begin < sealed_.size()) {
@@ -745,7 +761,14 @@ std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes) {
       put_raw<std::uint32_t>(p + kFooterCrcOffset + 4, kSegmentFooterMagic);
       const bool wrote =
           std::fwrite(tail.data(), 1, tail.size(), out) == tail.size();
-      if (wrote && options_.sync_on_seal) fsync_file(out, merged_name);
+      if (wrote && options_.sync_on_seal) {
+        try {
+          fsync_file(out, merged_name);
+        } catch (...) {
+          std::fclose(out);  // pre-publish .tmp: recovery removes it
+          throw;
+        }
+      }
       const bool closed = std::fclose(out) == 0;
       if (!wrote || !closed) {
         throw std::runtime_error("compaction: seal failed: " + tmp.string());
@@ -880,20 +903,33 @@ bool SegmentStoreReader::Cursor::open_next_segment() {
   while (seg_i_ < store_->sealed_.size()) {
     const SegmentInfo& s = store_->sealed_[seg_i_];
     if (s.t_min >= t1_) return false;  // time is monotone: nothing later fits
-    auto path = store_->dir_ / s.name;
-    if (!fs::exists(path)) {
-      // An in-flight compaction may not have renamed the file yet; the
-      // manifest is the truth, so read it under its temp name.
-      const auto tmp = fs::path(path.string() + ".tmp");
-      if (fs::exists(tmp)) path = tmp;
-    }
+    // The manifest is the truth, but an in-flight compaction may still hold
+    // the file under its temp name and rename it at any moment. Try both
+    // names, twice, so a rename landing between any two of our steps cannot
+    // fail the cursor spuriously. (Retention/compaction that *deletes* a
+    // snapshot's files still invalidates the cursor — see the header.)
+    const auto final_path = store_->dir_ / s.name;
+    const auto tmp_path = fs::path(final_path.string() + ".tmp");
+    fs::path path;
     SegmentFooter footer;
     std::string err;
-    if (!load_segment_footer(path, footer, &err)) {
-      throw WireError("segment store: " + err);
+    bool opened_file = false;
+    for (int attempt = 0; attempt < 2 && !opened_file; ++attempt) {
+      for (const auto& candidate : {final_path, tmp_path}) {
+        std::string e;
+        if (!load_segment_footer(candidate, footer, &e)) {
+          if (err.empty()) err = e;
+          continue;
+        }
+        file_.clear();
+        file_.open(candidate, std::ios::binary);
+        if (!file_) continue;  // renamed away between footer load and open
+        path = candidate;
+        opened_file = true;
+        break;
+      }
     }
-    file_.open(path, std::ios::binary);
-    if (!file_) throw WireError("segment store: cannot open " + path.string());
+    if (!opened_file) throw WireError("segment store: " + err);
     ++store_->opened_;
     ++seg_i_;
     in_active_ = false;
@@ -1053,6 +1089,43 @@ AudioSegmentArchiver::AudioSegmentArchiver(SegmentedRecordLog& log,
   DR_EXPECTS(sample_rate > 0.0);
   DR_EXPECTS(record_samples > 0);
   pending_.reserve(record_samples_);
+
+  // Resume after whatever the store already holds: a second archive run
+  // must continue the sample clock, or its first append (stream time 0)
+  // would violate the log's monotone-time contract. Sealing makes the tail
+  // readable; on a freshly opened log it is a no-op.
+  log_.seal_active();
+  double t_last = -std::numeric_limits<double>::infinity();
+  for (const auto& s : log_.segments()) t_last = std::max(t_last, s.t_max);
+  if (!std::isfinite(t_last)) return;  // empty store: start at sample 0
+
+  SegmentStoreReader reader(log_.directory());
+  auto cursor = reader.seek(t_last);
+  Record rec;
+  bool found = false;
+  while (cursor.next(rec)) {
+    if (rec.type != RecordType::kData || rec.subtype != kSubtypeAudio ||
+        !rec.has_attr(kAttrStartSample)) {
+      continue;
+    }
+    const double archived_rate = rec.attr_double(kAttrSampleRate, rate_);
+    if (archived_rate != rate_) {
+      throw std::runtime_error(
+          "archive resume: store holds audio at " +
+          std::to_string(archived_rate) + " Hz, not " +
+          std::to_string(rate_) + " Hz: " + log_.directory().string());
+    }
+    const auto start =
+        static_cast<std::uint64_t>(rec.attr_int(kAttrStartSample, 0));
+    start_sample_ = std::max(start_sample_, start + rec.payload_size());
+    next_sequence_ = std::max(next_sequence_, rec.sequence + 1);
+    found = true;
+  }
+  if (!found) {
+    // The tail records are of another subtype: resume from stream time
+    // alone (ceil keeps the next stamp at or after t_last).
+    start_sample_ = static_cast<std::uint64_t>(std::ceil(t_last * rate_));
+  }
 }
 
 void AudioSegmentArchiver::push(std::span<const float> samples) {

@@ -27,10 +27,14 @@
 // Guarantees:
 //   - seek(t0, t1) is O(log segments) manifest search + one index probe +
 //     a bounded scan; only segments overlapping [t0, t1) are ever opened.
-//   - Readers are safe concurrently with the writer: they see the sealed
-//     list through the atomically-renamed MANIFEST plus a bounded snapshot
-//     of the active tail (complete frames only; in-flight bytes surface as
-//     a torn tail, exactly like a flat log mid-write).
+//   - Readers are safe concurrently with the writer's append/seal: they
+//     see the sealed list through the atomically-renamed MANIFEST plus a
+//     bounded snapshot of the active tail (complete frames only; in-flight
+//     bytes surface as a torn tail, exactly like a flat log mid-write).
+//     Cursors also retry a segment's temp name, so an in-flight compaction
+//     rename cannot fail them spuriously. retire_before()/compact() DELETE
+//     files, however: a cursor opened before such a call may fail once a
+//     file its snapshot references is gone — re-seek afterwards.
 //   - Crash recovery on reopen adopts any sealed-but-unmanifested segment,
 //     rolls forward an interrupted compaction, truncates the active
 //     segment to its valid prefix and seals what survived — all with
@@ -121,7 +125,9 @@ class SegmentedRecordLog {
 
   /// Compaction: merge adjacent runs of sealed segments smaller than
   /// `min_bytes` into single segments (raw envelope copy — frames are not
-  /// re-encoded). Returns the net number of segments eliminated.
+  /// re-encoded). Seals the active segment first so the merged segment
+  /// never takes the live file's name. Returns the net number of segments
+  /// eliminated.
   std::size_t compact(std::uint64_t min_bytes);
 
   [[nodiscard]] std::size_t records_written() const { return written_; }
@@ -256,6 +262,11 @@ class SegmentStoreSource final : public RecordSampleSource {
 /// stamped with stream time start_sample / rate, so any time range replays
 /// standalone. Chunking into `record_samples`-sized records is a storage
 /// detail — extraction is bit-identical for any chunking.
+///
+/// Construction inspects the store and resumes after its existing contents
+/// (sample clock and sequence continue where the last run stopped), so
+/// repeated archive runs into one store append; a sample-rate mismatch with
+/// the archived tail throws. Resuming seals the log's active segment.
 class AudioSegmentArchiver {
  public:
   AudioSegmentArchiver(SegmentedRecordLog& log, double sample_rate,
@@ -266,6 +277,11 @@ class AudioSegmentArchiver {
   void finish();
 
   [[nodiscard]] std::size_t samples_archived() const { return archived_; }
+  /// Stream position of the next sample pushed; nonzero right after
+  /// construction when the store already held audio (resume offset).
+  [[nodiscard]] std::uint64_t next_start_sample() const {
+    return start_sample_;
+  }
 
  private:
   void flush_record();

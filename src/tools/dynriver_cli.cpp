@@ -350,6 +350,11 @@ int cmd_archive(int argc, char** argv) {
   }
 
   river::AudioSegmentArchiver archiver(log, source.sample_rate());
+  if (archiver.next_start_sample() > 0) {
+    std::printf("resuming after %.1f s already archived\n",
+                static_cast<double>(archiver.next_start_sample()) /
+                    source.sample_rate());
+  }
   std::vector<float> chunk(core::PipelineParams{}.record_size);
   for (;;) {
     const std::size_t n = source.read(chunk);

@@ -14,6 +14,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/extractor.hpp"
@@ -533,6 +534,41 @@ TEST_F(SegmentStoreTest, CompactionMergesSmallSegmentsWithIdenticalReadback) {
   EXPECT_EQ(files, 2U);
 }
 
+TEST_F(SegmentStoreTest, CompactionWithOpenActiveSegmentKeepsActiveRecords) {
+  // Regression: compact() while a segment is actively growing must not hand
+  // the merged segment the active file's name (which would rename over the
+  // live file and lose its records).
+  const auto dir = store_dir();
+  river::SegmentedRecordLog log(dir);
+  for (std::uint64_t sec = 0; sec < 4; ++sec) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      log.append(audio_record(sec * 8 + i, 32),
+                 static_cast<double>(sec) + 0.1 * static_cast<double>(i));
+    }
+    log.seal_active();
+  }
+  // Open an active segment and leave it growing across the compaction.
+  log.append(audio_record(100, 32), 10.0);
+  log.append(audio_record(101, 32), 11.0);
+  EXPECT_FALSE(log.segments().back().sealed);
+
+  EXPECT_GE(log.compact(1 << 20), 3U);
+  // The pre-compaction active records survive alongside post-compaction
+  // appends.
+  log.append(audio_record(102, 32), 12.0);
+  log.close();
+
+  river::SegmentStoreReader reader(dir);
+  std::string error;
+  EXPECT_TRUE(reader.verify(&error)) << error;
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), 35U);
+  EXPECT_EQ(got[32].sequence, 100U);
+  EXPECT_EQ(got[33].sequence, 101U);
+  EXPECT_EQ(got[34].sequence, 102U);
+}
+
 // ---------------------------------------------------------------------------
 // Replay: sample windows and bit-identity with live extraction
 // ---------------------------------------------------------------------------
@@ -557,6 +593,57 @@ TEST_F(SegmentStoreTest, SubrangeReplayYieldsExactSampleWindow) {
   EXPECT_EQ(got, want);
   EXPECT_TRUE(source.clean());
   EXPECT_EQ(source.sample_rate(), 1000.0);  // learned from record attrs
+}
+
+TEST_F(SegmentStoreTest, ArchiverResumesAfterExistingArchive) {
+  // Regression: a second archive run into the same store used to restart
+  // the sample clock at 0, tripping the log's monotone-time contract on the
+  // first append. It must continue where the previous run stopped.
+  const auto dir = store_dir();
+  const auto xs = ramp(1550);
+  {
+    river::SegmentedRecordLog log(dir);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    EXPECT_EQ(archiver.next_start_sample(), 0U);
+    archiver.push(std::span<const float>(xs).subspan(0, 1000));
+    archiver.finish();
+    log.close();
+  }
+  {
+    river::SegmentedRecordLog log(dir);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    EXPECT_EQ(archiver.next_start_sample(), 1000U);
+    archiver.push(std::span<const float>(xs).subspan(1000));
+    archiver.finish();
+    EXPECT_EQ(archiver.samples_archived(), 550U);
+    log.close();
+  }
+
+  // The two runs read back as one gapless stream, sequences continuing.
+  river::SegmentStoreSource source(dir);
+  EXPECT_EQ(drain(source, 256), xs);
+  EXPECT_TRUE(source.clean());
+  river::SegmentStoreReader reader(dir);
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), 16U);  // 10 + (5 full + 1 partial)
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].sequence, i) << "sequence must continue across runs";
+  }
+}
+
+TEST_F(SegmentStoreTest, ArchiverRejectsSampleRateMismatchOnResume) {
+  const auto dir = store_dir();
+  {
+    river::SegmentedRecordLog log(dir);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    archiver.push(ramp(500));
+    archiver.finish();
+    log.close();
+  }
+  river::SegmentedRecordLog log(dir);
+  EXPECT_THROW(river::AudioSegmentArchiver(log, 2000.0, 100),
+               std::runtime_error);
 }
 
 TEST_F(SegmentStoreTest, ReplayIsBitIdenticalToFlatLogAndLiveExtraction) {
