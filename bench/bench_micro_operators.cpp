@@ -33,6 +33,7 @@
 #include "river/sample_io.hpp"
 #include "river/segment_store.hpp"
 #include "river/wire.hpp"
+#include "ts/anomaly.hpp"
 #include "synth/station.hpp"
 #include "ts/anomaly.hpp"
 
@@ -436,6 +437,34 @@ void run_json_sweep() {
       auto patterns = fx.patterns(ensemble);
       benchmark::DoNotOptimize(patterns);
     });
+  }
+
+  // The SAX anomaly scorer alone, one second of audio: the per-sample
+  // streaming automaton vs the record-granular batch path (bit-identical
+  // outputs; the spread is what the dsp::simd energy fold + run-smoothed
+  // moving average buy before any trigger/cutter work).
+  {
+    const auto signal = random_signal(21600, 31);
+    const ts::AnomalyParams aparams = core::PipelineParams{}.anomaly;
+    std::vector<double> scores(signal.size());
+    {
+      ts::StreamingAnomalyScorer scorer(aparams);
+      record("scorer_stream_1s", signal.size(), [&] {
+        scorer.reset();
+        for (std::size_t i = 0; i < signal.size(); ++i) {
+          scores[i] = scorer.push(signal[i]);
+        }
+        benchmark::DoNotOptimize(scores);
+      });
+    }
+    {
+      ts::StreamingAnomalyScorer scorer(aparams);
+      record("scorer_batch_1s", signal.size(), [&] {
+        scorer.reset();
+        scorer.push_batch(signal.data(), signal.size(), scores.data());
+        benchmark::DoNotOptimize(scores);
+      });
+    }
   }
 
   // Full-clip extraction, then 2-channel serial vs threaded scoring.

@@ -93,7 +93,10 @@ inline eval::ProtocolOptions loo_options() {
 
 /// `git describe --always --dirty` of the working tree, or "unknown" when
 /// git (or the repository) is unavailable. Stamped into the JSON output so
-/// the perf trajectory can be correlated with commits.
+/// the perf trajectory can be correlated with commits. A dirty tree warns
+/// loudly (once): a "-dirty" stamp in a committed baseline means the numbers
+/// cannot be reproduced from any commit — regenerate from a clean checkout
+/// before committing them.
 inline std::string git_describe() {
   std::string out;
   if (FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r")) {
@@ -102,6 +105,17 @@ inline std::string git_describe() {
     pclose(pipe);
   }
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  if (out.size() >= 6 && out.compare(out.size() - 6, 6, "-dirty") == 0) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "bench: WARNING: working tree is dirty (git %s) — do not "
+                   "commit these numbers as a baseline; rerun from a clean "
+                   "tree so the stamp names a real commit\n",
+                   out.c_str());
+    }
+  }
   return out.empty() ? "unknown" : out;
 }
 

@@ -4,17 +4,39 @@
 Usage:
     scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
                              [--warn-only]
+    scripts/bench_compare.py --baseline {1core,multicore,PATH} CURRENT.json
+
+The committed baselines live at the repository root: BENCH_micro.json is
+measured serially (DR_THREADS=1 semantics — the container this repo grows in
+has one core), BENCH_micro.multicore.json with DR_THREADS=2. `--baseline
+1core` / `--baseline multicore` select them by name relative to this script's
+repository; any other value is taken as a path.
 
 Benchmarks are keyed by (op, size). An op regresses when its current
 ns_per_op exceeds baseline * (1 + threshold); it improves symmetrically.
-Exit status is 1 when any op regressed (0 with --warn-only, for noisy
-shared-runner environments where the report matters but hard-failing on a
-10% swing would be flaky).
+Ops present in only one file are reported but never fail the run — the two
+committed baselines intentionally cover different op sets (the multicore
+baseline only tracks the thread-sensitive ops). Exit status is 1 when any
+op regressed (0 with --warn-only, for noisy shared-runner environments
+where the report matters but hard-failing on a 10% swing would be flaky).
 """
 
 import argparse
 import json
+import os
 import sys
+
+NAMED_BASELINES = {
+    "1core": "BENCH_micro.json",
+    "multicore": "BENCH_micro.multicore.json",
+}
+
+
+def resolve_baseline(name):
+    if name not in NAMED_BASELINES:
+        return name  # a literal path
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, NAMED_BASELINES[name])
 
 
 def load(path):
@@ -22,10 +44,15 @@ def load(path):
         doc = json.load(f)
     if doc.get("schema") != "dynriver-bench-v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    git = doc.get("git", "unknown")
+    if git.endswith("-dirty"):
+        print(f"warning: {path} was measured on a dirty tree (git {git}); "
+              f"its numbers are not reproducible from any commit",
+              file=sys.stderr)
     table = {}
     for rec in doc.get("benchmarks", []):
         table[(rec["op"], rec["size"])] = float(rec["ns_per_op"])
-    return doc.get("git", "unknown"), table
+    return git, table
 
 
 def fmt_ns(ns):
@@ -38,8 +65,15 @@ def fmt_ns(ns):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("files", nargs="+", metavar="JSON",
+                        help="BASELINE.json CURRENT.json, or just "
+                             "CURRENT.json with --baseline")
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="named committed baseline ('1core' or 'multicore') or a path; "
+             "replaces the positional BASELINE.json",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -54,11 +88,22 @@ def main():
     )
     args = parser.parse_args()
 
-    base_git, base = load(args.baseline)
-    cur_git, cur = load(args.current)
+    if args.baseline is not None:
+        if len(args.files) != 1:
+            parser.error("with --baseline, pass exactly one CURRENT.json")
+        baseline_path = resolve_baseline(args.baseline)
+        current_path = args.files[0]
+    else:
+        if len(args.files) != 2:
+            parser.error("pass BASELINE.json CURRENT.json "
+                         "(or CURRENT.json with --baseline)")
+        baseline_path, current_path = args.files
 
-    print(f"baseline: {args.baseline} (git {base_git})")
-    print(f"current:  {args.current} (git {cur_git})")
+    base_git, base = load(baseline_path)
+    cur_git, cur = load(current_path)
+
+    print(f"baseline: {baseline_path} (git {base_git})")
+    print(f"current:  {current_path} (git {cur_git})")
     print(f"{'op':<28} {'size':>8} {'baseline':>13} {'current':>13} "
           f"{'ratio':>7}  verdict")
     print("-" * 86)

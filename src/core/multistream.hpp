@@ -39,7 +39,10 @@ struct MultiStreamParams {
   /// Threads for per-channel anomaly scoring: 0 = the shared
   /// common::ThreadPool (hardware concurrency), 1 = serial. Each channel's
   /// scorer is an independent streaming automaton, so threaded and serial
-  /// runs are bit-identical.
+  /// runs are bit-identical. This is a ceiling, not a promise: when the
+  /// runner resolves to one lane, or the measured per-chunk scoring work
+  /// does not clear the pool's measured dispatch cost, extract()
+  /// transparently runs serial (see MultiStreamExtractor::extract).
   std::size_t score_threads = 0;
 };
 

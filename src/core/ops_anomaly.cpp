@@ -27,9 +27,7 @@ void SaxAnomalyOp::process(Record rec, river::Emitter& out) {
 
   const auto audio = rec.floats();
   river::FloatVec scores(audio.size());
-  for (std::size_t i = 0; i < audio.size(); ++i) {
-    scores[i] = static_cast<float>(scorer_.push(audio[i]));
-  }
+  scorer_.push_batch(audio.data(), audio.size(), scores.data());
   Record score_rec = Record::data(river::kSubtypeAnomalyScore, std::move(scores));
   score_rec.scope_depth = rec.scope_depth;
 
@@ -40,13 +38,16 @@ void SaxAnomalyOp::process(Record rec, river::Emitter& out) {
 TriggerState::TriggerState(double sigma_threshold, std::size_t min_baseline,
                            std::size_t hold_samples)
     : sigma_threshold_(sigma_threshold),
+      sigma_sq_(sigma_threshold * sigma_threshold),
       min_baseline_(min_baseline),
       hold_samples_(hold_samples) {
   DR_EXPECTS(sigma_threshold > 0.0);
 }
 
 void TriggerState::reset() {
-  baseline_.reset();
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
   active_ = false;
   seen_nonzero_ = false;
   below_count_ = 0;
@@ -57,6 +58,7 @@ void TriggerState::set_thresholding(double sigma_threshold,
                                     std::size_t hold_samples) {
   DR_EXPECTS(sigma_threshold > 0.0);
   sigma_threshold_ = sigma_threshold;
+  sigma_sq_ = sigma_threshold * sigma_threshold;
   min_baseline_ = min_baseline;
   hold_samples_ = hold_samples;
 }

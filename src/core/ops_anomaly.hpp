@@ -9,10 +9,10 @@
 // scope type `scope_ensemble`, nested inside the clip scope.
 #pragma once
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
-#include "common/stats.hpp"
 #include "core/params.hpp"
 #include "core/stream_cutter.hpp"
 #include "river/operator.hpp"
@@ -62,8 +62,14 @@ class TriggerState {
       seen_nonzero_ = true;
     }
 
-    const bool above =
-        baseline_.count() >= min_baseline_ && score > threshold();
+    // Decision in squared space: score > mu0 + sigma_threshold*sigma0 with
+    // d = score - mu0 is (d > 0) && (d^2 * count > sigma_threshold^2 * m2),
+    // since sigma0^2 = m2/count. Same decision as the literal formula
+    // (both sides non-negative, squaring is monotonic) but division- and
+    // sqrt-free — the old per-sample stddev() dominated this loop.
+    const double d = score - mean_;
+    const bool above = count_ >= min_baseline_ && d > 0.0 &&
+                       d * d * static_cast<double>(count_) > sigma_sq_ * m2_;
     if (above) {
       active_ = true;
       below_count_ = 0;
@@ -76,17 +82,25 @@ class TriggerState {
     }
     // Untriggered scores feed the incremental mu0/sigma0 estimate; scores
     // seen while triggered are deliberately excluded so events do not
-    // poison the baseline.
+    // poison the baseline. Welford, with the divide hoisted out of the
+    // mean_ dependency chain: 1/count depends only on the sample counter,
+    // so the division pipelines ahead of the serial add+multiply chain
+    // instead of stalling it (a measurable slice of per-sample cost).
     active_ = false;
     below_count_ = 0;
-    baseline_.add(score);
+    ++count_;
+    mean_ += d * (1.0 / static_cast<double>(count_));
+    m2_ += d * (score - mean_);
     return false;
   }
 
-  [[nodiscard]] double mu0() const { return baseline_.mean(); }
-  [[nodiscard]] double sigma0() const { return baseline_.stddev(); }
+  [[nodiscard]] double mu0() const { return mean_; }
+  [[nodiscard]] double sigma0() const {
+    return count_ < 2 ? 0.0
+                      : std::sqrt(m2_ / static_cast<double>(count_));
+  }
   [[nodiscard]] double threshold() const {
-    return baseline_.mean() + sigma_threshold_ * baseline_.stddev();
+    return mu0() + sigma_threshold_ * sigma0();
   }
   [[nodiscard]] bool active() const { return active_; }
   void reset();
@@ -100,9 +114,16 @@ class TriggerState {
 
  private:
   double sigma_threshold_;
+  double sigma_sq_;  ///< sigma_threshold_^2, for the squared-space decision
   std::size_t min_baseline_;
   std::size_t hold_samples_;
-  dynriver::RunningStats baseline_;
+  /// Inline Welford baseline (mu0/sigma0 over untriggered scores). Kept as
+  /// raw members rather than a RunningStats so push() can fold the decision
+  /// and the update over one shared `d = score - mean_` without an outlined
+  /// variance call per sample.
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
   bool active_ = false;
   bool seen_nonzero_ = false;  // skip the scorer's warmup zeros
   std::size_t below_count_ = 0;

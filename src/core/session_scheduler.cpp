@@ -58,6 +58,9 @@ struct SessionScheduler::Station {
   bool finished = false;          ///< sink finished too; never runnable again
   std::optional<PipelineParams> pending_params;  ///< live reconfigure hand-off
 
+  /// Resolved per-round credit (config.quantum_samples or the scheduler
+  /// default) — weighted DRR reads this, never the options, per round.
+  std::size_t quantum = 0;
   /// Deficit round-robin credit; touched only by the one worker processing
   /// this station in a round (rounds never overlap per station).
   std::size_t deficit = 0;
@@ -104,6 +107,8 @@ std::size_t SessionScheduler::add_station_impl(
   auto st = std::make_unique<Station>();
   st->chunk_samples = config.read_chunk_samples != 0 ? config.read_chunk_samples
                                                      : config.params.record_size;
+  st->quantum = config.quantum_samples != 0 ? config.quantum_samples
+                                            : options_.quantum_samples;
   DR_EXPECTS(st->chunk_samples >= 1);
   DR_EXPECTS(st->chunk_samples <= config.queue_capacity_samples);
   st->name = std::move(name);
@@ -219,7 +224,7 @@ void SessionScheduler::deliver(Station& st,
 }
 
 void SessionScheduler::process_station(Station& st) {
-  st.deficit += options_.quantum_samples;
+  st.deficit += st.quantum;
   bool drained = false;
   for (;;) {
     std::vector<float> chunk;

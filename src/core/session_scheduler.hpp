@@ -65,6 +65,13 @@ struct StationConfig {
   /// Samples per source read; 0 = params.record_size. Must be <= the queue
   /// capacity. Also the granularity of drop-oldest eviction.
   std::size_t read_chunk_samples = 0;
+  /// Weighted deficit round-robin: this station's per-round credit in
+  /// samples; 0 adopts the scheduler-wide SchedulerOptions::quantum_samples
+  /// (uniform fairness). A station with twice the quantum drains twice the
+  /// samples per round while backlogged — priority stations (a critical
+  /// hydrophone among routine ones) get a proportional throughput share
+  /// without starving anyone.
+  std::size_t quantum_samples = 0;
   /// Session observation knobs (taps, on_signal). on_signal runs on a
   /// scheduler worker thread.
   SessionOptions session_options;
@@ -101,10 +108,11 @@ struct SchedulerOptions {
   /// 0 = the shared common::ThreadPool, 1 = serial on the caller,
   /// >= 2 = a dedicated pool of that size).
   std::size_t threads = 0;
-  /// Deficit round-robin credit per station per round, in samples. A
-  /// station processes whole queued chunks while its accumulated credit
-  /// lasts; credit carries over while work remains (so chunks larger than
-  /// one quantum still progress) and resets when its queue drains.
+  /// Deficit round-robin credit per station per round, in samples, for
+  /// stations that leave StationConfig::quantum_samples at 0. A station
+  /// processes whole queued chunks while its accumulated credit lasts;
+  /// credit carries over while work remains (so chunks larger than one
+  /// quantum still progress) and resets when its queue drains.
   std::size_t quantum_samples = 4500;
   /// Observer invoked after every scheduling round with a fresh stats
   /// snapshot, on the scheduling thread with all workers quiescent —

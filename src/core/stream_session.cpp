@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::core {
 
@@ -57,29 +58,46 @@ StreamSession::StreamSession(PipelineParams params, Options options,
   params_.validate();
 }
 
+namespace {
+/// Samples scored per batched block inside the sessions' push loops: large
+/// enough to amortize the scorer's batch entry (whole energy frames, one
+/// push_run per frame), small enough that the score scratch stays cache-hot
+/// (32 KiB of doubles) next to the input block.
+constexpr std::size_t kScoreBlock = 4096;
+}  // namespace
+
 std::size_t StreamSession::push(std::span<const float> samples) {
   if (pending_params_) return push_reconfiguring(samples);
   const bool tapped = tap_.enabled();
   const bool observed = static_cast<bool>(options_.on_signal);
-  // The scoring loop accumulates runs of equal trigger value and hands each
-  // run to the cutter in one bulk call: trigger runs are thousands of
-  // samples long, so the cutter's per-sample bookkeeping vanishes from the
-  // hot loop and ensemble/gap buffers grow by range inserts.
+  // The scorer runs block-batched (whole energy frames fold through the
+  // dsp::simd kernels — bit-identical to per-sample pushes); the
+  // trigger/tap loop then accumulates runs of equal trigger value over the
+  // block's scores and hands each run to the cutter in one bulk call:
+  // trigger runs are thousands of samples long, so the cutter's per-sample
+  // bookkeeping vanishes and ensemble/gap buffers grow by range inserts.
   const float* data = samples.data();
   const std::size_t n = samples.size();
+  if (score_block_.empty()) score_block_.resize(kScoreBlock);
+  double* const scores = score_block_.data();
   bool run_trig = false;
   std::size_t run_start = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double score = scorer_.push(data[i]);
-    const bool trig = trigger_.push(score);
-    if (tapped) tap_.push(static_cast<float>(score), trig);
-    if (observed) {
-      options_.on_signal(consumed_ + i, static_cast<float>(score), trig);
-    }
-    if (trig != run_trig) {
-      cutter_.step_run(run_trig, &data, run_start, i - run_start);
-      run_trig = trig;
-      run_start = i;
+  for (std::size_t base = 0; base < n; base += kScoreBlock) {
+    const std::size_t m = std::min(kScoreBlock, n - base);
+    scorer_.push_batch(data + base, m, scores);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t i = base + j;
+      const double score = scores[j];
+      const bool trig = trigger_.push(score);
+      if (tapped) tap_.push(static_cast<float>(score), trig);
+      if (observed) {
+        options_.on_signal(consumed_ + i, static_cast<float>(score), trig);
+      }
+      if (trig != run_trig) {
+        cutter_.step_run(run_trig, &data, run_start, i - run_start);
+        run_trig = trig;
+        run_start = i;
+      }
     }
   }
   if (n > 0) cutter_.step_run(run_trig, &data, run_start, n - run_start);
@@ -190,38 +208,30 @@ MultiStreamSession::MultiStreamSession(
   }
 }
 
-std::size_t MultiStreamSession::push(
-    std::span<const std::span<const float>> chunks) {
-  DR_EXPECTS(chunks.size() == channels());
-  const std::size_t n = chunks.empty() ? 0 : chunks.front().size();
-  for (const auto& chunk : chunks) DR_EXPECTS(chunk.size() == n);
-
-  // Hot loop: hoist the span-of-spans indirection, channel count, and
-  // observer flags — the per-sample work must stay scorer-bound, not
-  // bookkeeping-bound. Like StreamSession::push, the cutter is fed whole
-  // trigger runs in bulk, so the per-sample frame gather and cutter
-  // branches are gone from the loop entirely.
+void MultiStreamSession::fuse_block(const double* const* scores,
+                                    std::size_t base, std::size_t m,
+                                    const float* const* data, bool& run_trig,
+                                    std::size_t& run_start) {
+  // Fusion reads channels in fixed order, so push() and push_scored() are
+  // bit-identical for the same signals. Observer flags and channel count are
+  // hoisted; the cutter is fed whole trigger runs in bulk (trigger runs are
+  // thousands of samples long, so its per-sample branches never run here).
   const std::size_t ch = channels();
-  channel_data_.resize(ch);
-  for (std::size_t c = 0; c < ch; ++c) channel_data_[c] = chunks[c].data();
-  const float* const* data = channel_data_.data();
-  ts::StreamingAnomalyScorer* scorers = scorers_.data();
   const bool slow_path = tap_.enabled() || options_.on_signal != nullptr;
   const bool fuse_max = params_.fusion == ScoreFusion::kMax;
-
-  bool run_trig = false;
-  std::size_t run_start = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    // Fusion reads channels in fixed order, matching the pre-scored path.
+  // The per-sample fusion fold stays inside the trigger loop on purpose: a
+  // separate SIMD max/mean pass over the block was measured slower — the
+  // extra fused-score buffer traffic does not overlap anything, while these
+  // few scalar ops hide entirely under the trigger's serial Welford chain.
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t i = base + j;
     double fused = 0.0;
     if (fuse_max) {
       for (std::size_t c = 0; c < ch; ++c) {
-        fused = std::max(fused, scorers[c].push(data[c][i]));
+        fused = std::max(fused, scores[c][j]);
       }
     } else {
-      for (std::size_t c = 0; c < ch; ++c) {
-        fused += scorers[c].push(data[c][i]);
-      }
+      for (std::size_t c = 0; c < ch; ++c) fused += scores[c][j];
       fused /= static_cast<double>(ch);
     }
     const bool trig = trigger_.push(fused);
@@ -236,6 +246,42 @@ std::size_t MultiStreamSession::push(
       run_trig = trig;
       run_start = i;
     }
+  }
+}
+
+std::size_t MultiStreamSession::push(
+    std::span<const std::span<const float>> chunks) {
+  DR_EXPECTS(chunks.size() == channels());
+  const std::size_t n = chunks.empty() ? 0 : chunks.front().size();
+  for (const auto& chunk : chunks) DR_EXPECTS(chunk.size() == n);
+
+  // Each channel's scorer runs block-batched into its slice of the shared
+  // scratch (bit-identical to per-sample lockstep pushes — the scorers are
+  // independent automata); the fuse/trigger/cutter half then consumes the
+  // block. Memory stays O(channels * block) for any chunk size.
+  const std::size_t ch = channels();
+  channel_data_.resize(ch);
+  score_data_.resize(ch);
+  if (score_block_.size() < ch * kScoreBlock) {
+    score_block_.resize(ch * kScoreBlock);
+  }
+  for (std::size_t c = 0; c < ch; ++c) {
+    channel_data_[c] = chunks[c].data();
+    score_data_[c] = score_block_.data() + c * kScoreBlock;
+  }
+  const float* const* data = channel_data_.data();
+  const double* const* scores = score_data_.data();
+  ts::StreamingAnomalyScorer* scorers = scorers_.data();
+
+  bool run_trig = false;
+  std::size_t run_start = 0;
+  for (std::size_t base = 0; base < n; base += kScoreBlock) {
+    const std::size_t m = std::min(kScoreBlock, n - base);
+    for (std::size_t c = 0; c < ch; ++c) {
+      scorers[c].push_batch(data[c] + base, m,
+                            score_block_.data() + c * kScoreBlock);
+    }
+    fuse_block(scores, base, m, data, run_trig, run_start);
   }
   if (n > 0) cutter_.step_run(run_trig, data, run_start, n - run_start);
   consumed_ += n;
@@ -254,40 +300,20 @@ std::size_t MultiStreamSession::push_scored(
   const std::size_t ch = channels();
   channel_data_.resize(ch);
   score_data_.resize(ch);
-  for (std::size_t c = 0; c < ch; ++c) {
-    channel_data_[c] = chunks[c].data();
-    score_data_[c] = channel_scores[c].data();
-  }
+  for (std::size_t c = 0; c < ch; ++c) channel_data_[c] = chunks[c].data();
   const float* const* data = channel_data_.data();
-  const double* const* scores = score_data_.data();
-  const bool slow_path = tap_.enabled() || options_.on_signal != nullptr;
-  const bool fuse_max = params_.fusion == ScoreFusion::kMax;
-
+  // Block through the precomputed spans so the fused scratch stays
+  // kScoreBlock-sized (cache-resident) however large the caller's chunk is;
+  // per-block score pointers keep fuse_block's in-block indexing while the
+  // cutter sees absolute chunk offsets.
   bool run_trig = false;
   std::size_t run_start = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    // The same fixed-order fusion as push(), over pre-computed scores.
-    double fused = 0.0;
-    if (fuse_max) {
-      for (std::size_t c = 0; c < ch; ++c) {
-        fused = std::max(fused, scores[c][i]);
-      }
-    } else {
-      for (std::size_t c = 0; c < ch; ++c) fused += scores[c][i];
-      fused /= static_cast<double>(ch);
+  for (std::size_t base = 0; base < n; base += kScoreBlock) {
+    const std::size_t m = std::min(kScoreBlock, n - base);
+    for (std::size_t c = 0; c < ch; ++c) {
+      score_data_[c] = channel_scores[c].data() + base;
     }
-    const bool trig = trigger_.push(fused);
-    if (slow_path) {
-      if (tap_.enabled()) tap_.push(static_cast<float>(fused), trig);
-      if (options_.on_signal) {
-        options_.on_signal(consumed_ + i, static_cast<float>(fused), trig);
-      }
-    }
-    if (trig != run_trig) {
-      cutter_.step_run(run_trig, data, run_start, i - run_start);
-      run_trig = trig;
-      run_start = i;
-    }
+    fuse_block(score_data_.data(), base, m, data, run_trig, run_start);
   }
   if (n > 0) cutter_.step_run(run_trig, data, run_start, n - run_start);
   consumed_ += n;

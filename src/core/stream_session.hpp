@@ -167,6 +167,9 @@ class StreamSession {
   detail::StreamCutter cutter_;
   SignalTap tap_;
   std::size_t consumed_ = 0;
+  /// Fixed-size scratch for the scorer's batched scores: push() scores one
+  /// cache-hot block at a time, so memory stays O(block), not O(chunk).
+  std::vector<double> score_block_;
   /// Parameters adopted at the next ensemble boundary (live reconfigure).
   std::optional<PipelineParams> pending_params_;
 };
@@ -212,6 +215,15 @@ class MultiStreamSession {
   }
 
  private:
+  /// Shared back half of push() and push_scored(): fuse one block of
+  /// per-channel scores in fixed channel order and advance the trigger, the
+  /// taps, and the trigger-run accumulation. `scores[c]` points at channel
+  /// c's scores for samples [base, base + m); `run_trig`/`run_start` carry
+  /// the open trigger run across blocks (absolute indices into `data`).
+  void fuse_block(const double* const* scores, std::size_t base, std::size_t m,
+                  const float* const* data, bool& run_trig,
+                  std::size_t& run_start);
+
   MultiStreamParams params_;
   StreamSession::Options options_;
   FeatureExtractor features_;
@@ -222,6 +234,9 @@ class MultiStreamSession {
   std::size_t consumed_ = 0;
   std::vector<const float*> channel_data_;   ///< hoisted chunk pointers
   std::vector<const double*> score_data_;    ///< hoisted score pointers
+  /// Per-channel scratch blocks for the scorers' batched scores (flat,
+  /// channels x block) — push() stays O(channels * block) memory.
+  std::vector<double> score_block_;
 };
 
 /// Pump a source through a session into a sink in `chunk_samples` blocks

@@ -26,6 +26,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #if (defined(__GNUC__) || defined(__clang__)) && !defined(DYNRIVER_NO_SIMD)
 #define DYNRIVER_SIMD_VECTOR_EXT 1
@@ -306,6 +307,245 @@ inline void radix4_first_pass(double* d, std::size_t s) {
     p[7] = t1i + dr;
   }
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Scoring-chain kernels (znorm / PAA / SAX / windowed energy).
+//
+// Reduction contract, shared verbatim by the vector and scalar bodies so the
+// two backends agree bit-for-bit (the anomaly scorer's batch and streaming
+// paths both fold through these, and their outputs feed integer symbol
+// decisions): four double accumulator lanes, lane l summing elements
+// l, l+4, l+8, ...; the n%4 tail folds sequentially into a fifth scalar
+// accumulator; the result combines as ((lane0+lane2)+(lane1+lane3)) + tail.
+// ---------------------------------------------------------------------------
+
+/// Sum of n floats accumulated in double (fixed lane-order contract above).
+[[nodiscard]] inline double sum_f32(const float* x, std::size_t n) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  detail::V4d acc = {0.0, 0.0, 0.0, 0.0};
+  for (; i + 4 <= n; i += 4) {
+    acc += __builtin_convertvector(detail::load4f(x + i), detail::V4d);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += static_cast<double>(x[i]);
+  return ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail;
+#else
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += static_cast<double>(x[i]);
+    l1 += static_cast<double>(x[i + 1]);
+    l2 += static_cast<double>(x[i + 2]);
+    l3 += static_cast<double>(x[i + 3]);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += static_cast<double>(x[i]);
+  return ((l0 + l2) + (l1 + l3)) + tail;
+#endif
+}
+
+/// Sum of squares of n floats in double — the windowed-energy fold behind
+/// the scorer's log-RMS frame aggregation (same lane-order contract).
+[[nodiscard]] inline double sum_squares_f32(const float* x, std::size_t n) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  detail::V4d acc = {0.0, 0.0, 0.0, 0.0};
+  for (; i + 4 <= n; i += 4) {
+    const detail::V4d v =
+        __builtin_convertvector(detail::load4f(x + i), detail::V4d);
+    acc += v * v;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail;
+#else
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+    l1 += static_cast<double>(x[i + 1]) * static_cast<double>(x[i + 1]);
+    l2 += static_cast<double>(x[i + 2]) * static_cast<double>(x[i + 2]);
+    l3 += static_cast<double>(x[i + 3]) * static_cast<double>(x[i + 3]);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return ((l0 + l2) + (l1 + l3)) + tail;
+#endif
+}
+
+/// Fused mean/variance pass: one sweep accumulates sum and sum of squares
+/// (each under the lane-order contract), then mean = S/n and population
+/// variance = max(0, Q/n - mean^2). Audio-style data (bounded, near zero
+/// mean) loses nothing to the E[x^2] - mu^2 cancellation in double; the
+/// clamp absorbs the tiny negative residue a constant series can produce.
+inline void mean_var_f32(const float* x, std::size_t n, double* mean_out,
+                         double* var_out) {
+  if (n == 0) {
+    *mean_out = 0.0;
+    *var_out = 0.0;
+    return;
+  }
+  std::size_t i = 0;
+  double s;
+  double q;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  detail::V4d acc_s = {0.0, 0.0, 0.0, 0.0};
+  detail::V4d acc_q = {0.0, 0.0, 0.0, 0.0};
+  for (; i + 4 <= n; i += 4) {
+    const detail::V4d v =
+        __builtin_convertvector(detail::load4f(x + i), detail::V4d);
+    acc_s += v;
+    acc_q += v * v;
+  }
+  double tail_s = 0.0;
+  double tail_q = 0.0;
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    tail_s += v;
+    tail_q += v * v;
+  }
+  s = ((acc_s[0] + acc_s[2]) + (acc_s[1] + acc_s[3])) + tail_s;
+  q = ((acc_q[0] + acc_q[2]) + (acc_q[1] + acc_q[3])) + tail_q;
+#else
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+  for (; i + 4 <= n; i += 4) {
+    const double v0 = static_cast<double>(x[i]);
+    const double v1 = static_cast<double>(x[i + 1]);
+    const double v2 = static_cast<double>(x[i + 2]);
+    const double v3 = static_cast<double>(x[i + 3]);
+    s0 += v0;
+    s1 += v1;
+    s2 += v2;
+    s3 += v3;
+    q0 += v0 * v0;
+    q1 += v1 * v1;
+    q2 += v2 * v2;
+    q3 += v3 * v3;
+  }
+  double tail_s = 0.0;
+  double tail_q = 0.0;
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    tail_s += v;
+    tail_q += v * v;
+  }
+  s = ((s0 + s2) + (s1 + s3)) + tail_s;
+  q = ((q0 + q2) + (q1 + q3)) + tail_q;
+#endif
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double mean = s * inv_n;
+  const double var = q * inv_n - mean * mean;
+  *mean_out = mean;
+  *var_out = var > 0.0 ? var : 0.0;
+}
+
+/// dst[i] = (x[i] - mu) * inv_sigma in float — the z-normalize apply step.
+/// `dst` may alias `x` (the in-place normalization). Pure elementwise float
+/// arithmetic: vector and scalar bodies are bit-identical.
+inline void normalize_f32(float* dst, const float* x, std::size_t n, float mu,
+                          float inv_sigma) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  const detail::V8f muv = {mu, mu, mu, mu, mu, mu, mu, mu};
+  const detail::V8f sv = {inv_sigma, inv_sigma, inv_sigma, inv_sigma,
+                          inv_sigma, inv_sigma, inv_sigma, inv_sigma};
+  for (; i + 8 <= n; i += 8) {
+    detail::store8f(dst + i, (detail::load8f(x + i) - muv) * sv);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = (x[i] - mu) * inv_sigma;
+}
+
+/// out[s] = mean of x[s*seg_len .. (s+1)*seg_len) in float — the PAA
+/// segment-mean fold over a whole record (exact-divisor geometry). Each
+/// segment reduces under the lane-order contract of sum_f32.
+inline void segment_means_f32(const float* x, std::size_t segments,
+                              std::size_t seg_len, float* out) {
+  const double inv_len = 1.0 / static_cast<double>(seg_len);
+  for (std::size_t s = 0; s < segments; ++s) {
+    out[s] = static_cast<float>(sum_f32(x + s * seg_len, seg_len) * inv_len);
+  }
+}
+
+/// SAX discretization of n floats against `n_breaks` sorted breakpoints:
+/// out[i] = number of breakpoints <= x[i] — branchless, exactly the index
+/// the textbook "scan until x < breakpoint" search returns for sorted
+/// breakpoints. The vector body accumulates the 0/-1 lanes of four
+/// comparisons per breakpoint; counts are exact integers, so vector, scalar,
+/// and scan agree bit-for-bit. (NaN input maps to symbol 0 on every path.)
+inline void discretize_f32(const float* x, std::size_t n, const double* breaks,
+                           std::size_t n_breaks, std::uint8_t* out) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  for (; i + 4 <= n; i += 4) {
+    const detail::V4d v =
+        __builtin_convertvector(detail::load4f(x + i), detail::V4d);
+    detail::M4 counts = {0, 0, 0, 0};
+    for (std::size_t b = 0; b < n_breaks; ++b) {
+      const double bp = breaks[b];
+      const detail::V4d bv = {bp, bp, bp, bp};
+      counts -= (v >= bv);  // each lane: 0 or -1
+    }
+    out[i] = static_cast<std::uint8_t>(counts[0]);
+    out[i + 1] = static_cast<std::uint8_t>(counts[1]);
+    out[i + 2] = static_cast<std::uint8_t>(counts[2]);
+    out[i + 3] = static_cast<std::uint8_t>(counts[3]);
+  }
+#endif
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    unsigned sym = 0;
+    for (std::size_t b = 0; b < n_breaks; ++b) {
+      sym += v >= breaks[b] ? 1U : 0U;
+    }
+    out[i] = static_cast<std::uint8_t>(sym);
+  }
+}
+
+/// dst[i] = max(dst[i], x[i]) over n doubles — the kMax score-fusion fold
+/// across channels. max is evaluated elementwise as (b > a ? b : a),
+/// identical to std::max for non-NaN scores, so vector and scalar bodies
+/// agree bitwise.
+inline void max_inplace_f64(double* dst, const double* x, std::size_t n) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  for (; i + 4 <= n; i += 4) {
+    const detail::V4d a = detail::load4d(dst + i);
+    const detail::V4d b = detail::load4d(x + i);
+    detail::store4d(dst + i, b > a ? b : a);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = x[i] > dst[i] ? x[i] : dst[i];
+}
+
+/// dst[i] += x[i] over n doubles (the kMean fusion accumulate). Pure
+/// elementwise adds: vector and scalar bodies are bit-identical.
+inline void add_inplace_f64(double* dst, const double* x, std::size_t n) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  for (; i + 4 <= n; i += 4) {
+    detail::store4d(dst + i, detail::load4d(dst + i) + detail::load4d(x + i));
+  }
+#endif
+  for (; i < n; ++i) dst[i] += x[i];
+}
+
+/// dst[i] *= s over n doubles (the kMean 1/channels normalization). Pure
+/// elementwise multiplies: vector and scalar bodies are bit-identical.
+inline void scale_f64(double* dst, std::size_t n, double s) {
+  std::size_t i = 0;
+#if DYNRIVER_SIMD_VECTOR_EXT
+  const detail::V4d sv = {s, s, s, s};
+  for (; i + 4 <= n; i += 4) {
+    detail::store4d(dst + i, detail::load4d(dst + i) * sv);
+  }
+#endif
+  for (; i < n; ++i) dst[i] *= s;
 }
 
 }  // namespace dynriver::dsp::simd

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::ts {
 
@@ -22,8 +23,61 @@ StreamingAnomalyScorer::StreamingAnomalyScorer(const AnomalyParams& params)
       lead_(params.alphabet, params.level),
       ma_(params.ma_window),
       grams_per_window_(params.window - params.level + 1),
-      diff_(lag_.cells(), 0) {
+      diff_(lag_.cells(), 0),
+      frame_buf_(params.frame > 1 ? params.frame : 0, 0.0F) {
   params.validate();
+}
+
+void StreamingAnomalyScorer::complete_frame() {
+  complete_frame_energy(
+      dsp::simd::sum_squares_f32(frame_buf_.data(), params_.frame));
+}
+
+void StreamingAnomalyScorer::complete_frame_energy(double energy) {
+  const double rms = std::sqrt(energy / static_cast<double>(params_.frame));
+  push_symbol_value(static_cast<float>(std::log(rms + 1e-8)));
+  frame_fill_ = 0;
+}
+
+template <typename Out>
+void StreamingAnomalyScorer::push_batch_impl(const float* x, std::size_t n,
+                                             Out* out) {
+  std::size_t i = 0;
+  if (params_.frame == 1) {
+    for (; i < n; ++i) {
+      push_symbol_value(x[i]);
+      out[i] = static_cast<Out>(ma_.push(raw_score_));
+    }
+    return;
+  }
+  const std::size_t f = params_.frame;
+  // Head: a frame already partially buffered by earlier push() calls must
+  // finish through the per-sample path.
+  for (; i < n && frame_fill_ != 0; ++i) out[i] = static_cast<Out>(push(x[i]));
+  // Whole frames, straight off the caller's buffer: the first f-1 samples
+  // of a frame smooth an unchanged raw score (one push_run), the energy
+  // folds through the same simd kernel push() applies to its buffered copy,
+  // and the frame's last sample smooths the fresh score. Identical
+  // per-sample operation sequence to f push() calls — no copy, no
+  // per-sample frame bookkeeping.
+  for (; n - i >= f; i += f) {
+    const double energy = dsp::simd::sum_squares_f32(x + i, f);
+    ma_.push_run(raw_score_, f - 1, out + i);
+    complete_frame_energy(energy);
+    out[i + f - 1] = static_cast<Out>(ma_.push(raw_score_));
+  }
+  // Tail: buffer the partial frame for subsequent calls.
+  for (; i < n; ++i) out[i] = static_cast<Out>(push(x[i]));
+}
+
+void StreamingAnomalyScorer::push_batch(const float* x, std::size_t n,
+                                        double* out) {
+  push_batch_impl(x, n, out);
+}
+
+void StreamingAnomalyScorer::push_batch(const float* x, std::size_t n,
+                                        float* out) {
+  push_batch_impl(x, n, out);
 }
 
 void StreamingAnomalyScorer::cell_delta(std::size_t cell, std::int64_t delta) {
@@ -91,7 +145,6 @@ void StreamingAnomalyScorer::reset() {
   diff_.assign(diff_.size(), 0);
   sq_sum_ = 0;
   raw_score_ = 0.0;
-  frame_energy_ = 0.0;
   frame_fill_ = 0;
 }
 
@@ -99,7 +152,7 @@ std::vector<double> anomaly_scores(std::span<const float> series,
                                    const AnomalyParams& params) {
   StreamingAnomalyScorer scorer(params);
   std::vector<double> out(series.size());
-  for (std::size_t i = 0; i < series.size(); ++i) out[i] = scorer.push(series[i]);
+  scorer.push_batch(series.data(), series.size(), out.data());
   return out;
 }
 

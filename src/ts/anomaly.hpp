@@ -53,27 +53,33 @@ class StreamingAnomalyScorer {
   /// this sample (0 until both windows have filled).
   ///
   /// Header-inline: in energy mode (frame > 1, the pipeline default) all
-  /// but one of every `frame` samples only accumulate energy and smooth —
+  /// but one of every `frame` samples only buffer the sample and smooth —
   /// fusing that fast path into the sessions' scoring loops removes two
   /// outlined calls per sample (measurable on multi-stream extraction);
-  /// the once-per-frame symbol/bitmap work stays outlined.
+  /// the once-per-frame symbol/bitmap work stays outlined. Frame energy is
+  /// computed by the dsp::simd windowed-energy kernel over the buffered
+  /// frame — the same kernel push_batch() folds over whole frames in the
+  /// input, which is what makes the two paths bit-identical.
   double push(float sample) {
     if (params_.frame == 1) {
       // Classic SAX texture: symbolize the raw sample value.
       push_symbol_value(sample);
     } else {
       // Energy mode: one symbol per frame, encoding log-RMS energy.
-      frame_energy_ += static_cast<double>(sample) * sample;
-      if (++frame_fill_ == params_.frame) {
-        const double rms =
-            std::sqrt(frame_energy_ / static_cast<double>(params_.frame));
-        push_symbol_value(static_cast<float>(std::log(rms + 1e-8)));
-        frame_energy_ = 0.0;
-        frame_fill_ = 0;
-      }
+      frame_buf_[frame_fill_] = sample;
+      if (++frame_fill_ == params_.frame) complete_frame();
     }
     return ma_.push(raw_score_);
   }
+
+  /// Feed n samples, writing the n smoothed scores to out — the same state
+  /// machine as n push() calls (bit-identical for every chunking down to
+  /// single samples), but whole frames fold through the dsp::simd energy
+  /// kernel directly on the caller's buffer and the smoothing of unchanged
+  /// raw scores runs through MovingAverage::push_run's hoisted loop.
+  void push_batch(const float* x, std::size_t n, double* out);
+  /// Same, casting each score to float (the record-pipeline layout).
+  void push_batch(const float* x, std::size_t n, float* out);
 
   /// Last unsmoothed bitmap distance.
   [[nodiscard]] double raw_score() const { return raw_score_; }
@@ -88,6 +94,13 @@ class StreamingAnomalyScorer {
 
  private:
   void push_symbol_value(float value);
+  /// Energy mode, frame full: kernel-fold the buffered frame into its
+  /// energy and emit the log-RMS symbol.
+  void complete_frame();
+  /// Symbolize a frame whose energy (sum of squares) is already folded.
+  void complete_frame_energy(double energy);
+  template <typename Out>
+  void push_batch_impl(const float* x, std::size_t n, Out* out);
   /// Shift cell's (lag count - lead count) by delta, keeping the integer
   /// squared-difference sum exact.
   void cell_delta(std::size_t cell, std::int64_t delta);
@@ -107,8 +120,11 @@ class StreamingAnomalyScorer {
   std::vector<std::int64_t> diff_;
   std::int64_t sq_sum_ = 0;
   double raw_score_ = 0.0;
-  // Frame aggregation state (frame > 1).
-  double frame_energy_ = 0.0;
+  // Frame aggregation state (frame > 1): samples of the partially filled
+  // frame, buffered so the energy fold runs through the same dsp::simd
+  // kernel (same operation order) whether samples arrive one at a time or
+  // as a whole frame inside push_batch.
+  std::vector<float> frame_buf_;
   std::size_t frame_fill_ = 0;
 };
 

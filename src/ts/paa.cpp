@@ -1,6 +1,7 @@
 #include "ts/paa.hpp"
 
 #include "common/contracts.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::ts {
 
@@ -13,14 +14,8 @@ std::vector<float> paa(std::span<const float> series, std::size_t segments) {
   std::vector<float> out(segments, 0.0F);
 
   if (n % segments == 0) {
-    const std::size_t len = n / segments;
-    for (std::size_t s = 0; s < segments; ++s) {
-      double acc = 0.0;
-      for (std::size_t i = s * len; i < (s + 1) * len; ++i) {
-        acc += static_cast<double>(series[i]);
-      }
-      out[s] = static_cast<float>(acc / static_cast<double>(len));
-    }
+    dsp::simd::segment_means_f32(series.data(), segments, n / segments,
+                                 out.data());
     return out;
   }
 
@@ -56,12 +51,14 @@ std::vector<float> paa_reduce_by(std::span<const float> series, std::size_t fact
   const std::size_t n = series.size();
   const std::size_t segments = (n + factor - 1) / factor;
   std::vector<float> out(segments);
-  for (std::size_t s = 0; s < segments; ++s) {
-    const std::size_t lo = s * factor;
-    const std::size_t hi = std::min(lo + factor, n);
-    double acc = 0.0;
-    for (std::size_t i = lo; i < hi; ++i) acc += static_cast<double>(series[i]);
-    out[s] = static_cast<float>(acc / static_cast<double>(hi - lo));
+  // Kernel-fold the full segments; only a ragged last segment (n % factor
+  // samples) needs its own shorter mean.
+  const std::size_t full = n / factor;
+  dsp::simd::segment_means_f32(series.data(), full, factor, out.data());
+  if (full < segments) {
+    const std::size_t lo = full * factor;
+    out[full] = static_cast<float>(dsp::simd::sum_f32(series.data() + lo, n - lo) /
+                                   static_cast<double>(n - lo));
   }
   return out;
 }

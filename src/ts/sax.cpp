@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "dsp/simd.hpp"
 #include "ts/paa.hpp"
 #include "ts/znorm.hpp"
 
@@ -55,21 +56,20 @@ std::vector<double> sax_breakpoints(std::size_t alphabet) {
 }
 
 Symbol discretize_value(double normalized, std::span<const double> breakpoints) {
-  // Linear scan is fine: alphabets are small (paper uses 8).
-  Symbol sym = 0;
-  for (const double b : breakpoints) {
-    if (normalized < b) break;
-    ++sym;
-  }
-  return sym;
+  // Branchless count of breakpoints <= value: for sorted breakpoints this is
+  // exactly the index the "scan until value < breakpoint" search returns,
+  // without the unpredictable early-exit branch (values land on either side
+  // of the middle breakpoints by construction of the Gaussian bins).
+  unsigned sym = 0;
+  for (const double b : breakpoints) sym += normalized >= b ? 1U : 0U;
+  return static_cast<Symbol>(sym);
 }
 
 std::vector<Symbol> discretize(std::span<const float> normalized,
                                std::span<const double> breakpoints) {
   std::vector<Symbol> out(normalized.size());
-  for (std::size_t i = 0; i < normalized.size(); ++i) {
-    out[i] = discretize_value(static_cast<double>(normalized[i]), breakpoints);
-  }
+  dsp::simd::discretize_f32(normalized.data(), normalized.size(),
+                            breakpoints.data(), breakpoints.size(), out.data());
   return out;
 }
 

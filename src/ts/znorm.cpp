@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/stats.hpp"
+#include "dsp/simd.hpp"
 
 namespace dynriver::ts {
 
@@ -14,15 +14,19 @@ std::vector<float> znormalize(std::span<const float> series) {
 
 void znormalize_inplace(std::span<float> series) {
   if (series.empty()) return;
-  const double mu = mean_of(series);
-  const double sigma = stddev_of(series);
+  // One fused mean/variance sweep plus one vectorized apply sweep, instead
+  // of the former three passes (mean, centered squares, apply).
+  double mu = 0.0;
+  double var = 0.0;
+  dsp::simd::mean_var_f32(series.data(), series.size(), &mu, &var);
+  const double sigma = std::sqrt(var);
   if (sigma < kZnormEpsilon) {
     for (auto& v : series) v = 0.0F;
     return;
   }
-  const auto fmu = static_cast<float>(mu);
-  const auto inv = static_cast<float>(1.0 / sigma);
-  for (auto& v : series) v = (v - fmu) * inv;
+  dsp::simd::normalize_f32(series.data(), series.data(), series.size(),
+                           static_cast<float>(mu),
+                           static_cast<float>(1.0 / sigma));
 }
 
 float StreamingZnorm::push(float x) {

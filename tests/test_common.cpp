@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <deque>
+#include <random>
 #include <stdexcept>
 #include <vector>
 
@@ -103,6 +105,110 @@ TEST(MovingAverage, ResetRestartsWarmup) {
   ma.reset();
   EXPECT_DOUBLE_EQ(ma.value(), 0.0);
   EXPECT_DOUBLE_EQ(ma.push(1.0), 1.0);
+}
+
+namespace {
+
+/// Reference for the run-length-encoded window: an explicit per-sample FIFO
+/// with the exact running-sum arithmetic (evict-subtract, add, multiply by
+/// the stored reciprocal) the pre-RLE sample ring used. The RLE window must
+/// match it bit-for-bit for ANY input — distinct values just degrade to
+/// length-1 runs.
+class SampleRingReference {
+ public:
+  explicit SampleRingReference(std::size_t window) : window_(window) {}
+  double push(double x) {
+    if (buf_.size() == window_) {
+      sum_ -= buf_.front();
+      buf_.pop_front();
+    } else {
+      inv_size_ = 1.0 / static_cast<double>(buf_.size() + 1);
+    }
+    buf_.push_back(x);
+    sum_ += x;
+    return sum_ * inv_size_;
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  double inv_size_ = 0.0;
+};
+
+}  // namespace
+
+TEST(MovingAverage, MatchesSampleRingOnDistinctValuesExactly) {
+  // All-distinct input is the RLE window's worst case: every run has length
+  // one and the run ring cycles exactly like the old sample ring did.
+  std::mt19937 gen(77);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  for (const std::size_t window : {1UL, 2UL, 3UL, 7UL, 64UL}) {
+    MovingAverage ma(window);
+    SampleRingReference ref(window);
+    for (std::size_t i = 0; i < 4 * window + 37; ++i) {
+      const double x = dist(gen);
+      ASSERT_EQ(ma.push(x), ref.push(x)) << "window=" << window << " i=" << i;
+    }
+  }
+}
+
+TEST(MovingAverage, MatchesSampleRingOnRunHeavyInputExactly) {
+  // Frame-constant scores (the anomaly scorer's smoothing input) produce
+  // long runs; alternating values produce the shortest merge-eligible runs.
+  for (const std::size_t window : {1UL, 5UL, 24UL, 250UL}) {
+    MovingAverage ma(window);
+    SampleRingReference ref(window);
+    std::mt19937 gen(78);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::size_t i = 0;
+    while (i < 6 * window + 50) {
+      const double x = dist(gen);
+      const std::size_t run = 1 + (gen() % 40);  // runs up to ~1.6 windows
+      for (std::size_t t = 0; t < run; ++t, ++i) {
+        ASSERT_EQ(ma.push(x), ref.push(x)) << "window=" << window << " i=" << i;
+      }
+    }
+    // Alternating pair: runs never merge, eviction splits at every step.
+    for (std::size_t t = 0; t < 3 * window; ++t, ++i) {
+      const double x = (t % 2 == 0) ? 0.5 : -0.25;
+      ASSERT_EQ(ma.push(x), ref.push(x)) << "window=" << window << " i=" << i;
+    }
+  }
+}
+
+TEST(MovingAverage, PushRunMatchesPushExactly) {
+  // push_run is the batch scorer's hoisted fast path; it must replicate
+  // push()'s exact arithmetic for every run length, including runs that
+  // cross the warm-up boundary and runs longer than the window.
+  std::mt19937 gen(79);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  for (const std::size_t window : {1UL, 2UL, 5UL, 24UL, 250UL}) {
+    MovingAverage batched(window);
+    MovingAverage streamed(window);
+    std::size_t total = 0;
+    std::size_t run = 1;
+    while (total < 5 * window + 100) {
+      // Repeat values sometimes so the tail-run extension path is hit too.
+      const double x = (gen() % 4 == 0) ? 0.75 : dist(gen);
+      std::vector<double> got(run);
+      batched.push_run(x, run, got.data());
+      for (std::size_t t = 0; t < run; ++t) {
+        ASSERT_EQ(got[t], streamed.push(x))
+            << "window=" << window << " run=" << run << " t=" << t;
+      }
+      total += run;
+      run = run * 2 + 1;  // 1, 3, 7, ... quickly exceeds the window
+      if (run > 2 * window + 7) run = 1;
+    }
+    // Float output narrows the same double value.
+    const double x = dist(gen);
+    std::vector<float> gotf(3);
+    batched.push_run(x, 3, gotf.data());
+    for (std::size_t t = 0; t < 3; ++t) {
+      ASSERT_EQ(gotf[t], static_cast<float>(streamed.push(x))) << "t=" << t;
+    }
+  }
 }
 
 TEST(MeanStdHelpers, SpanOverloads) {

@@ -254,3 +254,69 @@ TEST(SessionScheduler, ReconfigureMatchesHandPumpedSession) {
             p2.merge_gap_samples);
   expect_same_ensembles(sink->ensembles, want, "tuned");
 }
+
+TEST(SessionScheduler, WeightedQuantaSplitServiceProportionally) {
+  // Weighted DRR: a station with twice the per-round quantum drains twice
+  // the samples per round while both stations stay backlogged. threads=1
+  // and manual process_available() pumping make every round deterministic:
+  // each round adds the station's quantum to its deficit and drains whole
+  // queued chunks while credit lasts, so with chunk-aligned quanta the
+  // consumption ratio is exactly the quantum ratio — not approximately.
+  const auto params = small_params();
+  constexpr std::size_t kChunk = 600;
+  constexpr std::size_t kChunks = 40;  // 24000-sample backlog per station
+
+  core::SchedulerOptions options;
+  options.threads = 1;
+  options.quantum_samples = 1200;  // station "light" adopts this default
+  core::SessionScheduler scheduler(options);
+
+  core::StationConfig heavy_cfg;
+  heavy_cfg.params = params;
+  heavy_cfg.queue_capacity_samples = kChunks * kChunk;
+  heavy_cfg.quantum_samples = 2400;  // 2x the scheduler-wide quantum
+  core::StationConfig light_cfg = heavy_cfg;
+  light_cfg.quantum_samples = 0;  // adopt options_.quantum_samples (1200)
+
+  auto heavy_sink = std::make_shared<river::CollectingEnsembleSink>();
+  auto light_sink = std::make_shared<river::CollectingEnsembleSink>();
+  const auto heavy = scheduler.add_station("heavy", heavy_sink, heavy_cfg);
+  const auto light = scheduler.add_station("light", light_sink, light_cfg);
+
+  const auto xs = random_signal_with_events(kChunks * kChunk, 21);
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    const std::span<const float> chunk(xs.data() + c * kChunk, kChunk);
+    EXPECT_EQ(scheduler.push(heavy, chunk), 0U);
+    EXPECT_EQ(scheduler.push(light, chunk), 0U);
+  }
+
+  // Five rounds: heavy earns 5*2400 = 12000 credit, light 5*1200 = 6000 —
+  // both far below the 24000 backlog, so neither queue drains and the
+  // deficit never resets.
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(scheduler.process_available());
+  }
+
+  const auto stats = scheduler.stats();
+  std::size_t heavy_consumed = 0;
+  std::size_t light_consumed = 0;
+  for (const auto& st : stats.stations) {
+    if (st.name == "heavy") heavy_consumed = st.samples_consumed;
+    if (st.name == "light") light_consumed = st.samples_consumed;
+  }
+  EXPECT_EQ(heavy_consumed, 12000U);
+  EXPECT_EQ(light_consumed, 6000U);
+  EXPECT_EQ(heavy_consumed, 2 * light_consumed);
+
+  // Draining to completion still processes every pushed sample on both —
+  // weighting shifts service order, never total service.
+  scheduler.close_station(heavy);
+  scheduler.close_station(light);
+  while (scheduler.process_available()) {
+  }
+  const auto final_stats = scheduler.stats();
+  for (const auto& st : final_stats.stations) {
+    EXPECT_EQ(st.samples_consumed, kChunks * kChunk) << st.name;
+    EXPECT_TRUE(st.finished) << st.name;
+  }
+}

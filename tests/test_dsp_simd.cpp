@@ -13,9 +13,11 @@
 // a v4 compile job; run the suite on AVX-512 hardware to execute them).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -280,5 +282,262 @@ TEST(SimdKernels, Radix4FirstPassMatchesTwoRadix2Stages) {
     reference_stage(want, {1.0, 0.0}, s, 1);
     reference_stage(want, {1.0, 0.0, 0.0, -1.0}, s, 2);
     expect_close(got, want, "radix4_first_pass", s, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scoring-chain kernels. These feed the anomaly scorer's batch path, whose
+// outputs must be bit-identical to the incremental streaming path, so the
+// references below are held to EXPECT_DOUBLE_EQ (not a tolerance): each
+// reduction reference spells out the documented lane-order contract longhand
+// (four lanes, sequential n%4 tail, ((l0+l2)+(l1+l3))+tail combine), and a
+// second check keeps the contract result within float-ish distance of the
+// naive sequential sum so the contract itself can't drift into nonsense.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The lane-order reduction contract from dsp/simd.hpp, written longhand.
+double lane_order_sum(const float* x, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += static_cast<double>(x[i]);
+    l1 += static_cast<double>(x[i + 1]);
+    l2 += static_cast<double>(x[i + 2]);
+    l3 += static_cast<double>(x[i + 3]);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += static_cast<double>(x[i]);
+  return ((l0 + l2) + (l1 + l3)) + tail;
+}
+
+double lane_order_sum_squares(const float* x, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+    l1 += static_cast<double>(x[i + 1]) * static_cast<double>(x[i + 1]);
+    l2 += static_cast<double>(x[i + 2]) * static_cast<double>(x[i + 2]);
+    l3 += static_cast<double>(x[i + 3]) * static_cast<double>(x[i + 3]);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return ((l0 + l2) + (l1 + l3)) + tail;
+}
+
+double naive_sum(const float* x, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(x[i]);
+  return s;
+}
+
+}  // namespace
+
+TEST(SimdScoringKernels, SumF32MatchesLaneOrderContractExactly) {
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto x = random_floats(n + off, static_cast<unsigned>(n) + 300);
+      const double got = simd::sum_f32(x.data() + off, n);
+      EXPECT_DOUBLE_EQ(got, lane_order_sum(x.data() + off, n))
+          << "sum_f32 n=" << n << " off=" << off;
+      const double naive = naive_sum(x.data() + off, n);
+      EXPECT_LE(std::abs(got - naive), 1e-9 * std::max(1.0, std::abs(naive)))
+          << "sum_f32 vs naive n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdScoringKernels, SumSquaresF32MatchesLaneOrderContractExactly) {
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto x = random_floats(n + off, static_cast<unsigned>(n) + 301);
+      const double got = simd::sum_squares_f32(x.data() + off, n);
+      EXPECT_DOUBLE_EQ(got, lane_order_sum_squares(x.data() + off, n))
+          << "sum_squares_f32 n=" << n << " off=" << off;
+      double naive = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = static_cast<double>(x[off + i]);
+        naive += v * v;
+      }
+      EXPECT_LE(std::abs(got - naive), 1e-9 * std::max(1.0, naive))
+          << "sum_squares_f32 vs naive n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdScoringKernels, MeanVarF32MatchesLaneOrderContractExactly) {
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto x = random_floats(n + off, static_cast<unsigned>(n) + 302);
+      double mean = -1.0, var = -1.0;
+      simd::mean_var_f32(x.data() + off, n, &mean, &var);
+      const double inv_n = 1.0 / static_cast<double>(n);
+      const double want_mean = lane_order_sum(x.data() + off, n) * inv_n;
+      const double raw_var =
+          lane_order_sum_squares(x.data() + off, n) * inv_n -
+          want_mean * want_mean;
+      EXPECT_DOUBLE_EQ(mean, want_mean) << "mean_var n=" << n << " off=" << off;
+      EXPECT_DOUBLE_EQ(var, raw_var > 0.0 ? raw_var : 0.0)
+          << "mean_var n=" << n << " off=" << off;
+      EXPECT_GE(var, 0.0);
+    }
+  }
+}
+
+TEST(SimdScoringKernels, MeanVarF32ZeroLengthAndConstantInput) {
+  double mean = -1.0, var = -1.0;
+  simd::mean_var_f32(nullptr, 0, &mean, &var);
+  EXPECT_EQ(mean, 0.0);
+  EXPECT_EQ(var, 0.0);
+  // A constant series may produce a tiny negative E[x^2]-mu^2 residue; the
+  // kernel's clamp must report exactly zero variance, never negative.
+  for (const std::size_t n : {1UL, 7UL, 64UL, 257UL}) {
+    const std::vector<float> x(n, 0.1F);
+    simd::mean_var_f32(x.data(), n, &mean, &var);
+    EXPECT_GE(var, 0.0) << "n=" << n;
+    EXPECT_LE(var, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(SimdScoringKernels, NormalizeF32MatchesScalarExactly) {
+  const float mu = 0.125F;
+  const float inv_sigma = 1.75F;
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto x = random_floats(n + off, static_cast<unsigned>(n) + 303);
+      std::vector<float> got(n + off, 0.0F);
+      simd::normalize_f32(got.data() + off, x.data() + off, n, mu, inv_sigma);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float want = (x[off + i] - mu) * inv_sigma;
+        EXPECT_EQ(got[off + i], want)
+            << "normalize_f32 n=" << n << " off=" << off << " i=" << i;
+      }
+      // In place: dst aliasing x must produce the same values.
+      std::vector<float> inplace(x);
+      simd::normalize_f32(inplace.data() + off, inplace.data() + off, n, mu,
+                          inv_sigma);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(inplace[off + i], got[off + i])
+            << "normalize_f32 in-place n=" << n << " off=" << off << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdScoringKernels, SegmentMeansF32MatchesLaneOrderContractExactly) {
+  // PAA geometry: segments x seg_len, exact divisors only. seg_len sweeps
+  // the tail shapes; segment count covers one vector of outputs and more.
+  for (const std::size_t segments : {1UL, 3UL, 8UL, 16UL}) {
+    for (const std::size_t seg_len :
+         {1UL, 2UL, 3UL, 4UL, 5UL, 7UL, 8UL, 24UL, 100UL, 257UL}) {
+      for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+        const std::size_t n = segments * seg_len;
+        const auto x =
+            random_floats(n + off, static_cast<unsigned>(n) + 304);
+        std::vector<float> got(segments, 0.0F);
+        simd::segment_means_f32(x.data() + off, segments, seg_len, got.data());
+        const double inv_len = 1.0 / static_cast<double>(seg_len);
+        for (std::size_t s = 0; s < segments; ++s) {
+          const float want = static_cast<float>(
+              lane_order_sum(x.data() + off + s * seg_len, seg_len) * inv_len);
+          EXPECT_EQ(got[s], want) << "segment_means segments=" << segments
+                                  << " seg_len=" << seg_len << " off=" << off
+                                  << " s=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdScoringKernels, DiscretizeF32MatchesTextbookScanExactly) {
+  // Breakpoint tables for alphabet sizes 2..8 (1..7 breakpoints), values in
+  // the same [-1, 1] range as the inputs so every branch is taken.
+  for (const std::size_t n_breaks : {1UL, 2UL, 3UL, 4UL, 7UL}) {
+    std::vector<double> breaks(n_breaks);
+    for (std::size_t b = 0; b < n_breaks; ++b) {
+      breaks[b] = -0.8 + 1.6 * static_cast<double>(b) /
+                             static_cast<double>(n_breaks);
+    }
+    for (const std::size_t n : sweep_sizes()) {
+      for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+        auto x = random_floats(n + off, static_cast<unsigned>(n) + 305);
+        // Plant exact-breakpoint hits so the >= boundary is exercised.
+        if (n > 2) {
+          x[off] = static_cast<float>(breaks[0]);
+          x[off + n / 2] = static_cast<float>(breaks[n_breaks - 1]);
+        }
+        std::vector<std::uint8_t> got(n + off, 255);
+        simd::discretize_f32(x.data() + off, n, breaks.data(), n_breaks,
+                             got.data() + off);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double v = static_cast<double>(x[off + i]);
+          unsigned sym = 0;
+          for (std::size_t b = 0; b < n_breaks; ++b) {
+            if (v >= breaks[b]) ++sym;
+          }
+          EXPECT_EQ(got[off + i], static_cast<std::uint8_t>(sym))
+              << "discretize n_breaks=" << n_breaks << " n=" << n
+              << " off=" << off << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdScoringKernels, DiscretizeF32MapsNaNToSymbolZero) {
+  const double breaks[] = {-0.5, 0.0, 0.5};
+  std::vector<float> x(13, std::numeric_limits<float>::quiet_NaN());
+  std::vector<std::uint8_t> out(13, 255);
+  simd::discretize_f32(x.data(), x.size(), breaks, 3, out.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(out[i], 0) << "i=" << i;
+  }
+}
+
+TEST(SimdScoringKernels, MaxInplaceF64MatchesScalarExactly) {
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto a = random_doubles(n + off, static_cast<unsigned>(n) + 306);
+      const auto b = random_doubles(n + off, static_cast<unsigned>(n) + 307);
+      std::vector<double> got(a);
+      simd::max_inplace_f64(got.data() + off, b.data() + off, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[off + i], std::max(a[off + i], b[off + i]))
+            << "max_inplace n=" << n << " off=" << off << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdScoringKernels, AddInplaceF64MatchesScalarExactly) {
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto a = random_doubles(n + off, static_cast<unsigned>(n) + 308);
+      const auto b = random_doubles(n + off, static_cast<unsigned>(n) + 309);
+      std::vector<double> got(a);
+      simd::add_inplace_f64(got.data() + off, b.data() + off, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[off + i], a[off + i] + b[off + i])
+            << "add_inplace n=" << n << " off=" << off << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdScoringKernels, ScaleF64MatchesScalarExactly) {
+  const double s = 1.0 / 3.0;
+  for (const std::size_t n : sweep_sizes()) {
+    for (std::size_t off = 0; off <= kMaxOffset; ++off) {
+      const auto a = random_doubles(n + off, static_cast<unsigned>(n) + 310);
+      std::vector<double> got(a);
+      simd::scale_f64(got.data() + off, n, s);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[off + i], a[off + i] * s)
+            << "scale n=" << n << " off=" << off << " i=" << i;
+      }
+    }
   }
 }

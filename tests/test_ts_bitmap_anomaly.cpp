@@ -3,6 +3,7 @@
 // the score rises when signal texture changes (tone onset in noise).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <random>
@@ -289,3 +290,100 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, AnomalyParamSweep,
     ::testing::Combine(::testing::Values(50, 100, 150),
                        ::testing::Values(4, 8, 16)));
+
+// ---------------------------------------------------------------------------
+// Chunk-sweep property: the record-granular batch path must be bit-identical
+// to the incremental streaming path for EVERY chunking of the input, down to
+// 1-sample pushes. The batch path exists purely for speed (hoisted frame
+// folds, MovingAverage::push_run), so any ulp of divergence is a bug — the
+// scores feed integer trigger decisions and the extractor's cut points.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingAnomaly, BatchMatchesStreamingForEveryChunking) {
+  for (const std::size_t frame : {1UL, 5UL, 24UL}) {
+    ts::AnomalyParams params;
+    params.window = 60;
+    params.alphabet = 8;
+    params.level = 2;
+    params.ma_window = 400;
+    params.frame = frame;
+
+    const auto x = noise_with_bursts(9000, 4000, 3000, 17);
+
+    // Reference: pure per-sample streaming.
+    ts::StreamingAnomalyScorer ref(params);
+    std::vector<double> want(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) want[i] = ref.push(x[i]);
+
+    for (const std::size_t chunk : {1UL, 256UL, 900UL, 4096UL}) {
+      ts::StreamingAnomalyScorer scorer(params);
+      std::vector<double> got(x.size());
+      for (std::size_t base = 0; base < x.size(); base += chunk) {
+        const std::size_t m = std::min(chunk, x.size() - base);
+        scorer.push_batch(x.data() + base, m, got.data() + base);
+      }
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "frame=" << frame << " chunk=" << chunk << " i=" << i;
+      }
+    }
+
+    // Mixed chunking: alternating tiny and large records (the wire produces
+    // arbitrary record boundaries) must land on the same state machine.
+    {
+      ts::StreamingAnomalyScorer scorer(params);
+      std::vector<double> got(x.size());
+      std::size_t base = 0;
+      std::size_t step = 1;
+      while (base < x.size()) {
+        const std::size_t m = std::min(step, x.size() - base);
+        scorer.push_batch(x.data() + base, m, got.data() + base);
+        base += m;
+        step = step * 3 + 1;  // 1, 4, 13, 40, ... crosses frame boundaries
+        if (step > 2000) step = 1;
+      }
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "frame=" << frame << " mixed i=" << i;
+      }
+    }
+
+    // The float-out overload is the double-out value narrowed once at the
+    // end — same state machine, same arithmetic.
+    {
+      ts::StreamingAnomalyScorer scorer(params);
+      std::vector<float> gotf(x.size());
+      for (std::size_t base = 0; base < x.size(); base += 900) {
+        const std::size_t m = std::min<std::size_t>(900, x.size() - base);
+        scorer.push_batch(x.data() + base, m, gotf.data() + base);
+      }
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_EQ(gotf[i], static_cast<float>(want[i]))
+            << "frame=" << frame << " float i=" << i;
+      }
+    }
+  }
+}
+
+TEST(StreamingAnomaly, BatchMatchesStreamingAfterReset) {
+  // reset() must put the batch path back on the exact streaming state.
+  ts::AnomalyParams params;
+  params.window = 40;
+  params.ma_window = 300;
+  params.frame = 24;
+  const auto x = noise_with_tone(5000, 2500, 1500, 23);
+
+  ts::StreamingAnomalyScorer scorer(params);
+  std::vector<double> scratch(1234);
+  scorer.push_batch(x.data(), scratch.size(), scratch.data());
+  scorer.reset();
+
+  ts::StreamingAnomalyScorer ref(params);
+  std::vector<double> want(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) want[i] = ref.push(x[i]);
+
+  std::vector<double> got(x.size());
+  scorer.push_batch(x.data(), x.size(), got.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "i=" << i;
+  }
+}
