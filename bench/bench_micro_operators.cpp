@@ -12,8 +12,9 @@
 // skip the google-benchmark section and only produce the JSON.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <filesystem>
-
 #include <random>
 #include <span>
 
@@ -589,6 +590,57 @@ void run_json_sweep() {
     std::filesystem::remove_all(dir);
   }
 
+  // The same replay with bit-packed payloads: the clip is first snapped to
+  // the PCM16 grid every ADC/WAV sample lives on (the codec is lossless on
+  // any floats, but the delta mode only engages on grid values), archived
+  // with pack_payloads on, then re-extracted identically. Also records the
+  // stored bytes/sample of both stores — a size metric (unit "bytes"),
+  // lower-is-better like every timing.
+  double packed_ratio = 0.0;
+  {
+    const auto& clip = cached_clip().clip.samples;
+    std::vector<float> quantized(clip.size());
+    for (std::size_t i = 0; i < clip.size(); ++i) {
+      const float c = std::clamp(clip[i], -1.0F, 1.0F);
+      quantized[i] =
+          static_cast<float>(std::lround(c * 32767.0F)) / 32768.0F;
+    }
+    const core::PipelineParams params;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dynriver_bench_store_packed";
+    std::filesystem::remove_all(dir);
+    std::uint64_t packed_bytes = 0;
+    std::size_t samples = 0;
+    {
+      river::SegmentStoreOptions options;
+      options.max_segment_bytes = 4ull << 20;
+      options.pack_payloads = true;
+      river::SegmentedRecordLog log(dir, options);
+      river::AudioSegmentArchiver archiver(log, params.sample_rate,
+                                           params.record_size);
+      for (int rep = 0; rep < 4; ++rep) archiver.push(quantized);
+      archiver.finish();
+      log.close();
+      samples = archiver.samples_archived();
+      for (const auto& s : log.segments()) packed_bytes += s.bytes;
+    }
+    record("replay_month_eq_packed", samples, [&] {
+      river::SegmentStoreSource source(dir);
+      core::StreamSession session(params);
+      river::NullEnsembleSink sink;
+      auto stats = core::run_stream(source, session, sink);
+      benchmark::DoNotOptimize(stats);
+    });
+    std::filesystem::remove_all(dir);
+
+    const double bytes_per_sample =
+        static_cast<double>(packed_bytes) / static_cast<double>(samples);
+    json.add("archive_bytes_per_sample", samples, bytes_per_sample, 1, "bytes");
+    std::printf("  %-28s n=%-8zu %12.3f bytes/sample\n",
+                "archive_bytes_per_sample", samples, bytes_per_sample);
+    packed_ratio = 4.0 / bytes_per_sample;
+  }
+
   if (planned_900 > 0.0) {
     std::printf("\n  planned-vs-legacy FFT speedup @900: %.2fx\n",
                 unplanned_900 / planned_900);
@@ -599,6 +651,10 @@ void run_json_sweep() {
         static_cast<double>(replay_samples) / (replay_ns * 1e-9);
     std::printf("  archive replay: %.1fM samples/s (%.0fx live push rate)\n",
                 replay_rate / 1e6, replay_rate / params.sample_rate);
+  }
+  if (packed_ratio > 0.0) {
+    std::printf("  packed archive: %.2fx smaller than raw f32 storage\n",
+                packed_ratio);
   }
   if (real_900 > 0.0 && real_1024 > 0.0) {
     std::printf("  real-vs-complex FFT speedup: %.2fx @900, %.2fx @1024 (kernels: %s)\n",

@@ -123,17 +123,24 @@ inline std::string git_describe() {
 struct BenchRecord {
   std::string op;        ///< operation name, e.g. "fft_planned"
   std::size_t size = 0;  ///< problem size (transform length, samples, ...)
-  double ns_per_op = 0;
+  double ns_per_op = 0;  ///< the measured value, in `unit`
   std::size_t reps = 0;  ///< iterations actually timed
+  /// What ns_per_op measures. "ns/op" for timings; size metrics (e.g.
+  /// "bytes") are equally lower-is-better, so comparison tooling treats
+  /// every unit the same way and only labels them differently.
+  std::string unit = "ns/op";
 };
 
 /// Collects BenchRecords and writes them as a small self-describing JSON
-/// document: {"schema", "git", "benchmarks": [{op,size,ns_per_op,reps}]}.
+/// document: {"schema", "git", "benchmarks": [{op,size,ns_per_op,reps,unit}]}.
+/// The `unit` field is additive — readers of older reports default it to
+/// "ns/op" — so the schema id stays "dynriver-bench-v1".
 class BenchJsonWriter {
  public:
-  void add(std::string op, std::size_t size, double ns_per_op, std::size_t reps) {
+  void add(std::string op, std::size_t size, double ns_per_op, std::size_t reps,
+           std::string unit = "ns/op") {
     records_.push_back(
-        {std::move(op), size, ns_per_op, reps});
+        {std::move(op), size, ns_per_op, reps, std::move(unit)});
   }
 
   [[nodiscard]] const std::vector<BenchRecord>& records() const {
@@ -151,8 +158,9 @@ class BenchJsonWriter {
       const BenchRecord& r = records_[i];
       std::fprintf(f,
                    "    {\"op\": \"%s\", \"size\": %zu, \"ns_per_op\": %.3f, "
-                   "\"reps\": %zu}%s\n",
+                   "\"reps\": %zu, \"unit\": \"%s\"}%s\n",
                    escape(r.op).c_str(), r.size, r.ns_per_op, r.reps,
+                   escape(r.unit).c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

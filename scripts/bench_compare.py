@@ -13,7 +13,11 @@ has one core), BENCH_micro.multicore.json with DR_THREADS=2. `--baseline
 repository; any other value is taken as a path.
 
 Benchmarks are keyed by (op, size). An op regresses when its current
-ns_per_op exceeds baseline * (1 + threshold); it improves symmetrically.
+value exceeds baseline * (1 + threshold); it improves symmetrically. Every
+unit the schema carries is lower-is-better — "ns/op" timings and size
+metrics like "bytes" (archive_bytes_per_sample) diff identically; records
+without a unit field (older baselines) default to "ns/op". A unit mismatch
+between baseline and current for the same (op, size) is an error.
 Ops present in only one file are reported but never fail the run — the two
 committed baselines intentionally cover different op sets (the multicore
 baseline only tracks the thread-sensitive ops). Exit status is 1 when any
@@ -51,16 +55,22 @@ def load(path):
               file=sys.stderr)
     table = {}
     for rec in doc.get("benchmarks", []):
-        table[(rec["op"], rec["size"])] = float(rec["ns_per_op"])
+        table[(rec["op"], rec["size"])] = (
+            float(rec["ns_per_op"]),
+            rec.get("unit", "ns/op"),
+        )
     return git, table
 
 
-def fmt_ns(ns):
-    if ns >= 1e6:
-        return f"{ns / 1e6:10.2f} ms"
-    if ns >= 1e3:
-        return f"{ns / 1e3:10.2f} us"
-    return f"{ns:10.1f} ns"
+def fmt_value(value, unit):
+    if unit != "ns/op":
+        short = {"bytes": "B"}.get(unit, unit)
+        return f"{value:10.3f} {short:>2}"
+    if value >= 1e6:
+        return f"{value / 1e6:10.2f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:10.2f} us"
+    return f"{value:10.1f} ns"
 
 
 def main():
@@ -117,11 +127,15 @@ def main():
             status = "only in current" if b is None else "only in baseline"
             missing = "--"
             print(f"{op:<28} {size:>8} "
-                  f"{fmt_ns(b) if b is not None else missing:>13} "
-                  f"{fmt_ns(c) if c is not None else missing:>13} "
+                  f"{fmt_value(*b) if b is not None else missing:>13} "
+                  f"{fmt_value(*c) if c is not None else missing:>13} "
                   f"{'':>7}  {status}")
             continue
-        ratio = c / b if b > 0 else float("inf")
+        (b_value, b_unit), (c_value, c_unit) = b, c
+        if b_unit != c_unit:
+            sys.exit(f"{op}@{size}: unit mismatch "
+                     f"({b_unit!r} in baseline, {c_unit!r} in current)")
+        ratio = c_value / b_value if b_value > 0 else float("inf")
         if ratio > 1.0 + args.threshold:
             verdict = f"REGRESSION (+{(ratio - 1) * 100:.1f}%)"
             regressions.append((op, size, ratio))
@@ -129,7 +143,8 @@ def main():
             verdict = f"improved ({(1 - ratio) * 100:.1f}%)"
         else:
             verdict = "ok"
-        print(f"{op:<28} {size:>8} {fmt_ns(b):>13} {fmt_ns(c):>13} "
+        print(f"{op:<28} {size:>8} {fmt_value(b_value, b_unit):>13} "
+              f"{fmt_value(c_value, c_unit):>13} "
               f"{ratio:>6.2f}x  {verdict}")
 
     print("-" * 86)

@@ -1,0 +1,320 @@
+// Lossless bit-packing codec for float payloads (packed wire records).
+//
+// Archived hydrophone/station audio is ADC-quantized: every sample that came
+// through the PCM16 path (WAV files, the synth stations' 16-bit front end) is
+// exactly n/32768 for an integer n in [-32768, 32767]. Such streams carry at
+// most 17 bits of real information per sample and are strongly correlated
+// sample-to-sample, yet the wire format stores 32 raw bits each. This codec
+// recovers that slack without ever being lossy:
+//
+//   mode byte
+//   0  raw       4*count little-endian f32 bytes (incompressible fallback)
+//   1  i16+delta every value is exactly n/32768: store zigzag(n[i]-n[i-1])
+//                (n[-1] = 0), fixed-width bit-packed per block
+//   2  xor       f32 bit patterns xor'd with the previous value's bits
+//                (first value xor 0), fixed-width bit-packed per block
+//
+// Block structure (modes 1 and 2): values are grouped in blocks of up to
+// kBlockValues; each block is one width byte w (bits per value; 0..17 for
+// mode 1, 0..32 for mode 2) followed by ceil(k*w/8) bytes of LSB-first
+// packed values. A constant run therefore costs 1 byte per block.
+//
+// The encoder selects mode 1 when every value is i16-representable, else
+// mode 2, and falls back to mode 0 whenever the packed form would not be
+// smaller than raw. Decoding is bit-exact for every float, including NaN
+// payloads, denormals and -0.0 (-0.0 is not n/32768 for any n, so it rides
+// the xor path). The element count is NOT stored — it comes from the
+// enclosing frame header (wire `paylen`), matching the wire format's style.
+//
+// Decode validates every length before touching memory: a stream that ends
+// early throws WireTruncated, structurally invalid bytes (bad mode, width
+// out of range, delta leaving the i16 domain) throw WireError.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "river/wire.hpp"
+
+namespace dynriver::river::bitpack {
+
+inline constexpr std::uint8_t kModeRaw = 0;
+inline constexpr std::uint8_t kModeI16Delta = 1;
+inline constexpr std::uint8_t kModeXor = 2;
+inline constexpr std::size_t kBlockValues = 128;
+inline constexpr unsigned kMaxWidthI16 = 17;  // zigzag(+-65535) < 2^17
+inline constexpr unsigned kMaxWidthXor = 32;
+
+namespace detail {
+
+/// True iff v is exactly n/32768 for an integer n in [-32768, 32767];
+/// fills `n`. Bit-exact: -0.0 and values needing more mantissa fail.
+inline bool as_i16(float v, std::int32_t& n) {
+  if (!(v >= -1.0f && v <= 1.0f)) return false;  // rejects NaN and +-inf too
+  const float scaled = v * 32768.0f;             // exact: scale by 2^15
+  const auto k = static_cast<std::int32_t>(scaled);
+  if (k < -32768 || k > 32767) return false;  // +1.0 maps to 32768: out
+  if (static_cast<float>(k) != scaled) return false;  // fractional
+  // Reconstruction is float(k) * 2^-15, exact again; the bit compare is
+  // only needed to reject -0.0 (numerically equal to 0/32768, bitwise not).
+  const float rebuilt = static_cast<float>(k) * (1.0f / 32768.0f);
+  std::uint32_t vb;
+  std::uint32_t rb;
+  std::memcpy(&vb, &v, 4);
+  std::memcpy(&rb, &rebuilt, 4);
+  if (vb != rb) return false;
+  n = k;
+  return true;
+}
+
+inline std::uint32_t zigzag(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+inline std::int32_t unzigzag(std::uint32_t v) {
+  return static_cast<std::int32_t>((v >> 1) ^ (~(v & 1u) + 1u));
+}
+
+inline unsigned bit_width(std::uint32_t v) {
+  unsigned w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// LSB-first bit appender; each block is flushed to a byte boundary so the
+/// decoder can bounds-check a block from its width byte alone.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put(std::uint32_t value, unsigned width) {
+    acc_ |= static_cast<std::uint64_t>(value) << nbits_;
+    nbits_ += width;
+    while (nbits_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFFu));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  void flush() {
+    if (nbits_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFFu));
+    }
+    acc_ = 0;
+    nbits_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+/// LSB-first bit reader over one block's packed bytes (already validated to
+/// hold ceil(count*width/8) bytes).
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  [[nodiscard]] std::uint32_t get(unsigned width) {
+    while (nbits_ < width) {
+      // Callers size the block before reading, so pos_ < len_ holds; the
+      // check keeps the reader safe against its own misuse.
+      const std::uint64_t byte = pos_ < len_ ? data_[pos_] : 0u;
+      ++pos_;
+      acc_ |= byte << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint64_t mask =
+        width == 32 ? 0xFFFFFFFFull : (1ull << width) - 1ull;
+    const auto v = static_cast<std::uint32_t>(acc_ & mask);
+    acc_ >>= width;
+    nbits_ -= width;
+    return v;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+inline std::size_t block_bytes(std::size_t count, unsigned width) {
+  return (count * width + 7) / 8;
+}
+
+template <typename TransformToU32>
+void pack_blocks(std::span<const float> values, std::vector<std::uint8_t>& out,
+                 TransformToU32&& transform) {
+  std::array<std::uint32_t, kBlockValues> block;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    const std::size_t k = std::min(kBlockValues, values.size() - i);
+    std::uint32_t max = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      block[j] = transform(values[i + j]);
+      max |= block[j];
+    }
+    const unsigned width = bit_width(max);
+    out.push_back(static_cast<std::uint8_t>(width));
+    BitWriter writer(out);
+    for (std::size_t j = 0; j < k; ++j) writer.put(block[j], width);
+    writer.flush();
+    i += k;
+  }
+}
+
+}  // namespace detail
+
+/// Append the packed encoding of `values` to `out`; returns bytes appended.
+/// Never appends more than 1 + 4*count + ceil(count/kBlockValues) bytes.
+inline std::size_t pack_floats(std::span<const float> values,
+                               std::vector<std::uint8_t>& out) {
+  if (values.empty()) return 0;
+  const std::size_t start = out.size();
+
+  bool all_i16 = true;
+  std::int32_t probe = 0;
+  for (const float v : values) {
+    if (!detail::as_i16(v, probe)) {
+      all_i16 = false;
+      break;
+    }
+  }
+
+  if (all_i16) {
+    out.push_back(kModeI16Delta);
+    std::int32_t prev = 0;
+    detail::pack_blocks(values, out, [&prev](float v) {
+      std::int32_t n = 0;
+      (void)detail::as_i16(v, n);  // already validated above
+      const std::int32_t delta = n - prev;
+      prev = n;
+      return detail::zigzag(delta);
+    });
+  } else {
+    out.push_back(kModeXor);
+    std::uint32_t prev = 0;
+    detail::pack_blocks(values, out, [&prev](float v) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &v, 4);
+      const std::uint32_t x = bits ^ prev;
+      prev = bits;
+      return x;
+    });
+    // Raw fallback: an uncorrelated stream packs to ~32 bits/value plus the
+    // block overhead — strictly worse than raw f32. Keep whichever is smaller.
+    if (out.size() - start >= 1 + 4 * values.size()) {
+      out.resize(start);
+      out.push_back(kModeRaw);
+      const std::size_t raw = out.size();
+      out.resize(raw + 4 * values.size());
+      std::memcpy(out.data() + raw, values.data(), 4 * values.size());
+    }
+  }
+  return out.size() - start;
+}
+
+/// Structural walk without decoding values: returns the byte length of the
+/// packed stream encoding `count` values, validating mode and block headers
+/// against `len`. Never allocates — callers use it to bound an allocation by
+/// bytes actually present before decoding (a corrupt element count then
+/// fails here instead of provoking a huge resize). Throws like unpack_floats.
+inline std::size_t packed_stream_bytes(const std::uint8_t* data,
+                                       std::size_t len, std::size_t count) {
+  if (count == 0) return 0;
+  if (len < 1) throw WireTruncated("bitpack: truncated stream");
+  const std::uint8_t mode = data[0];
+  std::size_t pos = 1;
+  if (mode == kModeRaw) {
+    if (len - pos < 4 * count) throw WireTruncated("bitpack: truncated raw stream");
+    return pos + 4 * count;
+  }
+  if (mode != kModeI16Delta && mode != kModeXor) {
+    throw WireError("bitpack: unknown mode");
+  }
+  const unsigned max_width = mode == kModeI16Delta ? kMaxWidthI16 : kMaxWidthXor;
+  std::size_t i = 0;
+  while (i < count) {
+    const std::size_t k = std::min(kBlockValues, count - i);
+    if (pos >= len) throw WireTruncated("bitpack: truncated block header");
+    const unsigned width = data[pos];
+    ++pos;
+    if (width > max_width) throw WireError("bitpack: block width out of range");
+    const std::size_t nbytes = detail::block_bytes(k, width);
+    if (len - pos < nbytes) throw WireTruncated("bitpack: truncated block");
+    pos += nbytes;
+    i += k;
+  }
+  return pos;
+}
+
+/// Decode exactly out.size() floats from `data`; returns bytes consumed.
+/// Throws WireTruncated when the stream ends early, WireError on invalid
+/// structure.
+inline std::size_t unpack_floats(const std::uint8_t* data, std::size_t len,
+                                 std::span<float> out) {
+  if (out.empty()) return 0;
+  if (len < 1) throw WireTruncated("bitpack: truncated stream");
+  const std::uint8_t mode = data[0];
+  std::size_t pos = 1;
+
+  if (mode == kModeRaw) {
+    if (len - pos < 4 * out.size()) {
+      throw WireTruncated("bitpack: truncated raw stream");
+    }
+    std::memcpy(out.data(), data + pos, 4 * out.size());
+    return pos + 4 * out.size();
+  }
+  if (mode != kModeI16Delta && mode != kModeXor) {
+    throw WireError("bitpack: unknown mode");
+  }
+
+  const unsigned max_width = mode == kModeI16Delta ? kMaxWidthI16 : kMaxWidthXor;
+  std::int32_t prev_i16 = 0;
+  std::uint32_t prev_bits = 0;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::size_t k = std::min(kBlockValues, out.size() - i);
+    if (pos >= len) throw WireTruncated("bitpack: truncated block header");
+    const unsigned width = data[pos];
+    ++pos;
+    if (width > max_width) throw WireError("bitpack: block width out of range");
+    const std::size_t nbytes = detail::block_bytes(k, width);
+    if (len - pos < nbytes) throw WireTruncated("bitpack: truncated block");
+    detail::BitReader reader(data + pos, nbytes);
+    if (mode == kModeI16Delta) {
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::int32_t delta = detail::unzigzag(reader.get(width));
+        const std::int32_t n = prev_i16 + delta;
+        if (n < -32768 || n > 32767) {
+          throw WireError("bitpack: delta leaves the i16 domain");
+        }
+        prev_i16 = n;
+        out[i + j] = static_cast<float>(n) * (1.0f / 32768.0f);
+      }
+    } else {
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint32_t bits = prev_bits ^ reader.get(width);
+        prev_bits = bits;
+        std::memcpy(&out[i + j], &bits, 4);
+      }
+    }
+    pos += nbytes;
+    i += k;
+  }
+  return pos;
+}
+
+}  // namespace dynriver::river::bitpack

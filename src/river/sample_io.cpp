@@ -28,32 +28,42 @@ std::size_t RecordSampleSource::read(std::span<float> out) {
     }
     if (done_) break;
 
-    Record rec;
-    switch (next_record(rec)) {
+    switch (next_audio(pending_)) {
       case Next::kEnd:
         done_ = true;
+        pending_.clear();
         continue;
       case Next::kLost:
         done_ = true;
         lost_ = true;
+        pending_.clear();
         continue;
       case Next::kRecord:
+        pending_pos_ = 0;
         break;
     }
+  }
+  return filled;
+}
+
+RecordSampleSource::Next RecordSampleSource::next_audio(FloatVec& pending) {
+  Record rec;
+  for (;;) {
+    const Next next = next_record(rec);
+    if (next != Next::kRecord) return next;
     ++records_in_;
     if (rec.type == RecordType::kOpenScope && rec.scope_type == kScopeClip) {
       rate_ = rec.attr_double(kAttrSampleRate, rate_);
-    } else if (rec.type == RecordType::kData && rec.subtype == subtype_ &&
+    } else if (rec.type == RecordType::kData && rec.subtype == subtype() &&
                rec.is_float()) {
       // Self-describing data records (e.g. from AudioSegmentArchiver) carry
       // the rate too, so a replay that seeks past the opening clip scope
       // still learns it.
       if (rate_ == 0.0) rate_ = rec.attr_double(kAttrSampleRate, 0.0);
-      pending_ = std::move(std::get<FloatVec>(rec.payload));
-      pending_pos_ = 0;
+      pending = std::move(std::get<FloatVec>(rec.payload));
+      return Next::kRecord;
     }
   }
-  return filled;
 }
 
 RecordSampleSource::Next RecordChannelSource::next_record(Record& rec) {

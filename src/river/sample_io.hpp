@@ -136,14 +136,27 @@ class RecordSampleSource : public SampleSource {
   };
   [[nodiscard]] virtual Next next_record(Record& rec) = 0;
 
+  /// Fill `pending` with the samples of the next matching audio record
+  /// (skipping non-audio records, learning the rate on the way) or report
+  /// the end of the stream. The base implementation materializes Records via
+  /// next_record(); sources with an allocation-free decode path (the segment
+  /// store) override it to fill `pending` in place, reusing its capacity,
+  /// so steady-state replay performs no per-record heap allocation.
+  /// Overrides must bump records_in_ per record visited and update rate_
+  /// exactly like the base version.
+  [[nodiscard]] virtual Next next_audio(FloatVec& pending);
+
+  [[nodiscard]] std::uint32_t subtype() const { return subtype_; }
+
+  double rate_ = 0.0;
+  std::size_t records_in_ = 0;
+
  private:
   std::uint32_t subtype_;
   FloatVec pending_;
   std::size_t pending_pos_ = 0;
-  double rate_ = 0.0;
   bool done_ = false;
   bool lost_ = false;
-  std::size_t records_in_ = 0;
 };
 
 /// Pulls audio records from a RecordChannel — in-process or TCP — so a

@@ -6,12 +6,15 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <optional>
 
 #include "common/contracts.hpp"
+#include "river/crc_slices.hpp"
 #include "river/wire.hpp"
 
 namespace dynriver::river {
@@ -19,25 +22,6 @@ namespace dynriver::river {
 namespace {
 
 namespace fs = std::filesystem;
-
-// -- CRC-32C ------------------------------------------------------------------
-
-std::uint32_t crc32c_table_entry(std::uint32_t i) {
-  std::uint32_t c = i;
-  for (int k = 0; k < 8; ++k) {
-    c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
-  }
-  return c;
-}
-
-const std::array<std::uint32_t, 256>& crc32c_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) t[i] = crc32c_table_entry(i);
-    return t;
-  }();
-  return table;
-}
 
 // -- fixed-layout encoding helpers -------------------------------------------
 
@@ -201,6 +185,26 @@ bool load_segment_index(const fs::path& path, const SegmentFooter& footer,
   return true;
 }
 
+// A reader guesses the active file's name from its manifest snapshot's next
+// index — but a compaction racing that snapshot hands the very same index to
+// a *merged* segment of older records. Telling the two apart needs the file
+// itself: a valid sealed footer whose span starts before the snapshot's
+// sealed tail is merged old data, and reading it as the live tail would
+// re-emit records with time running backwards. Returns false for that case
+// (skip the file). Otherwise the file is a plausible continuation: either
+// genuinely active (*sealed_payload_end = 0) or sealed after the snapshot
+// (*sealed_payload_end = its payload end, so the caller stops before the
+// index/footer bytes instead of reporting them as a torn tail).
+bool probe_presumed_active(const fs::path& path, double sealed_t_max,
+                           std::uint64_t* sealed_payload_end) {
+  *sealed_payload_end = 0;
+  SegmentFooter footer;
+  if (!load_segment_footer(path, footer, nullptr)) return true;
+  if (footer.t_min < sealed_t_max) return false;
+  *sealed_payload_end = footer.payload_end;
+  return true;
+}
+
 void fsync_directory(const fs::path& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd >= 0) {
@@ -222,12 +226,8 @@ constexpr std::string_view kManifestHeader = "dynriver-segment-store v1";
 
 std::uint32_t crc32c(const std::uint8_t* data, std::size_t len,
                      std::uint32_t seed) {
-  std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  const auto& table = crc32c_table();
-  for (std::size_t i = 0; i < len; ++i) {
-    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  return detail::CrcSlices<0x82F63B78u>::update(seed ^ 0xFFFFFFFFu, data, len) ^
+         0xFFFFFFFFu;
 }
 
 // ---------------------------------------------------------------------------
@@ -478,7 +478,7 @@ void SegmentedRecordLog::recover() {
     recovered_ += scan.frames;
     active_ = std::move(scan);
     next_index_ = index;
-    seal_active();  // publishes the manifest
+    seal_active_locked();  // single-threaded in the ctor; publishes the manifest
     manifest_dirty = false;
   }
 
@@ -504,6 +504,7 @@ void SegmentedRecordLog::open_active() {
 }
 
 void SegmentedRecordLog::append(const Record& rec, double t) {
+  std::lock_guard<std::mutex> lock(mu_);
   DR_EXPECTS(!closed_);
   DR_EXPECTS(std::isfinite(t));
   DR_EXPECTS(t >= last_t_ || !std::isfinite(last_t_));
@@ -512,11 +513,13 @@ void SegmentedRecordLog::append(const Record& rec, double t) {
       (active_.payload_bytes >= options_.max_segment_bytes ||
        (options_.max_segment_seconds > 0.0 &&
         t - active_.t_min >= options_.max_segment_seconds))) {
-    seal_active();
+    seal_active_locked();
   }
   if (active_.file == nullptr) open_active();
 
-  const auto frame = encode_record(rec);
+  const auto frame =
+      encode_record(rec, options_.pack_payloads ? PayloadCodec::kPacked
+                                                : PayloadCodec::kRaw);
   DR_EXPECTS(frame.size() <= kMaxSegmentFrameBytes);
   std::array<std::uint8_t, kEnvelopeHeaderBytes> env;
   put_raw<std::uint32_t>(env.data(), static_cast<std::uint32_t>(frame.size()));
@@ -546,11 +549,17 @@ void SegmentedRecordLog::append(const Record& rec, double t) {
 }
 
 void SegmentedRecordLog::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (active_.file == nullptr) return;
   fsync_file(active_.file, segment_name(active_.index));
 }
 
 void SegmentedRecordLog::seal_active() {
+  std::lock_guard<std::mutex> lock(mu_);
+  seal_active_locked();
+}
+
+void SegmentedRecordLog::seal_active_locked() {
   if (active_.file == nullptr) return;
   const auto name = segment_name(active_.index);
   const auto path = dir_ / name;
@@ -621,20 +630,30 @@ void SegmentedRecordLog::seal_active() {
 }
 
 void SegmentedRecordLog::close() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
-  seal_active();
+  seal_active_locked();
   closed_ = true;
 }
 
 std::size_t SegmentedRecordLog::retire_before(double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retire_before_locked(t, nullptr);
+}
+
+std::size_t SegmentedRecordLog::retire_before_locked(
+    double t, std::uint64_t* bytes_dropped) {
   std::vector<std::string> victims;
+  std::uint64_t bytes = 0;
   std::erase_if(sealed_, [&](const SegmentInfo& s) {
     if (s.t_max < t) {
       victims.push_back(s.name);
+      bytes += s.bytes;
       return true;
     }
     return false;
   });
+  if (bytes_dropped != nullptr) *bytes_dropped = bytes;
   if (victims.empty()) return 0;
   // Publish first, delete second: a crash in between leaves orphans with
   // indexes below `next`, which recovery deletes.
@@ -643,17 +662,29 @@ std::size_t SegmentedRecordLog::retire_before(double t) {
   return victims.size();
 }
 
-std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes) {
+std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes,
+                                        std::size_t max_run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compact_locked(min_bytes, max_run, nullptr);
+}
+
+std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
+                                               std::size_t max_run,
+                                               std::uint64_t* bytes_rewritten) {
+  if (bytes_rewritten != nullptr) *bytes_rewritten = 0;
+  if (max_run < 2) return 0;
   // Rotate first: the merged segment takes the next free index, and while a
   // segment is active that index is the active file's — merging into it
   // would rename over the live file under the writer.
-  seal_active();
+  seal_active_locked();
   std::size_t removed = 0;
   std::size_t run_begin = 0;
   while (run_begin < sealed_.size()) {
-    // Find a maximal run of adjacent small segments.
+    // Find a maximal run of adjacent small segments (bounded by max_run so
+    // one pass under the log's lock stays short).
     std::size_t run_end = run_begin;
-    while (run_end < sealed_.size() && sealed_[run_end].bytes < min_bytes) {
+    while (run_end < sealed_.size() && run_end - run_begin < max_run &&
+           sealed_[run_end].bytes < min_bytes) {
       ++run_end;
     }
     if (run_end - run_begin < 2) {
@@ -798,12 +829,29 @@ std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes) {
     for (const auto& name : replaced) fs::remove(dir_ / name);
 
     removed += replaced.size() - 1;
+    if (bytes_rewritten != nullptr) *bytes_rewritten += merged.payload_bytes;
     run_begin += 1;  // continue after the merged entry
   }
   return removed;
 }
 
+std::size_t SegmentedRecordLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+std::size_t SegmentedRecordLog::recovered_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+double SegmentedRecordLog::last_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_t_;
+}
+
 std::vector<SegmentInfo> SegmentedRecordLog::segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto out = sealed_;
   if (active_.file != nullptr) {
     SegmentInfo info;
@@ -817,6 +865,78 @@ std::vector<SegmentInfo> SegmentedRecordLog::segments() const {
     out.push_back(std::move(info));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedRecordLog::Maintenance
+// ---------------------------------------------------------------------------
+
+SegmentedRecordLog::Maintenance::Maintenance(SegmentedRecordLog& log,
+                                             MaintenanceOptions options)
+    : log_(log), options_(options) {
+  DR_EXPECTS(options_.interval_seconds > 0.0);
+  thread_ = std::thread([this] { run(); });
+}
+
+SegmentedRecordLog::Maintenance::~Maintenance() { stop(); }
+
+SegmentedRecordLog::Maintenance::Stats SegmentedRecordLog::Maintenance::stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SegmentedRecordLog::Maintenance::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SegmentedRecordLog::Maintenance::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    std::uint64_t bytes = 0;
+    std::size_t retired = 0;
+    std::size_t merged = 0;
+    try {
+      std::lock_guard<std::mutex> log_lock(log_.mu_);
+      if (options_.retain_seconds > 0.0 && std::isfinite(log_.last_t_)) {
+        std::uint64_t dropped = 0;
+        retired = log_.retire_before_locked(
+            log_.last_t_ - options_.retain_seconds, &dropped);
+        bytes += dropped;
+      }
+      if (options_.compact_min_bytes > 0) {
+        std::uint64_t rewritten = 0;
+        merged = log_.compact_locked(options_.compact_min_bytes,
+                                     options_.compact_max_run, &rewritten);
+        bytes += rewritten;
+      }
+    } catch (...) {
+      // Maintenance must never take the pipeline down: skip this cycle and
+      // retry next interval. A persistent I/O failure still surfaces — the
+      // writer's own append/sync/close throw.
+    }
+    // Budget: a cycle that touched N bytes earns at least N / budget seconds
+    // of quiet, capping average maintenance I/O at budget bytes/second.
+    double sleep_s = options_.interval_seconds;
+    if (options_.budget_bytes_per_sec > 0 && bytes > 0) {
+      sleep_s = std::max(sleep_s,
+                         static_cast<double>(bytes) /
+                             static_cast<double>(options_.budget_bytes_per_sec));
+    }
+    lock.lock();
+    ++stats_.cycles;
+    stats_.segments_retired += retired;
+    stats_.segments_merged += merged;
+    stats_.bytes_processed += bytes;
+    cv_.wait_for(lock, std::chrono::duration<double>(sleep_s),
+                 [this] { return stop_; });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -958,6 +1078,13 @@ bool SegmentStoreReader::Cursor::open_next_segment() {
   std::error_code ec;
   const auto size = fs::file_size(path, ec);
   if (ec || size <= kSegmentHeaderBytes) return false;
+  const double sealed_t_max = store_->sealed_.empty()
+                                  ? -std::numeric_limits<double>::infinity()
+                                  : store_->sealed_.back().t_max;
+  std::uint64_t sealed_end = 0;
+  if (!probe_presumed_active(path, sealed_t_max, &sealed_end)) {
+    return false;  // a racing compaction reused the index: merged old data
+  }
   file_.open(path, std::ios::binary);
   if (!file_) return false;  // writer may have just sealed+rotated it
   ++store_->opened_;
@@ -970,13 +1097,26 @@ bool SegmentStoreReader::Cursor::open_next_segment() {
     lost_bytes_ = size;
     return false;
   }
-  in_active_ = true;
+  // sealed_end != 0: the writer sealed this segment after our snapshot —
+  // read exactly its payload (sealed semantics: damage throws, not torn).
+  in_active_ = sealed_end == 0;
   pos_ = kSegmentHeaderBytes;
-  end_ = size;  // bounded snapshot of the tail
+  end_ = sealed_end != 0 ? sealed_end : size;  // bounded snapshot of the tail
   return true;
 }
 
-bool SegmentStoreReader::Cursor::next(Record& out) {
+bool SegmentStoreReader::Cursor::fail_torn() {
+  torn_ = true;
+  lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+  done_ = true;
+  return false;
+}
+
+// Pull the next in-range frame's bytes into frame_buf_ (stamp in pending_t_)
+// without consuming it: pos_ stays at the envelope until commit_frame(), so a
+// decode failure reports lost_bytes_ from the right spot. False at end of
+// range or torn tail (done_ set); throws on sealed-segment damage.
+bool SegmentStoreReader::Cursor::fetch_frame(std::uint32_t& len_out) {
   if (done_) return false;
   std::array<std::uint8_t, kEnvelopeHeaderBytes> env;
   for (;;) {
@@ -987,36 +1127,21 @@ bool SegmentStoreReader::Cursor::next(Record& out) {
       }
     }
     if (pos_ + kEnvelopeHeaderBytes > end_) {
-      if (in_active_ && pos_ < end_) {
-        torn_ = true;
-        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
-        done_ = true;
-        return false;
-      }
+      if (in_active_ && pos_ < end_) return fail_torn();
       file_.close();
       continue;
     }
     if (!read_exact(file_, env.data(), env.size())) {
-      if (in_active_) {
-        torn_ = true;
-        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
-        done_ = true;
-        return false;
-      }
+      if (in_active_) return fail_torn();
       throw WireError("segment store: short envelope read");
     }
     const auto len = get_raw<std::uint32_t>(env.data());
     const auto t = get_raw<double>(env.data() + 4);
     if (len == 0 || len > kMaxSegmentFrameBytes ||
         pos_ + kEnvelopeHeaderBytes + len > end_) {
-      if (in_active_) {
-        // Mid-envelope snapshot of the writer (or its in-flight tail after a
-        // concurrent seal): everything from here on is not yet readable.
-        torn_ = true;
-        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
-        done_ = true;
-        return false;
-      }
+      // Mid-envelope snapshot of the writer (or its in-flight tail after a
+      // concurrent seal): everything from here on is not yet readable.
+      if (in_active_) return fail_torn();
       throw WireError("segment store: corrupt envelope");
     }
     ++scanned_;
@@ -1031,32 +1156,275 @@ bool SegmentStoreReader::Cursor::next(Record& out) {
     }
     frame_buf_.resize(len);
     if (!read_exact(file_, frame_buf_.data(), len)) {
-      if (in_active_) {
-        torn_ = true;
-        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
-        done_ = true;
-        return false;
-      }
+      if (in_active_) return fail_torn();
       throw WireError("segment store: short frame read");
     }
-    try {
-      std::size_t consumed = 0;
-      out = decode_record(frame_buf_.data(), len, consumed);
-      if (consumed != len) throw WireError("trailing bytes in envelope");
-    } catch (const WireError&) {
-      if (in_active_) {
-        torn_ = true;
-        lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
-        done_ = true;
-        return false;
-      }
-      throw;
-    }
-    pos_ += kEnvelopeHeaderBytes + len;
-    time_ = t;
+    pending_t_ = t;
+    len_out = len;
     return true;
   }
 }
+
+void SegmentStoreReader::Cursor::commit_frame(std::uint32_t len) {
+  pos_ += kEnvelopeHeaderBytes + len;
+  time_ = pending_t_;
+}
+
+bool SegmentStoreReader::Cursor::next(Record& out) {
+  std::uint32_t len = 0;
+  if (!fetch_frame(len)) return false;
+  try {
+    std::size_t consumed = 0;
+    out = decode_record(frame_buf_.data(), len, consumed);
+    if (consumed != len) throw WireError("trailing bytes in envelope");
+  } catch (const WireError&) {
+    if (in_active_) return fail_torn();
+    throw;
+  }
+  commit_frame(len);
+  return true;
+}
+
+bool SegmentStoreReader::Cursor::next_view(RecordView& out) {
+  std::uint32_t len = 0;
+  if (!fetch_frame(len)) return false;
+  try {
+    std::size_t consumed = 0;
+    out = decode_record_view(frame_buf_.data(), len, consumed, scratch_);
+    if (consumed != len) throw WireError("trailing bytes in envelope");
+  } catch (const WireError&) {
+    if (in_active_) return fail_torn();
+    throw;
+  }
+  commit_frame(len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentPrefetcher
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Background segment loader for prefetching replay. One thread walks the
+/// same segment sequence a Cursor would — sealed segments in manifest order
+/// from the first overlapping [t0, t1), then the active tail — and reads each
+/// segment's payload region into one in-memory window, one segment ahead of
+/// the consumer. The hand-off queue is one window deep and consumed buffers
+/// are recycled back to the loader, so the steady state is double-buffered
+/// with no allocation. The destructor joins the thread however early the
+/// consumer stops.
+class SegmentPrefetcher {
+ public:
+  struct Window {
+    std::vector<std::uint8_t> bytes;  ///< file contents [base, base+size)
+    std::uint64_t base = 0;           ///< file offset of bytes[0]
+    bool active = false;              ///< from the unsealed active segment
+    bool header_torn = false;         ///< active header unreadable: all torn
+  };
+
+  SegmentPrefetcher(const SegmentStoreReader& reader, double t0, double t1)
+      : reader_(reader), t0_(t0), t1_(t1) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~SegmentPrefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  SegmentPrefetcher(const SegmentPrefetcher&) = delete;
+  SegmentPrefetcher& operator=(const SegmentPrefetcher&) = delete;
+
+  /// Blocks for the next window; false at the end of the segment sequence.
+  /// Rethrows a loader-side failure (missing sealed segment file, ...).
+  [[nodiscard]] bool next(Window& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ready_.has_value() || done_; });
+    if (ready_.has_value()) {
+      out = std::move(*ready_);
+      ready_.reset();
+      cv_.notify_all();  // free the loader's slot
+      return true;
+    }
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    return false;
+  }
+
+  /// Return a drained window's buffer for reuse by the loader.
+  void recycle(std::vector<std::uint8_t>&& buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spare_ = std::move(buf);
+  }
+
+ private:
+  [[nodiscard]] bool stopped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(spare_);
+  }
+
+  /// Hand a window to the consumer once the slot frees; false when stopping.
+  [[nodiscard]] bool emit(Window&& w) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !ready_.has_value() || stop_; });
+    if (stop_) return false;
+    ready_ = std::move(w);
+    cv_.notify_all();
+    return true;
+  }
+
+  void run() {
+    try {
+      const auto segs = reader_.segments();  // snapshot, like a cursor's
+      std::size_t n_sealed = 0;
+      while (n_sealed < segs.size() && segs[n_sealed].sealed) ++n_sealed;
+
+      // O(log n): first sealed segment whose span can reach t0.
+      const auto begin = segs.begin();
+      const auto it = std::lower_bound(
+          begin, begin + static_cast<std::ptrdiff_t>(n_sealed), t0_,
+          [](const SegmentInfo& s, double t) { return s.t_max < t; });
+      bool hit_t1 = false;
+      for (auto i = static_cast<std::size_t>(it - begin); i < n_sealed; ++i) {
+        if (stopped()) return;
+        const SegmentInfo& s = segs[i];
+        if (s.t_min >= t1_) {  // time is monotone: nothing later fits
+          hit_t1 = true;
+          break;
+        }
+        if (!load_sealed(s)) return;
+      }
+      const double sealed_t_max =
+          n_sealed > 0 ? segs[n_sealed - 1].t_max
+                       : -std::numeric_limits<double>::infinity();
+      if (!hit_t1 && n_sealed < segs.size() &&
+          !load_active(segs[n_sealed], sealed_t_max)) {
+        return;
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Load one sealed segment's payload window; false when stopping.
+  [[nodiscard]] bool load_sealed(const SegmentInfo& s) {
+    // Same dual-name retry as Cursor::open_next_segment: an in-flight
+    // compaction may still hold the file under its temp name.
+    const auto final_path = reader_.directory() / s.name;
+    const auto tmp_path = fs::path(final_path.string() + ".tmp");
+    SegmentFooter footer;
+    fs::path path;
+    std::string err;
+    bool opened_file = false;
+    std::ifstream in;
+    for (int attempt = 0; attempt < 2 && !opened_file; ++attempt) {
+      for (const auto& candidate : {final_path, tmp_path}) {
+        std::string e;
+        if (!load_segment_footer(candidate, footer, &e)) {
+          if (err.empty()) err = e;
+          continue;
+        }
+        in.clear();
+        in.open(candidate, std::ios::binary);
+        if (!in) continue;  // renamed away between footer load and open
+        path = candidate;
+        opened_file = true;
+        break;
+      }
+    }
+    if (!opened_file) throw WireError("segment store: " + err);
+
+    std::uint64_t start = kSegmentHeaderBytes;
+    if (s.t_min < t0_ && footer.index_count > 0) {
+      // Sparse-index probe: load only from the last entry at or before t0.
+      std::vector<std::pair<double, std::uint64_t>> index;
+      if (!load_segment_index(path, footer, index, &err)) {
+        throw WireError("segment store: " + err);
+      }
+      const auto pit = std::upper_bound(
+          index.begin(), index.end(), t0_,
+          [](double t, const std::pair<double, std::uint64_t>& e) {
+            return t < e.first;
+          });
+      if (pit != index.begin()) start = (*std::prev(pit)).second;
+    }
+
+    Window w;
+    w.bytes = take_buffer();
+    w.base = start;
+    w.bytes.resize(static_cast<std::size_t>(footer.payload_end - start));
+    in.seekg(static_cast<std::streamoff>(start));
+    if (!read_exact(in, w.bytes.data(), w.bytes.size())) {
+      throw WireError("segment store: short payload read in " + path.string());
+    }
+    return emit(std::move(w));
+  }
+
+  /// Load the active segment's readable prefix; false when stopping.
+  [[nodiscard]] bool load_active(const SegmentInfo& s, double sealed_t_max) {
+    const auto path = reader_.directory() / s.name;
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (ec || size <= kSegmentHeaderBytes) return true;  // nothing readable
+    std::uint64_t sealed_end = 0;
+    if (!probe_presumed_active(path, sealed_t_max, &sealed_end)) {
+      return true;  // a racing compaction reused the index: merged old data
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return true;  // writer may have just sealed+rotated it
+    std::array<std::uint8_t, kSegmentHeaderBytes> header;
+    Window w;
+    // sealed_end != 0: sealed after our snapshot — read exactly its payload
+    // with sealed semantics (a decode failure is loss, not a torn tail).
+    w.active = sealed_end == 0;
+    if (!read_exact(in, header.data(), header.size()) ||
+        get_raw<std::uint32_t>(header.data()) != kSegmentMagic) {
+      // Header bytes still in the writer's buffer: nothing readable yet.
+      w.header_torn = true;
+      w.active = true;
+      return emit(std::move(w));
+    }
+    const std::uint64_t end = sealed_end != 0 ? sealed_end : size;
+    w.bytes = take_buffer();
+    w.base = kSegmentHeaderBytes;
+    w.bytes.resize(static_cast<std::size_t>(end - kSegmentHeaderBytes));
+    // The file may be growing under us; the statted size is our bounded
+    // snapshot of the tail, exactly like a cursor's.
+    in.read(reinterpret_cast<char*>(w.bytes.data()),
+            static_cast<std::streamsize>(w.bytes.size()));
+    w.bytes.resize(static_cast<std::size_t>(in.gcount()));
+    return emit(std::move(w));
+  }
+
+  const SegmentStoreReader& reader_;
+  const double t0_;
+  const double t1_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Window> ready_;
+  std::vector<std::uint8_t> spare_;
+  std::exception_ptr error_;
+  bool done_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // SegmentStoreSource
@@ -1065,9 +1433,21 @@ bool SegmentStoreReader::Cursor::next(Record& out) {
 SegmentStoreSource::SegmentStoreSource(const std::filesystem::path& dir,
                                        double t0, double t1,
                                        std::uint32_t subtype)
-    : RecordSampleSource(subtype),
+    : SegmentStoreSource(dir, ReplayOptions{t0, t1, subtype, true}) {}
+
+SegmentStoreSource::SegmentStoreSource(const std::filesystem::path& dir,
+                                       ReplayOptions options)
+    : RecordSampleSource(options.subtype),
       reader_(std::make_unique<SegmentStoreReader>(dir)),
-      cursor_(reader_->seek(t0, t1)) {}
+      cursor_(reader_->seek(options.t0, options.t1)),
+      options_(options) {
+  if (options_.prefetch) {
+    prefetcher_ = std::make_unique<detail::SegmentPrefetcher>(
+        *reader_, options_.t0, options_.t1);
+  }
+}
+
+SegmentStoreSource::~SegmentStoreSource() = default;  // joins the prefetcher
 
 RecordSampleSource::Next SegmentStoreSource::next_record(Record& rec) {
   try {
@@ -1075,6 +1455,91 @@ RecordSampleSource::Next SegmentStoreSource::next_record(Record& rec) {
     return cursor_.torn() ? Next::kLost : Next::kEnd;
   } catch (const WireError&) {
     return Next::kLost;  // damaged sealed segment; verify() pinpoints it
+  }
+}
+
+bool SegmentStoreSource::classify_view(const RecordView& view,
+                                       FloatVec& pending) {
+  ++records_in_;
+  if (view.type == RecordType::kOpenScope && view.scope_type == kScopeClip) {
+    rate_ = view.attr_double(kAttrSampleRate, rate_);
+  } else if (view.type == RecordType::kData && view.subtype == subtype() &&
+             view.is_float()) {
+    if (rate_ == 0.0) rate_ = view.attr_double(kAttrSampleRate, 0.0);
+    pending.assign(view.floats.begin(), view.floats.end());
+    return true;
+  }
+  return false;
+}
+
+RecordSampleSource::Next SegmentStoreSource::next_audio(FloatVec& pending) {
+  if (prefetcher_ != nullptr) return next_audio_prefetched(pending);
+  // Synchronous path: the same scan through the cursor's allocation-free
+  // view — pending reuses its capacity, the cursor its buffers.
+  RecordView view;
+  for (;;) {
+    try {
+      if (!cursor_.next_view(view)) {
+        return cursor_.torn() ? Next::kLost : Next::kEnd;
+      }
+    } catch (const WireError&) {
+      return Next::kLost;  // damaged sealed segment; verify() pinpoints it
+    }
+    if (classify_view(view, pending)) return Next::kRecord;
+  }
+}
+
+RecordSampleSource::Next SegmentStoreSource::next_audio_prefetched(
+    FloatVec& pending) {
+  for (;;) {
+    if (!have_window_) {
+      detail::SegmentPrefetcher::Window w;
+      try {
+        if (!prefetcher_->next(w)) return Next::kEnd;
+      } catch (const WireError&) {
+        return Next::kLost;  // damaged sealed segment; verify() pinpoints it
+      }
+      ++reader_->opened_;  // same accounting as a cursor opening the file
+      if (w.header_torn) return Next::kLost;
+      window_ = std::move(w.bytes);
+      window_base_ = w.base;
+      window_pos_ = 0;
+      window_active_ = w.active;
+      have_window_ = true;
+    }
+    // Parse the next envelope of the in-memory window — same skip/torn
+    // semantics as a cursor over the file itself.
+    const std::size_t remaining = window_.size() - window_pos_;
+    if (remaining < kEnvelopeHeaderBytes) {
+      if (window_active_ && remaining > 0) return Next::kLost;  // torn tail
+      prefetcher_->recycle(std::move(window_));
+      window_.clear();
+      have_window_ = false;
+      continue;
+    }
+    const std::uint8_t* env = window_.data() + window_pos_;
+    const auto len = get_raw<std::uint32_t>(env);
+    const auto t = get_raw<double>(env + 4);
+    if (len == 0 || len > kMaxSegmentFrameBytes ||
+        window_pos_ + kEnvelopeHeaderBytes + len > window_.size()) {
+      return Next::kLost;  // torn active tail / damaged sealed payload
+    }
+    if (t >= options_.t1) return Next::kEnd;  // time is monotone
+    if (t < options_.t0) {  // skip without decoding
+      window_pos_ += kEnvelopeHeaderBytes + len;
+      continue;
+    }
+    RecordView view;
+    try {
+      std::size_t consumed = 0;
+      view = decode_record_view(env + kEnvelopeHeaderBytes, len, consumed,
+                                scratch_);
+      if (consumed != len) return Next::kLost;
+    } catch (const WireError&) {
+      return Next::kLost;
+    }
+    window_pos_ += kEnvelopeHeaderBytes + len;
+    if (classify_view(view, pending)) return Next::kRecord;
   }
 }
 
@@ -1154,8 +1619,10 @@ void AudioSegmentArchiver::flush_record() {
   log_.append(rec, static_cast<double>(start_sample_) / rate_);
   start_sample_ += n;
   archived_ += n;
-  pending_ = FloatVec{};
-  pending_.reserve(record_samples_);
+  // Take the payload buffer back from the appended record: steady-state
+  // archiving then recycles one allocation instead of making one per record.
+  pending_ = std::move(std::get<FloatVec>(rec.payload));
+  pending_.clear();
 }
 
 }  // namespace dynriver::river

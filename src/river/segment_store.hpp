@@ -41,17 +41,25 @@
 //     bounded memory.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "river/record.hpp"
 #include "river/sample_io.hpp"
+#include "river/wire.hpp"
+
+namespace dynriver::river::detail {
+class SegmentPrefetcher;
+}  // namespace dynriver::river::detail
 
 namespace dynriver::river {
 
@@ -80,6 +88,31 @@ struct SegmentStoreOptions {
   std::uint64_t index_every_bytes = 64ull << 10;
   /// fsync each segment on seal and the manifest on every rewrite.
   bool sync_on_seal = true;
+  /// Encode float payloads through the bit-packing codec (river/bitpack.hpp)
+  /// on append: lossless — replay is bit-identical — and typically 3-5x
+  /// smaller for ADC-quantized audio. Packed and raw frames interleave
+  /// freely within one store, so reopening an old raw store with packing
+  /// on (or vice versa) simply yields a mixed store every reader handles.
+  bool pack_payloads = false;
+};
+
+/// Knobs for SegmentedRecordLog::Maintenance.
+struct MaintenanceOptions {
+  /// Seconds between maintenance cycles (lower bound; budget can stretch it).
+  double interval_seconds = 1.0;
+  /// Drop sealed segments ending more than this many seconds before the
+  /// newest appended record (0 disables retention).
+  double retain_seconds = 0.0;
+  /// Merge adjacent sealed segments smaller than this (0 disables
+  /// compaction).
+  std::uint64_t compact_min_bytes = 0;
+  /// At most this many segments merge per compaction pass, bounding how
+  /// long one cycle holds the log's lock.
+  std::size_t compact_max_run = 8;
+  /// Average maintenance I/O throughput cap in bytes/second: after a cycle
+  /// that retired or merged N bytes, sleep at least N / budget seconds
+  /// before the next one (0 = unthrottled).
+  std::uint64_t budget_bytes_per_sec = 0;
 };
 
 /// One segment as listed by the manifest (sealed) or observed live (active).
@@ -96,6 +129,10 @@ struct SegmentInfo {
 /// Rotating writer: appends time-stamped records, seals segments by
 /// size/time, maintains the manifest, recovers from crashes on reopen.
 /// Stream time must be non-decreasing across appends.
+///
+/// All public methods are serialized by an internal mutex, so a Maintenance
+/// thread (or any other thread) may run retire_before()/compact() while the
+/// owning thread keeps appending.
 class SegmentedRecordLog {
  public:
   explicit SegmentedRecordLog(const std::filesystem::path& dir,
@@ -126,16 +163,55 @@ class SegmentedRecordLog {
   /// Compaction: merge adjacent runs of sealed segments smaller than
   /// `min_bytes` into single segments (raw envelope copy — frames are not
   /// re-encoded). Seals the active segment first so the merged segment
-  /// never takes the live file's name. Returns the net number of segments
-  /// eliminated.
-  std::size_t compact(std::uint64_t min_bytes);
+  /// never takes the live file's name. At most `max_run` segments join one
+  /// merged segment. Returns the net number of segments eliminated.
+  std::size_t compact(std::uint64_t min_bytes,
+                      std::size_t max_run = std::numeric_limits<std::size_t>::max());
 
-  [[nodiscard]] std::size_t records_written() const { return written_; }
+  [[nodiscard]] std::size_t records_written() const;
   /// Complete frames preserved from a torn active segment on reopen.
-  [[nodiscard]] std::size_t recovered_records() const { return recovered_; }
+  [[nodiscard]] std::size_t recovered_records() const;
+  /// Stream time of the newest appended record (-inf when none yet).
+  [[nodiscard]] double last_time() const;
   /// Sealed segments (manifest order) plus the active one, if any.
   [[nodiscard]] std::vector<SegmentInfo> segments() const;
   [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+  /// Hands-off background maintenance: owns a thread that periodically
+  /// applies retention and compaction to the log, throttled to an average
+  /// byte budget so archive housekeeping cannot starve the live writer.
+  /// Construct after the log, destroy (or stop()) before closing it.
+  class Maintenance {
+   public:
+    Maintenance(SegmentedRecordLog& log, MaintenanceOptions options);
+    ~Maintenance();
+    Maintenance(const Maintenance&) = delete;
+    Maintenance& operator=(const Maintenance&) = delete;
+
+    /// Counters across all cycles so far (readable while running).
+    struct Stats {
+      std::size_t cycles = 0;
+      std::size_t segments_retired = 0;
+      std::size_t segments_merged = 0;     ///< net segments eliminated
+      std::uint64_t bytes_processed = 0;   ///< retired + rewritten payload
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// Finish the in-flight cycle, if any, and join the thread. Idempotent;
+    /// the destructor calls it.
+    void stop();
+
+   private:
+    void run();
+
+    SegmentedRecordLog& log_;
+    MaintenanceOptions options_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    Stats stats_;
+    bool stop_ = false;
+    std::thread thread_;
+  };
 
  private:
   struct ActiveSegment {
@@ -153,7 +229,14 @@ class SegmentedRecordLog {
   void open_active();
   void write_manifest() const;
   void recover();
+  // _locked variants hold mu_ (public wrappers acquire it); they exist so
+  // internal callers — compact seals first, close seals — never re-lock.
+  void seal_active_locked();
+  std::size_t retire_before_locked(double t, std::uint64_t* bytes_dropped);
+  std::size_t compact_locked(std::uint64_t min_bytes, std::size_t max_run,
+                             std::uint64_t* bytes_rewritten);
 
+  mutable std::mutex mu_;
   std::filesystem::path dir_;
   SegmentStoreOptions options_;
   std::vector<SegmentInfo> sealed_;
@@ -191,6 +274,11 @@ class SegmentStoreReader {
     /// segment damage throws WireError (verify() pinpoints it).
     [[nodiscard]] bool next(Record& out);
 
+    /// Allocation-free variant: `out` borrows the cursor's internal frame
+    /// buffer and decode scratch, both valid only until the next call.
+    /// Same end-of-range / torn / throw behavior as next().
+    [[nodiscard]] bool next_view(RecordView& out);
+
     /// Stream time of the record last returned by next().
     [[nodiscard]] double time() const { return time_; }
     [[nodiscard]] bool torn() const { return torn_; }
@@ -204,12 +292,16 @@ class SegmentStoreReader {
     Cursor(SegmentStoreReader* store, double t0, double t1)
         : store_(store), t0_(t0), t1_(t1) {}
     bool open_next_segment();
+    bool fetch_frame(std::uint32_t& len_out);
+    void commit_frame(std::uint32_t len);
+    [[nodiscard]] bool fail_torn();
 
     SegmentStoreReader* store_;
     double t0_;
     double t1_;
     bool positioned_ = false;
     std::vector<std::uint8_t> frame_buf_;
+    WireScratch scratch_;
     std::size_t seg_i_ = 0;       ///< next sealed segment to consider
     bool tried_active_ = false;
     bool in_active_ = false;
@@ -219,6 +311,7 @@ class SegmentStoreReader {
     std::uint64_t pos_ = 0;
     std::uint64_t end_ = 0;       ///< payload end of the current segment
     double time_ = 0.0;
+    double pending_t_ = 0.0;      ///< time of the fetched-but-uncommitted frame
     std::size_t lost_bytes_ = 0;
     std::size_t scanned_ = 0;
   };
@@ -232,10 +325,24 @@ class SegmentStoreReader {
   [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
 
  private:
+  friend class SegmentStoreSource;  // prefetched replay keeps opened_ honest
+
   std::filesystem::path dir_;
   std::vector<SegmentInfo> sealed_;
   std::string active_name_;  ///< empty when no active segment exists
   std::size_t opened_ = 0;
+};
+
+/// How SegmentStoreSource replays a store.
+struct ReplayOptions {
+  double t0 = 0.0;
+  double t1 = std::numeric_limits<double>::infinity();
+  std::uint32_t subtype = kSubtypeAudio;
+  /// Overlap disk reads with decode: a background thread loads segment
+  /// payload windows one segment ahead of the consumer (double-buffered,
+  /// joined cleanly however early the replay stops). Decoding then runs
+  /// in-memory and allocation-free per frame.
+  bool prefetch = true;
 };
 
 /// Replays a time range of a segment store as a sample stream: drop it into
@@ -247,14 +354,30 @@ class SegmentStoreSource final : public RecordSampleSource {
       const std::filesystem::path& dir, double t0 = 0.0,
       double t1 = std::numeric_limits<double>::infinity(),
       std::uint32_t subtype = kSubtypeAudio);
+  SegmentStoreSource(const std::filesystem::path& dir, ReplayOptions options);
+  ~SegmentStoreSource() override;
 
   [[nodiscard]] const SegmentStoreReader& reader() const { return *reader_; }
 
  private:
   [[nodiscard]] Next next_record(Record& rec) override;
+  [[nodiscard]] Next next_audio(FloatVec& pending) override;
+  [[nodiscard]] Next next_audio_prefetched(FloatVec& pending);
+  /// Shared skip/match logic of both replay paths: bumps records_in_,
+  /// learns the rate, fills `pending` (capacity reused) on an audio match.
+  [[nodiscard]] bool classify_view(const RecordView& view, FloatVec& pending);
 
   std::unique_ptr<SegmentStoreReader> reader_;
   SegmentStoreReader::Cursor cursor_;
+  ReplayOptions options_;
+  // Prefetched-path state: the current in-memory window and parse offset.
+  std::unique_ptr<detail::SegmentPrefetcher> prefetcher_;
+  std::vector<std::uint8_t> window_;
+  std::uint64_t window_base_ = 0;  ///< file offset of window_[0]
+  std::size_t window_pos_ = 0;
+  bool window_active_ = false;     ///< window came from the active segment
+  bool have_window_ = false;
+  WireScratch scratch_;
 };
 
 /// Streams raw audio into a SegmentedRecordLog as self-describing records:

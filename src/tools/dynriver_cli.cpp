@@ -60,7 +60,7 @@ int usage() {
                "  serve   [--stations N] [--clips M] [--policy block|drop]\n"
                "          [--queue SAMPLES] [--threads T] [--retune-sigma S]\n"
                "  archive <clip.wav> --store DIR [--segment-kb N]\n"
-               "          [--segment-seconds S]\n"
+               "          [--segment-seconds S] [--pack|--no-pack]\n"
                "  replay  --store DIR [--from T] [--to T]\n"
                "  topo\n"
                "  species\n");
@@ -73,6 +73,13 @@ std::string arg_value(int argc, char** argv, const char* name,
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 int find_species(const std::string& code) {
@@ -327,8 +334,11 @@ int cmd_serve(int argc, char** argv) {
 // archive: stream a WAV recording into a rotating segment store. The clip is
 // never loaded whole — it flows through the AudioSegmentArchiver in
 // record-size chunks, rotating into sealed (checksummed, indexed) segments
-// as it grows. Repeated invocations against the same store append after the
-// existing archive; any time range replays later via `replay`.
+// as it grows. Payloads are bit-packed by default (lossless; WAV samples
+// live on the PCM16 grid the delta codec is built for) — --no-pack stores
+// raw f32 frames instead, and the two interleave freely in one store.
+// Repeated invocations against the same store append after the existing
+// archive; any time range replays later via `replay`.
 int cmd_archive(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::string in = argv[0];
@@ -343,6 +353,7 @@ int cmd_archive(int argc, char** argv) {
   river::SegmentStoreOptions options;
   options.max_segment_bytes = static_cast<std::uint64_t>(segment_kb) << 10;
   options.max_segment_seconds = segment_seconds;
+  options.pack_payloads = !has_flag(argc, argv, "--no-pack");
   river::SegmentedRecordLog log(store, options);
   if (log.recovered_records() > 0) {
     std::printf("recovered %zu record(s) from a torn segment\n",
@@ -378,6 +389,13 @@ int cmd_archive(int argc, char** argv) {
               static_cast<double>(bytes) / (1024.0 * 1024.0),
               segments.empty() ? 0.0 : segments.front().t_min,
               segments.empty() ? 0.0 : segments.back().t_max);
+  if (archiver.samples_archived() > 0) {
+    const double per_sample =
+        static_cast<double>(bytes) /
+        static_cast<double>(archiver.next_start_sample());
+    std::printf("stored %.2f bytes/sample (%s; raw f32 is 4.00 + framing)\n",
+                per_sample, options.pack_payloads ? "packed" : "raw");
+  }
   return 0;
 }
 

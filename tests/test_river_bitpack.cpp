@@ -1,0 +1,258 @@
+// Bit-packing codec properties: bit-exact round-trips across sizes and value
+// shapes (including NaN, denormals, -0.0), strict rejection of truncated and
+// structurally invalid streams, and the compression floor on realistic
+// (PCM16-quantized) station audio.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "river/bitpack.hpp"
+#include "synth/station.hpp"
+
+namespace river = dynriver::river;
+namespace bitpack = dynriver::river::bitpack;
+namespace synth = dynriver::synth;
+
+namespace {
+
+/// The PCM16 grid the WAV/ADC path produces: n/32768 with n = round(v*32767).
+float quantize_pcm16(float v) {
+  const float c = std::clamp(v, -1.0f, 1.0f);
+  return static_cast<float>(std::lround(c * 32767.0f)) / 32768.0f;
+}
+
+void expect_bit_identical(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ab = 0;
+    std::uint32_t bb = 0;
+    std::memcpy(&ab, &a[i], 4);
+    std::memcpy(&bb, &b[i], 4);
+    ASSERT_EQ(ab, bb) << "sample " << i;
+  }
+}
+
+std::vector<std::uint8_t> pack(const std::vector<float>& values) {
+  std::vector<std::uint8_t> packed;
+  const std::size_t appended = bitpack::pack_floats(values, packed);
+  EXPECT_EQ(appended, packed.size());
+  return packed;
+}
+
+void roundtrip(const std::vector<float>& values) {
+  const auto packed = pack(values);
+  std::vector<float> out(values.size());
+  const std::size_t used =
+      bitpack::unpack_floats(packed.data(), packed.size(), out);
+  EXPECT_EQ(used, packed.size());
+  // The structural walk must agree with the value decode byte for byte.
+  EXPECT_EQ(bitpack::packed_stream_bytes(packed.data(), packed.size(),
+                                         values.size()),
+            packed.size());
+  expect_bit_identical(values, out);
+}
+
+/// Every size from 1..257 plus block-boundary and larger shapes: the codec's
+/// block structure (128 values) makes off-by-ones cluster at these sizes.
+std::vector<std::size_t> interesting_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 1; n <= 257; ++n) sizes.push_back(n);
+  for (const std::size_t n : {509u, 1021u, 1024u, 4096u}) sizes.push_back(n);
+  return sizes;
+}
+
+}  // namespace
+
+TEST(Bitpack, RoundTripConstantEverySize) {
+  for (const std::size_t n : interesting_sizes()) {
+    roundtrip(std::vector<float>(n, 0.25f));
+  }
+}
+
+TEST(Bitpack, RoundTripQuantizedRampEverySize) {
+  for (const std::size_t n : interesting_sizes()) {
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = quantize_pcm16(static_cast<float>(i % 701) / 700.0f - 0.5f);
+    }
+    roundtrip(v);
+  }
+}
+
+TEST(Bitpack, RoundTripQuantizedNoiseEverySize) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (const std::size_t n : interesting_sizes()) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = quantize_pcm16(dist(rng));
+    roundtrip(v);
+  }
+}
+
+TEST(Bitpack, RoundTripFullPrecisionNoiseEverySize) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (const std::size_t n : interesting_sizes()) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = dist(rng);  // not on the PCM16 grid: xor path
+    roundtrip(v);
+  }
+}
+
+TEST(Bitpack, RoundTripSpecialValues) {
+  const std::vector<float> specials = {
+      0.0f,
+      -0.0f,
+      1.0f,
+      -1.0f,
+      std::numeric_limits<float>::quiet_NaN(),
+      -std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      1e-42f,  // denormal
+      std::numeric_limits<float>::max(),
+      std::numeric_limits<float>::lowest(),
+      std::nextafterf(1.0f, 2.0f),
+  };
+  roundtrip(specials);
+  // Repeat to cross a block boundary with specials on both sides.
+  std::vector<float> many;
+  while (many.size() < 300) {
+    many.insert(many.end(), specials.begin(), specials.end());
+  }
+  roundtrip(many);
+}
+
+TEST(Bitpack, ModeSelection) {
+  // PCM16-grid values take the delta path.
+  std::vector<float> quantized(200);
+  for (std::size_t i = 0; i < quantized.size(); ++i) {
+    quantized[i] = quantize_pcm16(std::sin(static_cast<float>(i) * 0.1f));
+  }
+  EXPECT_EQ(pack(quantized)[0], bitpack::kModeI16Delta);
+
+  // -0.0 is numerically 0/32768 but not bitwise: the delta path would
+  // canonicalize it, so the encoder must pick another mode (xor when it
+  // compresses, raw otherwise) and stay bit-exact.
+  std::vector<float> with_neg_zero = quantized;
+  with_neg_zero[100] = -0.0f;
+  EXPECT_NE(pack(with_neg_zero)[0], bitpack::kModeI16Delta);
+  roundtrip(with_neg_zero);
+
+  // +1.0 has no i16 representation (32768 overflows): off the delta path too.
+  std::vector<float> with_one = quantized;
+  with_one[50] = 1.0f;
+  EXPECT_NE(pack(with_one)[0], bitpack::kModeI16Delta);
+  roundtrip(with_one);
+
+  // Uncorrelated bit patterns pack to >= 32 bits/value under xor, so the
+  // encoder must fall back to raw rather than inflate.
+  std::mt19937 rng(3);
+  std::vector<float> incompressible(256);
+  for (auto& x : incompressible) {
+    const auto bits = static_cast<std::uint32_t>(rng());
+    float f;
+    std::memcpy(&f, &bits, 4);
+    if (std::isnan(f)) continue;  // keep it simple: any value works
+    x = f;
+  }
+  const auto packed = pack(incompressible);
+  EXPECT_EQ(packed[0], bitpack::kModeRaw);
+  EXPECT_EQ(packed.size(), 1 + 4 * incompressible.size());
+  roundtrip(incompressible);
+}
+
+TEST(Bitpack, ConstantRunsCompressMassively) {
+  const std::vector<float> v(4096, 0.125f);
+  const auto packed = pack(v);
+  // The first block pays the block's max width for the initial delta
+  // (14 bits x 128 values); every later block is a single width-0 byte.
+  // 1 + (1 + 224) + 31 * 1 = 257 bytes for 16 KiB of raw floats.
+  EXPECT_LT(packed.size(), 2 * 4 * v.size() / 100);
+}
+
+TEST(Bitpack, EveryTruncatedPrefixRejected) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(300);
+  for (auto& x : v) x = quantize_pcm16(dist(rng));
+  const auto packed = pack(v);
+  std::vector<float> out(v.size());
+  for (std::size_t cut = 0; cut < packed.size(); ++cut) {
+    EXPECT_THROW((void)bitpack::unpack_floats(packed.data(), cut, out),
+                 river::WireTruncated)
+        << "prefix " << cut;
+    EXPECT_THROW((void)bitpack::packed_stream_bytes(packed.data(), cut,
+                                                    v.size()),
+                 river::WireTruncated)
+        << "prefix " << cut;
+  }
+}
+
+TEST(Bitpack, InvalidStructureRejected) {
+  std::vector<float> v(10, 0.5f);
+  auto packed = pack(v);
+  std::vector<float> out(v.size());
+
+  auto bad_mode = packed;
+  bad_mode[0] = 7;
+  EXPECT_THROW((void)bitpack::unpack_floats(bad_mode.data(), bad_mode.size(),
+                                            out),
+               river::WireError);
+
+  auto bad_width = packed;
+  bad_width[1] = 31;  // i16 mode allows at most 17 bits
+  EXPECT_THROW((void)bitpack::unpack_floats(bad_width.data(), bad_width.size(),
+                                            out),
+               river::WireError);
+
+  // A delta walking outside [-32768, 32767] is structurally invalid: mode 1,
+  // one 17-bit value encoding zigzag(+40000).
+  std::vector<std::uint8_t> escape = {bitpack::kModeI16Delta, 17};
+  const std::uint32_t zz = (40000u << 1);  // zigzag of +40000
+  std::uint32_t acc = zz;
+  for (int i = 0; i < 3; ++i) {
+    escape.push_back(static_cast<std::uint8_t>(acc & 0xFFu));
+    acc >>= 8;
+  }
+  std::vector<float> one(1);
+  EXPECT_THROW((void)bitpack::unpack_floats(escape.data(), escape.size(), one),
+               river::WireError);
+}
+
+TEST(Bitpack, StationClipCompressesAtLeastThreefold) {
+  // The acceptance floor: a realistic station clip, quantized through the
+  // PCM16 grid every ADC/WAV sample lives on, must pack >= 3x smaller —
+  // both as one stream and chunked into archiver-sized (900-sample) records.
+  synth::SensorStation station({}, 77);
+  const auto clip = station.record_clip(
+      {synth::SpeciesId::kAMGO, synth::SpeciesId::kBCCH});
+  std::vector<float> q(clip.clip.samples.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    q[i] = quantize_pcm16(clip.clip.samples[i]);
+  }
+
+  roundtrip(q);
+  const auto whole = pack(q);
+  EXPECT_GE(4 * q.size(), 3 * whole.size())
+      << "whole-clip ratio " << static_cast<double>(4 * q.size()) /
+                                    static_cast<double>(whole.size());
+
+  std::size_t chunked = 0;
+  for (std::size_t off = 0; off < q.size(); off += 900) {
+    const std::size_t n = std::min<std::size_t>(900, q.size() - off);
+    std::vector<std::uint8_t> p;
+    chunked += bitpack::pack_floats(std::span<const float>(q.data() + off, n),
+                                    p);
+  }
+  EXPECT_GE(4 * q.size(), 3 * chunked)
+      << "per-record ratio " << static_cast<double>(4 * q.size()) /
+                                    static_cast<double>(chunked);
+}

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -15,6 +16,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/extractor.hpp"
@@ -25,6 +27,7 @@
 #include "river/sample_io.hpp"
 #include "river/segment_store.hpp"
 #include "river/wire.hpp"
+#include "synth/station.hpp"
 #include "test_support.hpp"
 
 namespace core = dynriver::core;
@@ -701,6 +704,363 @@ TEST_F(SegmentStoreTest, ReplayIsBitIdenticalToFlatLogAndLiveExtraction) {
   river::SegmentStoreSource segmented(dir);
   expect_same_ensembles(replay(segmented), want.ensembles, "segment store");
   ASSERT_TRUE(segmented.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Packed payloads: size floor, bit-identity, mixed stores, damage drills
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The PCM16 grid the WAV/ADC path produces: n/32768 with n = round(v*32767).
+float quantize_pcm16(float v) {
+  const float c = std::clamp(v, -1.0F, 1.0F);
+  return static_cast<float>(std::lround(c * 32767.0F)) / 32768.0F;
+}
+
+std::vector<float> quantized_signal_with_events(std::size_t n, unsigned seed) {
+  auto xs = random_signal_with_events(n, seed);
+  for (auto& x : xs) x = quantize_pcm16(x);
+  return xs;
+}
+
+void expect_bit_identical(const std::vector<float>& got,
+                          const std::vector<float>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::uint32_t gb = 0;
+    std::uint32_t wb = 0;
+    std::memcpy(&gb, &got[i], 4);
+    std::memcpy(&wb, &want[i], 4);
+    ASSERT_EQ(gb, wb) << label << " sample " << i;
+  }
+}
+
+/// Archive `xs` into `dir` (one run, sealed on close) and return the summed
+/// sealed payload bytes.
+std::uint64_t archive_and_measure(const fs::path& dir,
+                                  const std::vector<float>& xs, bool pack) {
+  river::SegmentStoreOptions options;
+  options.pack_payloads = pack;
+  river::SegmentedRecordLog log(dir, options);
+  river::AudioSegmentArchiver archiver(log, 21600.0, 900);
+  archiver.push(xs);
+  archiver.finish();
+  log.close();
+  std::uint64_t bytes = 0;
+  for (const auto& s : log.segments()) bytes += s.bytes;
+  return bytes;
+}
+
+}  // namespace
+
+TEST_F(SegmentStoreTest, PackedStoreIsAtLeastThreefoldSmallerOnStationAudio) {
+  // The acceptance floor, measured at the store level: the same PCM16-grid
+  // station clip archived packed vs raw, identical chunking and rotation.
+  dynriver::synth::SensorStation station({}, 77);
+  const auto clip = station.record_clip({dynriver::synth::SpeciesId::kAMGO,
+                                         dynriver::synth::SpeciesId::kBCCH});
+  std::vector<float> xs(clip.clip.samples.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = quantize_pcm16(clip.clip.samples[i]);
+  }
+  const auto raw_bytes = archive_and_measure(temp_file("raw"), xs, false);
+  const auto packed_bytes = archive_and_measure(temp_file("packed"), xs, true);
+  EXPECT_GE(raw_bytes, 3 * packed_bytes)
+      << "ratio " << static_cast<double>(raw_bytes) /
+                         static_cast<double>(packed_bytes);
+
+  // And the packed store reads back bit-identically.
+  river::SegmentStoreSource source(temp_file("packed"));
+  expect_bit_identical(drain(source, 256), xs, "packed replay");
+  EXPECT_TRUE(source.clean());
+  river::SegmentStoreReader reader(temp_file("packed"));
+  EXPECT_TRUE(reader.verify());
+}
+
+TEST_F(SegmentStoreTest, PackedReplayBitIdenticalEveryChunkingAndBothPaths) {
+  // Replay of a packed, multi-segment store must be sample-exact for every
+  // read chunking, with and without the prefetch thread.
+  const auto xs = quantized_signal_with_events(30000, 23);
+  const auto dir = store_dir();
+  {
+    river::SegmentStoreOptions options;
+    options.max_segment_bytes = 16 << 10;  // force many segments
+    options.pack_payloads = true;
+    river::SegmentedRecordLog log(dir, options);
+    river::AudioSegmentArchiver archiver(log, 21600.0, 900);
+    archiver.push(xs);
+    archiver.finish();
+    log.close();
+    ASSERT_GT(log.segments().size(), 2U) << "rotation must be exercised";
+  }
+
+  for (const bool prefetch : {true, false}) {
+    for (const std::size_t chunk : {7U, 64U, 256U, 900U, 1024U, 4096U}) {
+      river::ReplayOptions options;
+      options.prefetch = prefetch;
+      river::SegmentStoreSource source(dir, options);
+      expect_bit_identical(drain(source, chunk), xs,
+                           prefetch ? "prefetched" : "synchronous");
+      EXPECT_TRUE(source.clean())
+          << "prefetch=" << prefetch << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST_F(SegmentStoreTest, PackedReplayExtractionMatchesLiveAndFlatLog) {
+  // The tentpole pin: compressed + prefetched replay drives extraction to
+  // the same ensembles as live extraction and as a flat-log replay.
+  const auto params = small_params();
+  const auto xs = quantized_signal_with_events(60000, 11);
+  const double rate = 21600.0;
+
+  const auto want = core::EnsembleExtractor(params).extract(xs);
+  ASSERT_FALSE(want.ensembles.empty());
+
+  const auto flat_path = temp_file("flat.drl");
+  {
+    river::RecordLogWriter writer(flat_path);
+    for (std::size_t pos = 0; pos < xs.size(); pos += 900) {
+      const std::size_t n = std::min<std::size_t>(900, xs.size() - pos);
+      Record rec = Record::data(
+          river::kSubtypeAudio,
+          river::FloatVec(xs.begin() + static_cast<std::ptrdiff_t>(pos),
+                          xs.begin() + static_cast<std::ptrdiff_t>(pos + n)));
+      rec.set_attr(river::kAttrSampleRate, rate);
+      writer.write(rec);
+    }
+    writer.close();
+  }
+
+  const auto dir = store_dir();
+  {
+    river::SegmentStoreOptions options;
+    options.max_segment_bytes = 16 << 10;
+    options.pack_payloads = true;
+    river::SegmentedRecordLog log(dir, options);
+    river::AudioSegmentArchiver archiver(log, rate, 900);
+    archiver.push(xs);
+    archiver.finish();
+    log.close();
+    ASSERT_GT(log.segments().size(), 1U);
+  }
+
+  const auto replay = [&](river::SampleSource& source) {
+    core::StreamSession session(params);
+    river::CollectingEnsembleSink sink;
+    core::run_stream(source, session, sink);
+    return std::move(sink.ensembles);
+  };
+
+  river::RecordLogSource flat(flat_path);
+  expect_same_ensembles(replay(flat), want.ensembles, "flat log");
+  ASSERT_TRUE(flat.clean());
+
+  river::SegmentStoreSource prefetched(dir);
+  expect_same_ensembles(replay(prefetched), want.ensembles, "packed prefetch");
+  ASSERT_TRUE(prefetched.clean());
+
+  river::ReplayOptions sync_options;
+  sync_options.prefetch = false;
+  river::SegmentStoreSource synchronous(dir, sync_options);
+  expect_same_ensembles(replay(synchronous), want.ensembles, "packed sync");
+  ASSERT_TRUE(synchronous.clean());
+}
+
+TEST_F(SegmentStoreTest, MixedPackedAndRawSegmentsReplayAndCompact) {
+  // Packing is a per-writer-session choice: raw and packed frames interleave
+  // in one store, and compaction (a raw envelope copy) preserves both.
+  const auto dir = store_dir();
+  std::vector<Record> written;
+  const auto run = [&](bool pack, std::uint64_t first_seq, double first_t) {
+    river::SegmentStoreOptions options;
+    options.pack_payloads = pack;
+    river::SegmentedRecordLog log(dir, options);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const Record rec = audio_record(first_seq + i, 64);
+      log.append(rec, first_t + 0.1 * static_cast<double>(i));
+      written.push_back(rec);
+    }
+    log.close();
+  };
+  run(false, 0, 0.0);
+  run(true, 8, 1.0);
+  run(false, 16, 2.0);
+
+  const auto check = [&](const char* label) {
+    river::SegmentStoreReader reader(dir);
+    std::string error;
+    EXPECT_TRUE(reader.verify(&error)) << label << ": " << error;
+    auto cursor = reader.seek(0.0);
+    const auto got = drain_cursor(cursor);
+    ASSERT_EQ(got.size(), written.size()) << label;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], written[i]) << label << " record " << i;
+    }
+  };
+  check("mixed store");
+
+  river::SegmentedRecordLog log(dir);
+  EXPECT_GE(log.compact(1 << 20), 2U);
+  EXPECT_EQ(log.segments().size(), 1U);
+  log.close();
+  check("after compaction");
+}
+
+TEST_F(SegmentStoreTest, PackedSealedSegmentSingleBitFlipIsDetected) {
+  // The CRC covers the *stored* (packed) bytes: any flip in a packed sealed
+  // segment must fail verify(), exactly like the raw sweep above.
+  const auto dir = store_dir();
+  {
+    river::SegmentStoreOptions options;
+    options.pack_payloads = true;
+    river::SegmentedRecordLog log(dir, options);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    std::vector<float> xs(600);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = quantize_pcm16(std::sin(static_cast<float>(i) * 0.01F));
+    }
+    archiver.push(xs);
+    archiver.finish();
+    log.close();
+  }
+  river::SegmentStoreReader reader(dir);
+  ASSERT_TRUE(reader.verify());
+  const auto path = dir / reader.segments()[0].name;
+
+  std::vector<char> pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  for (std::size_t at = 0; at < pristine.size(); ++at) {
+    if (at == 6 || at == 7) continue;  // header flags: reserved, unchecked
+    auto damaged = pristine;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+    }
+    std::string error;
+    EXPECT_FALSE(reader.verify(&error)) << "flip at byte " << at;
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
+  }
+  EXPECT_TRUE(reader.verify());
+}
+
+TEST_F(SegmentStoreTest, DamagedOrTruncatedPackedStoreSurfacesAsLostNotCrash) {
+  const auto dir = store_dir();
+  {
+    river::SegmentStoreOptions options;
+    options.pack_payloads = true;
+    river::SegmentedRecordLog log(dir, options);
+    river::AudioSegmentArchiver archiver(log, 1000.0, 100);
+    archiver.push(ramp(2000));
+    archiver.finish();
+    log.close();
+  }
+  river::SegmentStoreReader probe(dir);
+  const auto path = dir / probe.segments()[0].name;
+  const auto pristine_size = fs::file_size(path);
+
+  std::vector<char> pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+
+  {  // bit-flip drill, through both replay paths
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(200);
+    const char x = 0x5A;
+    f.write(&x, 1);
+  }
+  for (const bool prefetch : {true, false}) {
+    river::ReplayOptions options;
+    options.prefetch = prefetch;
+    river::SegmentStoreSource source(dir, options);
+    (void)drain(source, 256);
+    EXPECT_FALSE(source.clean()) << "prefetch=" << prefetch;
+    EXPECT_TRUE(source.exhausted()) << "prefetch=" << prefetch;
+  }
+
+  {  // truncate drill: a sealed segment cut mid-payload loses its footer
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(pristine.data(),
+              static_cast<std::streamsize>(pristine_size / 2));
+  }
+  std::string error;
+  EXPECT_FALSE(probe.verify(&error));
+  EXPECT_FALSE(error.empty());
+  river::SegmentStoreSource source(dir);
+  (void)drain(source, 256);
+  EXPECT_FALSE(source.clean());
+  EXPECT_TRUE(source.exhausted());
+}
+
+// ---------------------------------------------------------------------------
+// Background maintenance
+// ---------------------------------------------------------------------------
+
+TEST_F(SegmentStoreTest, MaintenanceRetiresAndCompactsHandsOff) {
+  const auto dir = store_dir();
+  river::SegmentedRecordLog log(dir);
+  // 10 sealed segments, one per second: segment k spans [k, k + 0.8].
+  for (std::uint64_t sec = 0; sec < 10; ++sec) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      log.append(audio_record(sec * 5 + i, 32),
+                 static_cast<double>(sec) + 0.2 * static_cast<double>(i));
+    }
+    log.seal_active();
+  }
+
+  river::MaintenanceOptions options;
+  options.interval_seconds = 0.002;
+  options.retain_seconds = 2.0;       // horizon: last_time() - 2.0 = 7.8
+  options.compact_min_bytes = 1 << 20;
+  river::SegmentedRecordLog::Maintenance::Stats stats;
+  {
+    river::SegmentedRecordLog::Maintenance maintenance(log, options);
+    // Hands-off: no explicit retire/compact calls; wait for the thread.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      stats = maintenance.stats();
+      if (stats.segments_retired >= 7 && stats.segments_merged >= 1) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "maintenance made no progress: cycles=" << stats.cycles
+          << " retired=" << stats.segments_retired
+          << " merged=" << stats.segments_merged;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    maintenance.stop();
+    stats = maintenance.stats();
+  }
+  EXPECT_GE(stats.cycles, 1U);
+  EXPECT_GE(stats.segments_retired, 7U);
+  EXPECT_LE(stats.segments_retired, 8U);
+  EXPECT_GE(stats.segments_merged, 1U);
+  EXPECT_GT(stats.bytes_processed, 0U);
+
+  // The surviving tail is intact, merged, and still appendable.
+  log.append(audio_record(100, 32), 20.0);
+  log.close();
+  river::SegmentStoreReader reader(dir);
+  std::string error;
+  EXPECT_TRUE(reader.verify(&error)) << error;
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_GE(got.size(), 11U);  // >= 2 surviving seconds + the new append
+  EXPECT_EQ(got.back().sequence, 100U);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GT(got[i].sequence, got[i - 1].sequence);
+  }
 }
 
 TEST_F(SegmentStoreTest, SchedulerReplayStationMatchesLiveExtraction) {

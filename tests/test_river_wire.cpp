@@ -1,7 +1,13 @@
 // Wire format: round-trips for every payload/attribute shape, checksum
 // detection, truncation handling, incremental decoding under arbitrary
-// fragmentation.
+// fragmentation, packed payloads, and the allocation-free view decoder.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
 
 #include "river/wire.hpp"
 
@@ -18,6 +24,21 @@ Record rich_record() {
   rec.set_attr("rate", 21600.0);
   rec.set_attr("clip", std::int64_t{-9});
   rec.set_attr("station", std::string("kbs"));
+  return rec;
+}
+
+/// Audio-shaped record whose samples sit on the PCM16 grid (n/32768), the
+/// form every ADC/WAV sample takes — the packed codec's best case.
+Record quantized_audio_record(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-0.4f, 0.4f);
+  river::FloatVec v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(std::lround(dist(rng) * 32767.0f)) / 32768.0f;
+  }
+  auto rec = Record::data(river::kSubtypeAudio, std::move(v));
+  rec.set_attr("rate", 21600.0);
+  rec.set_attr("start", std::int64_t{12345});
   return rec;
 }
 }  // namespace
@@ -136,4 +157,242 @@ TEST(WireDecoder, SurfacesCorruptionMidStream) {
   decoder.feed(frame.data(), frame.size());
   Record rec;
   EXPECT_THROW((void)decoder.next(rec), river::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Packed payloads (pay_tag 4)
+// ---------------------------------------------------------------------------
+
+TEST(WirePacked, RoundTripBitIdentical) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{127}, std::size_t{128},
+                              std::size_t{129}, std::size_t{900},
+                              std::size_t{4096}}) {
+    const Record original = quantized_audio_record(n, 42 + static_cast<unsigned>(n));
+    const auto frame =
+        river::encode_record(original, river::PayloadCodec::kPacked);
+    const Record decoded = river::decode_record(frame);
+    EXPECT_TRUE(decoded == original) << "n=" << n;
+  }
+}
+
+TEST(WirePacked, PackedFrameIsSmaller) {
+  const Record rec = quantized_audio_record(900, 7);
+  const auto raw = river::encode_record(rec, river::PayloadCodec::kRaw);
+  const auto packed = river::encode_record(rec, river::PayloadCodec::kPacked);
+  EXPECT_LT(packed.size(), raw.size());
+}
+
+TEST(WirePacked, FullPrecisionFloatsStillRoundTrip) {
+  // Values off the PCM16 grid (and NaN) must survive the packed path too.
+  auto rec = rich_record();
+  std::get<river::FloatVec>(rec.payload).push_back(
+      std::numeric_limits<float>::quiet_NaN());
+  const auto frame = river::encode_record(rec, river::PayloadCodec::kPacked);
+  const Record decoded = river::decode_record(frame);
+  const auto& a = std::get<river::FloatVec>(rec.payload);
+  const auto& b = std::get<river::FloatVec>(decoded.payload);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ab = 0;
+    std::uint32_t bb = 0;
+    std::memcpy(&ab, &a[i], 4);
+    std::memcpy(&bb, &b[i], 4);
+    EXPECT_EQ(ab, bb) << "sample " << i;
+  }
+}
+
+TEST(WirePacked, NonFloatPayloadsUnaffectedByCodec) {
+  const Record empty;
+  const auto bytes = Record::data_bytes(river::kSubtypeRaw, {0, 255, 128});
+  const auto cplx = Record::data_complex(river::kSubtypeComplex, {{3.0F, 4.0F}});
+  for (const Record* rec : {&empty, &bytes, &cplx}) {
+    const auto raw = river::encode_record(*rec, river::PayloadCodec::kRaw);
+    const auto packed = river::encode_record(*rec, river::PayloadCodec::kPacked);
+    EXPECT_EQ(raw, packed);
+  }
+}
+
+TEST(WirePacked, CorruptionDetectedByChecksum) {
+  auto frame = river::encode_record(quantized_audio_record(900, 3),
+                                    river::PayloadCodec::kPacked);
+  for (const std::size_t at : {std::size_t{44}, frame.size() / 2,
+                               frame.size() - 5}) {
+    auto bad = frame;
+    bad[at] ^= 0x01;
+    EXPECT_THROW((void)river::decode_record(bad), river::WireError) << at;
+  }
+}
+
+TEST(WirePacked, EveryTruncationRejected) {
+  const auto frame = river::encode_record(quantized_audio_record(300, 5),
+                                          river::PayloadCodec::kPacked);
+  std::size_t consumed = 0;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_THROW((void)river::decode_record(frame.data(), cut, consumed),
+                 river::WireError)
+        << "cut " << cut;
+  }
+}
+
+TEST(WirePacked, InnerInconsistencyIsCorruptionNotTruncation) {
+  // Grow the declared packed byte length so the stream is inconsistent
+  // WITHIN bytes that are fully present: no amount of additional input can
+  // fix that, so it must surface as structural corruption (WireError), never
+  // as WireTruncated — a transport decoder treating it as "need more bytes"
+  // would wait forever.
+  auto rec = quantized_audio_record(256, 9);
+  rec.attrs.clear();  // payload then starts right after the fixed header
+  auto frame = river::encode_record(rec, river::PayloadCodec::kPacked);
+  constexpr std::size_t kHeaderBytes = 40;  // through paylen, no attrs
+  std::uint32_t packed_len = 0;
+  std::memcpy(&packed_len, frame.data() + kHeaderBytes, 4);
+  packed_len += 4;  // absorb the CRC field into the declared stream
+  std::memcpy(frame.data() + kHeaderBytes, &packed_len, 4);
+
+  std::size_t consumed = 0;
+  try {
+    (void)river::decode_record(frame.data(), frame.size(), consumed);
+    FAIL() << "inconsistent packed frame decoded";
+  } catch (const river::WireTruncated&) {
+    FAIL() << "classified as truncation";
+  } catch (const river::WireError&) {
+    // expected
+  }
+
+  // And the incremental decoder must throw, not stall waiting for bytes.
+  river::WireDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  Record out;
+  EXPECT_THROW((void)decoder.next(out), river::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// RecordView (allocation-free decode)
+// ---------------------------------------------------------------------------
+
+TEST(WireView, MatchesDecodeRecordForEveryShape) {
+  std::vector<Record> cases;
+  cases.push_back(rich_record());
+  cases.push_back(Record{});
+  cases.push_back(Record::data_bytes(river::kSubtypeRaw, {1, 2, 3}));
+  cases.push_back(Record::data_complex(river::kSubtypeComplex, {{1.0F, -2.0F}}));
+  cases.push_back(quantized_audio_record(900, 21));
+  for (const auto& rec : cases) {
+    for (const auto codec :
+         {river::PayloadCodec::kRaw, river::PayloadCodec::kPacked}) {
+      const auto frame = river::encode_record(rec, codec);
+      std::size_t consumed = 0;
+      river::WireScratch scratch;
+      const auto view =
+          river::decode_record_view(frame.data(), frame.size(), consumed,
+                                    scratch);
+      EXPECT_EQ(consumed, frame.size());
+      EXPECT_TRUE(view.materialize() == rec);
+    }
+  }
+}
+
+TEST(WireView, LazyAttributeAccess) {
+  const auto frame = river::encode_record(rich_record());
+  std::size_t consumed = 0;
+  river::WireScratch scratch;
+  const auto view =
+      river::decode_record_view(frame.data(), frame.size(), consumed, scratch);
+  EXPECT_TRUE(view.has_attr("rate"));
+  EXPECT_TRUE(view.has_attr("station"));
+  EXPECT_FALSE(view.has_attr("missing"));
+  EXPECT_EQ(view.attr_double("rate", 0.0), 21600.0);
+  EXPECT_EQ(view.attr_int("clip", 0), -9);
+  // Type-mismatched and absent keys fall back, like Record's getters.
+  EXPECT_EQ(view.attr_int("rate", 77), 77);
+  EXPECT_EQ(view.attr_double("missing", 1.5), 1.5);
+}
+
+TEST(WireView, FloatPayloadBitIdenticalThroughScratchReuse) {
+  river::WireScratch scratch;
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const Record rec = quantized_audio_record(700 + seed, seed);
+    const auto frame =
+        river::encode_record(rec, seed % 2 == 0 ? river::PayloadCodec::kPacked
+                                                : river::PayloadCodec::kRaw);
+    std::size_t consumed = 0;
+    const auto view =
+        river::decode_record_view(frame.data(), frame.size(), consumed,
+                                  scratch);
+    const auto& expect = std::get<river::FloatVec>(rec.payload);
+    ASSERT_EQ(view.floats.size(), expect.size());
+    EXPECT_EQ(std::memcmp(view.floats.data(), expect.data(),
+                          4 * expect.size()),
+              0);
+  }
+}
+
+TEST(WireDecoder, NextViewMatchesNextUnderFragmentation) {
+  std::vector<Record> originals;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 40; ++i) {
+    auto rec = quantized_audio_record(200 + static_cast<std::size_t>(i),
+                                      static_cast<unsigned>(i));
+    rec.sequence = static_cast<std::uint64_t>(i);
+    const auto frame = river::encode_record(
+        rec, i % 2 == 0 ? river::PayloadCodec::kPacked
+                        : river::PayloadCodec::kRaw);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    originals.push_back(std::move(rec));
+  }
+  river::WireDecoder decoder;
+  river::RecordView view;
+  std::size_t i = 0;
+  for (std::size_t off = 0; off < stream.size(); off += 777) {
+    const std::size_t len = std::min<std::size_t>(777, stream.size() - off);
+    decoder.feed(stream.data() + off, len);
+    while (decoder.next_view(view)) {
+      ASSERT_LT(i, originals.size());
+      EXPECT_TRUE(view.materialize() == originals[i]) << "record " << i;
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, originals.size());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireDecoder, BurstDecodingStaysLinear) {
+  // The deterministic pin for the old O(n^2) failure mode: feeding a large
+  // burst then draining must never memmove more bytes than were consumed
+  // (amortized O(1) compaction per byte). The counter is exact, so this
+  // cannot flake the way a timing assertion would.
+  const auto frame = river::encode_record(rich_record());
+  constexpr std::size_t kRecords = 5000;
+  std::vector<std::uint8_t> stream;
+  stream.reserve(kRecords * frame.size());
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  // One giant burst, fully drained: a full drain resets for free.
+  {
+    river::WireDecoder decoder;
+    decoder.feed(stream.data(), stream.size());
+    Record rec;
+    std::size_t n = 0;
+    while (decoder.next(rec)) ++n;
+    EXPECT_EQ(n, kRecords);
+    EXPECT_EQ(decoder.compacted_bytes(), 0u);
+  }
+
+  // Interleaved feed/drain with a partial record always pending: total
+  // memmoved bytes stay below total stream bytes.
+  {
+    river::WireDecoder decoder;
+    Record rec;
+    std::size_t n = 0;
+    const std::size_t chunk = frame.size() + frame.size() / 2;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, stream.size() - off);
+      decoder.feed(stream.data() + off, len);
+      while (decoder.next(rec)) ++n;
+    }
+    EXPECT_EQ(n, kRecords);
+    EXPECT_LE(decoder.compacted_bytes(), stream.size());
+  }
 }
