@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Repo-wide lint: the invariants the compilers cannot check.
+
+Run from anywhere: `python3 scripts/lint.py [repo_root]`. Registered as the
+tier-1 ctest `repo_lint`, so `ctest -L tier1` fails on a violation. Checks:
+
+  1. cmake-strict-warnings  every add_library/add_executable target links
+                            dynriver::build_flags (directly or through
+                            dynriver_add_layer / dynriver_add_test), so no
+                            new target silently opts out of -Wall...-Werror.
+  2. seeded-rng             no rand()/srand()/std::random_device anywhere,
+                            no default-constructed (unseeded) std::mt19937;
+                            randomness flows through dynriver::Rng
+                            (src/common/rng.hpp) or an explicit seed.
+  3. checked-io             no statement-position ::fsync/::close/std::fclose
+                            in src/ whose result is dropped, unless a nearby
+                            comment says "best-effort" (the PR-6 durability
+                            lesson: an ignored close can lose acknowledged
+                            data).
+  4. bench-clean-tree       committed BENCH_*.json at the repo root must be
+                            stamped from a clean tree (git stamp not
+                            "-dirty"): a baseline nobody can reproduce is
+                            worse than none.
+  5. annotated-locking      src/ uses common::Mutex/LockGuard/UniqueLock/
+                            CondVar (common/thread_annotations.hpp), never
+                            std::mutex & friends directly, so Clang's
+                            thread-safety analysis sees every lock.
+  6. tsan-supp-justified    every suppression in tsan.supp carries a comment
+                            directly above it (the file is meant to stay
+                            empty; see its header for the policy).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+CXX_DIRS = ("src", "tests", "bench", "examples")
+CXX_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+
+def cxx_files(root: Path, dirs=CXX_DIRS):
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES:
+                yield path
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop // comments (good enough: no URL-bearing code lines here)."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.errors: list[str] = []
+
+    def fail(self, path: Path, lineno: int, check: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.errors.append(f"{rel}:{lineno}: [{check}] {msg}")
+
+    # -- 1. every CMake target inherits the strict warning set ---------------
+
+    def check_cmake_targets(self) -> None:
+        for path in sorted(self.root.rglob("CMakeLists.txt")):
+            if "build" in path.relative_to(self.root).parts:
+                continue
+            text = path.read_text()
+            # First argument of each target-creating call, with the line it
+            # appears on. ALIAS/INTERFACE/IMPORTED libraries carry no code.
+            targets = []
+            for m in re.finditer(
+                    r"^\s*add_(?:library|executable)\s*\(\s*([^\s)]+)([^)]*)\)",
+                    text, re.MULTILINE | re.DOTALL):
+                rest = m.group(2)
+                if re.search(r"\b(ALIAS|INTERFACE|IMPORTED)\b", rest):
+                    continue
+                targets.append((m.group(1), text.count("\n", 0, m.start()) + 1))
+            for name, lineno in targets:
+                pattern = (r"target_link_libraries\s*\(\s*"
+                           + re.escape(name) + r"[\s)]")
+                linked = False
+                for m in re.finditer(pattern, text):
+                    close = text.find(")", m.end())
+                    if "dynriver::build_flags" in text[m.start():close]:
+                        linked = True
+                        break
+                if not linked:
+                    self.fail(path, lineno, "cmake-strict-warnings",
+                              f"target '{name}' does not link "
+                              "dynriver::build_flags (strict warning set)")
+
+    # -- 2. seeded, explicit randomness only ---------------------------------
+
+    def check_rng(self) -> None:
+        rng_home = self.root / "src" / "common" / "rng.hpp"
+        banned = [
+            (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+            (re.compile(r"std::random_device"), "std::random_device"),
+            (re.compile(r"std::mt19937(?:_64)?\s+\w+\s*;"),
+             "default-constructed (unseeded) std::mt19937"),
+        ]
+        for path in cxx_files(self.root):
+            if path == rng_home:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_line_comment(line)
+                for pattern, what in banned:
+                    if pattern.search(code):
+                        self.fail(path, lineno, "seeded-rng",
+                                  f"{what}: use dynriver::Rng "
+                                  "(src/common/rng.hpp) or an explicit seed")
+
+    # -- 3. fsync/close results are checked in src/ --------------------------
+
+    def check_unchecked_io(self) -> None:
+        call = re.compile(r"^\s*(?:::fsync|::close|std::fclose)\s*\(")
+        for path in cxx_files(self.root, dirs=("src",)):
+            lines = path.read_text().splitlines()
+            for lineno, line in enumerate(lines, 1):
+                if not call.match(line):
+                    continue
+                context = lines[max(0, lineno - 4):lineno]
+                if any("best-effort" in c.lower() for c in context):
+                    continue
+                self.fail(path, lineno, "checked-io",
+                          "result of fsync/close/fclose dropped: check it, "
+                          'or mark the site with a "best-effort" comment '
+                          "explaining why failure is tolerable here")
+
+    # -- 4. committed bench baselines come from a clean tree -----------------
+
+    def check_bench_stamps(self) -> None:
+        for path in sorted(self.root.glob("BENCH_*.json")):
+            try:
+                stamp = json.loads(path.read_text()).get("git", "")
+            except (json.JSONDecodeError, OSError) as err:
+                self.fail(path, 1, "bench-clean-tree", f"unreadable: {err}")
+                continue
+            if stamp.endswith("-dirty"):
+                self.fail(path, 1, "bench-clean-tree",
+                          f"baseline stamped from a dirty tree ({stamp}); "
+                          "commit first, then re-run the bench")
+
+    # -- 5. src/ locks through the annotated primitives ----------------------
+
+    def check_locking(self) -> None:
+        home = self.root / "src" / "common" / "thread_annotations.hpp"
+        banned = re.compile(
+            r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex"
+            r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+            r"|condition_variable(?:_any)?)\b"
+            r"|#include\s*<(?:mutex|shared_mutex|condition_variable)>")
+        for path in cxx_files(self.root, dirs=("src",)):
+            if path == home:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if banned.search(strip_line_comment(line)):
+                    self.fail(path, lineno, "annotated-locking",
+                              "raw std locking primitive in src/: use "
+                              "common::Mutex/LockGuard/UniqueLock/CondVar "
+                              "(common/thread_annotations.hpp) so the "
+                              "thread-safety analysis sees this lock")
+
+    # -- 6. tsan.supp entries are justified ----------------------------------
+
+    def check_tsan_supp(self) -> None:
+        path = self.root / "tsan.supp"
+        if not path.is_file():
+            return
+        lines = path.read_text().splitlines()
+        for lineno, line in enumerate(lines, 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            prev = lines[lineno - 2].strip() if lineno >= 2 else ""
+            if not prev.startswith("#"):
+                self.fail(path, lineno, "tsan-supp-justified",
+                          "suppression without a justification comment "
+                          "directly above it (see the policy header)")
+
+    def run(self) -> int:
+        self.check_cmake_targets()
+        self.check_rng()
+        self.check_unchecked_io()
+        self.check_bench_stamps()
+        self.check_locking()
+        self.check_tsan_supp()
+        for err in self.errors:
+            print(err, file=sys.stderr)
+        if self.errors:
+            print(f"lint: {len(self.errors)} violation(s)", file=sys.stderr)
+            return 1
+        print("lint: clean")
+        return 0
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    return Linter(root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

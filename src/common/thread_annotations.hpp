@@ -1,0 +1,155 @@
+// Clang thread-safety annotations + annotated locking primitives.
+//
+// "Which lock protects this field" is documentation that rots unless a
+// compiler checks it. Under Clang, every macro below expands to a
+// thread-safety attribute and the build carries -Werror=thread-safety, so
+// an unguarded access to a DR_GUARDED_BY field, a _locked helper called
+// without its DR_REQUIRES capability, or an DR_EXCLUDES violation is a
+// compile error. Under GCC the macros expand to nothing and the wrappers
+// compile to exactly std::mutex / std::lock_guard / std::condition_variable
+// — zero overhead either way.
+//
+// House rules (enforced by scripts/lint.py):
+//   - src/ never uses std::mutex / std::lock_guard / std::unique_lock /
+//     std::condition_variable directly; it uses common::Mutex,
+//     common::LockGuard, common::UniqueLock, common::CondVar from this
+//     header so the capability system sees every lock.
+//   - Every mutex-guarded field is annotated DR_GUARDED_BY(mu_); every
+//     private helper that expects the lock held is annotated
+//     DR_REQUIRES(mu_).
+//
+// The negative test (tests/lint_negative.cpp, Clang-only, expected to fail
+// to compile) keeps this gate from silently rotting.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define DR_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DR_TS_ATTRIBUTE(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Declares a type to be a capability (lockable).
+#define DR_CAPABILITY(x) DR_TS_ATTRIBUTE(capability(x))
+/// RAII types that acquire in the ctor and release in the dtor.
+#define DR_SCOPED_CAPABILITY DR_TS_ATTRIBUTE(scoped_lockable)
+/// Field is protected by the given mutex; access requires holding it.
+#define DR_GUARDED_BY(x) DR_TS_ATTRIBUTE(guarded_by(x))
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define DR_PT_GUARDED_BY(x) DR_TS_ATTRIBUTE(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release it).
+#define DR_REQUIRES(...) DR_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define DR_REQUIRES_SHARED(...) \
+  DR_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (must not be held on entry).
+#define DR_ACQUIRE(...) DR_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define DR_ACQUIRE_SHARED(...) \
+  DR_TS_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define DR_RELEASE(...) DR_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define DR_RELEASE_SHARED(...) \
+  DR_TS_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define DR_TRY_ACQUIRE(...) DR_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (lock-ordering / deadlock guard).
+#define DR_EXCLUDES(...) DR_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+/// Asserts (at runtime) that the capability is held; informs the analysis.
+#define DR_ASSERT_CAPABILITY(x) DR_TS_ATTRIBUTE(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define DR_RETURN_CAPABILITY(x) DR_TS_ATTRIBUTE(lock_returned(x))
+/// Lock-ordering declarations between mutexes.
+#define DR_ACQUIRED_BEFORE(...) DR_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define DR_ACQUIRED_AFTER(...) DR_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+/// Escape hatch; every use needs a comment explaining why the analysis
+/// cannot see the invariant (and what enforces it instead).
+#define DR_NO_THREAD_SAFETY_ANALYSIS \
+  DR_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace dynriver::common {
+
+/// std::mutex with the capability attribute, so it can appear in
+/// DR_GUARDED_BY / DR_REQUIRES expressions. Same cost, same semantics.
+class DR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DR_ACQUIRE() { mu_.lock(); }
+  void unlock() DR_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() DR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex — for UniqueLock/CondVar plumbing only.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a common::Mutex: scoped capability, not unlockable.
+class DR_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) DR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() DR_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over a common::Mutex: scoped capability that supports
+/// manual unlock()/lock() (for wait loops and lock-dropping sections) and
+/// condition-variable waits via CondVar. Always owns on construction.
+class DR_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DR_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() DR_RELEASE() = default;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() DR_ACQUIRE() { lock_.lock(); }
+  void unlock() DR_RELEASE() { lock_.unlock(); }
+
+  /// The wrapped std::unique_lock — for CondVar plumbing only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable waiting on a common::UniqueLock. The capability
+/// is held across wait() from the analysis's point of view (the internal
+/// release/reacquire is invisible, which is exactly the contract: the
+/// predicate and the code after wait() run with the lock held).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  // No predicate overloads on purpose: a predicate lambda would be analyzed
+  // as a separate function, hiding its DR_GUARDED_BY accesses from the
+  // capability system. Wait in a visible loop instead:
+  //   while (!ready_) cv_.wait(lock);
+  //   while (!ready_ && cv_.wait_until(lock, deadline) != timeout) {}
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.native(), tp);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dynriver::common

@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -54,8 +54,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) wake_.wait(lock);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -75,9 +75,9 @@ struct ForState {
   std::size_t total = 0;
   const std::function<void(std::size_t)>* body = nullptr;
 
-  std::mutex mutex;
-  std::condition_variable finished;
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar finished;
+  std::exception_ptr error DR_GUARDED_BY(mutex);
 
   void run_indices() {
     for (;;) {
@@ -86,11 +86,11 @@ struct ForState {
       try {
         (*body)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const LockGuard lock(mutex);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const LockGuard lock(mutex);
         finished.notify_all();
       }
     }
@@ -115,7 +115,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   const std::size_t helpers = std::min(workers_.size(), total - 1);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
       tasks_.emplace_back([state] { state->run_indices(); });
     }
@@ -125,10 +125,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // The calling thread participates until the index space is exhausted,
   // then waits for indices claimed by workers to finish.
   state->run_indices();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->finished.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->total;
-  });
+  UniqueLock lock(state->mutex);
+  while (state->done.load(std::memory_order_acquire) != state->total) {
+    state->finished.wait(lock);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

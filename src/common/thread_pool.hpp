@@ -9,15 +9,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace dynriver::common {
 
@@ -63,11 +63,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< started in ctor, joined in dtor only
+  Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> tasks_ DR_GUARDED_BY(mutex_);
+  bool stop_ DR_GUARDED_BY(mutex_) = false;
   std::atomic<double> dispatch_cost_{-1.0};  ///< lazy dispatch_cost_ns cache
 };
 

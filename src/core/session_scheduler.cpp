@@ -49,14 +49,17 @@ struct SessionScheduler::Station {
   std::shared_ptr<river::SampleSource> source;  ///< null for push-fed
   std::shared_ptr<river::EnsembleSink> sink;
 
-  mutable std::mutex mu;          ///< guards queue + flags + counters
-  std::condition_variable room;   ///< kBlock producers wait for queue room
-  std::deque<std::vector<float>> queue;
-  std::size_t queued_samples = 0;
-  bool closed = false;            ///< no more input will arrive
-  bool session_finished = false;  ///< finish() delivered (claimed by worker)
-  bool finished = false;          ///< sink finished too; never runnable again
-  std::optional<PipelineParams> pending_params;  ///< live reconfigure hand-off
+  mutable common::Mutex mu;       ///< guards queue + flags + counters
+  common::CondVar room;           ///< kBlock producers wait for queue room
+  std::deque<std::vector<float>> queue DR_GUARDED_BY(mu);
+  std::size_t queued_samples DR_GUARDED_BY(mu) = 0;
+  bool closed DR_GUARDED_BY(mu) = false;  ///< no more input will arrive
+  /// finish() delivered (claimed by worker).
+  bool session_finished DR_GUARDED_BY(mu) = false;
+  /// sink finished too; never runnable again.
+  bool finished DR_GUARDED_BY(mu) = false;
+  /// Live reconfigure hand-off.
+  std::optional<PipelineParams> pending_params DR_GUARDED_BY(mu);
 
   /// Resolved per-round credit (config.quantum_samples or the scheduler
   /// default) — weighted DRR reads this, never the options, per round.
@@ -65,17 +68,16 @@ struct SessionScheduler::Station {
   /// this station in a round (rounds never overlap per station).
   std::size_t deficit = 0;
 
-  // Counters (guarded by mu). samples_consumed is advanced in the same
-  // critical section that dequeues a chunk (the identity `in == consumed +
-  // dropped + queued` is exact for every stats() reader at every instant);
-  // session_buffered is a cached copy of session state published after each
-  // processing pass — stats() never touches the session from a foreign
-  // thread.
-  std::size_t samples_in = 0;
-  std::size_t samples_dropped = 0;
-  std::size_t samples_consumed = 0;
-  std::size_t ensembles_out = 0;
-  std::size_t session_buffered = 0;
+  // Counters. samples_consumed is advanced in the same critical section
+  // that dequeues a chunk (the identity `in == consumed + dropped + queued`
+  // is exact for every stats() reader at every instant); session_buffered is
+  // a cached copy of session state published after each processing pass —
+  // stats() never touches the session from a foreign thread.
+  std::size_t samples_in DR_GUARDED_BY(mu) = 0;
+  std::size_t samples_dropped DR_GUARDED_BY(mu) = 0;
+  std::size_t samples_consumed DR_GUARDED_BY(mu) = 0;
+  std::size_t ensembles_out DR_GUARDED_BY(mu) = 0;
+  std::size_t session_buffered DR_GUARDED_BY(mu) = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -138,7 +140,7 @@ std::size_t SessionScheduler::add_station(
 
 void SessionScheduler::notify_work() {
   {
-    std::lock_guard<std::mutex> lk(work_mu_);
+    const common::LockGuard lk(work_mu_);
     ++work_epoch_;
   }
   work_cv_.notify_all();
@@ -152,14 +154,14 @@ std::size_t SessionScheduler::enqueue(Station& st,
   DR_EXPECTS(samples.size() <= st.config.queue_capacity_samples);
   std::size_t dropped = 0;
   {
-    std::unique_lock<std::mutex> lk(st.mu);
+    common::UniqueLock lk(st.mu);
     DR_EXPECTS(!st.closed);
     if (st.config.policy == BackpressurePolicy::kBlock) {
-      st.room.wait(lk, [&] {
-        return shutdown_.load(std::memory_order_relaxed) ||
-               st.queued_samples + samples.size() <=
-                   st.config.queue_capacity_samples;
-      });
+      while (!shutdown_.load(std::memory_order_relaxed) &&
+             st.queued_samples + samples.size() >
+                 st.config.queue_capacity_samples) {
+        st.room.wait(lk);
+      }
       if (shutdown_.load(std::memory_order_relaxed)) return 0;
     } else {
       // kDropOldest: evict whole chunks, oldest first, until this one fits.
@@ -188,7 +190,7 @@ std::size_t SessionScheduler::push(std::size_t station,
 
 void SessionScheduler::close_internal(Station& st) {
   {
-    std::lock_guard<std::mutex> lk(st.mu);
+    const common::LockGuard lk(st.mu);
     st.closed = true;
   }
   st.room.notify_all();
@@ -208,7 +210,7 @@ void SessionScheduler::reconfigure(std::size_t station,
   // reference no matter how many reconfigures already landed.
   DR_EXPECTS(reconfigure_compatible(params, st.config.params));
   {
-    std::lock_guard<std::mutex> lk(st.mu);
+    const common::LockGuard lk(st.mu);
     st.pending_params = params;
   }
   notify_work();
@@ -219,7 +221,7 @@ void SessionScheduler::deliver(Station& st,
   if (ensembles.empty()) return;
   const std::size_t count = ensembles.size();
   for (auto& e : ensembles) st.sink->accept(std::move(e));
-  std::lock_guard<std::mutex> lk(st.mu);
+  const common::LockGuard lk(st.mu);
   st.ensembles_out += count;
 }
 
@@ -229,7 +231,7 @@ void SessionScheduler::process_station(Station& st) {
   for (;;) {
     std::vector<float> chunk;
     {
-      std::lock_guard<std::mutex> lk(st.mu);
+      const common::LockGuard lk(st.mu);
       if (st.queue.empty()) {
         drained = true;
         break;
@@ -260,7 +262,7 @@ void SessionScheduler::process_station(Station& st) {
 
   bool close_now = false;
   {
-    std::lock_guard<std::mutex> lk(st.mu);
+    const common::LockGuard lk(st.mu);
     close_now = st.closed && st.queue.empty() && !st.session_finished;
     if (close_now) st.session_finished = true;
   }
@@ -270,7 +272,7 @@ void SessionScheduler::process_station(Station& st) {
   }
 
   {
-    std::lock_guard<std::mutex> lk(st.mu);
+    const common::LockGuard lk(st.mu);
     st.session_buffered = st.session->buffered_samples();
     if (close_now) st.finished = true;
   }
@@ -280,7 +282,7 @@ bool SessionScheduler::process_available() {
   runnable_.clear();
   for (std::size_t i = 0; i < stations_.size(); ++i) {
     Station& st = *stations_[i];
-    std::lock_guard<std::mutex> lk(st.mu);
+    const common::LockGuard lk(st.mu);
     if (st.finished) continue;
     if (!st.queue.empty() || st.closed) runnable_.push_back(i);
   }
@@ -292,7 +294,7 @@ bool SessionScheduler::process_available() {
     if (options_.on_round) options_.on_round(stats());
   }
   for (const auto& st : stations_) {
-    std::lock_guard<std::mutex> lk(st->mu);
+    const common::LockGuard lk(st->mu);
     if (!st->finished) return true;
   }
   return false;
@@ -320,7 +322,7 @@ void SessionScheduler::run() {
   for (;;) {
     std::uint64_t epoch_before = 0;
     {
-      std::lock_guard<std::mutex> lk(work_mu_);
+      const common::LockGuard lk(work_mu_);
       epoch_before = work_epoch_;
     }
     if (!process_available()) break;
@@ -328,9 +330,12 @@ void SessionScheduler::run() {
     // closes, or reconfigures (epoch bump, read before the pass so no
     // wakeup is lost), with a timeout safety net.
     if (runnable_.empty()) {
-      std::unique_lock<std::mutex> lk(work_mu_);
-      work_cv_.wait_for(lk, std::chrono::milliseconds(50),
-                        [&] { return work_epoch_ != epoch_before; });
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+      common::UniqueLock lk(work_mu_);
+      while (work_epoch_ == epoch_before &&
+             work_cv_.wait_until(lk, deadline) != std::cv_status::timeout) {
+      }
     }
   }
   for (auto& t : readers_) t.join();
@@ -343,7 +348,7 @@ SchedulerStats SessionScheduler::stats() const {
   out.stations.reserve(stations_.size());
   for (const auto& stp : stations_) {
     const Station& st = *stp;
-    std::lock_guard<std::mutex> lk(st.mu);
+    const common::LockGuard lk(st.mu);
     StationStats s;
     s.name = st.name;
     s.samples_in = st.samples_in;

@@ -30,19 +30,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <filesystem>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "core/stream_session.hpp"
 #include "river/sample_io.hpp"
@@ -207,9 +206,9 @@ class SessionScheduler {
   bool running_ = false;
   std::atomic<bool> shutdown_{false};  ///< destructor unblocks producers
 
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::uint64_t work_epoch_ = 0;
+  common::Mutex work_mu_;
+  common::CondVar work_cv_;
+  std::uint64_t work_epoch_ DR_GUARDED_BY(work_mu_) = 0;
   std::vector<std::thread> readers_;
 };
 

@@ -9,10 +9,10 @@ InProcessChannel::InProcessChannel(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool InProcessChannel::send(Record rec) {
-  std::unique_lock lock(mu_);
-  cv_send_.wait(lock, [this] {
-    return queue_.size() < capacity_ || closed_ || disconnected_;
-  });
+  common::UniqueLock lock(mu_);
+  while (queue_.size() >= capacity_ && !closed_ && !disconnected_) {
+    cv_send_.wait(lock);
+  }
   if (closed_ || disconnected_) return false;
   queue_.push_back(std::move(rec));
   cv_recv_.notify_one();
@@ -20,9 +20,8 @@ bool InProcessChannel::send(Record rec) {
 }
 
 RecvStatus InProcessChannel::recv(Record& out) {
-  std::unique_lock lock(mu_);
-  cv_recv_.wait(lock,
-                [this] { return !queue_.empty() || closed_ || disconnected_; });
+  common::UniqueLock lock(mu_);
+  while (queue_.empty() && !closed_ && !disconnected_) cv_recv_.wait(lock);
   if (!queue_.empty()) {
     out = std::move(queue_.front());
     queue_.pop_front();
@@ -33,11 +32,19 @@ RecvStatus InProcessChannel::recv(Record& out) {
 }
 
 RecvStatus InProcessChannel::recv_for(Record& out, int timeout_ms) {
-  std::unique_lock lock(mu_);
-  const bool ready = cv_recv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms),
-      [this] { return !queue_.empty() || closed_ || disconnected_; });
-  if (!ready) return RecvStatus::kTimeout;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  common::UniqueLock lock(mu_);
+  while (queue_.empty() && !closed_ && !disconnected_) {
+    if (cv_recv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Deadline passed: re-test the predicate once (a notify may have
+      // raced the timeout), then report.
+      if (queue_.empty() && !closed_ && !disconnected_) {
+        return RecvStatus::kTimeout;
+      }
+      break;
+    }
+  }
   if (!queue_.empty()) {
     out = std::move(queue_.front());
     queue_.pop_front();
@@ -49,7 +56,7 @@ RecvStatus InProcessChannel::recv_for(Record& out, int timeout_ms) {
 
 void InProcessChannel::close() {
   {
-    std::lock_guard lock(mu_);
+    const common::LockGuard lock(mu_);
     closed_ = true;
   }
   cv_recv_.notify_all();
@@ -58,7 +65,7 @@ void InProcessChannel::close() {
 
 void InProcessChannel::disconnect() {
   {
-    std::lock_guard lock(mu_);
+    const common::LockGuard lock(mu_);
     disconnected_ = true;
     queue_.clear();  // an abnormal death loses in-flight records
   }
@@ -67,7 +74,7 @@ void InProcessChannel::disconnect() {
 }
 
 std::size_t InProcessChannel::size() const {
-  std::lock_guard lock(mu_);
+  const common::LockGuard lock(mu_);
   return queue_.size();
 }
 

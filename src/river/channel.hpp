@@ -7,13 +7,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 
+#include "common/thread_annotations.hpp"
 #include "river/record.hpp"
 
 namespace dynriver::river {
@@ -66,13 +65,13 @@ class InProcessChannel final : public RecordChannel {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_send_;
-  std::condition_variable cv_recv_;
-  std::deque<Record> queue_;
-  std::size_t capacity_;
-  bool closed_ = false;
-  bool disconnected_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar cv_send_;
+  common::CondVar cv_recv_;
+  std::deque<Record> queue_ DR_GUARDED_BY(mu_);
+  std::size_t capacity_;  ///< immutable after construction
+  bool closed_ DR_GUARDED_BY(mu_) = false;
+  bool disconnected_ DR_GUARDED_BY(mu_) = false;
 };
 
 /// Fault-injection wrapper: forwards to an inner channel but abnormally

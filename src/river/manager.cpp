@@ -5,7 +5,7 @@
 namespace dynriver::river {
 
 PipelineManager::~PipelineManager() {
-  std::unique_lock lock(mu_);
+  common::UniqueLock lock(mu_);
   for (auto& [name, dep] : deployments_) {
     if (dep->worker.joinable()) {
       lock.unlock();
@@ -16,7 +16,7 @@ PipelineManager::~PipelineManager() {
 }
 
 VirtualHost& PipelineManager::add_host(std::string name) {
-  std::lock_guard lock(mu_);
+  const common::LockGuard lock(mu_);
   auto [it, inserted] =
       hosts_.emplace(name, std::make_unique<VirtualHost>(name));
   DR_EXPECTS(inserted);
@@ -24,7 +24,7 @@ VirtualHost& PipelineManager::add_host(std::string name) {
 }
 
 VirtualHost& PipelineManager::host(const std::string& name) {
-  std::lock_guard lock(mu_);
+  const common::LockGuard lock(mu_);
   const auto it = hosts_.find(name);
   DR_EXPECTS(it != hosts_.end());
   return *it->second;
@@ -39,7 +39,7 @@ void PipelineManager::run_epoch_locked(Deployment& dep) {
     const SegmentRunStats stats = segment->run();
     site->account(stats);
     {
-      std::lock_guard lk(mu_);
+      const common::LockGuard lk(mu_);
       dep.last_stats.records_in += stats.records_in;
       dep.last_stats.records_out += stats.records_out;
       dep.last_stats.bad_closes_emitted += stats.bad_closes_emitted;
@@ -57,7 +57,7 @@ void PipelineManager::run_epoch_locked(Deployment& dep) {
 void PipelineManager::deploy(std::unique_ptr<Segment> segment,
                              const std::string& host_name) {
   DR_EXPECTS(segment != nullptr);
-  std::lock_guard lock(mu_);
+  const common::LockGuard lock(mu_);
   const auto hit = hosts_.find(host_name);
   DR_EXPECTS(hit != hosts_.end());
 
@@ -72,7 +72,7 @@ void PipelineManager::deploy(std::unique_ptr<Segment> segment,
 
 bool PipelineManager::relocate(const std::string& segment_name,
                                const std::string& host_name) {
-  std::unique_lock lock(mu_);
+  common::UniqueLock lock(mu_);
   const auto it = deployments_.find(segment_name);
   DR_EXPECTS(it != deployments_.end());
   const auto hit = hosts_.find(host_name);
@@ -81,7 +81,7 @@ bool PipelineManager::relocate(const std::string& segment_name,
   if (dep.finished) return false;
 
   dep.segment->request_pause();
-  cv_.wait(lock, [&dep] { return dep.paused || dep.finished; });
+  while (!dep.paused && !dep.finished) cv_.wait(lock);
   if (dep.worker.joinable()) {
     lock.unlock();
     dep.worker.join();
@@ -96,9 +96,9 @@ bool PipelineManager::relocate(const std::string& segment_name,
 }
 
 std::map<std::string, SegmentRunStats> PipelineManager::wait_all() {
-  std::unique_lock lock(mu_);
+  common::UniqueLock lock(mu_);
   for (auto& [name, dep] : deployments_) {
-    cv_.wait(lock, [&dep = *dep] { return dep.finished; });
+    while (!dep->finished) cv_.wait(lock);
     if (dep->worker.joinable()) {
       lock.unlock();
       dep->worker.join();
@@ -111,7 +111,7 @@ std::map<std::string, SegmentRunStats> PipelineManager::wait_all() {
 }
 
 std::string PipelineManager::location_of(const std::string& segment_name) const {
-  std::lock_guard lock(mu_);
+  const common::LockGuard lock(mu_);
   const auto it = deployments_.find(segment_name);
   DR_EXPECTS(it != deployments_.end());
   if (it->second->finished) return "";

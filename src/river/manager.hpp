@@ -8,14 +8,13 @@
 // it on the target host with all operator state intact.
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "river/segment.hpp"
 
 namespace dynriver::river {
@@ -31,26 +30,26 @@ class VirtualHost {
 
   /// Total records processed by segments while deployed on this host.
   [[nodiscard]] std::size_t records_processed() const {
-    std::lock_guard lock(mu_);
+    const common::LockGuard lock(mu_);
     return records_processed_;
   }
 
   [[nodiscard]] std::size_t epochs_run() const {
-    std::lock_guard lock(mu_);
+    const common::LockGuard lock(mu_);
     return epochs_run_;
   }
 
   void account(const SegmentRunStats& stats) {
-    std::lock_guard lock(mu_);
+    const common::LockGuard lock(mu_);
     records_processed_ += stats.records_in;
     ++epochs_run_;
   }
 
  private:
   std::string name_;
-  mutable std::mutex mu_;
-  std::size_t records_processed_ = 0;
-  std::size_t epochs_run_ = 0;
+  mutable common::Mutex mu_;
+  std::size_t records_processed_ DR_GUARDED_BY(mu_) = 0;
+  std::size_t epochs_run_ DR_GUARDED_BY(mu_) = 0;
 };
 
 /// Deploys segments onto virtual hosts and supports live relocation.
@@ -91,12 +90,14 @@ class PipelineManager {
     bool paused = false;
   };
 
-  void run_epoch_locked(Deployment& dep);
+  void run_epoch_locked(Deployment& dep) DR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, std::unique_ptr<VirtualHost>> hosts_;
-  std::map<std::string, std::unique_ptr<Deployment>> deployments_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::map<std::string, std::unique_ptr<VirtualHost>> hosts_
+      DR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Deployment>> deployments_
+      DR_GUARDED_BY(mu_);
 };
 
 }  // namespace dynriver::river

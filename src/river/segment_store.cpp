@@ -330,6 +330,10 @@ SegmentedRecordLog::SegmentedRecordLog(const std::filesystem::path& dir,
   DR_EXPECTS(options_.max_segment_bytes > 0);
   DR_EXPECTS(options_.index_every_bytes > 0);
   fs::create_directories(dir_);
+  // Construction is single-threaded, but recover() touches guarded state
+  // and seals via the _locked path — hold the lock so the analysis sees
+  // its capability satisfied (uncontended: nobody else has `this` yet).
+  const common::LockGuard lock(mu_);
   recover();
 }
 
@@ -497,14 +501,14 @@ void SegmentedRecordLog::open_active() {
   const auto header = segment_header_bytes();
   if (std::fwrite(header.data(), 1, header.size(), fresh.file) !=
       header.size()) {
-    std::fclose(fresh.file);
+    std::fclose(fresh.file);  // best-effort: segment abandoned, throwing
     throw std::runtime_error("segment header write failed: " + path.string());
   }
   active_ = std::move(fresh);
 }
 
 void SegmentedRecordLog::append(const Record& rec, double t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   DR_EXPECTS(!closed_);
   DR_EXPECTS(std::isfinite(t));
   DR_EXPECTS(t >= last_t_ || !std::isfinite(last_t_));
@@ -549,13 +553,13 @@ void SegmentedRecordLog::append(const Record& rec, double t) {
 }
 
 void SegmentedRecordLog::sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   if (active_.file == nullptr) return;
   fsync_file(active_.file, segment_name(active_.index));
 }
 
 void SegmentedRecordLog::seal_active() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   seal_active_locked();
 }
 
@@ -564,7 +568,7 @@ void SegmentedRecordLog::seal_active_locked() {
   const auto name = segment_name(active_.index);
   const auto path = dir_ / name;
   if (active_.frames == 0) {
-    std::fclose(active_.file);
+    std::fclose(active_.file);  // best-effort: empty segment, removed below
     active_ = ActiveSegment{};
     fs::remove(path);
     return;
@@ -604,7 +608,7 @@ void SegmentedRecordLog::seal_active_locked() {
       // the destructor's close()) would append a second tail to the same
       // file. Drop it; recovery adopts the file on reopen — as a sealed
       // segment if the tail reached disk, else by valid-prefix truncation.
-      std::fclose(active_.file);
+      std::fclose(active_.file);  // best-effort: segment dropped, rethrowing
       active_ = ActiveSegment{};
       throw;
     }
@@ -630,14 +634,14 @@ void SegmentedRecordLog::seal_active_locked() {
 }
 
 void SegmentedRecordLog::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   if (closed_) return;
   seal_active_locked();
   closed_ = true;
 }
 
 std::size_t SegmentedRecordLog::retire_before(double t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   return retire_before_locked(t, nullptr);
 }
 
@@ -664,7 +668,7 @@ std::size_t SegmentedRecordLog::retire_before_locked(
 
 std::size_t SegmentedRecordLog::compact(std::uint64_t min_bytes,
                                         std::size_t max_run) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   return compact_locked(min_bytes, max_run, nullptr);
 }
 
@@ -701,7 +705,7 @@ std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
     }
     const auto header = segment_header_bytes();
     if (std::fwrite(header.data(), 1, header.size(), out) != header.size()) {
-      std::fclose(out);
+      std::fclose(out);  // best-effort: .tmp discarded on throw
       throw std::runtime_error("compaction: header write failed: " +
                                tmp.string());
     }
@@ -717,7 +721,7 @@ std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
       SegmentFooter footer;
       std::string err;
       if (!load_segment_footer(path, footer, &err)) {
-        std::fclose(out);
+        std::fclose(out);  // best-effort: .tmp discarded on throw
         throw std::runtime_error("compaction: " + err);
       }
       std::ifstream in(path, std::ios::binary);
@@ -729,13 +733,13 @@ std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
         const auto t = get_raw<double>(env.data() + 4);
         if (len == 0 || len > kMaxSegmentFrameBytes ||
             pos + kEnvelopeHeaderBytes + len > footer.payload_end) {
-          std::fclose(out);
+          std::fclose(out);  // best-effort: .tmp discarded on throw
           throw std::runtime_error("compaction: corrupt envelope in " +
                                    path.string());
         }
         frame.resize(len);
         if (!read_exact(in, frame.data(), len)) {
-          std::fclose(out);
+          std::fclose(out);  // best-effort: .tmp discarded on throw
           throw std::runtime_error("compaction: short read in " +
                                    path.string());
         }
@@ -748,7 +752,7 @@ std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
         }
         if (std::fwrite(env.data(), 1, env.size(), out) != env.size() ||
             std::fwrite(frame.data(), 1, len, out) != len) {
-          std::fclose(out);
+          std::fclose(out);  // best-effort: .tmp discarded on throw
           throw std::runtime_error("compaction: write failed: " +
                                    tmp.string());
         }
@@ -796,7 +800,7 @@ std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
         try {
           fsync_file(out, merged_name);
         } catch (...) {
-          std::fclose(out);  // pre-publish .tmp: recovery removes it
+          std::fclose(out);  // best-effort: pre-publish .tmp, recovery removes it
           throw;
         }
       }
@@ -836,22 +840,22 @@ std::size_t SegmentedRecordLog::compact_locked(std::uint64_t min_bytes,
 }
 
 std::size_t SegmentedRecordLog::records_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   return written_;
 }
 
 std::size_t SegmentedRecordLog::recovered_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   return recovered_;
 }
 
 double SegmentedRecordLog::last_time() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   return last_t_;
 }
 
 std::vector<SegmentInfo> SegmentedRecordLog::segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   auto out = sealed_;
   if (active_.file != nullptr) {
     SegmentInfo info;
@@ -882,13 +886,13 @@ SegmentedRecordLog::Maintenance::~Maintenance() { stop(); }
 
 SegmentedRecordLog::Maintenance::Stats SegmentedRecordLog::Maintenance::stats()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const common::LockGuard lock(mu_);
   return stats_;
 }
 
 void SegmentedRecordLog::Maintenance::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const common::LockGuard lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -896,14 +900,14 @@ void SegmentedRecordLog::Maintenance::stop() {
 }
 
 void SegmentedRecordLog::Maintenance::run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::UniqueLock lock(mu_);
   while (!stop_) {
     lock.unlock();
     std::uint64_t bytes = 0;
     std::size_t retired = 0;
     std::size_t merged = 0;
     try {
-      std::lock_guard<std::mutex> log_lock(log_.mu_);
+      const common::LockGuard log_lock(log_.mu_);
       if (options_.retain_seconds > 0.0 && std::isfinite(log_.last_t_)) {
         std::uint64_t dropped = 0;
         retired = log_.retire_before_locked(
@@ -929,13 +933,18 @@ void SegmentedRecordLog::Maintenance::run() {
                          static_cast<double>(bytes) /
                              static_cast<double>(options_.budget_bytes_per_sec));
     }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(sleep_s));
     lock.lock();
     ++stats_.cycles;
     stats_.segments_retired += retired;
     stats_.segments_merged += merged;
     stats_.bytes_processed += bytes;
-    cv_.wait_for(lock, std::chrono::duration<double>(sleep_s),
-                 [this] { return stop_; });
+    while (!stop_ &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
   }
 }
 
@@ -1230,7 +1239,7 @@ class SegmentPrefetcher {
 
   ~SegmentPrefetcher() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -1243,8 +1252,8 @@ class SegmentPrefetcher {
   /// Blocks for the next window; false at the end of the segment sequence.
   /// Rethrows a loader-side failure (missing sealed segment file, ...).
   [[nodiscard]] bool next(Window& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return ready_.has_value() || done_; });
+    common::UniqueLock lock(mu_);
+    while (!ready_.has_value() && !done_) cv_.wait(lock);
     if (ready_.has_value()) {
       out = std::move(*ready_);
       ready_.reset();
@@ -1257,25 +1266,25 @@ class SegmentPrefetcher {
 
   /// Return a drained window's buffer for reuse by the loader.
   void recycle(std::vector<std::uint8_t>&& buf) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const common::LockGuard lock(mu_);
     spare_ = std::move(buf);
   }
 
  private:
   [[nodiscard]] bool stopped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    const common::LockGuard lock(mu_);
     return stop_;
   }
 
   [[nodiscard]] std::vector<std::uint8_t> take_buffer() {
-    std::lock_guard<std::mutex> lock(mu_);
+    const common::LockGuard lock(mu_);
     return std::move(spare_);
   }
 
   /// Hand a window to the consumer once the slot frees; false when stopping.
   [[nodiscard]] bool emit(Window&& w) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !ready_.has_value() || stop_; });
+    common::UniqueLock lock(mu_);
+    while (ready_.has_value() && !stop_) cv_.wait(lock);
     if (stop_) return false;
     ready_ = std::move(w);
     cv_.notify_all();
@@ -1311,11 +1320,11 @@ class SegmentPrefetcher {
         return;
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       done_ = true;
     }
     cv_.notify_all();
@@ -1414,14 +1423,14 @@ class SegmentPrefetcher {
   const SegmentStoreReader& reader_;
   const double t0_;
   const double t1_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::optional<Window> ready_;
-  std::vector<std::uint8_t> spare_;
-  std::exception_ptr error_;
-  bool done_ = false;
-  bool stop_ = false;
-  std::thread thread_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::optional<Window> ready_ DR_GUARDED_BY(mu_);
+  std::vector<std::uint8_t> spare_ DR_GUARDED_BY(mu_);
+  std::exception_ptr error_ DR_GUARDED_BY(mu_);
+  bool done_ DR_GUARDED_BY(mu_) = false;
+  bool stop_ DR_GUARDED_BY(mu_) = false;
+  std::thread thread_;  ///< started in ctor, joined in dtor only
 };
 
 }  // namespace detail

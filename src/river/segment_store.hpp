@@ -41,18 +41,17 @@
 //     bounded memory.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "river/record.hpp"
 #include "river/sample_io.hpp"
 #include "river/wire.hpp"
@@ -206,11 +205,11 @@ class SegmentedRecordLog {
 
     SegmentedRecordLog& log_;
     MaintenanceOptions options_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    Stats stats_;
-    bool stop_ = false;
-    std::thread thread_;
+    mutable common::Mutex mu_;
+    common::CondVar cv_;
+    Stats stats_ DR_GUARDED_BY(mu_);
+    bool stop_ DR_GUARDED_BY(mu_) = false;
+    std::thread thread_;  ///< started in ctor, joined in stop() only
   };
 
  private:
@@ -226,26 +225,28 @@ class SegmentedRecordLog {
     std::vector<std::pair<double, std::uint64_t>> index_entries;
   };
 
-  void open_active();
-  void write_manifest() const;
-  void recover();
+  void open_active() DR_REQUIRES(mu_);
+  void write_manifest() const DR_REQUIRES(mu_);
+  void recover() DR_REQUIRES(mu_);
   // _locked variants hold mu_ (public wrappers acquire it); they exist so
   // internal callers — compact seals first, close seals — never re-lock.
-  void seal_active_locked();
-  std::size_t retire_before_locked(double t, std::uint64_t* bytes_dropped);
+  void seal_active_locked() DR_REQUIRES(mu_);
+  std::size_t retire_before_locked(double t, std::uint64_t* bytes_dropped)
+      DR_REQUIRES(mu_);
   std::size_t compact_locked(std::uint64_t min_bytes, std::size_t max_run,
-                             std::uint64_t* bytes_rewritten);
+                             std::uint64_t* bytes_rewritten) DR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::filesystem::path dir_;
   SegmentStoreOptions options_;
-  std::vector<SegmentInfo> sealed_;
-  ActiveSegment active_;
-  std::uint64_t next_index_ = 0;
-  double last_t_ = -std::numeric_limits<double>::infinity();
-  std::size_t written_ = 0;
-  std::size_t recovered_ = 0;
-  bool closed_ = false;
+  std::vector<SegmentInfo> sealed_ DR_GUARDED_BY(mu_);
+  ActiveSegment active_ DR_GUARDED_BY(mu_);
+  std::uint64_t next_index_ DR_GUARDED_BY(mu_) = 0;
+  double last_t_ DR_GUARDED_BY(mu_) =
+      -std::numeric_limits<double>::infinity();
+  std::size_t written_ DR_GUARDED_BY(mu_) = 0;
+  std::size_t recovered_ DR_GUARDED_BY(mu_) = 0;
+  bool closed_ DR_GUARDED_BY(mu_) = false;
 };
 
 /// Read-only snapshot view of a store, safe concurrently with a writer.

@@ -36,7 +36,7 @@ FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
 
 void FdHandle::reset() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    ::close(fd_);  // best-effort: socket teardown, no data to lose
     fd_ = -1;
   }
 }

@@ -25,6 +25,7 @@
 //   dynriver archive clip.wav --store ./archive --segment-kb 4096
 //   dynriver replay --store ./archive --from 10 --to 40
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -142,7 +143,13 @@ int cmd_synth(int argc, char** argv) {
       std::fprintf(f, "%s,%zu,%zu\n", synth::species(t.species).code.c_str(),
                    t.start_sample, t.length);
     }
-    std::fclose(f);
+    // fclose flushes stdio buffers; an error here means the sidecar on disk
+    // is incomplete even though every fprintf "succeeded".
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "error: writing %s failed: %s\n", sidecar.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
     std::printf("wrote %s (%zu vocalizations)\n", sidecar.c_str(),
                 rec.truth.size());
   }

@@ -1,0 +1,45 @@
+// Negative test for the thread-safety gate.
+//
+// With DR_EXPECT_THREAD_SAFETY_ERROR defined, read_unlocked() touches a
+// DR_GUARDED_BY field without holding its mutex. Under Clang with
+// -Werror=thread-safety this file must FAIL to compile — the ctest entry
+// (lint_negative_thread_safety, WILL_FAIL) turns that failure into a pass,
+// so the gate itself is regression-tested: if someone strips the warning
+// flags or breaks the macro plumbing, this test goes red.
+//
+// Under GCC the annotations are no-ops and no diagnostic exists, so the
+// build registers the same file WITHOUT the define as a plain syntax check
+// (the well-guarded branch), keeping it from rotting.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const dynriver::common::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  int read_unlocked() {
+#if defined(DR_EXPECT_THREAD_SAFETY_ERROR)
+    return value_;  // unguarded access: must not compile under Clang
+#else
+    const dynriver::common::LockGuard lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  dynriver::common::Mutex mu_;
+  int value_ DR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read_unlocked() == 1 ? 0 : 1;
+}

@@ -572,6 +572,126 @@ TEST_F(SegmentStoreTest, CompactionWithOpenActiveSegmentKeepsActiveRecords) {
   EXPECT_EQ(got[34].sequence, 102U);
 }
 
+// A reader guesses the active file's name from its manifest snapshot's
+// `next` index; a compaction racing that snapshot hands the very same index
+// to the merged segment. This fixture reconstructs the exact mid-race view
+// deterministically — no threads, no timing — by snapshotting a store
+// directory, compacting the copy, and planting the merged file beside the
+// original (stale) manifest and sealed files.
+class StaleReaderCompactionRace : public SegmentStoreTest {
+ protected:
+  static constexpr std::size_t kRecords = 32;  // 4 sealed segments x 8
+
+  void build_store(const fs::path& dir) {
+    river::SegmentedRecordLog log(dir);
+    for (std::uint64_t sec = 0; sec < 4; ++sec) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        log.append(audio_record(sec * 8 + i, 32),
+                   static_cast<double>(sec) + 0.1 * static_cast<double>(i));
+      }
+      log.seal_active();
+    }
+    log.close();  // MANIFEST: seg-000000..03 sealed, next 4, no active file
+  }
+
+  /// Compact a copy of `dir` and plant the merged segment (which takes the
+  /// stale manifest's `next` index — the name a stale reader presumes
+  /// active) back into `dir`. Returns the merged file's name.
+  std::string plant_merged_segment(const fs::path& dir) {
+    const auto shadow = temp_file("shadow");
+    fs::copy(dir, shadow, fs::copy_options::recursive);
+    {
+      river::SegmentedRecordLog log(shadow);
+      EXPECT_EQ(log.compact(1 << 20), 3U);
+      log.close();
+    }
+    const std::string merged = "seg-000004.drs";
+    EXPECT_TRUE(fs::exists(shadow / merged));
+    fs::copy_file(shadow / merged, dir / merged);
+    return merged;
+  }
+};
+
+TEST_F(StaleReaderCompactionRace, CursorSkipsMergedOldDataPresumedActive) {
+  const auto dir = store_dir();
+  build_store(dir);
+  plant_merged_segment(dir);
+
+  // The stale view: sealed list from the old manifest, plus seg-000004
+  // presumed active — but it holds the *merged old* records. Reading it as
+  // the live tail would re-emit records 0..31 with time running backwards.
+  river::SegmentStoreReader reader(dir);
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);  // asserts time stays monotone
+  EXPECT_FALSE(cursor.torn());
+  ASSERT_EQ(got.size(), kRecords) << "merged old data re-read as live tail";
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].sequence, i) << "record " << i;
+  }
+}
+
+TEST_F(StaleReaderCompactionRace, PrefetchedReplaySkipsMergedOldData) {
+  const auto dir = store_dir();
+  build_store(dir);
+  plant_merged_segment(dir);
+
+  // Same stale view through the prefetching replay path (its loader thread
+  // walks the identical segment sequence and must apply the same probe).
+  river::ReplayOptions options;
+  options.prefetch = true;
+  river::SegmentStoreSource source(dir, options);
+  const auto samples = drain(source, 64);
+  EXPECT_EQ(samples.size(), kRecords * 32)
+      << "prefetched replay re-read merged old data";
+  EXPECT_EQ(source.records_in(), kRecords);
+}
+
+TEST_F(StaleReaderCompactionRace, SegmentSealedAfterSnapshotReadsAsSealed) {
+  // The probe's other arm: the presumed-active file has a footer but its
+  // span *continues* the sealed tail — the writer simply sealed it after
+  // the reader's snapshot. It must read with sealed semantics (payload
+  // only; the index/footer bytes are not a torn tail).
+  const auto dir = store_dir();
+  build_store(dir);
+  const auto shadow = temp_file("shadow");
+  fs::copy(dir, shadow, fs::copy_options::recursive);
+  {
+    // Newer records into the copy; seal makes seg-000004 a sealed segment.
+    river::SegmentedRecordLog log(shadow);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      log.append(audio_record(100 + i, 32),
+                 10.0 + 0.1 * static_cast<double>(i));
+    }
+    log.close();
+  }
+  const std::string newer = "seg-000004.drs";
+  ASSERT_TRUE(fs::exists(shadow / newer));
+  fs::copy_file(shadow / newer, dir / newer);
+
+  river::SegmentStoreReader reader(dir);
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  EXPECT_FALSE(cursor.torn()) << "sealed tail misread as torn active file";
+  ASSERT_EQ(got.size(), kRecords + 8);
+  EXPECT_EQ(got.back().sequence, 107U);
+}
+
+TEST_F(StaleReaderCompactionRace, GenuinelyActiveFileStillReadsAsTail) {
+  // Control: with no racing compaction, the presumed-active file really is
+  // the writer's live tail (no footer) and its synced records must surface.
+  const auto dir = store_dir();
+  build_store(dir);
+  river::SegmentedRecordLog log(dir);  // reopen: next index 4 becomes active
+  log.append(audio_record(200, 32), 20.0);
+  log.sync();
+
+  river::SegmentStoreReader reader(dir);
+  auto cursor = reader.seek(0.0);
+  const auto got = drain_cursor(cursor);
+  ASSERT_EQ(got.size(), kRecords + 1);
+  EXPECT_EQ(got.back().sequence, 200U);
+}
+
 // ---------------------------------------------------------------------------
 // Replay: sample windows and bit-identity with live extraction
 // ---------------------------------------------------------------------------
