@@ -1,0 +1,76 @@
+// Harness: lazy attribute parsing on RecordView.
+//
+// Wraps the fuzz input as the attribute region of an otherwise-valid frame
+// (header synthesized, CRC computed, so the frame decoder's validation pass
+// accepts or rejects on the attrs alone), then drives every lazy consumer:
+// has_attr / attr_int / attr_double with probe keys lifted from the input,
+// and materialize(). The validation pass and the lazy getters walk the same
+// bytes with the same parser — a region that validated must never throw
+// from a getter.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz_support.hpp"
+#include "river/wire.hpp"
+
+namespace rv = dynriver::river;
+namespace fz = dynriver::fuzz;
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto nattr = fz::take_u8(data, size);
+
+  std::vector<std::uint8_t> frame;
+  put<std::uint32_t>(frame, rv::kWireMagic);
+  put<std::uint16_t>(frame, rv::kWireVersion);
+  put<std::uint8_t>(frame, 0);  // type: data
+  put<std::uint8_t>(frame, 0);  // pay_tag: none
+  put<std::uint32_t>(frame, 0);  // subtype
+  put<std::uint32_t>(frame, 0);  // depth
+  put<std::uint32_t>(frame, 0);  // stype
+  put<std::uint64_t>(frame, 0);  // seq
+  put<std::uint32_t>(frame, nattr);
+  put<std::uint64_t>(frame, 0);  // paylen
+  frame.insert(frame.end(), data, data + size);
+  put<std::uint32_t>(frame, rv::crc32(frame.data() + 4, frame.size() - 4));
+
+  std::size_t consumed = 0;
+  rv::WireScratch scratch;
+  rv::RecordView view;
+  try {
+    view = rv::decode_record_view(frame.data(), frame.size(), consumed,
+                                  scratch);
+  } catch (const rv::WireError&) {
+    return 0;  // attrs region rejected: fine, and the only legal rejection
+  }
+
+  // Probe keys: one from the head of the region (likely a real key), one
+  // that cannot exist, plus the well-known pipeline keys.
+  const std::size_t probe_len = std::min<std::size_t>(size, 8);
+  const std::string probe(reinterpret_cast<const char*>(data), probe_len);
+  for (const auto& key :
+       {probe, std::string("\xFFnope"), std::string(rv::kAttrSampleRate),
+        std::string(rv::kAttrClipId)}) {
+    (void)view.has_attr(key);
+    (void)view.attr_int(key, -1);
+    (void)view.attr_double(key, -1.0);
+  }
+
+  const rv::Record rec = view.materialize();
+  // Duplicate keys collapse in the map; more than nattr cannot appear.
+  FUZZ_CHECK(rec.attrs.size() <= view.nattr);
+  return 0;
+}

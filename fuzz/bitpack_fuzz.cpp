@@ -1,0 +1,91 @@
+// Harness: the bit-packing codec, below the wire layer.
+//
+// Two personalities, selected by the first input byte:
+//   even  — parse: remaining bytes are a hostile packed stream, an input-
+//           derived element count drives packed_stream_bytes + unpack_floats;
+//           the structural walk and the real decode must agree byte-for-byte
+//           on how much stream a count consumes.
+//   odd   — round-trip: remaining bytes are reinterpreted as raw f32 values,
+//           packed with pack_floats and unpacked; every float must come back
+//           bit-identical (NaN payloads, -0.0 and denormals included).
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "fuzz_support.hpp"
+#include "river/bitpack.hpp"
+
+namespace bp = dynriver::river::bitpack;
+namespace rv = dynriver::river;
+namespace fz = dynriver::fuzz;
+
+namespace {
+
+void fuzz_parse(const std::uint8_t* data, std::size_t size) {
+  // The wire layer guarantees count <= kMaxPackedExpansion * stream bytes
+  // before calling in; exercise the codec across that whole envelope.
+  const auto raw_count = fz::take_u32(data, size);
+  const std::size_t count =
+      std::size_t{raw_count} % (bp::kMaxPackedExpansion * (size + 1));
+
+  std::size_t walked = 0;
+  bool walk_ok = false;
+  try {
+    walked = bp::packed_stream_bytes(data, size, count);
+    walk_ok = true;
+  } catch (const rv::WireError&) {
+  }
+
+  std::vector<float> out(count);
+  try {
+    const std::size_t used = bp::unpack_floats(data, size, out);
+    // A stream the walk rejected must not decode, and both must consume the
+    // same bytes — the wire decoder's packed_len check depends on it.
+    FUZZ_CHECK(walk_ok);
+    FUZZ_CHECK(used == walked);
+  } catch (const rv::WireTruncated&) {
+    // Truncation is structural, so the walk must have rejected it too.
+    FUZZ_CHECK(!walk_ok);
+  } catch (const rv::WireError&) {
+    // Value-domain rejection (an i16 delta escaping the domain) is decode-
+    // only by design; the walk may accept the stream's SHAPE. Either way the
+    // enclosing frame decoder surfaces a WireError, which is the contract.
+  }
+}
+
+void fuzz_roundtrip(const std::uint8_t* data, std::size_t size) {
+  const std::size_t count = size / sizeof(float);
+  std::vector<float> values(count);
+  if (count > 0) std::memcpy(values.data(), data, count * sizeof(float));
+
+  std::vector<std::uint8_t> packed;
+  const std::size_t appended = bp::pack_floats(values, packed);
+  FUZZ_CHECK(appended == packed.size());
+  // The documented worst case: mode byte + raw-equivalent payload + one
+  // width byte per block.
+  FUZZ_CHECK(appended <=
+             1 + 4 * count +
+                 (count + bp::kBlockValues - 1) / bp::kBlockValues);
+
+  std::vector<float> out(count);
+  const std::size_t used = bp::unpack_floats(packed.data(), packed.size(), out);
+  FUZZ_CHECK(used == packed.size());
+  FUZZ_CHECK(bp::packed_stream_bytes(packed.data(), packed.size(), count) ==
+             used);
+  // Bit-exact, not value-equal: NaNs compare unequal to themselves.
+  FUZZ_CHECK(std::memcmp(values.data(), out.data(), count * sizeof(float)) ==
+             0);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto sel = fz::take_u8(data, size);
+  if (sel % 2 == 0) {
+    fuzz_parse(data, size);
+  } else {
+    fuzz_roundtrip(data, size);
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Standalone driver for the fuzz harnesses: gives every *_fuzz.cpp a main()
+// when libFuzzer is not linked (DYNRIVER_FUZZER=OFF), so the same binaries
+// build under GCC/Release and replay the committed regression corpus as a
+// plain tier-1 ctest. The command-line contract mirrors a libFuzzer binary
+// run in replay mode (`fuzz_x -runs=0 corpus_dir file...`):
+//
+//   - every non-flag argument is a corpus file, or a directory whose regular
+//     files are each fed to the harness once (sorted, for determinism);
+//   - `-foo=bar` flags are accepted and ignored, so one ctest command line
+//     works against both this driver and a real libFuzzer binary;
+//   - `--mutate=N` additionally feeds N deterministic mutations of every
+//     corpus input (bit flips, truncations, byte stomps from a fixed-seed
+//     xorshift) — a cheap local smoke fuzz for toolchains without libFuzzer.
+//
+// A finding is whatever a finding is under libFuzzer: an uncaught exception,
+// a sanitizer report, or a __builtin_trap() from a violated harness
+// invariant. The driver itself never swallows anything.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  return bytes;
+}
+
+/// xorshift64*: fixed seed, so a failing mutation reproduces by rerunning
+/// the same command (the driver prints the input + round on entry).
+class Rng {
+ public:
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+ private:
+  std::uint64_t state_ = 0x9E3779B97F4A7C15ull;
+};
+
+void run_mutations(const std::vector<std::uint8_t>& seed, int rounds,
+                   Rng& rng) {
+  std::vector<std::uint8_t> buf;
+  for (int round = 0; round < rounds; ++round) {
+    buf = seed;
+    const auto kind = rng.next() % 3;
+    if (buf.empty() || kind == 0) {  // append / stomp a random byte
+      const auto at = buf.empty() ? 0 : rng.next() % buf.size();
+      if (buf.empty()) {
+        buf.push_back(static_cast<std::uint8_t>(rng.next()));
+      } else {
+        buf[at] = static_cast<std::uint8_t>(rng.next());
+      }
+    } else if (kind == 1) {  // single bit flip
+      const auto at = rng.next() % buf.size();
+      buf[at] ^= static_cast<std::uint8_t>(1u << (rng.next() % 8));
+    } else {  // truncate
+      buf.resize(rng.next() % buf.size());
+    }
+    (void)LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int mutate_rounds = 0;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutate=", 0) == 0) {
+      mutate_rounds = std::atoi(arg.c_str() + 9);
+    } else if (!arg.empty() && arg[0] == '-') {
+      continue;  // libFuzzer-style flag: accepted, ignored
+    } else if (fs::is_directory(arg)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      inputs.insert(inputs.end(), files.begin(), files.end());
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  Rng rng;
+  std::size_t executed = 0;
+  for (const auto& path : inputs) {
+    const auto bytes = slurp(path);
+    std::fprintf(stderr, "fuzz driver: %s (%zu bytes)\n", path.c_str(),
+                 bytes.size());
+    (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++executed;
+    if (mutate_rounds > 0) run_mutations(bytes, mutate_rounds, rng);
+  }
+  std::fprintf(stderr, "fuzz driver: %zu inputs replayed clean\n", executed);
+  return 0;
+}

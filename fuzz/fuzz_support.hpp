@@ -1,0 +1,83 @@
+// Shared helpers for the fuzz harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+/// Harness invariant check: libFuzzer (and the standalone driver) treat an
+/// abort as a finding; assert() would vanish under NDEBUG Release builds.
+#define FUZZ_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+namespace dynriver::fuzz {
+
+/// Bounded little-endian reads from the front of the fuzz input — harnesses
+/// use these to derive counts/selectors from input bytes deterministically.
+inline std::uint32_t take_u32(const std::uint8_t*& data, std::size_t& size) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4 && size > 0; ++i, ++data, --size) {
+    v |= std::uint32_t{*data} << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint8_t take_u8(const std::uint8_t*& data, std::size_t& size) {
+  if (size == 0) return 0;
+  --size;
+  return *data++;
+}
+
+/// Per-process scratch directory for harnesses that must exercise file-based
+/// APIs. Reused (wiped) every iteration: creation cost, not accumulation,
+/// dominates; the kernel keeps it in page cache.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dynriver_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Wipe and recreate, returning the (empty) directory.
+  const std::filesystem::path& reset() {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    return dir_;
+  }
+
+  [[nodiscard]] const std::filesystem::path& path() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+inline void write_file(const std::filesystem::path& path,
+                       const std::uint8_t* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+inline void write_file(const std::filesystem::path& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  write_file(path, bytes.data(), bytes.size());
+}
+
+}  // namespace dynriver::fuzz

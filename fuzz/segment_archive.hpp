@@ -1,0 +1,54 @@
+// Mini-archive format mapping one flat fuzz input onto a segment-store
+// directory, shared by the segment_open harness and the corpus generator.
+//
+// The input is a sequence of entries, each
+//   name_sel u8 | len u32 LE | len bytes of file content
+// where name_sel picks one of a fixed set of store file names (the fuzzer
+// cannot invent interesting names byte-by-byte faster than we can enumerate
+// the ones the store looks at). len is clamped to the remaining input, so a
+// hostile length cannot make the HARNESS allocate unboundedly — bounding the
+// store itself against hostile lengths is the decoders' job.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string_view>
+#include <vector>
+
+#include "fuzz_support.hpp"
+
+namespace dynriver::fuzz {
+
+inline constexpr std::array<std::string_view, 8> kArchiveNames = {
+    "MANIFEST",           "seg-000000.drs", "seg-000001.drs",
+    "seg-000002.drs",     "seg-000003.drs", "seg-000004.drs",
+    "seg-000001.drs.tmp", "seg-000002.drs.tmp",
+};
+
+/// Materialize the archive entries of [data, data+size) under `dir`.
+inline void unpack_archive(const std::uint8_t* data, std::size_t size,
+                           const std::filesystem::path& dir) {
+  while (size > 0) {
+    const auto sel = take_u8(data, size);
+    auto len = std::size_t{take_u32(data, size)};
+    len = std::min(len, size);
+    const auto name = kArchiveNames[sel % kArchiveNames.size()];
+    write_file(dir / name, data, len);
+    data += len;
+    size -= len;
+  }
+}
+
+/// Serialize one file as an archive entry (corpus generation).
+inline void pack_entry(std::vector<std::uint8_t>& out, std::uint8_t sel,
+                       const std::vector<std::uint8_t>& content) {
+  out.push_back(sel);
+  const auto len = static_cast<std::uint32_t>(content.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), content.begin(), content.end());
+}
+
+}  // namespace dynriver::fuzz

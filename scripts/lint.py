@@ -28,6 +28,19 @@ tier-1 ctest `repo_lint`, so `ctest -L tier1` fails on a violation. Checks:
   6. tsan-supp-justified    every suppression in tsan.supp carries a comment
                             directly above it (the file is meant to stay
                             empty; see its header for the policy).
+  7. fuzz-harness-registration
+                            every fuzz/*_fuzz.cpp harness is listed in
+                            fuzz/CMakeLists.txt (DYNRIVER_FUZZ_HARNESSES)
+                            and scripts/fuzz_smoke.py (HARNESSES), and vice
+                            versa — a harness nobody builds or runs is a
+                            decoder nobody fuzzes.
+  8. checked-size-arithmetic
+                            the untrusted-byte decoder TUs do their length
+                            math through common/checked.hpp: raw
+                            `len * sizeof(T)` products and bare
+                            `static_cast<std::size_t>` casts are banned
+                            there (lines carrying `constexpr` or a
+                            `checked::` call are the sanctioned spellings).
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ import re
 import sys
 from pathlib import Path
 
-CXX_DIRS = ("src", "tests", "bench", "examples")
+CXX_DIRS = ("src", "tests", "bench", "examples", "fuzz")
 CXX_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
 
 
@@ -186,6 +199,87 @@ class Linter:
                           "suppression without a justification comment "
                           "directly above it (see the policy header)")
 
+    # -- 7. every fuzz harness is built and smoked ---------------------------
+
+    def check_fuzz_registration(self) -> None:
+        fuzz_dir = self.root / "fuzz"
+        cmake = fuzz_dir / "CMakeLists.txt"
+        smoke = self.root / "scripts" / "fuzz_smoke.py"
+        if not fuzz_dir.is_dir():
+            return
+        harnesses = {p.name[:-len("_fuzz.cpp")]: p
+                     for p in sorted(fuzz_dir.glob("*_fuzz.cpp"))}
+
+        def registered(path: Path, list_re: str) -> set[str]:
+            if not path.is_file():
+                self.fail(path, 1, "fuzz-harness-registration",
+                          "missing (fuzz/ harnesses have nowhere to "
+                          "register)")
+                return set()
+            m = re.search(list_re, path.read_text(), re.DOTALL)
+            if not m:
+                self.fail(path, 1, "fuzz-harness-registration",
+                          "harness list not found")
+                return set()
+            return set(re.findall(r"[\w]+", m.group(1))) - {""}
+
+        in_cmake = registered(
+            cmake, r"set\s*\(\s*DYNRIVER_FUZZ_HARNESSES\s*([^)]*)\)")
+        in_smoke = registered(smoke, r"HARNESSES\s*=\s*\[([^\]]*)\]")
+        for name, path in harnesses.items():
+            if in_cmake and name not in in_cmake:
+                self.fail(path, 1, "fuzz-harness-registration",
+                          f"harness '{name}' not in fuzz/CMakeLists.txt "
+                          "DYNRIVER_FUZZ_HARNESSES (it will never build)")
+            if in_smoke and name not in in_smoke:
+                self.fail(path, 1, "fuzz-harness-registration",
+                          f"harness '{name}' not in scripts/fuzz_smoke.py "
+                          "HARNESSES (CI will never fuzz it)")
+        for name in sorted((in_cmake | in_smoke) - set(harnesses)):
+            where = cmake if name in in_cmake else smoke
+            self.fail(where, 1, "fuzz-harness-registration",
+                      f"registered harness '{name}' has no "
+                      f"fuzz/{name}_fuzz.cpp")
+
+    # -- 8. decoder TUs use overflow-checked size arithmetic ------------------
+
+    # The parsers that turn attacker-controlled length fields into sizes.
+    DECODER_FILES = (
+        "src/river/wire.cpp",
+        "src/river/bitpack.hpp",
+        "src/river/segment_store.cpp",
+        "src/river/record_log.cpp",
+        "src/dsp/wav.cpp",
+    )
+
+    def check_size_arithmetic(self) -> None:
+        banned = [
+            (re.compile(r"\*\s*sizeof\s*\("), "raw `x * sizeof(T)` product"),
+            (re.compile(r"sizeof\s*\([^)]*\)\s*\*", ),
+             "raw `sizeof(T) * x` product"),
+            (re.compile(r"static_cast<\s*std::size_t\s*>\s*\("),
+             "bare static_cast<std::size_t> of a length"),
+        ]
+        for rel in self.DECODER_FILES:
+            path = self.root / rel
+            if not path.is_file():
+                self.fail(path, 1, "checked-size-arithmetic",
+                          "decoder file listed in lint.py no longer exists; "
+                          "update DECODER_FILES")
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_line_comment(line)
+                # Sanctioned spellings: compile-time tables, and sizes that
+                # already flow through a checked:: helper on this line.
+                if "constexpr" in code or "checked::" in code:
+                    continue
+                for pattern, what in banned:
+                    if pattern.search(code):
+                        self.fail(path, lineno, "checked-size-arithmetic",
+                                  f"{what} in an untrusted-byte decoder: "
+                                  "route it through common/checked.hpp "
+                                  "(checked::add/mul/narrow)")
+
     def run(self) -> int:
         self.check_cmake_targets()
         self.check_rng()
@@ -193,6 +287,8 @@ class Linter:
         self.check_bench_stamps()
         self.check_locking()
         self.check_tsan_supp()
+        self.check_fuzz_registration()
+        self.check_size_arithmetic()
         for err in self.errors:
             print(err, file=sys.stderr)
         if self.errors:

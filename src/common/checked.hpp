@@ -1,0 +1,50 @@
+// Overflow-checked size arithmetic for decoders of untrusted bytes.
+//
+// Every parser that turns attacker-controlled length fields into allocation
+// sizes, buffer offsets, or loop bounds must do that arithmetic through the
+// helpers below: `a + b` and `a * b` that throw instead of wrapping, and a
+// narrowing cast that throws instead of truncating. The exception type is a
+// template parameter so each decoder surfaces its own error family
+// (river::WireError, dsp::WavError, plain std::runtime_error) and callers'
+// existing catch sites keep working.
+//
+// The repo lint (scripts/lint.py, checked-size-arithmetic) forbids raw
+// `len * sizeof(T)` products and `static_cast<std::size_t>` length casts in
+// the decoder translation units; these helpers are the sanctioned spelling.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace dynriver::common::checked {
+
+/// `a + b`, throwing `E{what}` when the sum does not fit in T.
+template <typename E, typename T>
+[[nodiscard]] inline T add(T a, T b, const char* what) {
+  static_assert(std::is_unsigned_v<T>, "checked::add is for size arithmetic");
+  T out{};
+  if (__builtin_add_overflow(a, b, &out)) throw E(what);
+  return out;
+}
+
+/// `a * b`, throwing `E{what}` when the product does not fit in T.
+template <typename E, typename T>
+[[nodiscard]] inline T mul(T a, T b, const char* what) {
+  static_assert(std::is_unsigned_v<T>, "checked::mul is for size arithmetic");
+  T out{};
+  if (__builtin_mul_overflow(a, b, &out)) throw E(what);
+  return out;
+}
+
+/// Narrow `v` to To, throwing `E{what}` when the value does not fit (both
+/// directions: too large, or negative into an unsigned type).
+template <typename To, typename E, typename From>
+[[nodiscard]] inline To narrow(From v, const char* what) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  if (!std::in_range<To>(v)) throw E(what);
+  return static_cast<To>(v);
+}
+
+}  // namespace dynriver::common::checked

@@ -6,11 +6,14 @@
 #include <fstream>
 #include <string_view>
 
+#include "common/checked.hpp"
 #include "common/contracts.hpp"
 
 namespace dynriver::dsp {
 
 namespace {
+
+namespace checked = common::checked;
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
@@ -39,17 +42,27 @@ std::vector<std::uint8_t> encode_wav(const WavClip& clip) {
   DR_EXPECTS(clip.sample_rate > 0);
   DR_EXPECTS(clip.channels >= 1);
 
-  const std::uint32_t data_bytes =
-      static_cast<std::uint32_t>(clip.samples.size() * sizeof(std::int16_t));
-  const std::uint16_t block_align =
-      static_cast<std::uint16_t>(clip.channels * sizeof(std::int16_t));
-  const std::uint32_t byte_rate = clip.sample_rate * block_align;
+  // RIFF sizes are u32 and block_align is u16: a clip too large for the
+  // container must fail loudly, not wrap into a header that lies about the
+  // payload (36 + data_bytes below must fit in u32 too).
+  const auto data_bytes = checked::narrow<std::uint32_t, WavError>(
+      checked::mul<WavError>(clip.samples.size(), sizeof(std::int16_t),
+                             "WAV clip too large"),
+      "WAV clip too large");
+  if (data_bytes > 0xFFFFFFFFu - 36u) throw WavError("WAV clip too large");
+  const auto block_align = checked::narrow<std::uint16_t, WavError>(
+      checked::mul<WavError>(std::size_t{clip.channels},
+                             sizeof(std::int16_t), "WAV block align overflow"),
+      "WAV channel count too large");
+  const std::uint32_t byte_rate = checked::mul<WavError>(
+      clip.sample_rate, std::uint32_t{block_align}, "WAV byte rate overflow");
 
   std::vector<std::uint8_t> out;
   out.reserve(44 + data_bytes);
 
   // Byte-wise append: GCC 12's -Wstringop-overflow misfires on
-  // vector::insert from a 4-char literal at -O2.
+  // vector::insert from a 4-char literal at -O2. Re-tested on GCC 12.2
+  // (2026-08): still fires at -O3; drop this once the CI compiler moves.
   const auto put_tag = [&out](std::string_view tag) {
     for (const char c : tag) out.push_back(static_cast<std::uint8_t>(c));
   };
@@ -97,10 +110,12 @@ WavClip decode_wav(std::span<const std::uint8_t> bytes) {
     const auto chunk_size = get<std::uint32_t>(bytes, pos);
 
     if (std::memcmp(tag, "fmt ", 4) == 0) {
+      if (chunk_size < 16) throw WavError("short WAV fmt chunk");
       std::size_t fmt_pos = pos;
       const auto format = get<std::uint16_t>(bytes, fmt_pos);
       if (format != 1) throw WavError("only PCM WAV is supported");
       clip.channels = get<std::uint16_t>(bytes, fmt_pos);
+      if (clip.channels == 0) throw WavError("WAV with zero channels");
       clip.sample_rate = get<std::uint32_t>(bytes, fmt_pos);
       (void)get<std::uint32_t>(bytes, fmt_pos);  // byte rate
       (void)get<std::uint16_t>(bytes, fmt_pos);  // block align
@@ -118,7 +133,10 @@ WavClip decode_wav(std::span<const std::uint8_t> bytes) {
       }
       return clip;
     }
-    pos += chunk_size + (chunk_size & 1u);  // chunks are word-aligned
+    // Word-aligned chunks. Widen before adding the pad byte: in u32,
+    // chunk_size 0xFFFFFFFF + 1 wraps to a zero advance — an infinite loop
+    // on a 13-byte hostile file.
+    pos += std::size_t{chunk_size} + (chunk_size & 1u);
   }
   throw WavError("WAV file has no data chunk");
 }
@@ -135,7 +153,10 @@ void write_wav(const std::filesystem::path& path, const WavClip& clip) {
 WavClip read_wav(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw WavError("cannot open for reading: " + path.string());
-  const auto size = static_cast<std::size_t>(in.tellg());
+  // tellg reports -1 on failure; narrowing that through size_t would ask for
+  // a 2^64-byte buffer instead of a clean error.
+  const auto size = checked::narrow<std::size_t, WavError>(
+      static_cast<std::streamoff>(in.tellg()), "cannot size WAV file");
   in.seekg(0);
   std::vector<std::uint8_t> bytes(size);
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
@@ -195,10 +216,14 @@ WavStreamReader::WavStreamReader(const std::filesystem::path& path)
       have_fmt = true;
     } else if (std::memcmp(tag, "data", 4) == 0) {
       if (!have_fmt) throw WavError("WAV data chunk before fmt chunk");
-      total_frames_ = chunk_size / (sizeof(std::int16_t) * channels_);
+      // Two divisions, not size / (2 * channels): floor division chains
+      // associatively, and the product form is the shape the repo lint bans.
+      total_frames_ = chunk_size / sizeof(std::int16_t) / channels_;
       return;  // positioned at the first sample
     } else {
-      in_.seekg(static_cast<std::streamoff>(chunk_size + (chunk_size & 1U)),
+      // Widen before adding the pad byte (see decode_wav): u32 arithmetic
+      // wraps a 0xFFFFFFFF chunk into a zero-byte seek.
+      in_.seekg(static_cast<std::streamoff>(chunk_size) + (chunk_size & 1U),
                 std::ios::cur);
       if (!in_) throw WavError("WAV file has no data chunk");
     }
@@ -210,9 +235,11 @@ std::size_t WavStreamReader::read_mono(std::span<float> out) {
       std::min(out.size(), total_frames_ - frames_read_);
   if (want == 0) return 0;
 
-  scratch_.resize(want * channels_);
+  scratch_.resize(
+      checked::mul<WavError>(want, std::size_t{channels_}, "WAV read overflow"));
   in_.read(reinterpret_cast<char*>(scratch_.data()),
-           static_cast<std::streamsize>(scratch_.size() * sizeof(std::int16_t)));
+           static_cast<std::streamsize>(checked::mul<WavError>(
+               scratch_.size(), sizeof(std::int16_t), "WAV read overflow")));
   if (!in_) throw WavError("truncated WAV data");
 
   if (channels_ == 1) {

@@ -48,6 +48,13 @@ inline constexpr std::uint8_t kModeXor = 2;
 inline constexpr std::size_t kBlockValues = 128;
 inline constexpr unsigned kMaxWidthI16 = 17;  // zigzag(+-65535) < 2^17
 inline constexpr unsigned kMaxWidthXor = 32;
+/// Most values any packed stream can legally encode per stream byte: a
+/// width-0 block spends one header byte on kBlockValues values (raw mode is
+/// 1/4 value per byte). Decoders use this to reject an element count no
+/// stream of the claimed byte length could produce BEFORE walking or
+/// allocating — the bound that keeps a hostile frame header from turning a
+/// few bytes of input into an enormous resize.
+inline constexpr std::size_t kMaxPackedExpansion = kBlockValues;
 
 namespace detail {
 
@@ -238,7 +245,11 @@ inline std::size_t packed_stream_bytes(const std::uint8_t* data,
   const std::uint8_t mode = data[0];
   std::size_t pos = 1;
   if (mode == kModeRaw) {
-    if (len - pos < 4 * count) throw WireTruncated("bitpack: truncated raw stream");
+    // Compare by division: `4 * count` wraps for a hostile count near 2^62,
+    // which once let a 41-byte stream "contain" 2^62 raw values.
+    if (count > (len - pos) / 4) {
+      throw WireTruncated("bitpack: truncated raw stream");
+    }
     return pos + 4 * count;
   }
   if (mode != kModeI16Delta && mode != kModeXor) {
@@ -271,7 +282,8 @@ inline std::size_t unpack_floats(const std::uint8_t* data, std::size_t len,
   std::size_t pos = 1;
 
   if (mode == kModeRaw) {
-    if (len - pos < 4 * out.size()) {
+    // Division, not `4 * out.size()`: same wrap hazard as packed_stream_bytes.
+    if (out.size() > (len - pos) / 4) {
       throw WireTruncated("bitpack: truncated raw stream");
     }
     std::memcpy(out.data(), data + pos, 4 * out.size());

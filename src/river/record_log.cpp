@@ -7,9 +7,12 @@
 #include <cstring>
 #include <vector>
 
+#include "common/checked.hpp"
 #include "common/contracts.hpp"
 
 namespace dynriver::river {
+
+namespace checked = common::checked;
 
 std::pair<std::uintmax_t, std::size_t> scan_log_valid_prefix(
     const std::filesystem::path& path) {
@@ -38,7 +41,8 @@ std::pair<std::uintmax_t, std::size_t> scan_log_valid_prefix(
     const auto n = in.gcount();
     if (n <= 0) break;
     decoder.feed(reinterpret_cast<const std::uint8_t*>(chunk.data()),
-                 static_cast<std::size_t>(n));
+                 checked::narrow<std::size_t, std::runtime_error>(
+                     n, "recovery scan chunk size"));
     fed += static_cast<std::uintmax_t>(n);
     try {
       while (decoder.next(rec)) ++records;
@@ -144,7 +148,8 @@ bool RecordLogReader::next(Record& out) {
     const auto n = in_.gcount();
     if (n > 0) {
       decoder_.feed(reinterpret_cast<const std::uint8_t*>(chunk.data()),
-                    static_cast<std::size_t>(n));
+                    checked::narrow<std::size_t, std::runtime_error>(
+                        n, "record log chunk size"));
     }
     if (in_.eof()) eof_ = true;
   }

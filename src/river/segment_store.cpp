@@ -12,7 +12,9 @@
 #include <cstring>
 #include <map>
 #include <optional>
+#include <utility>
 
+#include "common/checked.hpp"
 #include "common/contracts.hpp"
 #include "river/crc_slices.hpp"
 #include "river/wire.hpp"
@@ -22,6 +24,7 @@ namespace dynriver::river {
 namespace {
 
 namespace fs = std::filesystem;
+namespace checked = common::checked;
 
 // -- fixed-layout encoding helpers -------------------------------------------
 
@@ -104,7 +107,7 @@ bool set_error(std::string* error, const std::string& message) {
 
 bool read_exact(std::ifstream& in, std::uint8_t* dst, std::size_t n) {
   in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
-  return static_cast<std::size_t>(in.gcount()) == n;
+  return std::cmp_equal(in.gcount(), n);
 }
 
 /// Parse and sanity-check the footer of a sealed segment file. Returns false
@@ -149,10 +152,21 @@ bool load_segment_footer(const fs::path& path, SegmentFooter& out,
   if (f.version != kSegmentVersion) {
     return set_error(error, path.string() + ": unsupported segment version");
   }
-  if (f.payload_end < kSegmentHeaderBytes ||
-      f.payload_end + std::uint64_t{f.index_count} * kIndexEntryBytes +
-              kSegmentFooterBytes !=
-          size) {
+  // The writer only ever stamps finite, ordered times (append enforces it),
+  // so anything else is corruption; letting it through would poison the
+  // recovered last-time watermark and the manifest's ordering invariants.
+  if (!std::isfinite(f.t_min) || !std::isfinite(f.t_max) ||
+      f.t_min > f.t_max) {
+    return set_error(error, path.string() + ": footer time range invalid");
+  }
+  // index_count is u32, so `tail` tops out near 2^36 and cannot wrap; the
+  // naive `payload_end + tail == size` sum could, letting a hostile
+  // payload_end near 2^64 satisfy the equation and send later reads to
+  // offsets far past the file.
+  const std::uint64_t tail =
+      std::uint64_t{f.index_count} * kIndexEntryBytes + kSegmentFooterBytes;
+  if (f.payload_end < kSegmentHeaderBytes || tail > size ||
+      f.payload_end != size - tail) {
     return set_error(error, path.string() + ": footer geometry mismatch");
   }
   out = f;
@@ -180,7 +194,17 @@ bool load_segment_index(const fs::path& path, const SegmentFooter& footer,
   out.reserve(footer.index_count);
   for (std::size_t i = 0; i < footer.index_count; ++i) {
     const std::uint8_t* e = tail.data() + i * kIndexEntryBytes;
-    out.emplace_back(get_raw<double>(e), get_raw<std::uint64_t>(e + 8));
+    const auto t = get_raw<double>(e);
+    const auto offset = get_raw<std::uint64_t>(e + 8);
+    // Validate here, on the read path — not only in verify(). An offset past
+    // payload_end once made the prefetcher's `payload_end - start` window
+    // size wrap into a huge resize; unsorted or NaN stamps would break the
+    // seek's upper_bound probe.
+    if (offset < kSegmentHeaderBytes || offset >= footer.payload_end ||
+        std::isnan(t) || (!out.empty() && t < out.back().first)) {
+      return set_error(error, path.string() + ": index entry out of bounds");
+    }
+    out.emplace_back(t, offset);
   }
   return true;
 }
@@ -276,6 +300,23 @@ void read_manifest(const fs::path& dir, std::vector<SegmentInfo>& sealed,
       info.t_max = t_max;
       info.payload_crc = static_cast<std::uint32_t>(crc);
       info.sealed = true;
+      // The manifest is untrusted bytes like any other store file. A name
+      // that is not a well-formed segment name would let a hostile MANIFEST
+      // point readers at arbitrary paths ("seg ../../etc/passwd ..."), and
+      // non-monotone or NaN time spans break the cursor's lower_bound seek
+      // and its "nothing later fits" early-out.
+      std::uint64_t seg_index = 0;
+      if (!parse_segment_name(info.name, seg_index)) {
+        throw std::runtime_error("bad segment name in " + path.string() +
+                                 ": " + info.name);
+      }
+      if (!std::isfinite(info.t_min) || !std::isfinite(info.t_max) ||
+          info.t_min > info.t_max ||
+          (!sealed.empty() && (info.t_min < sealed.back().t_min ||
+                               info.t_max < sealed.back().t_max))) {
+        throw std::runtime_error("non-monotone segment times in " +
+                                 path.string() + ": " + info.name);
+      }
       sealed.push_back(std::move(info));
       continue;
     }
@@ -1000,8 +1041,8 @@ bool SegmentStoreReader::verify(std::string* error) const {
     std::uint64_t left = footer.payload_end - kSegmentHeaderBytes;
     std::array<std::uint8_t, 64 * 1024> chunk;
     while (left > 0) {
-      const auto n = static_cast<std::size_t>(
-          std::min<std::uint64_t>(left, chunk.size()));
+      const auto n = checked::narrow<std::size_t, std::runtime_error>(
+          std::min<std::uint64_t>(left, chunk.size()), "verify chunk size");
       if (!read_exact(in, chunk.data(), n)) {
         return set_error(error, path.string() + ": short payload read");
       }
@@ -1027,7 +1068,8 @@ bool SegmentStoreReader::Cursor::open_next_segment() {
     const auto it = std::lower_bound(
         store_->sealed_.begin(), store_->sealed_.end(), t0_,
         [](const SegmentInfo& s, double t) { return s.t_max < t; });
-    seg_i_ = static_cast<std::size_t>(it - store_->sealed_.begin());
+    seg_i_ = checked::narrow<std::size_t, std::runtime_error>(
+        it - store_->sealed_.begin(), "segment cursor position");
   }
   while (seg_i_ < store_->sealed_.size()) {
     const SegmentInfo& s = store_->sealed_[seg_i_];
@@ -1116,7 +1158,8 @@ bool SegmentStoreReader::Cursor::open_next_segment() {
 
 bool SegmentStoreReader::Cursor::fail_torn() {
   torn_ = true;
-  lost_bytes_ = static_cast<std::size_t>(end_ - pos_);
+  lost_bytes_ = checked::narrow<std::size_t, std::runtime_error>(
+      end_ - pos_, "torn tail size");
   done_ = true;
   return false;
 }
@@ -1303,7 +1346,9 @@ class SegmentPrefetcher {
           begin, begin + static_cast<std::ptrdiff_t>(n_sealed), t0_,
           [](const SegmentInfo& s, double t) { return s.t_max < t; });
       bool hit_t1 = false;
-      for (auto i = static_cast<std::size_t>(it - begin); i < n_sealed; ++i) {
+      for (auto i = checked::narrow<std::size_t, std::runtime_error>(
+               it - begin, "prefetch start segment");
+           i < n_sealed; ++i) {
         if (stopped()) return;
         const SegmentInfo& s = segs[i];
         if (s.t_min >= t1_) {  // time is monotone: nothing later fits
@@ -1376,7 +1421,10 @@ class SegmentPrefetcher {
     Window w;
     w.bytes = take_buffer();
     w.base = start;
-    w.bytes.resize(static_cast<std::size_t>(footer.payload_end - start));
+    // start <= payload_end: it is either the header size (footer geometry
+    // enforces payload_end >= that) or a validated sparse-index offset.
+    w.bytes.resize(checked::narrow<std::size_t, WireError>(
+        footer.payload_end - start, "segment window size"));
     in.seekg(static_cast<std::streamoff>(start));
     if (!read_exact(in, w.bytes.data(), w.bytes.size())) {
       throw WireError("segment store: short payload read in " + path.string());
@@ -1411,12 +1459,14 @@ class SegmentPrefetcher {
     const std::uint64_t end = sealed_end != 0 ? sealed_end : size;
     w.bytes = take_buffer();
     w.base = kSegmentHeaderBytes;
-    w.bytes.resize(static_cast<std::size_t>(end - kSegmentHeaderBytes));
+    w.bytes.resize(checked::narrow<std::size_t, WireError>(
+        end - kSegmentHeaderBytes, "active window size"));
     // The file may be growing under us; the statted size is our bounded
     // snapshot of the tail, exactly like a cursor's.
     in.read(reinterpret_cast<char*>(w.bytes.data()),
             static_cast<std::streamsize>(w.bytes.size()));
-    w.bytes.resize(static_cast<std::size_t>(in.gcount()));
+    w.bytes.resize(checked::narrow<std::size_t, WireError>(
+        in.gcount(), "active window read size"));
     return emit(std::move(w));
   }
 

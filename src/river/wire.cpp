@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "common/checked.hpp"
 #include "common/contracts.hpp"
 #include "river/bitpack.hpp"
 #include "river/crc_slices.hpp"
@@ -10,6 +11,8 @@
 namespace dynriver::river {
 
 namespace {
+
+namespace checked = common::checked;
 
 // -- little-endian primitives -------------------------------------------------
 
@@ -52,7 +55,9 @@ class Reader {
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > len_) throw WireTruncated("truncated record frame");
+    // pos_ <= len_ is a class invariant, so the subtraction cannot wrap the
+    // way the naive `pos_ + n > len_` sum can for an attacker-sized n.
+    if (n > len_ - pos_) throw WireTruncated("truncated record frame");
   }
 
   const std::uint8_t* data_;
@@ -213,42 +218,58 @@ RecordView decode_record_view(const std::uint8_t* data, std::size_t len,
   view.attr_bytes = std::span<const std::uint8_t>(data + attrs_begin,
                                                   r.pos() - attrs_begin);
 
-  // Every length below is validated against the remaining buffer BEFORE
-  // allocating, so a corrupted length field yields a WireError rather than
-  // an attempted multi-gigabyte allocation.
-  static constexpr std::size_t kElemSize[] = {0, 1, sizeof(float),
-                                              2 * sizeof(float)};
+  // Every length below is validated BEFORE allocating — first against the
+  // absolute payload cap (a too-large claim is corruption, full stop), then
+  // against the remaining buffer — so a corrupted length field yields a
+  // WireError rather than an attempted multi-gigabyte allocation. The cap
+  // comparisons divide rather than multiply so they cannot themselves wrap.
+  // Element sizes by pay_tag: none, raw bytes, f32, c64. Literals on
+  // purpose: the wire format fixes them independent of host types.
+  static constexpr std::size_t kElemSize[] = {0, 1, 4, 8};
+  if (view.pay_tag != 0 &&
+      paylen > kMaxWirePayloadBytes /
+                   kElemSize[view.pay_tag == kPayTagPackedFloats
+                                 ? 2
+                                 : view.pay_tag]) {
+    throw WireError("payload length exceeds wire cap");
+  }
   if (view.pay_tag != 0 && view.pay_tag != kPayTagPackedFloats &&
       paylen > r.remaining() / kElemSize[view.pay_tag]) {
     throw WireTruncated("truncated record frame");
   }
+  // The cap bounds paylen well inside std::size_t, so this cannot throw —
+  // it exists to keep the u64 -> size_t conversion checked on every path.
+  const auto count = checked::narrow<std::size_t, WireError>(
+      paylen, "payload length exceeds wire cap");
 
   switch (view.pay_tag) {
     case 0:
       if (paylen != 0) throw WireError("empty payload with nonzero length");
       break;
     case 1:
-      view.bytes = std::span<const std::uint8_t>(r.cursor(), paylen);
-      r.skip(static_cast<std::size_t>(paylen));
+      view.bytes = std::span<const std::uint8_t>(r.cursor(), count);
+      r.skip(count);
       break;
     case 2: {
       // Copy into the scratch: payload bytes inside a frame are unaligned,
       // so a span over them would not be a valid span<const float>.
-      scratch.floats.resize(static_cast<std::size_t>(paylen));
-      if (paylen > 0) {
-        std::memcpy(scratch.floats.data(), r.cursor(),
-                    4 * static_cast<std::size_t>(paylen));
-        r.skip(4 * static_cast<std::size_t>(paylen));
+      const auto nbytes = checked::mul<WireError>(count, sizeof(float),
+                                                  "float payload overflow");
+      scratch.floats.resize(count);
+      if (count > 0) {
+        std::memcpy(scratch.floats.data(), r.cursor(), nbytes);
+        r.skip(nbytes);
       }
       view.floats = scratch.floats;
       break;
     }
     case 3: {
-      scratch.cplx.resize(static_cast<std::size_t>(paylen));
-      if (paylen > 0) {
-        std::memcpy(scratch.cplx.data(), r.cursor(),
-                    8 * static_cast<std::size_t>(paylen));
-        r.skip(8 * static_cast<std::size_t>(paylen));
+      const auto nbytes = checked::mul<WireError>(
+          count, sizeof(std::complex<float>), "complex payload overflow");
+      scratch.cplx.resize(count);
+      if (count > 0) {
+        std::memcpy(scratch.cplx.data(), r.cursor(), nbytes);
+        r.skip(nbytes);
       }
       view.cplx = scratch.cplx;
       break;
@@ -258,18 +279,25 @@ RecordView decode_record_view(const std::uint8_t* data, std::size_t len,
       if (packed_len > r.remaining()) {
         throw WireTruncated("truncated record frame");
       }
+      // No packed mode yields more than kMaxPackedExpansion values per
+      // stream byte, so a larger element count cannot be made consistent by
+      // any stream content — reject before the structural walk ever runs.
+      // (Fuzz-found: without this, a 41-byte frame declaring 2^62 elements
+      // wrapped the walk's size arithmetic and drove a ~2^64-byte resize.)
+      if (count / bitpack::kMaxPackedExpansion > packed_len) {
+        throw WireError("packed payload inconsistent");
+      }
       // Structural pre-walk: bounds the scratch resize by bytes actually
       // present and classifies errors. A stream inconsistent WITHIN its
       // declared packed_len cannot be fixed by more input — corruption.
       std::size_t used = 0;
       try {
-        used = bitpack::packed_stream_bytes(
-            r.cursor(), packed_len, static_cast<std::size_t>(paylen));
+        used = bitpack::packed_stream_bytes(r.cursor(), packed_len, count);
       } catch (const WireTruncated&) {
         throw WireError("packed payload inconsistent");
       }
       if (used != packed_len) throw WireError("packed payload inconsistent");
-      scratch.floats.resize(static_cast<std::size_t>(paylen));
+      scratch.floats.resize(count);
       (void)bitpack::unpack_floats(r.cursor(), packed_len,
                                    std::span<float>(scratch.floats));
       r.skip(packed_len);

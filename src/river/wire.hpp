@@ -63,6 +63,14 @@ inline constexpr std::uint32_t kWireMagic = 0x44524956;  // "DRIV"
 inline constexpr std::uint16_t kWireVersion = 1;
 /// pay_tag of a bit-packed float payload (packed alternative of tag 2).
 inline constexpr std::uint8_t kPayTagPackedFloats = 4;
+/// Upper bound on one frame's decoded payload, in bytes. No writer comes
+/// near it (records carry ~900 samples; segment frames are capped at 1 GiB
+/// including headers), so a larger declared length is corruption — rejected
+/// as WireError before any allocation. The cap is what bounds a decoder's
+/// memory against a hostile length field: without it a packed frame can
+/// legally declare up to 128 elements per payload byte (see
+/// river/bitpack.hpp), amplifying a small frame into an enormous resize.
+inline constexpr std::uint64_t kMaxWirePayloadBytes = 1ull << 30;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected). Exposed for tests.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,

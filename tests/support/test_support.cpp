@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <numbers>
 #include <random>
@@ -26,6 +28,89 @@ ScopedTempDir::ScopedTempDir(const std::string& tag) {
 ScopedTempDir::~ScopedTempDir() {
   std::error_code ec;  // best effort: never throw from a destructor
   fs::remove_all(dir_, ec);
+}
+
+std::vector<std::uint8_t> read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot open " << path;
+    return {};
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file_bytes(const fs::path& path, const std::uint8_t* data,
+                      std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+void write_file_bytes(const fs::path& path,
+                      const std::vector<std::uint8_t>& bytes) {
+  write_file_bytes(path, bytes.data(), bytes.size());
+}
+
+namespace {
+
+/// Restores a file to its snapshotted bytes on scope exit, so a sweep that
+/// fails (or throws) mid-way never leaves the fixture's file damaged.
+class PristineFileGuard {
+ public:
+  explicit PristineFileGuard(fs::path path)
+      : path_(std::move(path)), pristine_(read_file_bytes(path_)) {}
+  ~PristineFileGuard() { write_file_bytes(path_, pristine_); }
+  PristineFileGuard(const PristineFileGuard&) = delete;
+  PristineFileGuard& operator=(const PristineFileGuard&) = delete;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return pristine_;
+  }
+
+ private:
+  fs::path path_;
+  std::vector<std::uint8_t> pristine_;
+};
+
+}  // namespace
+
+void sweep_bit_flips(
+    const std::vector<std::uint8_t>& pristine,
+    const std::function<void(const std::vector<std::uint8_t>&, std::size_t)>&
+        check,
+    const std::function<bool(std::size_t)>& skip) {
+  std::vector<std::uint8_t> damaged = pristine;
+  for (std::size_t at = 0; at < pristine.size(); ++at) {
+    if (skip && skip(at)) continue;
+    damaged[at] = static_cast<std::uint8_t>(damaged[at] ^ 0x01U);
+    check(damaged, at);
+    damaged[at] = pristine[at];
+  }
+}
+
+void sweep_file_bit_flips(const fs::path& path,
+                          const std::function<void(std::size_t)>& check,
+                          const std::function<bool(std::size_t)>& skip) {
+  PristineFileGuard guard(path);
+  sweep_bit_flips(
+      guard.bytes(),
+      [&](const std::vector<std::uint8_t>& damaged, std::size_t at) {
+        write_file_bytes(path, damaged);
+        check(at);
+      },
+      skip);
+}
+
+void sweep_file_truncations(const fs::path& path,
+                            const std::function<void(std::size_t)>& check,
+                            std::size_t stride) {
+  ASSERT_GT(stride, 0U);
+  PristineFileGuard guard(path);
+  for (std::size_t len = 0; len < guard.bytes().size(); len += stride) {
+    write_file_bytes(path, guard.bytes().data(), len);
+    check(len);
+  }
 }
 
 namespace {

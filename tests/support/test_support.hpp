@@ -10,6 +10,7 @@
 #include <complex>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,48 @@ class TempDirTest : public ::testing::Test {
  private:
   ScopedTempDir dir_;
 };
+
+// ---------------------------------------------------------------------------
+// Corruption drills
+// ---------------------------------------------------------------------------
+//
+// Shared sweeps for the "hostile bytes" suites: every decoder that reads
+// untrusted input gets the same exhaustive single-bit-flip and
+// truncate-at-every-byte treatment (segment files, flat record logs, wire
+// frames). Promoted from per-suite copies in test_river_segment_store.
+
+/// Whole file as bytes; ADD_FAILUREs (and returns empty) if it cannot open.
+std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path);
+
+/// Truncate-and-write the file to exactly these bytes.
+void write_file_bytes(const std::filesystem::path& path,
+                      const std::uint8_t* data, std::size_t size);
+void write_file_bytes(const std::filesystem::path& path,
+                      const std::vector<std::uint8_t>& bytes);
+
+/// In-memory sweep: for every byte position not excused by skip(), call
+/// check(damaged, at) with bit 0 of byte `at` flipped. The pristine buffer
+/// is never modified.
+void sweep_bit_flips(
+    const std::vector<std::uint8_t>& pristine,
+    const std::function<void(const std::vector<std::uint8_t>&, std::size_t)>&
+        check,
+    const std::function<bool(std::size_t)>& skip = {});
+
+/// On-disk sweep: snapshot the file, then for every byte position not
+/// excused by skip() rewrite it with bit 0 of that byte flipped and call
+/// check(at). The pristine file is restored afterwards — including when a
+/// check throws or fails fatally (RAII).
+void sweep_file_bit_flips(const std::filesystem::path& path,
+                          const std::function<void(std::size_t)>& check,
+                          const std::function<bool(std::size_t)>& skip = {});
+
+/// On-disk sweep: truncate the file to every length in {0, stride,
+/// 2*stride, ...} strictly below its size and call check(len); restores the
+/// pristine file afterwards exactly like sweep_file_bit_flips.
+void sweep_file_truncations(const std::filesystem::path& path,
+                            const std::function<void(std::size_t)>& check,
+                            std::size_t stride = 1);
 
 // ---------------------------------------------------------------------------
 // Tolerance comparators

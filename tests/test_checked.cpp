@@ -1,0 +1,107 @@
+// Overflow-checked size arithmetic (common/checked.hpp): the primitives
+// every untrusted-byte decoder routes its length math through. Boundary
+// cases matter more than happy paths here — an off-by-one at the wrap point
+// is exactly the bug class the helpers exist to stop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "common/checked.hpp"
+#include "river/wire.hpp"
+
+namespace checked = dynriver::common::checked;
+using dynriver::river::WireError;
+
+namespace {
+
+constexpr auto kMax64 = std::numeric_limits<std::uint64_t>::max();
+constexpr auto kMaxSize = std::numeric_limits<std::size_t>::max();
+
+class CustomError : public std::runtime_error {
+ public:
+  explicit CustomError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace
+
+TEST(Checked, AddInRange) {
+  EXPECT_EQ((checked::add<WireError>(std::uint64_t{2}, std::uint64_t{3}, "x")),
+            5U);
+  EXPECT_EQ((checked::add<WireError>(kMax64 - 1, std::uint64_t{1}, "x")),
+            kMax64);
+  EXPECT_EQ((checked::add<WireError>(std::uint64_t{0}, std::uint64_t{0}, "x")),
+            0U);
+}
+
+TEST(Checked, AddAtTheWrapBoundary) {
+  EXPECT_THROW((void)checked::add<WireError>(kMax64, std::uint64_t{1}, "x"),
+               WireError);
+  EXPECT_THROW(
+      (void)checked::add<WireError>(kMax64 / 2 + 1, kMax64 / 2 + 1, "x"),
+      WireError);
+  // One below the boundary still fits.
+  EXPECT_EQ((checked::add<WireError>(kMax64 / 2, kMax64 / 2 + 1, "x")), kMax64);
+}
+
+TEST(Checked, MulInRange) {
+  EXPECT_EQ((checked::mul<WireError>(std::size_t{1} << 20, std::size_t{4},
+                                     "x")),
+            std::size_t{1} << 22);
+  EXPECT_EQ((checked::mul<WireError>(kMaxSize, std::size_t{1}, "x")), kMaxSize);
+  EXPECT_EQ((checked::mul<WireError>(kMaxSize, std::size_t{0}, "x")), 0U);
+}
+
+TEST(Checked, MulAtTheWrapBoundary) {
+  // The classic decoder bug: count * sizeof(elem) wrapping to something
+  // small. 2^62 * 4 wraps to 0 in u64 — the exact shape of the fuzz-found
+  // packed-count overflow (see fuzz/corpus/wire_decode).
+  EXPECT_THROW((void)checked::mul<WireError>(std::uint64_t{1} << 62,
+                                             std::uint64_t{4}, "x"),
+               WireError);
+  EXPECT_THROW((void)checked::mul<WireError>(kMax64 / 2, std::uint64_t{3},
+                                             "x"),
+               WireError);
+  EXPECT_EQ((checked::mul<WireError>(kMax64 / 4, std::uint64_t{4}, "x")),
+            kMax64 - 3);
+}
+
+TEST(Checked, NarrowInRange) {
+  EXPECT_EQ((checked::narrow<std::uint16_t, WireError>(65535, "x")), 65535U);
+  EXPECT_EQ((checked::narrow<std::size_t, WireError>(std::int64_t{0}, "x")),
+            0U);
+  EXPECT_EQ((checked::narrow<std::uint8_t, WireError>(std::uint64_t{255},
+                                                      "x")),
+            255U);
+}
+
+TEST(Checked, NarrowRejectsTooLargeAndNegative) {
+  EXPECT_THROW((void)(checked::narrow<std::uint16_t, WireError>(65536, "x")),
+               WireError);
+  EXPECT_THROW(
+      (void)(checked::narrow<std::size_t, WireError>(std::int64_t{-1}, "x")),
+      WireError);
+  EXPECT_THROW(
+      (void)(checked::narrow<std::uint8_t, WireError>(std::uint64_t{256},
+                                                      "x")),
+      WireError);
+}
+
+TEST(Checked, ThrowsTheRequestedExceptionFamilyWithTheMessage) {
+  // The exception type is a template parameter so each decoder's existing
+  // catch sites keep working; the message must survive verbatim.
+  try {
+    (void)checked::mul<CustomError>(kMax64, kMax64, "count overflows frame");
+    FAIL() << "no throw";
+  } catch (const CustomError& e) {
+    EXPECT_STREQ(e.what(), "count overflows frame");
+  }
+  // And a WireError thrown here is catchable as the decoder's base family.
+  try {
+    (void)checked::add<WireError>(kMax64, kMax64, "sum overflows");
+    FAIL() << "no throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sum overflows");
+  }
+}

@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <numbers>
+#include <span>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "dsp/biquad.hpp"
@@ -103,6 +107,127 @@ TEST(Wav, FileRoundTrip) {
 TEST(Wav, RejectsGarbage) {
   const std::vector<std::uint8_t> garbage = {'n', 'o', 't', 'w', 'a', 'v', '!'};
   EXPECT_THROW((void)dsp::decode_wav(garbage), dsp::WavError);
+}
+
+namespace {
+
+template <typename T>
+void put_le(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+void put_tag(std::vector<std::uint8_t>& out, const char* tag) {
+  // Byte-wise on purpose: GCC 12's -Wstringop-overflow misfires on
+  // vector::insert from a 4-char literal (same workaround as dsp/wav.cpp).
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(tag[i]));
+  }
+}
+
+/// RIFF/WAVE container prefix followed by the caller's chunks.
+std::vector<std::uint8_t> riff_wave() {
+  std::vector<std::uint8_t> out;
+  put_tag(out, "RIFF");
+  put_le(out, std::uint32_t{36});  // riff size: untrusted, decoder ignores it
+  put_tag(out, "WAVE");
+  return out;
+}
+
+/// A well-formed 16-byte PCM fmt chunk.
+void append_fmt(std::vector<std::uint8_t>& out, std::uint16_t channels,
+                std::uint32_t rate) {
+  put_tag(out, "fmt ");
+  put_le(out, std::uint32_t{16});
+  put_le(out, std::uint16_t{1});  // PCM
+  put_le(out, channels);
+  put_le(out, rate);
+  put_le(out, std::uint32_t{rate * 2U * channels});  // byte rate
+  put_le(out, std::uint16_t{static_cast<std::uint16_t>(2U * channels)});
+  put_le(out, std::uint16_t{16});  // bits
+}
+
+}  // namespace
+
+TEST(WavHostile, MaxChunkSizeNeverHangs) {
+  // Regression: the chunk walker advanced `chunk_size + pad` in u32, so a
+  // chunk declaring 0xFFFFFFFF bytes wrapped to a zero advance — an
+  // infinite loop on a 13-byte file. Hostile sizes must be a clean error.
+  for (const std::uint32_t hostile : {0xFFFFFFFFu, 0xFFFFFFFEu, 0x80000000u}) {
+    auto bytes = riff_wave();
+    put_tag(bytes, "JUNK");
+    put_le(bytes, hostile);
+    bytes.push_back(0);  // one byte of "chunk body"
+    EXPECT_THROW((void)dsp::decode_wav(bytes), dsp::WavError) << hostile;
+  }
+}
+
+TEST(WavHostile, DataSizeBeyondBufferRejectedBeforeAllocation) {
+  // The declared data size must be validated against the bytes actually
+  // present before it ever reaches a resize: an attacker-controlled length
+  // is not an allocation size.
+  auto bytes = riff_wave();
+  append_fmt(bytes, 1, 8000);
+  put_tag(bytes, "data");
+  put_le(bytes, std::uint32_t{0xFFFFFFF0u});
+  bytes.push_back(0);
+  EXPECT_THROW((void)dsp::decode_wav(bytes), dsp::WavError);
+}
+
+TEST(WavHostile, ZeroChannelsRejected) {
+  auto bytes = riff_wave();
+  append_fmt(bytes, 0, 8000);
+  put_tag(bytes, "data");
+  put_le(bytes, std::uint32_t{4});
+  put_le(bytes, std::uint32_t{0});
+  EXPECT_THROW((void)dsp::decode_wav(bytes), dsp::WavError);
+}
+
+TEST(WavHostile, ShortFmtChunkRejected) {
+  auto bytes = riff_wave();
+  put_tag(bytes, "fmt ");
+  put_le(bytes, std::uint32_t{8});  // PCM fmt needs 16 bytes
+  for (int i = 0; i < 8; ++i) bytes.push_back(0);
+  put_tag(bytes, "data");
+  put_le(bytes, std::uint32_t{0});
+  EXPECT_THROW((void)dsp::decode_wav(bytes), dsp::WavError);
+}
+
+TEST(WavHostile, EncoderRejectsUnrepresentableGeometry) {
+  // The encoder's header fields are u16/u32; geometry that cannot fit must
+  // throw instead of wrapping into a silently-corrupt header.
+  dsp::WavClip wide;
+  wide.sample_rate = 8000;
+  wide.channels = 0xFFFF;  // block align (channels * 2) exceeds u16
+  wide.samples = {0.0F};
+  EXPECT_THROW((void)dsp::encode_wav(wide), dsp::WavError);
+
+  dsp::WavClip fast;
+  fast.sample_rate = 0xFFFFFFFFu;  // byte rate (rate * block align) wraps u32
+  fast.channels = 1;
+  fast.samples = {0.0F};
+  EXPECT_THROW((void)dsp::encode_wav(fast), dsp::WavError);
+}
+
+TEST(WavHostile, TruncatedAtEveryByteIsCleanError) {
+  // Every prefix of a real clip must be a WavError (or, for a short data
+  // chunk, a smaller clip) — never a crash, hang, or over-read.
+  dsp::WavClip clip;
+  clip.sample_rate = 8000;
+  clip.channels = 1;
+  clip.samples = {0.1F, -0.1F, 0.2F, -0.2F};
+  const auto full = dsp::encode_wav(clip);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(full.data(), cut);
+    try {
+      const auto decoded = dsp::decode_wav(prefix);
+      // Cuts inside the data chunk body decode as a shorter clip.
+      EXPECT_LE(decoded.samples.size(), clip.samples.size()) << "cut " << cut;
+    } catch (const dsp::WavError&) {
+      // expected for cuts before the data chunk header
+    }
+  }
 }
 
 TEST(Wav, StereoDownmix) {

@@ -169,6 +169,76 @@ TEST_F(SampleIoFileTest, RecordLogSourceReportsTornTailAsLostNotError) {
   EXPECT_TRUE(source.exhausted());
 }
 
+TEST_F(SampleIoFileTest, FlatLogSingleBitFlipNeverCrashesScanOrDrain) {
+  // The corruption drill the segment store gets, applied to the flat log:
+  // any one-bit flip anywhere may cost records, but the scan must stay
+  // inside the file and the reader must either stop cleanly (torn tail) or
+  // throw WireError — never crash, hang, or fabricate records.
+  const auto path = temp_file("flip.rlog");
+  {
+    river::RecordLogWriter writer(path);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      auto rec = Record::data(river::kSubtypeAudio, ramp(120));
+      rec.sequence = i;
+      writer.write(rec);
+    }
+    writer.close();
+  }
+  const auto size = std::filesystem::file_size(path);
+
+  testsupport::sweep_file_bit_flips(path, [&](std::size_t at) {
+    const auto [valid_bytes, valid_records] =
+        river::scan_log_valid_prefix(path);
+    EXPECT_LE(valid_bytes, size) << "flip at byte " << at;
+    EXPECT_LE(valid_records, 3U) << "flip at byte " << at;
+
+    river::RecordLogReader reader(path);
+    Record rec;
+    std::size_t drained = 0;
+    try {
+      while (reader.next(rec)) ++drained;
+      // Clean end (possibly torn): the reader and the scanner must agree on
+      // the recoverable prefix.
+      EXPECT_EQ(drained, valid_records) << "flip at byte " << at;
+    } catch (const river::WireError&) {
+      // Structural corruption past the valid prefix.
+      EXPECT_LE(drained, valid_records) << "flip at byte " << at;
+    }
+  });
+
+  // The sweep restored the file: everything reads back.
+  EXPECT_EQ(river::scan_log_valid_prefix(path).second, 3U);
+}
+
+TEST_F(SampleIoFileTest, FlatLogTruncatedAtEveryByteDrainsThePrefix) {
+  // Pure truncation is always a torn tail, never structural corruption:
+  // every complete frame before the cut must come back, with no throw.
+  const auto path = temp_file("cut.rlog");
+  {
+    river::RecordLogWriter writer(path);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      auto rec = Record::data(river::kSubtypeAudio, ramp(60));
+      rec.sequence = i;
+      writer.write(rec);
+    }
+    writer.close();
+  }
+
+  testsupport::sweep_file_truncations(path, [&](std::size_t len) {
+    const auto [valid_bytes, valid_records] =
+        river::scan_log_valid_prefix(path);
+    EXPECT_LE(valid_bytes, len) << "cut at byte " << len;
+
+    river::RecordLogReader reader(path);
+    Record rec;
+    std::size_t drained = 0;
+    EXPECT_NO_THROW({
+      while (reader.next(rec)) ++drained;
+    }) << "cut at byte " << len;
+    EXPECT_EQ(drained, valid_records) << "cut at byte " << len;
+  });
+}
+
 TEST_F(SampleIoFileTest, RecordSampleSourceLearnsRateFromDataAttrs) {
   // Self-describing data records (segment-store replay seeking past the
   // clip scope) still teach the source its rate.

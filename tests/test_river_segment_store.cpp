@@ -329,33 +329,20 @@ TEST_F(SegmentStoreTest, SingleBitFlipAnywhereInASealedSegmentIsDetected) {
   river::SegmentStoreReader reader(dir);
   ASSERT_TRUE(reader.verify());
   const auto path = dir / reader.segments()[0].name;
+  ASSERT_GT(fs::file_size(path), river::kSegmentHeaderBytes +
+                                     river::kSegmentFooterBytes);
 
-  std::vector<char> pristine;
-  {
-    std::ifstream in(path, std::ios::binary);
-    pristine.assign(std::istreambuf_iterator<char>(in),
-                    std::istreambuf_iterator<char>());
-  }
-  ASSERT_GT(pristine.size(), river::kSegmentHeaderBytes +
-                                 river::kSegmentFooterBytes);
+  testsupport::sweep_file_bit_flips(
+      path,
+      [&](std::size_t at) {
+        std::string error;
+        EXPECT_FALSE(reader.verify(&error)) << "flip at byte " << at;
+        EXPECT_FALSE(error.empty()) << "flip at byte " << at;
+      },
+      // header flags: reserved, unchecked
+      [](std::size_t at) { return at == 6 || at == 7; });
 
-  for (std::size_t at = 0; at < pristine.size(); ++at) {
-    if (at == 6 || at == 7) continue;  // header flags: reserved, unchecked
-    auto damaged = pristine;
-    damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
-    {
-      std::ofstream out(path, std::ios::binary | std::ios::trunc);
-      out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
-    }
-    std::string error;
-    EXPECT_FALSE(reader.verify(&error)) << "flip at byte " << at;
-    EXPECT_FALSE(error.empty()) << "flip at byte " << at;
-  }
-
-  {  // restore and confirm the sweep left the file intact
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
-  }
+  // The sweep restores the pristine file on exit.
   EXPECT_TRUE(reader.verify());
 }
 
@@ -1049,27 +1036,14 @@ TEST_F(SegmentStoreTest, PackedSealedSegmentSingleBitFlipIsDetected) {
   ASSERT_TRUE(reader.verify());
   const auto path = dir / reader.segments()[0].name;
 
-  std::vector<char> pristine;
-  {
-    std::ifstream in(path, std::ios::binary);
-    pristine.assign(std::istreambuf_iterator<char>(in),
-                    std::istreambuf_iterator<char>());
-  }
-  for (std::size_t at = 0; at < pristine.size(); ++at) {
-    if (at == 6 || at == 7) continue;  // header flags: reserved, unchecked
-    auto damaged = pristine;
-    damaged[at] = static_cast<char>(damaged[at] ^ 0x01);
-    {
-      std::ofstream out(path, std::ios::binary | std::ios::trunc);
-      out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
-    }
-    std::string error;
-    EXPECT_FALSE(reader.verify(&error)) << "flip at byte " << at;
-  }
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
-  }
+  testsupport::sweep_file_bit_flips(
+      path,
+      [&](std::size_t at) {
+        std::string error;
+        EXPECT_FALSE(reader.verify(&error)) << "flip at byte " << at;
+      },
+      // header flags: reserved, unchecked
+      [](std::size_t at) { return at == 6 || at == 7; });
   EXPECT_TRUE(reader.verify());
 }
 

@@ -5,13 +5,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <random>
+#include <vector>
 
 #include "river/wire.hpp"
+#include "test_support.hpp"
 
 namespace river = dynriver::river;
+namespace testsupport = dynriver::testsupport;
 using river::Record;
 using river::RecordType;
 
@@ -264,6 +268,138 @@ TEST(WirePacked, InnerInconsistencyIsCorruptionNotTruncation) {
   decoder.feed(frame.data(), frame.size());
   Record out;
   EXPECT_THROW((void)decoder.next(out), river::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile length fields: overflow boundaries and exhaustive bit flips
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void put_le(std::vector<std::uint8_t>& out, T value) {
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+/// Hand-rolled frame header (through paylen, zero attributes) for length
+/// claims the real encoder refuses to produce. Trailing zero bytes stand in
+/// for payload + CRC when the decode must throw before reaching either.
+std::vector<std::uint8_t> hostile_frame(std::uint8_t pay_tag,
+                                        std::uint64_t paylen,
+                                        std::size_t trailing) {
+  std::vector<std::uint8_t> out;
+  put_le(out, river::kWireMagic);
+  put_le(out, river::kWireVersion);
+  put_le(out, static_cast<std::uint8_t>(RecordType::kData));
+  put_le(out, pay_tag);
+  put_le(out, std::uint32_t{0});  // subtype
+  put_le(out, std::uint32_t{0});  // scope_depth
+  put_le(out, std::uint32_t{0});  // scope_type
+  put_le(out, std::uint64_t{0});  // sequence
+  put_le(out, std::uint32_t{0});  // nattr
+  put_le(out, paylen);
+  out.resize(out.size() + trailing, 0);
+  return out;
+}
+
+struct HostileClaim {
+  std::uint8_t tag;
+  std::uint64_t paylen;
+};
+
+}  // namespace
+
+TEST(WireOverflow, PayloadClaimAboveCapIsCorruptionNotTruncation) {
+  // A length no writer can produce is corruption, full stop: feeding more
+  // bytes must never help (a transport decoder would stall forever), and no
+  // allocation may happen on the way to the reject.
+  for (const auto claim :
+       {HostileClaim{1, river::kMaxWirePayloadBytes + 1},
+        HostileClaim{2, river::kMaxWirePayloadBytes / sizeof(float) + 1},
+        HostileClaim{3, river::kMaxWirePayloadBytes / 8 + 1},
+        HostileClaim{river::kPayTagPackedFloats, std::uint64_t{1} << 62}}) {
+    const auto frame = hostile_frame(claim.tag, claim.paylen, 16);
+    std::size_t consumed = 0;
+    try {
+      (void)river::decode_record(frame.data(), frame.size(), consumed);
+      FAIL() << "oversized claim decoded, tag " << int{claim.tag};
+    } catch (const river::WireTruncated&) {
+      FAIL() << "oversized claim classified as truncation, tag "
+             << int{claim.tag};
+    } catch (const river::WireError&) {
+      // expected
+    }
+  }
+}
+
+TEST(WireOverflow, PayloadClaimAtCapIsMerelyTruncated) {
+  // Exactly at the cap the claim is still legal, so a short buffer is a
+  // fragment (more bytes could complete it), not corruption.
+  for (const auto claim :
+       {HostileClaim{1, river::kMaxWirePayloadBytes},
+        HostileClaim{2, river::kMaxWirePayloadBytes / sizeof(float)},
+        HostileClaim{3, river::kMaxWirePayloadBytes / 8}}) {
+    const auto frame = hostile_frame(claim.tag, claim.paylen, 16);
+    std::size_t consumed = 0;
+    EXPECT_THROW(
+        (void)river::decode_record(frame.data(), frame.size(), consumed),
+        river::WireTruncated)
+        << "tag " << int{claim.tag};
+  }
+}
+
+TEST(WireOverflow, PackedCountDeclaring2p62ElementsIsRejected) {
+  // Fuzz-found: before the payload cap, a 51-byte packed frame declaring
+  // 2^62 elements wrapped the structural walk's 4*count arithmetic and
+  // drove a ~2^64-byte resize. The triggering input is committed as
+  // fuzz/corpus/wire_decode/packed_count_2p62_overflow.
+  const auto frame =
+      hostile_frame(river::kPayTagPackedFloats, std::uint64_t{1} << 62, 11);
+  std::size_t consumed = 0;
+  EXPECT_THROW(
+      (void)river::decode_record(frame.data(), frame.size(), consumed),
+      river::WireError);
+}
+
+TEST(WireOverflow, PackedCountInconsistentWithStreamIsCorruption) {
+  // A count that passes the absolute cap but that no stream of the declared
+  // length can expand to (128 elements per byte is the codec's hard maximum)
+  // must be rejected before the scratch buffer is sized from it.
+  auto frame =
+      hostile_frame(river::kPayTagPackedFloats, std::uint64_t{1} << 28, 0);
+  put_le(frame, std::uint32_t{3});      // declared packed stream length
+  frame.resize(frame.size() + 3 + 4, 0);  // stream + CRC
+  std::size_t consumed = 0;
+  try {
+    (void)river::decode_record(frame.data(), frame.size(), consumed);
+    FAIL() << "inconsistent packed count decoded";
+  } catch (const river::WireTruncated&) {
+    FAIL() << "inconsistent packed count classified as truncation";
+  } catch (const river::WireError&) {
+    // expected
+  }
+}
+
+TEST(Wire, SingleBitFlipAnywhereIsRejectedBothCodecs) {
+  // CRC32 detects every single-bit error, and the magic/CRC fields outside
+  // its coverage are checked directly — so no flip anywhere in a frame may
+  // decode, crash, or trigger an attacker-sized allocation.
+  for (const auto codec :
+       {river::PayloadCodec::kRaw, river::PayloadCodec::kPacked}) {
+    const auto frame = river::encode_record(quantized_audio_record(300, 7),
+                                            codec);
+    testsupport::sweep_bit_flips(
+        frame, [&](const std::vector<std::uint8_t>& damaged, std::size_t at) {
+          std::size_t consumed = 0;
+          EXPECT_THROW((void)river::decode_record(damaged.data(),
+                                                  damaged.size(), consumed),
+                       river::WireError)
+              << "codec " << static_cast<int>(codec) << " flip at byte "
+              << at;
+        });
+  }
 }
 
 // ---------------------------------------------------------------------------
